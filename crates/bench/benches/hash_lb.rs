@@ -1,0 +1,48 @@
+//! Microbenchmark of Nezha's load-balancing primitive: the stable 5-tuple
+//! hash and the FE selection it drives (paper §3.2.3 — "only 5-tuple
+//! hashing, without ... symmetric or consistent hashing").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nezha_core::be::BackendMeta;
+use nezha_sim::time::SimTime;
+use nezha_types::{FiveTuple, Ipv4Addr, ServerId, SessionKey, VpcId};
+use std::hint::black_box;
+
+fn bench_hash_lb(c: &mut Criterion) {
+    c.bench_function("five_tuple_stable_hash", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let t = FiveTuple::tcp(
+                Ipv4Addr(0x0a070000 | i),
+                (i % 50_000) as u16,
+                Ipv4Addr::new(10, 7, 0, 1),
+                9000,
+            );
+            black_box(t.stable_hash())
+        });
+    });
+
+    c.bench_function("fe_select_4", |b| {
+        let mut meta = BackendMeta::new(SimTime(0));
+        for s in 1..=4 {
+            meta.add_fe(ServerId(s));
+            meta.mark_ready(ServerId(s));
+        }
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let t = FiveTuple::tcp(
+                Ipv4Addr(0x0a070000 | i),
+                (i % 50_000) as u16,
+                Ipv4Addr::new(10, 7, 0, 1),
+                9000,
+            );
+            let key = SessionKey::of(VpcId(1), t);
+            black_box(meta.select_fe(&key, t.canonical().stable_hash()))
+        });
+    });
+}
+
+criterion_group!(benches, bench_hash_lb);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Microbenchmark of the Nezha service header codec — the per-packet
+//! encapsulation cost of carrying state/pre-actions between BE and FE.
+
+use bytes::BytesMut;
+use criterion::{criterion_group, criterion_main, Criterion};
+use nezha_types::{
+    Direction, Ipv4Addr, NezhaHeader, NezhaPayloadKind, PreAction, PreActionPair, ServerId, VnicId,
+    VpcId,
+};
+use std::hint::black_box;
+
+fn full_header() -> NezhaHeader {
+    let mut h = NezhaHeader::bare(NezhaPayloadKind::RxCarry, VnicId(42), VpcId(7));
+    h.first_dir = Some(Direction::Tx);
+    h.decap_addr = Some(Ipv4Addr::new(100, 64, 3, 4));
+    h.stats_policy = Some(5);
+    h.pre_actions = Some(PreActionPair {
+        tx: PreAction::accept(Some(ServerId(12))),
+        rx: PreAction::drop(),
+    });
+    h
+}
+
+fn bench_nsh(c: &mut Criterion) {
+    let h = full_header();
+
+    c.bench_function("nsh_encode_full", |b| {
+        let mut buf = BytesMut::with_capacity(64);
+        b.iter(|| {
+            buf.clear();
+            h.encode(&mut buf);
+            black_box(buf.len())
+        });
+    });
+
+    let mut wire = BytesMut::new();
+    h.encode(&mut wire);
+    c.bench_function("nsh_decode_full", |b| {
+        b.iter(|| black_box(NezhaHeader::decode(&wire).unwrap()))
+    });
+
+    let bare = NezhaHeader::bare(NezhaPayloadKind::TxCarry, VnicId(1), VpcId(1));
+    c.bench_function("nsh_encode_bare", |b| {
+        let mut buf = BytesMut::with_capacity(16);
+        b.iter(|| {
+            buf.clear();
+            bare.encode(&mut buf);
+            black_box(buf.len())
+        });
+    });
+}
+
+criterion_group!(benches, bench_nsh);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Microbenchmark of the real slow-path rule lookup — the subject of the
+//! paper's Table A1. Sweeps #ACL rules; the paper's degradation with rule
+//! count (6.6 -> 5.4 Mpps) should appear as growing per-lookup time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nezha_types::{Direction, FiveTuple, Ipv4Addr, ServerId, VnicId, VpcId};
+use nezha_vswitch::pipeline::slow_path_lookup;
+use nezha_vswitch::vnic::{Vnic, VnicProfile};
+use std::hint::black_box;
+
+fn bench_rule_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rule_lookup");
+    for rules in [0usize, 8, 64, 100, 1000] {
+        let vnic = Vnic::new(
+            VnicId(1),
+            VpcId(1),
+            Ipv4Addr::new(10, 7, 0, 1),
+            VnicProfile {
+                acl_rules: rules,
+                ..VnicProfile::default()
+            },
+            ServerId(0),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(rules), &rules, |b, _| {
+            let mut i = 0u32;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                let tuple = FiveTuple::tcp(
+                    Ipv4Addr::new(10, 7, 1, (i % 200) as u8 + 1),
+                    (i % 50_000) as u16 + 1024,
+                    Ipv4Addr::new(10, 7, 0, 1),
+                    9000,
+                );
+                black_box(slow_path_lookup(&vnic, &tuple, Direction::Rx))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rule_lookup);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Microbenchmark of session-table operations: establish (the slow-path
+//! insert), fast-path lookup+touch, and the aging sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nezha_sim::resources::MemoryPool;
+use nezha_sim::time::SimTime;
+use nezha_types::{Direction, FiveTuple, Ipv4Addr, PreActionPair, SessionKey, VnicId, VpcId};
+use nezha_vswitch::config::VSwitchConfig;
+use nezha_vswitch::session::SessionTable;
+use std::hint::black_box;
+
+fn key(i: u32) -> SessionKey {
+    SessionKey::of(
+        VpcId(1),
+        FiveTuple::tcp(
+            Ipv4Addr(0x0a070000 | (i & 0xffff)),
+            (i % 50_000) as u16 + 1024,
+            Ipv4Addr::new(10, 7, 0, 1),
+            9000,
+        ),
+    )
+}
+
+fn bench_session_table(c: &mut Criterion) {
+    let cfg = VSwitchConfig::default();
+
+    c.bench_function("session_establish", |b| {
+        let mut table = SessionTable::new();
+        let mut pool = MemoryPool::new(1 << 30);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(
+                table
+                    .establish(
+                        key(i),
+                        VnicId(1),
+                        Direction::Rx,
+                        Some(PreActionPair::accept(None, None)),
+                        SimTime(i as u64),
+                        &mut pool,
+                        &cfg.memory,
+                    )
+                    .is_ok(),
+            )
+        });
+    });
+
+    c.bench_function("session_fast_lookup", |b| {
+        let mut table = SessionTable::new();
+        let mut pool = MemoryPool::new(1 << 30);
+        for i in 0..100_000u32 {
+            table
+                .establish(
+                    key(i),
+                    VnicId(1),
+                    Direction::Rx,
+                    Some(PreActionPair::accept(None, None)),
+                    SimTime(0),
+                    &mut pool,
+                    &cfg.memory,
+                )
+                .unwrap();
+        }
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(table.get(&key(i % 100_000)).is_some())
+        });
+    });
+
+    c.bench_function("session_aging_sweep_100k", |b| {
+        b.iter_with_setup(
+            || {
+                let mut table = SessionTable::new();
+                let mut pool = MemoryPool::new(1 << 30);
+                for i in 0..100_000u32 {
+                    table
+                        .establish(
+                            key(i),
+                            VnicId(1),
+                            Direction::Rx,
+                            None,
+                            SimTime(0),
+                            &mut pool,
+                            &cfg.memory,
+                        )
+                        .unwrap();
+                }
+                (table, pool)
+            },
+            |(mut table, mut pool)| {
+                black_box(table.expire(SimTime(10_000_000_000), &cfg, &mut pool))
+            },
+        );
+    });
+}
+
+criterion_group!(benches, bench_session_table);
+criterion_main!(benches);

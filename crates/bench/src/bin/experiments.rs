@@ -1,0 +1,43 @@
+//! The experiment runner: regenerates every table and figure of the
+//! paper's evaluation from this workspace's models.
+//!
+//! ```text
+//! experiments <id>...      run specific experiments (fig9, table3, ...)
+//! experiments all          run everything, in paper order
+//! experiments --list       list experiment ids
+//! ```
+
+use nezha_bench::experiments;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: experiments <id>... | all | --list");
+        eprintln!("ids: {}", experiments::ALL.join(", "));
+        return ExitCode::from(2);
+    }
+    if args.iter().any(|a| a == "--list") {
+        // Tolerate a closed pipe (`experiments --list | head`).
+        use std::io::Write;
+        let mut out = std::io::stdout().lock();
+        for id in experiments::ALL {
+            if writeln!(out, "{id}").is_err() {
+                break;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        experiments::ALL.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in ids {
+        if !experiments::dispatch(id) {
+            eprintln!("unknown experiment: {id} (try --list)");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,39 @@
+//! Fig. 3 — hotspot (overload-cause) distribution in a region.
+//!
+//! Paper: CPS causes ≈61% of vSwitch overloads, #concurrent flows ≈30%,
+//! #vNICs ≈9% (Appendix A.1). We run the fluid region without Nezha and
+//! attribute each overload to its cause.
+
+use crate::output::*;
+use nezha_core::region::{Region, RegionConfig};
+
+/// Runs the experiment.
+pub fn run() {
+    banner("Fig. 3", "Hotspot distribution in a region (pre-Nezha)");
+    let mut region = Region::new(RegionConfig {
+        servers: 10_000,
+        spike_prob: 0.01,
+        seed: 3,
+        ..RegionConfig::default()
+    });
+    let report = region.run_days(20, false);
+    let (cps, flows, vnics) = report.totals();
+    let total = (cps + flows + vnics) as f64;
+
+    header(&["cause", "overloads", "share", "paper"], &[18, 10, 8, 8]);
+    for (name, n, paper) in [
+        ("CPS", cps, "61%"),
+        ("#concurrent flows", flows, "30%"),
+        ("#vNICs", vnics, "9%"),
+    ] {
+        row(
+            &[
+                name.to_string(),
+                n.to_string(),
+                pct(n as f64 / total),
+                paper.to_string(),
+            ],
+            &[18, 10, 8, 8],
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! One module per paper table/figure, plus the shared testbed harness.
+//!
+//! Every experiment exposes `run()`, printing a plain-text reproduction
+//! of its table or figure with the paper's reference values alongside.
+
+pub mod ablations;
+pub mod appendix_b2;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig9;
+pub mod fig_a1;
+pub mod harness;
+pub mod table1;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table_a1;
+
+/// Ids of all experiments, in paper order.
+pub const ALL: &[&str] = &[
+    "fig2",
+    "fig3",
+    "fig4",
+    "table1",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "table3",
+    "table4",
+    "fig13",
+    "fig14",
+    "fig15",
+    "table5",
+    "table_a1",
+    "fig_a1",
+    "appendix_b2",
+    "ablations",
+];
+
+/// Dispatches one experiment by id. Returns false for unknown ids.
+pub fn dispatch(id: &str) -> bool {
+    match id {
+        "fig2" => fig2::run(),
+        "fig3" => fig3::run(),
+        "fig4" => fig4::run(),
+        "table1" => table1::run(),
+        "fig9" => fig9::run(),
+        "fig10" => fig10::run(),
+        "fig11" => fig11::run(),
+        "fig12" => fig12::run(),
+        "table3" => table3::run(),
+        "table4" => table4::run(),
+        "fig13" => fig13::run(),
+        "fig14" => fig14::run(),
+        "fig15" => fig15::run(),
+        "table5" => table5::run(),
+        "table_a1" => table_a1::run(),
+        "fig_a1" => fig_a1::run(),
+        "appendix_b2" => appendix_b2::run(),
+        "ablations" => ablations::run(),
+        _ => return false,
+    }
+    true
+}

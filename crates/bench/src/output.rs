@@ -1,0 +1,92 @@
+//! Plain-text table/series output helpers shared by every experiment.
+
+/// Prints an experiment banner.
+pub fn banner(id: &str, title: &str) {
+    println!();
+    println!("==============================================================");
+    println!("{id} — {title}");
+    println!("==============================================================");
+}
+
+/// Prints one aligned table row. Cells are already formatted strings.
+pub fn row(cells: &[String], widths: &[usize]) {
+    let line: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = *w))
+        .collect();
+    println!("  {}", line.join("  "));
+}
+
+/// Prints a header row followed by a rule.
+pub fn header(cells: &[&str], widths: &[usize]) {
+    row(
+        &cells.iter().map(|c| c.to_string()).collect::<Vec<_>>(),
+        widths,
+    );
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+    println!("  {}", "-".repeat(total));
+}
+
+/// Formats a count with engineering suffixes (K/M/G).
+pub fn eng(v: f64) -> String {
+    let a = v.abs();
+    if a >= 1e9 {
+        format!("{:.2}G", v / 1e9)
+    } else if a >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if a >= 1e3 {
+        format!("{:.1}K", v / 1e3)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// Formats a ratio as `N.NNx`.
+pub fn gain(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+/// Renders a small ASCII sparkline of a series (for timeline figures).
+pub fn sparkline(values: &[f64]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().fold(f64::MIN, f64::max);
+    let min = values.iter().copied().fold(f64::MAX, f64::min);
+    let span = (max - min).max(1e-12);
+    values
+        .iter()
+        .map(|v| GLYPHS[(((v - min) / span) * 7.0).round() as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eng_suffixes() {
+        assert_eq!(eng(1_300_000.0), "1.30M");
+        assert_eq!(eng(2_500.0), "2.5K");
+        assert_eq!(eng(12.0), "12.0");
+        assert_eq!(eng(3.2e9), "3.20G");
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(gain(3.345), "3.35x");
+        assert_eq!(pct(0.5), "50.00%");
+    }
+
+    #[test]
+    fn sparkline_spans_range() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+    }
+}

@@ -1,0 +1,1710 @@
+//! The packet-level testbed: servers, the Nezha data plane, connection
+//! driving, and failure injection, all on the deterministic event engine.
+//!
+//! Every packet in the cluster takes the real code path of its current
+//! architecture:
+//!
+//! * **local** — the traditional Fig. 1 pipeline on the home vSwitch;
+//! * **Nezha TX** — BE state handling + NSH `TxCarry` encapsulation, one
+//!   fabric hop to a hash-selected FE, FE rule/flow lookup, finalization
+//!   and forwarding (§3.2.1 red flow);
+//! * **Nezha RX** — gateway-resolved arrival at an FE, rule/flow lookup,
+//!   NSH `RxCarry` with piggybacked pre-actions, one hop to the BE,
+//!   state update + finalization + VM delivery (§3.2.1 blue flow);
+//! * **notify packets** — FE→BE rule-table-involved state updates
+//!   (§3.2.2), generated only on cache misses whose lookup result differs
+//!   from the packet-carried state.
+//!
+//! The controller (`controller.rs`) and health monitor (`monitor.rs`)
+//! extend this struct with the management plane.
+
+use crate::be::{BackendMeta, OffloadPhase};
+use crate::conn::{ConnKind, ConnSpec, ConnState, ConnStatus};
+use crate::controller::{ControllerConfig, ControllerState};
+use crate::fe::FrontEnd;
+use crate::gateway::Gateway;
+use crate::monitor::MonitorState;
+use crate::vm::{VmConfig, VmModel};
+use nezha_sim::engine::Engine;
+use nezha_sim::resources::CpuOutcome;
+use nezha_sim::rng::SimRng;
+use nezha_sim::stats::{Counter, Samples, TimeSeries};
+use nezha_sim::time::{SimDuration, SimTime};
+use nezha_sim::topology::{Topology, TopologyConfig};
+use nezha_types::{
+    Direction, Ipv4Addr, NezhaHeader, NezhaPayloadKind, Packet, ServerId, SessionKey, VnicId,
+};
+use nezha_vswitch::config::VSwitchConfig;
+use nezha_vswitch::pipeline::{self, ProcessOutcome};
+use nezha_vswitch::vnic::Vnic;
+use nezha_vswitch::vswitch::VSwitch;
+use std::collections::HashMap;
+
+/// FE load-balancing granularity (ablation of §3.2.3's design choice).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LbMode {
+    /// Nezha's choice: `Hash(5-tuple)` per flow — cache friendly, one
+    /// rule lookup and one cached flow per session.
+    FlowLevel,
+    /// The rejected alternative: per-packet spreading — better short-term
+    /// balance, but duplicated lookups and duplicated cached flows on
+    /// every FE a session's packets touch.
+    PacketLevel,
+}
+
+/// Cluster-wide configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfig {
+    /// Fabric shape.
+    pub topology: TopologyConfig,
+    /// Per-server vSwitch configuration.
+    pub vswitch: VSwitchConfig,
+    /// Controller thresholds and delays.
+    pub controller: ControllerConfig,
+    /// vSwitch gateway-learning interval (200 ms in production, §4.2.1).
+    pub learning_interval: SimDuration,
+    /// Session aging sweep period.
+    pub aging_period: SimDuration,
+    /// Retransmission timeout for lost connection packets.
+    pub retry_timeout: SimDuration,
+    /// Retries before a connection is declared failed.
+    pub max_retries: u32,
+    /// RNG seed (full determinism).
+    pub seed: u64,
+    /// FE selection granularity (ablation; Nezha uses flow-level).
+    pub lb_mode: LbMode,
+    /// Ablation: send a notify packet on *every* FE cache miss instead of
+    /// only when the looked-up rule-table-involved state differs from the
+    /// carried state (§3.2.2's suppression).
+    pub notify_always: bool,
+    /// Ablation: skip the dual-running stage — the BE deletes its rule
+    /// tables as soon as the FEs are configured, before peers have
+    /// learned the new mapping (§4.2.1 explains why this hurts).
+    pub skip_dual_running: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            topology: TopologyConfig::default(),
+            vswitch: VSwitchConfig::default(),
+            controller: ControllerConfig::default(),
+            learning_interval: SimDuration::from_millis(200),
+            aging_period: SimDuration::from_secs(1),
+            retry_timeout: SimDuration::from_millis(500),
+            max_retries: 5,
+            seed: 0x4e5a_2025,
+            lb_mode: LbMode::FlowLevel,
+            notify_always: false,
+            skip_dual_running: false,
+        }
+    }
+}
+
+/// Delayed configuration operations (the controller's pushes take effect
+/// asynchronously, which is what creates the dual-running stage).
+#[derive(Clone, Debug)]
+pub enum ConfigOp {
+    /// An FE finished installing the vNIC's rule tables.
+    FeConfigured {
+        /// The offloaded vNIC.
+        vnic: VnicId,
+        /// The FE's server.
+        fe: ServerId,
+    },
+    /// The gateway's vNIC-server entry is replaced (learning then begins).
+    GatewayUpdate {
+        /// The vNIC's overlay address.
+        addr: Ipv4Addr,
+        /// New hosting set.
+        servers: Vec<ServerId>,
+    },
+    /// Re-derive the gateway entry for an offloaded vNIC from the FEs
+    /// that are actually ready at apply time (a config push may have
+    /// failed on a full candidate in the meantime).
+    GatewaySyncFes {
+        /// The offloaded vNIC.
+        vnic: VnicId,
+    },
+    /// All senders have learned the FE mapping: offload is *active*.
+    CheckActivation {
+        /// The offloaded vNIC.
+        vnic: VnicId,
+    },
+    /// BE enters the final stage: drop rule tables and cached flows.
+    BeFinalStage {
+        /// The offloaded vNIC.
+        vnic: VnicId,
+    },
+    /// Fallback completes: remove all FEs, return to local processing.
+    FallbackFinal {
+        /// The vNIC falling back.
+        vnic: VnicId,
+    },
+    /// VM live migration (§7.2): repoint the BE location on all FEs.
+    BeLocationUpdate {
+        /// The migrated vNIC.
+        vnic: VnicId,
+        /// The new home server.
+        new_home: ServerId,
+    },
+}
+
+/// Events driving the cluster.
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// A packet arrives at a server's vSwitch.
+    Arrive {
+        /// Receiving server.
+        server: ServerId,
+        /// The packet.
+        pkt: Packet,
+        /// When the packet's current network journey began (for latency).
+        sent_at: SimTime,
+    },
+    /// Start a registered connection.
+    StartConn {
+        /// Connection id.
+        conn: u64,
+    },
+    /// A step's packet reached its terminal point; inject the next step.
+    AdvanceConn {
+        /// Connection id.
+        conn: u64,
+        /// The step that completed.
+        from_step: usize,
+    },
+    /// Retransmit a lost step.
+    RetryStep {
+        /// Connection id.
+        conn: u64,
+        /// The step to retry.
+        step: usize,
+    },
+    /// Periodic controller tick (utilization reports + decisions).
+    ControllerTick,
+    /// Periodic health-monitor tick (ping polling).
+    MonitorTick,
+    /// Periodic session-aging sweep.
+    AgingTick,
+    /// A delayed configuration push takes effect.
+    Config(ConfigOp),
+    /// Hard-crash a server's SmartNIC.
+    Crash {
+        /// The crashing server.
+        server: ServerId,
+    },
+    /// Begin a standalone probe packet's journey from `from`.
+    StartProbe {
+        /// The probe packet (RX-oriented, trace has the probe bit set).
+        pkt: Packet,
+        /// The injecting server.
+        from: ServerId,
+    },
+}
+
+/// Aggregated measurements.
+#[derive(Debug)]
+pub struct ClusterStats {
+    /// Connection-packet delivery counter (ok vs lost).
+    pub pkts: Counter,
+    /// End-to-end latency of probe packets (seconds).
+    pub probe_latency: Samples,
+    /// Completed connection latencies (seconds).
+    pub conn_latency: Samples,
+    /// Completed connections per time bin (CPS series).
+    pub cps_series: TimeSeries,
+    /// Lost packets per time bin.
+    pub loss_series: TimeSeries,
+    /// Injected packets per time bin.
+    pub total_series: TimeSeries,
+    /// Offload activation completion times (seconds; Table 4).
+    pub offload_completion: Samples,
+    /// Connections completed / denied / failed.
+    pub completed: u64,
+    /// Connections denied by policy.
+    pub denied: u64,
+    /// Connections failed after retries.
+    pub failed: u64,
+    /// Notify packets generated (§3.2.2).
+    pub notifies: u64,
+    /// Mirror copies emitted toward collectors (advanced tables, §2.2.2).
+    /// Under Nezha the FE emits TX-direction copies and the BE emits
+    /// RX-direction ones (each holds the packet at finalization time).
+    pub mirror_copies: u64,
+    /// RX packets that reached the BE after the final stage and had to be
+    /// bounced to an FE (stale vNIC-server mappings).
+    pub stale_bounces: u64,
+    /// Packets that arrived somewhere that could not process them.
+    pub misroutes: u64,
+    /// Controller event counters.
+    pub offload_events: u64,
+    /// Scale-out operations performed.
+    pub scale_out_events: u64,
+    /// Scale-in operations performed.
+    pub scale_in_events: u64,
+    /// Fallback operations performed.
+    pub fallback_events: u64,
+    /// Failovers completed.
+    pub failover_events: u64,
+    /// Monitor false-positive suspensions (Appendix C).
+    pub monitor_suspensions: u64,
+}
+
+impl ClusterStats {
+    fn new() -> Self {
+        ClusterStats {
+            pkts: Counter::default(),
+            probe_latency: Samples::new(),
+            conn_latency: Samples::new(),
+            cps_series: TimeSeries::new(SimDuration::from_millis(50)),
+            loss_series: TimeSeries::new(SimDuration::from_millis(100)),
+            total_series: TimeSeries::new(SimDuration::from_millis(100)),
+            offload_completion: Samples::new(),
+            completed: 0,
+            denied: 0,
+            failed: 0,
+            notifies: 0,
+            mirror_copies: 0,
+            stale_bounces: 0,
+            misroutes: 0,
+            offload_events: 0,
+            scale_out_events: 0,
+            scale_in_events: 0,
+            fallback_events: 0,
+            failover_events: 0,
+            monitor_suspensions: 0,
+        }
+    }
+}
+
+const PROBE_BIT: u64 = 1 << 63;
+/// Probe packets with this bit traverse the full data plane but are not
+/// recorded in the latency samples (bulk/background streams).
+const SILENT_BIT: u64 = 1 << 62;
+
+/// The flow hash used for FE selection: `Hash(5-tuple)` over the session's
+/// canonical orientation, so both directions of a session select the same
+/// FE and each session performs exactly one rule lookup and caches one
+/// flow entry. (Nezha does not *need* this — state lives at the BE either
+/// way, §3.2.3 — but collocating directions avoids duplicate lookups and
+/// duplicate cached flows, and is what makes Fig. 9's CPS knee sit at 4
+/// FEs.)
+fn flow_hash(t: &nezha_types::FiveTuple) -> u64 {
+    t.canonical().stable_hash()
+}
+
+/// Mixes a per-packet discriminator into the flow hash for the
+/// packet-level LB ablation.
+fn packet_hash(t: &nezha_types::FiveTuple, trace: u64) -> u64 {
+    let mut h = flow_hash(t) ^ trace.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    h ^= h >> 29;
+    h
+}
+
+/// The packet-level testbed.
+#[derive(Debug)]
+pub struct Cluster {
+    /// Configuration.
+    pub cfg: ClusterConfig,
+    /// The fabric.
+    pub topo: Topology,
+    /// Event engine.
+    pub engine: Engine<Event>,
+    pub(crate) switches: Vec<VSwitch>,
+    pub(crate) alive: Vec<bool>,
+    /// The gateway's versioned vNIC-server table.
+    pub gateway: Gateway,
+    pub(crate) fes: HashMap<(ServerId, VnicId), FrontEnd>,
+    pub(crate) be_meta: HashMap<VnicId, BackendMeta>,
+    pub(crate) vnic_home: HashMap<VnicId, ServerId>,
+    pub(crate) vnic_addr: HashMap<VnicId, Ipv4Addr>,
+    /// Controller-side master copy of each vNIC's tables (tenant intent),
+    /// used to (re)configure FEs and to re-arm the BE on fallback.
+    pub(crate) master_vnics: HashMap<VnicId, Vnic>,
+    pub(crate) vms: HashMap<VnicId, VmModel>,
+    pub(crate) conns: HashMap<u64, ConnState>,
+    next_conn_id: u64,
+    next_probe_id: u64,
+    /// Measurements.
+    pub stats: ClusterStats,
+    /// Controller bookkeeping.
+    pub(crate) controller: ControllerState,
+    /// Monitor bookkeeping.
+    pub(crate) monitor: MonitorState,
+    pub(crate) rng: SimRng,
+    /// Blackholed directed server pairs (fabric faults between otherwise
+    /// healthy servers — the Appendix C.1 scenario the centralized
+    /// monitor cannot see).
+    blackholes: std::collections::HashSet<(ServerId, ServerId)>,
+    /// Global switch: when false the cluster behaves as the pre-Nezha
+    /// baseline (no offloading ever triggers).
+    pub nezha_enabled: bool,
+}
+
+impl Cluster {
+    /// The FE-selection hash for one packet under the configured LB mode.
+    fn select_hash(&self, t: &nezha_types::FiveTuple, trace: u64) -> u64 {
+        match self.cfg.lb_mode {
+            LbMode::FlowLevel => flow_hash(t),
+            LbMode::PacketLevel => packet_hash(t, trace),
+        }
+    }
+
+    /// Builds a cluster and schedules the periodic management ticks.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        let topo = Topology::new(cfg.topology);
+        let n = topo.total_servers() as usize;
+        let switches = (0..n)
+            .map(|i| VSwitch::new(ServerId(i as u32), cfg.vswitch))
+            .collect();
+        let mut engine = Engine::new();
+        engine.schedule_in(cfg.controller.report_period, Event::ControllerTick);
+        engine.schedule_in(cfg.controller.ping_period, Event::MonitorTick);
+        engine.schedule_in(cfg.aging_period, Event::AgingTick);
+        Cluster {
+            topo,
+            engine,
+            switches,
+            alive: vec![true; n],
+            gateway: Gateway::new(cfg.learning_interval),
+            fes: HashMap::new(),
+            be_meta: HashMap::new(),
+            vnic_home: HashMap::new(),
+            vnic_addr: HashMap::new(),
+            master_vnics: HashMap::new(),
+            vms: HashMap::new(),
+            conns: HashMap::new(),
+            next_conn_id: 1,
+            next_probe_id: 1,
+            stats: ClusterStats::new(),
+            controller: ControllerState::new(),
+            monitor: MonitorState::new(),
+            rng: SimRng::new(cfg.seed),
+            blackholes: std::collections::HashSet::new(),
+            nezha_enabled: true,
+            cfg,
+        }
+    }
+
+    /// Blackholes the fabric path between two servers in both directions
+    /// (a link/switch fault the servers themselves survive). The BE↔FE
+    /// mutual ping (Appendix C.1) is the only detector for this.
+    pub fn blackhole_link(&mut self, a: ServerId, b: ServerId) {
+        self.blackholes.insert((a, b));
+        self.blackholes.insert((b, a));
+    }
+
+    /// Restores a blackholed path.
+    pub fn heal_link(&mut self, a: ServerId, b: ServerId) {
+        self.blackholes.remove(&(a, b));
+        self.blackholes.remove(&(b, a));
+    }
+
+    /// True when the directed path `from -> to` is blackholed.
+    pub fn link_blackholed(&self, from: ServerId, to: ServerId) -> bool {
+        self.blackholes.contains(&(from, to))
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// Immutable access to a server's vSwitch.
+    pub fn switch(&self, s: ServerId) -> &VSwitch {
+        &self.switches[s.0 as usize]
+    }
+
+    /// Mutable access to a server's vSwitch (tests / rule pushes).
+    pub fn switch_mut(&mut self, s: ServerId) -> &mut VSwitch {
+        &mut self.switches[s.0 as usize]
+    }
+
+    /// Whether a server is alive.
+    pub fn is_alive(&self, s: ServerId) -> bool {
+        self.alive[s.0 as usize]
+    }
+
+    /// The BE metadata of an offloaded vNIC, if any.
+    pub fn backend(&self, vnic: VnicId) -> Option<&BackendMeta> {
+        self.be_meta.get(&vnic)
+    }
+
+    /// The VM attached to a vNIC.
+    pub fn vm(&self, vnic: VnicId) -> Option<&VmModel> {
+        self.vms.get(&vnic)
+    }
+
+    /// Number of FEs currently hosted for `vnic`.
+    pub fn fe_count(&self, vnic: VnicId) -> usize {
+        self.fes.keys().filter(|(_, v)| *v == vnic).count()
+    }
+
+    /// An FE's `(hits, misses, cache_skips)` counters.
+    pub fn fe_counters(&self, fe: ServerId, vnic: VnicId) -> Option<(u64, u64, u64)> {
+        self.fes.get(&(fe, vnic)).map(|f| f.counters())
+    }
+
+    /// Number of flows cached at one FE.
+    pub fn fe_cached_flows(&self, fe: ServerId, vnic: VnicId) -> Option<usize> {
+        self.fes.get(&(fe, vnic)).map(|f| f.cached_flows())
+    }
+
+    /// Pins an elephant flow's session to a dedicated FE (§7.5): the BE's
+    /// TX selection, the gateway's RX selection, and the general hash
+    /// ring are all updated — the dedicated FE serves (nearly) only the
+    /// elephant from now on.
+    pub fn pin_flow(
+        &mut self,
+        vnic: VnicId,
+        key: SessionKey,
+        fe: ServerId,
+    ) -> Result<(), &'static str> {
+        let meta = self.be_meta.get_mut(&vnic).ok_or("vNIC not offloaded")?;
+        if !meta.fe_list.contains(&fe) {
+            return Err("target is not one of the vNIC's FEs");
+        }
+        meta.pin_flow(key, fe);
+        let general = meta.general_fes();
+        let addr = self.vnic_addr[&vnic];
+        let now = self.engine.now();
+        self.gateway.pin(addr, key.canonical.stable_hash(), fe);
+        if !general.is_empty() {
+            self.gateway.update(addr, general, now);
+        }
+        Ok(())
+    }
+
+    /// The BE location configured on one FE (None when that FE does not
+    /// exist).
+    pub fn fe_be_location(&self, fe: ServerId, vnic: VnicId) -> Option<ServerId> {
+        self.fes.get(&(fe, vnic)).map(|f| f.be_location)
+    }
+
+    /// The current home (BE) server of a vNIC.
+    pub fn home_of(&self, vnic: VnicId) -> Option<ServerId> {
+        self.vnic_home.get(&vnic).copied()
+    }
+
+    /// Servers hosting FEs for `vnic`, in stable (id) order.
+    pub fn fe_servers(&self, vnic: VnicId) -> Vec<ServerId> {
+        let mut servers: Vec<ServerId> = self
+            .fes
+            .keys()
+            .filter(|(_, v)| *v == vnic)
+            .map(|(s, _)| *s)
+            .collect();
+        servers.sort_unstable_by_key(|s| s.0);
+        servers
+    }
+
+    /// Installs a vNIC (with VM) on its home server and registers it at
+    /// the gateway.
+    pub fn add_vnic(&mut self, vnic: Vnic, home: ServerId, vm: VmConfig) {
+        let id = vnic.id;
+        let addr = vnic.addr;
+        self.master_vnics.insert(id, vnic.clone());
+        self.switches[home.0 as usize]
+            .add_vnic(vnic)
+            .expect("home vSwitch cannot fit the vNIC's tables");
+        self.vnic_home.insert(id, home);
+        self.vnic_addr.insert(id, addr);
+        self.gateway.update(addr, vec![home], self.engine.now());
+        self.vms.insert(id, VmModel::new(vm));
+    }
+
+    /// Registers the mapping of a peer/client overlay address so the
+    /// vNIC's egress lookups resolve to real topology servers.
+    pub fn map_peer(&mut self, vnic: VnicId, addr: Ipv4Addr, server: ServerId) {
+        if let Some(master) = self.master_vnics.get_mut(&vnic) {
+            master.tables.vnic_server.set(addr, server);
+        }
+        let home = self.vnic_home[&vnic];
+        let home_vs = &mut self.switches[home.0 as usize];
+        if home_vs.vnic(vnic).is_some() {
+            home_vs
+                .vnic_mut(vnic)
+                .expect("checked")
+                .tables
+                .vnic_server
+                .set(addr, server);
+            if home_vs.sync_vnic_memory(vnic).is_err() {
+                // The learned-mapping cache is full: drop the entry (the
+                // gateway remains authoritative; traffic to this peer
+                // resolves via the gateway/default path instead).
+                home_vs
+                    .vnic_mut(vnic)
+                    .expect("checked")
+                    .tables
+                    .vnic_server
+                    .remove(addr);
+                let _ = home_vs.sync_vnic_memory(vnic);
+            }
+        }
+        let m = self.cfg.vswitch.memory;
+        for ((fe_server, v), fe) in self.fes.iter_mut() {
+            if *v == vnic {
+                fe.vnic.tables.vnic_server.set(addr, server);
+                let pool = &mut self.switches[fe_server.0 as usize].mem;
+                if fe.sync_table_memory(pool, &m).is_err() {
+                    fe.vnic.tables.vnic_server.remove(addr);
+                    let _ = fe.sync_table_memory(pool, &m);
+                }
+            }
+        }
+    }
+
+    /// Registers a connection and schedules its start. Peer addresses are
+    /// mapped automatically. Returns the connection id.
+    pub fn add_conn(&mut self, spec: ConnSpec) -> u64 {
+        let id = self.next_conn_id;
+        self.next_conn_id += 1;
+        let peer_addr = match spec.kind {
+            ConnKind::Inbound | ConnKind::PersistentInbound | ConnKind::SynOnly => {
+                spec.tuple.src_ip
+            }
+            ConnKind::Outbound => spec.tuple.dst_ip,
+        };
+        self.map_peer(spec.vnic, peer_addr, spec.peer_server);
+        self.conns.insert(
+            id,
+            ConnState {
+                spec,
+                pos: 0,
+                retries: 0,
+                started_at: spec.start,
+                status: ConnStatus::InFlight,
+            },
+        );
+        self.engine
+            .schedule_at(spec.start, Event::StartConn { conn: id });
+        id
+    }
+
+    /// Injects a standalone probe packet (latency measurement, Fig. 12).
+    /// RX probes start at `from` and follow the full ingress path to the
+    /// VM; the delivered latency lands in [`ClusterStats::probe_latency`].
+    pub fn inject_probe_rx(
+        &mut self,
+        vnic: VnicId,
+        tuple: nezha_types::FiveTuple,
+        payload: u32,
+        from: ServerId,
+        at: SimTime,
+    ) {
+        self.inject_rx_packet(vnic, tuple, payload, from, at, false);
+    }
+
+    /// Injects a bulk/background RX packet: takes the full data-plane
+    /// path (and loads every resource on it) but is excluded from the
+    /// probe-latency samples. Used for elephant-flow streams (§7.5).
+    pub fn inject_bulk_rx(
+        &mut self,
+        vnic: VnicId,
+        tuple: nezha_types::FiveTuple,
+        payload: u32,
+        from: ServerId,
+        at: SimTime,
+    ) {
+        self.inject_rx_packet(vnic, tuple, payload, from, at, true);
+    }
+
+    fn inject_rx_packet(
+        &mut self,
+        vnic: VnicId,
+        tuple: nezha_types::FiveTuple,
+        payload: u32,
+        from: ServerId,
+        at: SimTime,
+        silent: bool,
+    ) {
+        let id = PROBE_BIT | if silent { SILENT_BIT } else { 0 } | self.next_probe_id;
+        self.next_probe_id += 1;
+        let pkt = Packet::rx_data(
+            id,
+            self.master_vnics[&vnic].vpc,
+            vnic,
+            tuple,
+            nezha_types::TcpFlags::ACK,
+            payload,
+        );
+        self.engine.schedule_at(at, Event::StartProbe { pkt, from });
+    }
+
+    /// Crashes a server at `at` (its vSwitch stops processing and stops
+    /// answering health probes).
+    pub fn crash_at(&mut self, server: ServerId, at: SimTime) {
+        self.engine.schedule_at(at, Event::Crash { server });
+    }
+
+    /// Runs the cluster until simulated time `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(s) = self.engine.pop_until(deadline) {
+            let at = s.at;
+            self.handle(s.event, at);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event dispatch.
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, ev: Event, now: SimTime) {
+        match ev {
+            Event::Arrive {
+                server,
+                pkt,
+                sent_at,
+            } => self.handle_arrive(server, pkt, sent_at, now),
+            Event::StartConn { conn } => self.inject_step(conn, 0, now),
+            Event::AdvanceConn { conn, from_step } => self.advance_conn(conn, from_step, now),
+            Event::RetryStep { conn, step } => self.retry_step(conn, step, now),
+            Event::ControllerTick => self.controller_tick(now),
+            Event::MonitorTick => self.monitor_tick(now),
+            Event::AgingTick => {
+                for i in 0..self.switches.len() {
+                    if self.alive[i] {
+                        self.switches[i].expire_sessions(now);
+                    }
+                }
+                self.engine
+                    .schedule_in(self.cfg.aging_period, Event::AgingTick);
+            }
+            Event::Config(op) => self.apply_config(op, now),
+            Event::Crash { server } => {
+                self.alive[server.0 as usize] = false;
+            }
+            Event::StartProbe { pkt, from } => self.start_probe(pkt, from, now),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Connection driving.
+    // ------------------------------------------------------------------
+
+    fn inject_step(&mut self, conn_id: u64, step_idx: usize, now: SimTime) {
+        let Some(conn) = self.conns.get(&conn_id) else {
+            return;
+        };
+        if conn.status != ConnStatus::InFlight || conn.pos != step_idx {
+            return;
+        }
+        let spec = conn.spec;
+        let script = spec.kind.script();
+        let step = script[step_idx];
+        let tuple = spec.step_tuple(step.dir);
+        let payload = if step.has_payload { spec.payload } else { 0 };
+        let trace = (conn_id << 4) | step_idx as u64;
+        let mut pkt = match step.dir {
+            Direction::Tx => {
+                Packet::tx_data(trace, spec.vpc, spec.vnic, tuple, step.flags, payload)
+            }
+            Direction::Rx => {
+                Packet::rx_data(trace, spec.vpc, spec.vnic, tuple, step.flags, payload)
+            }
+        };
+        self.stats.total_series.add(now, 1.0);
+        match step.dir {
+            Direction::Tx => {
+                // VM-originated: the kernel pays its share of the
+                // connection's cycles to build and send the segment, then
+                // the packet appears at the home vSwitch.
+                let Some(vm) = self.vms.get_mut(&spec.vnic) else {
+                    return self.lose_packet(trace, now);
+                };
+                let Some(sent) = vm.deliver_packet(now) else {
+                    return self.lose_packet(trace, now);
+                };
+                let home = self.vnic_home[&spec.vnic];
+                self.engine.schedule_at(
+                    sent,
+                    Event::Arrive {
+                        server: home,
+                        pkt,
+                        sent_at: sent,
+                    },
+                );
+            }
+            Direction::Rx => {
+                pkt.overlay_encap_src = spec.overlay_encap_src;
+                // Peer-originated: resolve the vNIC's current location via
+                // the (possibly stale) gateway-learned mapping.
+                let addr = self.vnic_addr[&spec.vnic];
+                let h = self.select_hash(&tuple, trace);
+                let dst = self.gateway.select(addr, spec.peer_server, h, now);
+                match dst {
+                    Some(dst) => {
+                        pkt.outer_src = Some(spec.peer_server);
+                        pkt.outer_dst = Some(dst);
+                        let lat = self.topo.latency(spec.peer_server, dst, pkt.wire_len());
+                        self.engine.schedule_at(
+                            now + lat,
+                            Event::Arrive {
+                                server: dst,
+                                pkt,
+                                sent_at: now,
+                            },
+                        );
+                    }
+                    None => self.lose_packet(trace, now),
+                }
+            }
+        }
+    }
+
+    fn advance_conn(&mut self, conn_id: u64, from_step: usize, now: SimTime) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
+        if conn.status != ConnStatus::InFlight || conn.pos != from_step {
+            return; // duplicate / stale completion
+        }
+        conn.pos += 1;
+        conn.retries = 0;
+        self.stats.pkts.ok += 1;
+        if conn.pos == conn.spec.kind.script().len() {
+            conn.status = ConnStatus::Completed;
+            self.stats.completed += 1;
+            self.stats
+                .conn_latency
+                .record_duration(now.since(conn.started_at));
+            self.stats.cps_series.add(now, 1.0);
+            if let Some(vm) = self.vms.get_mut(&conn.spec.vnic) {
+                vm.conn_completed();
+            }
+        } else {
+            let next = conn.pos;
+            self.inject_step(conn_id, next, now);
+        }
+    }
+
+    fn retry_step(&mut self, conn_id: u64, step: usize, now: SimTime) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
+        if conn.status != ConnStatus::InFlight || conn.pos != step {
+            return;
+        }
+        conn.retries += 1;
+        if conn.retries > self.cfg.max_retries {
+            conn.status = ConnStatus::Failed;
+            self.stats.failed += 1;
+            return;
+        }
+        self.inject_step(conn_id, step, now);
+    }
+
+    /// Records a lost conn/probe packet and schedules the retry.
+    fn lose_packet(&mut self, trace: u64, now: SimTime) {
+        self.stats.loss_series.add(now, 1.0);
+        self.stats.pkts.dropped += 1;
+        if trace & PROBE_BIT != 0 || trace == 0 {
+            return; // probes and notify packets (trace 0) are not retried
+        }
+        let conn = trace >> 4;
+        let step = (trace & 0xf) as usize;
+        self.engine
+            .schedule_in(self.cfg.retry_timeout, Event::RetryStep { conn, step });
+    }
+
+    /// A policy drop: terminal for the connection, no retry.
+    fn deny_conn(&mut self, trace: u64) {
+        if trace & PROBE_BIT != 0 {
+            return;
+        }
+        if let Some(conn) = self.conns.get_mut(&(trace >> 4)) {
+            if conn.status == ConnStatus::InFlight {
+                conn.status = ConnStatus::Denied;
+                self.stats.denied += 1;
+            }
+        }
+    }
+
+    /// A step's packet reached its terminal point.
+    fn complete_step(&mut self, trace: u64, sent_at: SimTime, at: SimTime) {
+        if trace & PROBE_BIT != 0 {
+            if trace & SILENT_BIT == 0 {
+                self.stats.probe_latency.record_duration(at.since(sent_at));
+            }
+            return;
+        }
+        let conn = trace >> 4;
+        let step = (trace & 0xf) as usize;
+        self.engine.schedule_at(
+            at,
+            Event::AdvanceConn {
+                conn,
+                from_step: step,
+            },
+        );
+    }
+
+    fn start_probe(&mut self, mut pkt: Packet, from: ServerId, now: SimTime) {
+        let addr = self.vnic_addr[&pkt.vnic];
+        match self.gateway.select(addr, from, flow_hash(&pkt.tuple), now) {
+            Some(dst) => {
+                pkt.outer_src = Some(from);
+                pkt.outer_dst = Some(dst);
+                let lat = self.topo.latency(from, dst, pkt.wire_len());
+                self.engine.schedule_at(
+                    now + lat,
+                    Event::Arrive {
+                        server: dst,
+                        pkt,
+                        sent_at: now,
+                    },
+                );
+            }
+            None => self.lose_packet(pkt.trace, now),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Data plane.
+    // ------------------------------------------------------------------
+
+    fn handle_arrive(&mut self, server: ServerId, pkt: Packet, sent_at: SimTime, now: SimTime) {
+        if !self.alive[server.0 as usize] {
+            return self.lose_packet(pkt.trace, now);
+        }
+        if let (Some(src), Some(dst)) = (pkt.outer_src, pkt.outer_dst) {
+            if self.link_blackholed(src, dst) {
+                return self.lose_packet(pkt.trace, now);
+            }
+        }
+        if let Some(nsh) = pkt.nezha {
+            match nsh.kind {
+                NezhaPayloadKind::TxCarry => self.fe_handle_tx_carry(server, pkt, sent_at, now),
+                NezhaPayloadKind::RxCarry => self.be_handle_rx_carry(server, pkt, sent_at, now),
+                NezhaPayloadKind::Notify => self.be_handle_notify(server, pkt, now),
+                NezhaPayloadKind::HealthProbe | NezhaPayloadKind::HealthReply => {
+                    // Health traffic is handled inline by the monitor tick
+                    // (replies are modeled as observation of `alive`).
+                }
+            }
+            return;
+        }
+        // Plain packet.
+        let is_home = self.vnic_home.get(&pkt.vnic) == Some(&server);
+        if is_home {
+            match pkt.dir {
+                Direction::Tx => self.be_handle_tx(server, pkt, sent_at, now),
+                Direction::Rx => self.be_handle_direct_rx(server, pkt, sent_at, now),
+            }
+        } else if self.fes.contains_key(&(server, pkt.vnic)) && pkt.dir == Direction::Rx {
+            self.fe_handle_rx(server, pkt, sent_at, now);
+        } else {
+            // Stale mapping pointed at a server that is neither home nor a
+            // configured FE (e.g. an FE that was just scaled in).
+            self.stats.misroutes += 1;
+            self.lose_packet(pkt.trace, now);
+        }
+    }
+
+    /// Does this vNIC currently steer TX traffic through FEs?
+    fn nezha_active_for_tx(&self, vnic: VnicId) -> bool {
+        self.be_meta.get(&vnic).is_some_and(|m| {
+            matches!(m.phase, OffloadPhase::OffloadDual | OffloadPhase::Offloaded)
+                && !m.ready_fes().is_empty()
+        })
+    }
+
+    /// TX packet from the local VM at its home (BE) vSwitch.
+    fn be_handle_tx(&mut self, server: ServerId, pkt: Packet, sent_at: SimTime, now: SimTime) {
+        if !self.nezha_active_for_tx(pkt.vnic) {
+            return self.process_locally(server, pkt, sent_at, now);
+        }
+        let key = SessionKey::of(pkt.vpc, pkt.tuple);
+        let vs = &mut self.switches[server.0 as usize];
+        let costs = vs.config().costs;
+        let mem_model = vs.config().memory;
+        let is_first = vs.sessions.get(&key).is_none();
+        let cycles = if is_first {
+            costs.be_first_packet
+        } else {
+            costs.be_per_packet
+        };
+        let done = match vs.charge(now, pkt.vnic, cycles) {
+            CpuOutcome::Dropped => return self.lose_packet(pkt.trace, now),
+            CpuOutcome::Done { done_at } => done_at,
+        };
+        self.controller.note_local_cycles(server, cycles);
+        // State handling: create (state-only) or update, locally.
+        if is_first {
+            let mem_ok = vs
+                .sessions
+                .establish(
+                    key,
+                    pkt.vnic,
+                    Direction::Tx,
+                    None,
+                    now,
+                    &mut vs.mem,
+                    &mem_model,
+                )
+                .is_ok();
+            if !mem_ok {
+                // State memory exhausted: the flow is processed but its
+                // stateful guarantees degrade (counted as overflow).
+            }
+        }
+        let mut nsh = NezhaHeader::bare(NezhaPayloadKind::TxCarry, pkt.vnic, pkt.vpc);
+        if let Some(entry) = vs.sessions.get_mut(&key) {
+            pipeline::update_state(None, &mut entry.state, &pkt);
+            entry.last_seen = now;
+            nsh.first_dir = entry.state.first_dir;
+            nsh.decap_addr = entry.state.decap.map(|d| d.overlay_src);
+            if entry.state.stats.policy != 0 {
+                nsh.stats_policy = Some(entry.state.stats.policy);
+            }
+        } else {
+            nsh.first_dir = Some(Direction::Tx);
+        }
+        // Select the FE by flow hash and ship the packet with its state.
+        let meta = self.be_meta.get(&pkt.vnic).expect("active => meta");
+        let h = match self.cfg.lb_mode {
+            LbMode::FlowLevel => flow_hash(&pkt.tuple),
+            LbMode::PacketLevel => packet_hash(&pkt.tuple, pkt.trace),
+        };
+        let Some(fe) = meta.select_fe(&key, h) else {
+            return self.lose_packet(pkt.trace, now);
+        };
+        let mut out = pkt.with_nezha(nsh);
+        out.outer_src = Some(server);
+        out.outer_dst = Some(fe);
+        let lat = self.topo.latency(server, fe, out.wire_len());
+        self.engine.schedule_at(
+            done + lat,
+            Event::Arrive {
+                server: fe,
+                pkt: out,
+                sent_at,
+            },
+        );
+    }
+
+    /// TX-carried packet arriving at an FE: look up pre-actions, finalize
+    /// with the carried state, and forward to the destination.
+    fn fe_handle_tx_carry(
+        &mut self,
+        server: ServerId,
+        pkt: Packet,
+        sent_at: SimTime,
+        now: SimTime,
+    ) {
+        let nsh = pkt.nezha.expect("tx carry");
+        let Some(_) = self.fes.get(&(server, pkt.vnic)) else {
+            self.stats.misroutes += 1;
+            return self.lose_packet(pkt.trace, now);
+        };
+        // Split borrows: switch and FE are distinct fields.
+        let vs = &mut self.switches[server.0 as usize];
+        let mem_model = vs.config().memory;
+        let costs = vs.config().costs;
+        let fe = self.fes.get_mut(&(server, pkt.vnic)).expect("checked");
+        // A cache miss re-executes the full slow path: "the FE executes
+        // the same code as before deploying Nezha" (§5.1) — which is why
+        // per-FE CPS capacity matches a local vSwitch's, and Fig. 9's
+        // gain curve needs ~4 FEs to saturate the VM.
+        let slow = fe.vnic.slow_path_cycles(&costs, pkt.wire_len());
+        let (pair, miss) = fe.lookup_or_insert(&pkt.tuple, Direction::Tx, &mut vs.mem, &mem_model);
+        let cycles = costs.fe_carry
+            + if miss {
+                slow
+            } else {
+                costs.fast_path_cycles(pkt.wire_len())
+            };
+        let done = match vs.charge(now, pkt.vnic, cycles) {
+            CpuOutcome::Dropped => return self.lose_packet(pkt.trace, now),
+            CpuOutcome::Done { done_at } => done_at,
+        };
+        self.controller.note_remote_cycles(server, cycles);
+
+        // Reconstruct the carried state and finalize.
+        let mut carried = nezha_types::SessionState {
+            first_dir: nsh.first_dir,
+            ..Default::default()
+        };
+        if let Some(a) = nsh.decap_addr {
+            carried.decap = Some(nezha_types::StatefulDecapState { overlay_src: a });
+        }
+        if let Some(p) = nsh.stats_policy {
+            carried.stats.policy = p;
+        }
+        let inner = pkt.strip_nezha();
+        let action = pipeline::finalize_with_state(&pair.tx, &carried, &inner);
+        if action.verdict == nezha_types::Decision::Drop {
+            return self.deny_conn(pkt.trace);
+        }
+        self.stats.mirror_copies += pipeline::mirror_copies(&action) as u64;
+
+        // Notify packets: rule-table-involved state discovered at the FE
+        // that differs from what the packet carried (§3.2.2).
+        let state_differs =
+            pair.tx.stats_policy != 0 && nsh.stats_policy != Some(pair.tx.stats_policy);
+        if miss && (state_differs || self.cfg.notify_always) {
+            self.send_notify(server, &pkt, pair.tx.stats_policy, done, now);
+        }
+
+        // Forward toward the destination (peer endpoint).
+        self.forward_to_peer(server, inner, action, sent_at, done);
+    }
+
+    /// RX packet arriving at an FE from the fabric: look up pre-actions,
+    /// piggyback them (plus state-initialization info), send to the BE.
+    fn fe_handle_rx(&mut self, server: ServerId, pkt: Packet, sent_at: SimTime, now: SimTime) {
+        let vs = &mut self.switches[server.0 as usize];
+        let mem_model = vs.config().memory;
+        let costs = vs.config().costs;
+        let fe = self
+            .fes
+            .get_mut(&(server, pkt.vnic))
+            .expect("caller checked");
+        let slow = fe.vnic.slow_path_cycles(&costs, pkt.wire_len());
+        let be = fe.be_location;
+        let (pair, miss) = fe.lookup_or_insert(&pkt.tuple, Direction::Rx, &mut vs.mem, &mem_model);
+        let cycles = costs.fe_carry
+            + if miss {
+                slow
+            } else {
+                costs.fast_path_cycles(pkt.wire_len())
+            };
+        let done = match vs.charge(now, pkt.vnic, cycles) {
+            CpuOutcome::Dropped => return self.lose_packet(pkt.trace, now),
+            CpuOutcome::Done { done_at } => done_at,
+        };
+        self.controller.note_remote_cycles(server, cycles);
+
+        let mut nsh = NezhaHeader::bare(NezhaPayloadKind::RxCarry, pkt.vnic, pkt.vpc);
+        nsh.pre_actions = Some(pair);
+        // Information the BE needs for state init that FE processing
+        // destroys: the overlay encap source (stateful decap, §3.2.2).
+        nsh.decap_addr = pkt.overlay_encap_src;
+        if pair.rx.stats_policy != 0 {
+            nsh.stats_policy = Some(pair.rx.stats_policy);
+        }
+        let mut out = pkt;
+        out.overlay_encap_src = None; // FE rewrites the outer header
+        let mut out = out.with_nezha(nsh);
+        out.outer_src = Some(server);
+        out.outer_dst = Some(be);
+        let lat = self.topo.latency(server, be, out.wire_len());
+        self.engine.schedule_at(
+            done + lat,
+            Event::Arrive {
+                server: be,
+                pkt: out,
+                sent_at,
+            },
+        );
+    }
+
+    /// RX-carried packet arriving at the BE: update local state with the
+    /// piggybacked pre-actions and deliver to the VM.
+    fn be_handle_rx_carry(
+        &mut self,
+        server: ServerId,
+        pkt: Packet,
+        sent_at: SimTime,
+        now: SimTime,
+    ) {
+        let nsh = pkt.nezha.expect("rx carry");
+        if self.vnic_home.get(&pkt.vnic) != Some(&server) {
+            self.stats.misroutes += 1;
+            return self.lose_packet(pkt.trace, now);
+        }
+        let Some(pair) = nsh.pre_actions else {
+            self.stats.misroutes += 1;
+            return self.lose_packet(pkt.trace, now);
+        };
+        let key = SessionKey::of(pkt.vpc, pkt.tuple);
+        let vs = &mut self.switches[server.0 as usize];
+        let mem_model = vs.config().memory;
+        let costs = vs.config().costs;
+        let is_first = vs.sessions.get(&key).is_none();
+        let cycles = if is_first {
+            costs.be_first_packet
+        } else {
+            costs.be_per_packet
+        };
+        let done = match vs.charge(now, pkt.vnic, cycles) {
+            CpuOutcome::Dropped => return self.lose_packet(pkt.trace, now),
+            CpuOutcome::Done { done_at } => done_at,
+        };
+        self.controller.note_local_cycles(server, cycles);
+
+        if is_first {
+            let _ = vs.sessions.establish(
+                key,
+                pkt.vnic,
+                Direction::Rx,
+                None,
+                now,
+                &mut vs.mem,
+                &mem_model,
+            );
+        }
+        // Restore the info the FE carried for state initialization.
+        let mut inner = pkt.strip_nezha();
+        inner.overlay_encap_src = nsh.decap_addr;
+        let action = if let Some(entry) = vs.sessions.get_mut(&key) {
+            entry.last_seen = now;
+            // Adopt rule-table-involved state piggybacked in the header
+            // without verification (§3.2.2 RX workflow).
+            if let Some(p) = nsh.stats_policy {
+                entry.state.stats.policy = p;
+            }
+            pipeline::process_pkt(&pair.rx, &mut entry.state, &inner)
+        } else {
+            let mut scratch = nezha_types::SessionState::default();
+            pipeline::process_pkt(&pair.rx, &mut scratch, &inner)
+        };
+        if action.verdict == nezha_types::Decision::Drop {
+            return self.deny_conn(pkt.trace);
+        }
+        self.stats.mirror_copies += pipeline::mirror_copies(&action) as u64;
+        self.deliver_to_vm(pkt.vnic, pkt.trace, sent_at, done, now);
+    }
+
+    /// Standalone notify packet at the BE (§3.2.2 TX workflow).
+    fn be_handle_notify(&mut self, server: ServerId, pkt: Packet, now: SimTime) {
+        let nsh = pkt.nezha.expect("notify");
+        let key = SessionKey::of(pkt.vpc, pkt.tuple);
+        let vs = &mut self.switches[server.0 as usize];
+        let cycles = vs.config().costs.be_per_packet;
+        if vs.charge(now, pkt.vnic, cycles).is_dropped() {
+            return; // a lost notify is retried implicitly on the next miss
+        }
+        if let Some(entry) = vs.sessions.get_mut(&key) {
+            if let Some(p) = nsh.stats_policy {
+                entry.state.stats.policy = p;
+            }
+        }
+    }
+
+    /// RX packet arriving directly at the BE (sender's mapping is stale or
+    /// the vNIC is simply not offloaded).
+    fn be_handle_direct_rx(
+        &mut self,
+        server: ServerId,
+        pkt: Packet,
+        sent_at: SimTime,
+        now: SimTime,
+    ) {
+        let offloaded = self
+            .be_meta
+            .get(&pkt.vnic)
+            .is_some_and(|m| m.phase == OffloadPhase::Offloaded);
+        if !offloaded {
+            // Local / dual-running: the BE still has rules and flows.
+            return self.process_locally(server, pkt, sent_at, now);
+        }
+        // Final stage: tables are gone. Bounce to an FE (costs a parse).
+        self.stats.stale_bounces += 1;
+        let key = SessionKey::of(pkt.vpc, pkt.tuple);
+        let meta = self.be_meta.get(&pkt.vnic).expect("offloaded");
+        let Some(fe) = meta.select_fe(&key, flow_hash(&pkt.tuple)) else {
+            return self.lose_packet(pkt.trace, now);
+        };
+        let vs = &mut self.switches[server.0 as usize];
+        let cycles = vs.config().costs.parse;
+        let done = match vs.charge(now, pkt.vnic, cycles) {
+            CpuOutcome::Dropped => return self.lose_packet(pkt.trace, now),
+            CpuOutcome::Done { done_at } => done_at,
+        };
+        let mut out = pkt;
+        out.outer_src = Some(server);
+        out.outer_dst = Some(fe);
+        let lat = self.topo.latency(server, fe, out.wire_len());
+        self.engine.schedule_at(
+            done + lat,
+            Event::Arrive {
+                server: fe,
+                pkt: out,
+                sent_at,
+            },
+        );
+    }
+
+    /// Traditional processing at the home vSwitch.
+    fn process_locally(&mut self, server: ServerId, pkt: Packet, sent_at: SimTime, now: SimTime) {
+        let vs = &mut self.switches[server.0 as usize];
+        let slow_cycles = vs
+            .vnic(pkt.vnic)
+            .map(|v| v.slow_path_cycles(&vs.config().costs, pkt.wire_len()));
+        let r = vs.process_local(&pkt, now);
+        let cycles_hint = match r.path {
+            nezha_vswitch::PathTaken::Fast => vs.config().costs.fast_path_cycles(pkt.wire_len()),
+            nezha_vswitch::PathTaken::Slow => slow_cycles
+                .unwrap_or_else(|| vs.config().costs.slow_path_cycles(pkt.wire_len(), 0, 0)),
+        };
+        self.controller.note_local_cycles(server, cycles_hint);
+        match r.outcome {
+            ProcessOutcome::Forwarded(action) => {
+                self.stats.mirror_copies += pipeline::mirror_copies(&action) as u64;
+                match pkt.dir {
+                    Direction::Tx => {
+                        self.forward_to_peer(server, pkt, action, sent_at, r.done_at)
+                    }
+                    Direction::Rx => {
+                        self.deliver_to_vm(pkt.vnic, pkt.trace, sent_at, r.done_at, now)
+                    }
+                }
+            }
+            ProcessOutcome::AclDrop | ProcessOutcome::Unroutable | ProcessOutcome::RateLimited => {
+                self.deny_conn(pkt.trace)
+            }
+            ProcessOutcome::CpuOverload => self.lose_packet(pkt.trace, now),
+        }
+    }
+
+    /// Final TX forwarding toward the peer endpoint: the conn/probe's
+    /// packet has cleared the Nezha/local pipeline.
+    fn forward_to_peer(
+        &mut self,
+        from: ServerId,
+        pkt: Packet,
+        action: nezha_types::Action,
+        sent_at: SimTime,
+        done: SimTime,
+    ) {
+        // Resolve where the peer lives: the action's next hop when the
+        // tables knew it, else the conn spec (gateway egress).
+        let peer = action.next_hop.or_else(|| {
+            self.conns
+                .get(&(pkt.trace >> 4))
+                .map(|c| c.spec.peer_server)
+        });
+        let Some(peer) = peer else {
+            // No destination (pure probe toward gateway): terminal here.
+            self.complete_step(pkt.trace, sent_at, done);
+            return;
+        };
+        let lat = self.topo.latency(from, peer, pkt.wire_len());
+        // The peer endpoint consumes the packet without vSwitch charging
+        // (the peer side is assumed unloaded, §6.1 testbed setup).
+        self.complete_step(pkt.trace, sent_at, done + lat);
+    }
+
+    /// Final RX delivery into the VM kernel.
+    fn deliver_to_vm(
+        &mut self,
+        vnic: VnicId,
+        trace: u64,
+        sent_at: SimTime,
+        done: SimTime,
+        now: SimTime,
+    ) {
+        let Some(vm) = self.vms.get_mut(&vnic) else {
+            return self.complete_step(trace, sent_at, done);
+        };
+        match vm.deliver_packet(done) {
+            Some(kernel_done) => self.complete_step(trace, sent_at, kernel_done),
+            None => self.lose_packet(trace, now),
+        }
+    }
+
+    fn send_notify(
+        &mut self,
+        fe_server: ServerId,
+        pkt: &Packet,
+        policy: u8,
+        done: SimTime,
+        _now: SimTime,
+    ) {
+        self.stats.notifies += 1;
+        let be = self.vnic_home[&pkt.vnic];
+        let mut nsh = NezhaHeader::bare(NezhaPayloadKind::Notify, pkt.vnic, pkt.vpc);
+        nsh.stats_policy = Some(policy);
+        let mut notify = Packet::tx_data(
+            0,
+            pkt.vpc,
+            pkt.vnic,
+            pkt.tuple,
+            nezha_types::TcpFlags::empty(),
+            0,
+        )
+        .with_nezha(nsh);
+        notify.outer_src = Some(fe_server);
+        notify.outer_dst = Some(be);
+        let lat = self.topo.latency(fe_server, be, notify.wire_len());
+        self.engine.schedule_at(
+            done + lat,
+            Event::Arrive {
+                server: be,
+                pkt: notify,
+                sent_at: done,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+    use crate::vm::VmConfig;
+    use nezha_types::{FiveTuple, VpcId};
+    use nezha_vswitch::vnic::VnicProfile;
+
+    const HOME: ServerId = ServerId(0);
+    const VNIC: VnicId = VnicId(1);
+    const SVC_PORT: u16 = 9000;
+
+    fn small_cluster(auto: bool) -> Cluster {
+        let mut cfg = ClusterConfig::default();
+        cfg.topology = TopologyConfig {
+            servers_per_rack: 8,
+            racks_per_pod: 2,
+            pods: 1,
+            ..TopologyConfig::default()
+        };
+        cfg.controller.auto_offload = auto;
+        cfg.controller.auto_scale = auto;
+        let mut cluster = Cluster::new(cfg);
+        let mut vnic = Vnic::new(
+            VNIC,
+            VpcId(1),
+            Ipv4Addr::new(10, 7, 0, 1),
+            VnicProfile::default(),
+            HOME,
+        );
+        vnic.allow_inbound_port(SVC_PORT);
+        cluster.add_vnic(vnic, HOME, VmConfig::with_vcpus(64));
+        cluster
+    }
+
+    fn inbound_spec(n: u16, at: SimTime) -> crate::conn::ConnSpec {
+        crate::conn::ConnSpec {
+            vnic: VNIC,
+            vpc: VpcId(1),
+            tuple: FiveTuple::tcp(
+                Ipv4Addr::new(10, 7, 1, (n % 200) as u8 + 1),
+                10_000 + n,
+                Ipv4Addr::new(10, 7, 0, 1),
+                SVC_PORT,
+            ),
+            peer_server: ServerId(8 + (n % 8) as u32), // other rack
+            kind: crate::conn::ConnKind::Inbound,
+            start: at,
+            payload: 128,
+            overlay_encap_src: None,
+        }
+    }
+
+    fn run_conns(cluster: &mut Cluster, n: u16, spacing: SimDuration) -> SimTime {
+        for i in 0..n {
+            cluster.add_conn(inbound_spec(i, SimTime(0) + spacing.times(i as u64)));
+        }
+        let end = SimTime(0) + spacing.times(n as u64) + SimDuration::from_secs(5);
+        cluster.run_until(end);
+        end
+    }
+
+    #[test]
+    fn local_baseline_completes_connections() {
+        let mut c = small_cluster(false);
+        run_conns(&mut c, 50, SimDuration::from_millis(2));
+        assert_eq!(
+            c.stats.completed, 50,
+            "failed={} denied={}",
+            c.stats.failed, c.stats.denied
+        );
+        assert_eq!(c.stats.failed, 0);
+        assert_eq!(c.stats.denied, 0);
+        // Sessions were tracked and later aged out.
+        let (created, _, _) = c.switch(HOME).sessions.counters();
+        assert_eq!(created, 50);
+    }
+
+    #[test]
+    fn unsolicited_port_is_denied_statefully() {
+        let mut c = small_cluster(false);
+        let mut spec = inbound_spec(1, SimTime(0));
+        spec.tuple.dst_port = 47_123; // no accept rule, stateful default
+        c.add_conn(spec);
+        c.run_until(SimTime(0) + SimDuration::from_secs(5));
+        assert_eq!(c.stats.denied, 1);
+        assert_eq!(c.stats.completed, 0);
+    }
+
+    #[test]
+    fn manual_offload_reaches_final_stage_without_loss() {
+        let mut c = small_cluster(false);
+        // Warm traffic before the offload.
+        for i in 0..40 {
+            c.add_conn(inbound_spec(
+                i,
+                SimTime(0) + SimDuration::from_millis(5 * i as u64),
+            ));
+        }
+        c.run_until(SimTime(0) + SimDuration::from_millis(100));
+        c.trigger_offload(VNIC, c.now()).unwrap();
+        // Traffic continues through the transition.
+        for i in 40..120 {
+            c.add_conn(inbound_spec(
+                i,
+                c.now() + SimDuration::from_millis(5 * (i - 40) as u64),
+            ));
+        }
+        c.run_until(c.now() + SimDuration::from_secs(8));
+        let meta = c.backend(VNIC).expect("offloaded");
+        assert_eq!(meta.phase, OffloadPhase::Offloaded);
+        assert_eq!(meta.fe_list.len(), 4);
+        assert!(meta.activated_at.is_some());
+        assert_eq!(
+            c.stats.completed, 120,
+            "failed={} denied={} misroutes={}",
+            c.stats.failed, c.stats.denied, c.stats.misroutes
+        );
+        assert_eq!(c.stats.failed, 0);
+        // Completion time recorded, in Table 4's ballpark.
+        let mean = c.stats.offload_completion.mean();
+        assert!((0.3..3.0).contains(&mean), "completion {mean}s");
+        // FEs actually processed traffic.
+        let fe_hits: u64 = c
+            .fe_servers(VNIC)
+            .iter()
+            .map(|s| c.fes[&(*s, VNIC)].counters().0)
+            .sum();
+        assert!(fe_hits > 0, "FEs never saw traffic");
+        // BE rule tables are gone; home switch no longer hosts the vNIC.
+        assert!(c.switch(HOME).vnic(VNIC).is_none());
+    }
+
+    #[test]
+    fn offloaded_traffic_spreads_across_fes() {
+        let mut c = small_cluster(false);
+        c.trigger_offload(VNIC, SimTime(0)).unwrap();
+        c.run_until(SimTime(0) + SimDuration::from_secs(3));
+        for i in 0..200 {
+            c.add_conn(inbound_spec(
+                i,
+                c.now() + SimDuration::from_millis(i as u64),
+            ));
+        }
+        c.run_until(c.now() + SimDuration::from_secs(6));
+        assert_eq!(c.stats.completed, 200);
+        // Every FE served some flows (hash spreading, §3.2.3).
+        for s in c.fe_servers(VNIC) {
+            let (hits, misses, _) = c.fes[&(s, VNIC)].counters();
+            assert!(hits + misses > 0, "FE on {s} idle");
+        }
+        // Notifies were generated for stats-policy flows only on misses.
+        assert!(c.stats.notifies <= c.stats.completed * 2);
+    }
+
+    #[test]
+    fn fe_crash_fails_over_within_seconds() {
+        let mut c = small_cluster(false);
+        c.trigger_offload(VNIC, SimTime(0)).unwrap();
+        c.run_until(SimTime(0) + SimDuration::from_secs(3));
+        let victim = c.fe_servers(VNIC)[0];
+        let crash_at = c.now() + SimDuration::from_secs(1);
+        c.crash_at(victim, crash_at);
+        // Continuous traffic across the crash.
+        for i in 0..600 {
+            c.add_conn(inbound_spec(
+                i,
+                c.now() + SimDuration::from_millis(10 * i as u64),
+            ));
+        }
+        c.run_until(c.now() + SimDuration::from_secs(12));
+        assert!(c.stats.failover_events >= 1);
+        // The pool is restored to the 4-FE floor on live servers.
+        let fes = c.fe_servers(VNIC);
+        assert_eq!(fes.len(), 4, "pool {fes:?}");
+        assert!(!fes.contains(&victim));
+        // Losses were transient: the vast majority of conns completed.
+        let total = c.stats.completed + c.stats.failed + c.stats.denied;
+        assert_eq!(total, 600);
+        assert!(c.stats.completed >= 590, "completed {}", c.stats.completed);
+        // Loss was confined to around the crash instant (Fig. 14 shape).
+        assert!(c.stats.pkts.dropped > 0, "crash must cost some packets");
+    }
+
+    #[test]
+    fn fallback_returns_to_local_processing() {
+        let mut c = small_cluster(false);
+        c.trigger_offload(VNIC, SimTime(0)).unwrap();
+        c.run_until(SimTime(0) + SimDuration::from_secs(3));
+        assert_eq!(c.backend(VNIC).unwrap().phase, OffloadPhase::Offloaded);
+        c.trigger_fallback(VNIC, c.now()).unwrap();
+        c.run_until(c.now() + SimDuration::from_secs(3));
+        assert!(c.backend(VNIC).is_none(), "fallback must clear BE meta");
+        assert_eq!(c.fe_count(VNIC), 0);
+        assert!(c.switch(HOME).vnic(VNIC).is_some(), "tables restored");
+        // Traffic flows locally again.
+        for i in 0..30 {
+            c.add_conn(inbound_spec(
+                i,
+                c.now() + SimDuration::from_millis(2 * i as u64),
+            ));
+        }
+        c.run_until(c.now() + SimDuration::from_secs(5));
+        assert_eq!(c.stats.completed, 30);
+        assert_eq!(c.stats.failed, 0);
+    }
+
+    #[test]
+    fn probe_latency_gains_one_hop_after_offload() {
+        let mut c = small_cluster(false);
+        let tuple = FiveTuple::tcp(
+            Ipv4Addr::new(10, 7, 1, 9),
+            12345,
+            Ipv4Addr::new(10, 7, 0, 1),
+            SVC_PORT,
+        );
+        // Local probe.
+        c.inject_probe_rx(VNIC, tuple, 64, ServerId(9), SimTime(0));
+        c.run_until(SimTime(0) + SimDuration::from_millis(100));
+        assert_eq!(c.stats.probe_latency.len(), 1);
+        let local = c.stats.probe_latency.raw()[0];
+
+        // Offloaded probe (new session, same path shape plus FE detour).
+        c.trigger_offload(VNIC, c.now()).unwrap();
+        c.run_until(c.now() + SimDuration::from_secs(3));
+        let tuple2 = FiveTuple::tcp(
+            Ipv4Addr::new(10, 7, 1, 10),
+            12346,
+            Ipv4Addr::new(10, 7, 0, 1),
+            SVC_PORT,
+        );
+        c.inject_probe_rx(VNIC, tuple2, 64, ServerId(9), c.now());
+        c.run_until(c.now() + SimDuration::from_millis(100));
+        assert_eq!(c.stats.probe_latency.len(), 2);
+        let offloaded = c.stats.probe_latency.raw()[1];
+        let extra = offloaded - local;
+        // Fig. 12: the detour adds a few tens of microseconds at most.
+        assert!(extra > 0.0, "offloaded {offloaded} <= local {local}");
+        assert!(extra < 100e-6, "extra hop {}us", extra * 1e6);
+    }
+
+    #[test]
+    fn auto_offload_triggers_under_sustained_overload() {
+        let mut c = small_cluster(true);
+        // Shrink the home switch to one core and a short measurement
+        // window so ~50K offered CPS (about 0.85x its capacity) crosses
+        // the 70% threshold within the test's horizon.
+        {
+            let vs = c.switch_mut(HOME);
+            *vs = {
+                let mut cfg = ClusterConfig::default().vswitch;
+                cfg.cores = 1;
+                let mut fresh = VSwitch::new(HOME, cfg);
+                fresh.set_util_window(SimDuration::from_millis(500));
+                let mut vnic = Vnic::new(
+                    VNIC,
+                    VpcId(1),
+                    Ipv4Addr::new(10, 7, 0, 1),
+                    VnicProfile::default(),
+                    HOME,
+                );
+                vnic.allow_inbound_port(SVC_PORT);
+                fresh.add_vnic(vnic).unwrap();
+                fresh
+            };
+        }
+        for i in 0..30_000u32 {
+            let spec = crate::conn::ConnSpec {
+                vnic: VNIC,
+                vpc: VpcId(1),
+                tuple: FiveTuple::tcp(
+                    Ipv4Addr::new(10, 7, (1 + i / 250) as u8, (i % 250) as u8 + 1),
+                    (10_000 + i % 50_000) as u16,
+                    Ipv4Addr::new(10, 7, 0, 1),
+                    SVC_PORT,
+                ),
+                peer_server: ServerId(8 + (i % 8)),
+                kind: crate::conn::ConnKind::Inbound,
+                start: SimTime(0) + SimDuration::from_micros(20 * i as u64),
+                payload: 64,
+                overlay_encap_src: None,
+            };
+            c.add_conn(spec);
+        }
+        c.run_until(SimTime(0) + SimDuration::from_secs(4));
+        assert!(c.stats.offload_events >= 1, "controller never offloaded");
+        assert_eq!(
+            c.backend(VNIC).map(|m| m.phase),
+            Some(OffloadPhase::Offloaded)
+        );
+        // After offload the BE runs cool again.
+        let be_util = c.switch(HOME).cpu_utilization(c.now());
+        assert!(be_util < 0.5, "BE still hot: {be_util}");
+    }
+
+    #[test]
+    fn stateful_decap_survives_the_split() {
+        let mut c = small_cluster(false);
+        // A second vNIC acting as an LB real server with stateful decap.
+        let mut profile = VnicProfile::default();
+        profile.stateful_decap = true;
+        let mut vnic = Vnic::new(
+            VnicId(2),
+            VpcId(1),
+            Ipv4Addr::new(10, 8, 0, 1),
+            profile,
+            ServerId(1),
+        );
+        vnic.allow_inbound_port(8080);
+        c.add_vnic(vnic, ServerId(1), VmConfig::with_vcpus(16));
+        c.trigger_offload(VnicId(2), SimTime(0)).unwrap();
+        c.run_until(SimTime(0) + SimDuration::from_secs(3));
+
+        let spec = crate::conn::ConnSpec {
+            vnic: VnicId(2),
+            vpc: VpcId(1),
+            tuple: FiveTuple::tcp(
+                Ipv4Addr::new(203, 0, 113, 7), // client behind the LB
+                40_000,
+                Ipv4Addr::new(10, 8, 0, 1),
+                8080,
+            ),
+            peer_server: ServerId(9),
+            kind: crate::conn::ConnKind::Inbound,
+            start: c.now(),
+            payload: 256,
+            overlay_encap_src: Some(Ipv4Addr::new(100, 64, 0, 5)), // LB VIP
+        };
+        c.add_conn(spec);
+        // Inspect the session before the aging sweep reclaims the closed
+        // connection.
+        c.run_until(c.now() + SimDuration::from_millis(400));
+        assert_eq!(c.stats.completed, 1);
+        // The BE recorded the LB address from the FE-carried info.
+        let key = SessionKey::of(VpcId(1), spec.tuple);
+        let entry = c.switch(ServerId(1)).sessions.get(&key).expect("session");
+        assert_eq!(
+            entry.state.decap.map(|d| d.overlay_src),
+            Some(Ipv4Addr::new(100, 64, 0, 5))
+        );
+        // The entry is state-only at the BE (flows live at the FEs).
+        assert!(entry.pre_actions.is_none());
+    }
+
+    #[test]
+    fn live_migration_via_be_location_update() {
+        let mut c = small_cluster(false);
+        c.trigger_offload(VNIC, SimTime(0)).unwrap();
+        c.run_until(SimTime(0) + SimDuration::from_secs(3));
+        // Migrate the VM/BE to server 7 (not an FE; the initial pool is
+        // the four lowest-utilization rack peers).
+        let new_home = ServerId(7);
+        assert!(!c.fe_servers(VNIC).contains(&new_home));
+        // Move state to the new home (migration copies it with the VM).
+        c.engine.schedule_in(
+            SimDuration::from_micros(800),
+            Event::Config(ConfigOp::BeLocationUpdate {
+                vnic: VNIC,
+                new_home,
+            }),
+        );
+        c.run_until(c.now() + SimDuration::from_millis(10));
+        assert_eq!(c.vnic_home[&VNIC], new_home);
+        for s in c.fe_servers(VNIC) {
+            assert_eq!(c.fes[&(s, VNIC)].be_location, new_home);
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! The vNIC **frontend** (FE): stateless rules + cached flows on a remote
+//! idle SmartNIC.
+//!
+//! An FE holds a complete copy of one offloaded vNIC's rule tables and a
+//! cache of flows it has looked up; it holds **no session state**. That is
+//! the entire point: "as FEs only maintain stateless rule tables and
+//! cached flows, packets can be processed correctly by any FE without
+//! synchronization" (§3.2.3) — add or remove FEs freely, lose one with no
+//! state loss, and a post-scaling cache miss costs only one re-executed
+//! rule lookup ("slightly more than 10 microseconds").
+
+use nezha_sim::resources::MemoryPool;
+use nezha_types::{Direction, FiveTuple, PreActionPair, ServerId, SessionKey};
+use nezha_vswitch::config::MemoryModel;
+use nezha_vswitch::pipeline;
+use nezha_vswitch::vnic::Vnic;
+use std::collections::HashMap;
+
+/// One FE instance: an offloaded vNIC's tables hosted on a remote server.
+#[derive(Debug)]
+pub struct FrontEnd {
+    /// A full copy of the vNIC's rule tables ("Each FE maintains a
+    /// complete copy of the rule tables", §3.2.3).
+    pub vnic: Vnic,
+    /// The BE's location, configured by the controller ("BE Location
+    /// Config", Fig. 7).
+    pub be_location: ServerId,
+    /// Cached flows regenerated on the fly by rule lookups (Fig. 7).
+    flows: HashMap<SessionKey, PreActionPair>,
+    hits: u64,
+    misses: u64,
+    /// Flows that could not be cached because the host's table memory was
+    /// exhausted (processing still succeeds, uncached).
+    cache_skips: u64,
+    /// Bytes charged on the host pool for the rule tables (kept exact
+    /// across table mutations, mirroring `VSwitch::sync_vnic_memory`).
+    pub(crate) charged_table_bytes: u64,
+}
+
+impl FrontEnd {
+    /// Creates an FE for `vnic` whose backend lives at `be_location`.
+    pub fn new(vnic: Vnic, be_location: ServerId) -> Self {
+        FrontEnd {
+            vnic,
+            be_location,
+            flows: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            cache_skips: 0,
+            charged_table_bytes: 0,
+        }
+    }
+
+    /// Rule-table memory this FE occupies on its host.
+    pub fn table_memory(&self, m: &MemoryModel) -> u64 {
+        self.vnic.table_memory(m)
+    }
+
+    /// Bytes of cached flows on the host.
+    pub fn flow_memory(&self, m: &MemoryModel) -> u64 {
+        self.flows.len() as u64 * m.flow_entry
+    }
+
+    /// Number of cached flows.
+    pub fn cached_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// `(hits, misses, cache_skips)` counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.cache_skips)
+    }
+
+    /// Returns the cached pre-actions for the session of `tuple`, running
+    /// the slow-path lookup (and caching the result in `pool`) on a miss.
+    ///
+    /// The boolean is `true` on a miss — the caller charges lookup cycles
+    /// instead of fast-path cycles, and (on the TX workflow) considers a
+    /// notify packet (§3.2.2).
+    pub fn lookup_or_insert(
+        &mut self,
+        tuple: &FiveTuple,
+        pkt_dir: Direction,
+        pool: &mut MemoryPool,
+        m: &MemoryModel,
+    ) -> (PreActionPair, bool) {
+        let key = SessionKey::of(self.vnic.vpc, *tuple);
+        if let Some(pair) = self.flows.get(&key) {
+            self.hits += 1;
+            return (*pair, false);
+        }
+        self.misses += 1;
+        let pair = pipeline::slow_path_lookup(&self.vnic, tuple, pkt_dir).pair;
+        if pool.alloc(m.flow_entry).is_ok() {
+            self.flows.insert(key, pair);
+        } else {
+            self.cache_skips += 1;
+        }
+        (pair, true)
+    }
+
+    /// Invalidates all cached flows (rule-table change, §3.2.2), releasing
+    /// their memory. Returns the number invalidated.
+    pub fn invalidate_flows(&mut self, pool: &mut MemoryPool, m: &MemoryModel) -> usize {
+        let n = self.flows.len();
+        pool.free(n as u64 * m.flow_entry);
+        self.flows.clear();
+        n
+    }
+
+    /// Re-reconciles the table-memory charge after the tables changed.
+    pub(crate) fn sync_table_memory(
+        &mut self,
+        pool: &mut MemoryPool,
+        m: &MemoryModel,
+    ) -> Result<(), nezha_sim::resources::OutOfMemory> {
+        let new = self.table_memory(m);
+        if new > self.charged_table_bytes {
+            pool.alloc(new - self.charged_table_bytes)?;
+        } else {
+            pool.free(self.charged_table_bytes - new);
+        }
+        self.charged_table_bytes = new;
+        Ok(())
+    }
+
+    /// Releases **all** memory this FE holds on `pool` (tables + flows);
+    /// called when the FE is removed (scale-in, failover cleanup).
+    pub fn release(self, pool: &mut MemoryPool, m: &MemoryModel) {
+        pool.free(self.charged_table_bytes + self.flows.len() as u64 * m.flow_entry);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nezha_types::{Ipv4Addr, VnicId, VpcId};
+    use nezha_vswitch::vnic::VnicProfile;
+
+    fn fe() -> FrontEnd {
+        let vnic = Vnic::new(
+            VnicId(1),
+            VpcId(1),
+            Ipv4Addr::new(10, 7, 0, 1),
+            VnicProfile::default(),
+            ServerId(0),
+        );
+        FrontEnd::new(vnic, ServerId(0))
+    }
+
+    fn tuple(port: u16) -> FiveTuple {
+        FiveTuple::tcp(
+            Ipv4Addr::new(10, 7, 0, 1),
+            port,
+            Ipv4Addr::new(10, 7, 0, 100),
+            9000,
+        )
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut f = fe();
+        let mut pool = MemoryPool::new(1_000_000);
+        let m = MemoryModel::default();
+        let (p1, miss1) = f.lookup_or_insert(&tuple(1000), Direction::Tx, &mut pool, &m);
+        assert!(miss1);
+        let (p2, miss2) = f.lookup_or_insert(&tuple(1000), Direction::Tx, &mut pool, &m);
+        assert!(!miss2);
+        assert_eq!(p1, p2);
+        assert_eq!(f.counters(), (1, 1, 0));
+        assert_eq!(f.cached_flows(), 1);
+        assert_eq!(pool.used(), m.flow_entry);
+    }
+
+    #[test]
+    fn both_directions_share_one_cached_flow() {
+        let mut f = fe();
+        let mut pool = MemoryPool::new(1_000_000);
+        let m = MemoryModel::default();
+        let (pa, _) = f.lookup_or_insert(&tuple(1000), Direction::Tx, &mut pool, &m);
+        let (pb, miss) = f.lookup_or_insert(&tuple(1000).reversed(), Direction::Rx, &mut pool, &m);
+        assert!(!miss, "reverse direction must hit the same entry");
+        assert_eq!(pa, pb);
+        assert_eq!(f.cached_flows(), 1);
+    }
+
+    #[test]
+    fn oom_skips_caching_but_still_answers() {
+        let mut f = fe();
+        let mut pool = MemoryPool::new(0);
+        let m = MemoryModel::default();
+        let (_, miss) = f.lookup_or_insert(&tuple(1), Direction::Tx, &mut pool, &m);
+        assert!(miss);
+        assert_eq!(f.cached_flows(), 0);
+        assert_eq!(f.counters().2, 1);
+        // Second lookup is a miss again (nothing cached) but still works.
+        let (_, miss) = f.lookup_or_insert(&tuple(1), Direction::Tx, &mut pool, &m);
+        assert!(miss);
+    }
+
+    #[test]
+    fn invalidate_and_release_free_memory() {
+        let mut f = fe();
+        let mut pool = MemoryPool::new(20_000_000);
+        let m = MemoryModel::default();
+        for p in 0..10 {
+            f.lookup_or_insert(&tuple(p), Direction::Tx, &mut pool, &m);
+        }
+        assert_eq!(pool.used(), 10 * m.flow_entry);
+        assert_eq!(f.invalidate_flows(&mut pool, &m), 10);
+        assert_eq!(pool.used(), 0);
+
+        // Simulate the host charging table memory, then releasing the FE.
+        pool.alloc(f.table_memory(&m)).unwrap();
+        f.charged_table_bytes = f.table_memory(&m);
+        f.lookup_or_insert(&tuple(0), Direction::Tx, &mut pool, &m);
+        let f2 = f;
+        f2.release(&mut pool, &m);
+        assert_eq!(pool.used(), 0);
+    }
+}

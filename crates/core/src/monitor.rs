@@ -1,0 +1,153 @@
+//! Centralized FE crash monitoring and failover (§4.4, Appendix C).
+//!
+//! A centralized module ping-polls every vSwitch hosting FEs (via a
+//! flow-direct rule to the vSwitch's VF in the real system — here the
+//! probe outcome is the `alive` flag observed at tick time, which models
+//! an un-answered ping). After `ping_misses` consecutive silent periods
+//! the vSwitch is declared crashed and every FE it hosted is removed via
+//! the scale-in logic, keeping the pool at the ≥4-FE floor by adding
+//! replacements.
+//!
+//! Appendix C's production lesson is implemented too: when a majority of
+//! monitored FE hosts appear dead *simultaneously*, the monitor suspends
+//! automatic removal (such widespread failure is overwhelmingly a
+//! monitoring bug, not a real outage) and counts a suspension for manual
+//! inspection.
+
+use crate::cluster::{Cluster, Event};
+use nezha_sim::time::SimTime;
+use nezha_types::{ServerId, VnicId};
+use std::collections::HashMap;
+
+/// Monitor bookkeeping.
+#[derive(Debug, Default)]
+pub struct MonitorState {
+    missed: HashMap<ServerId, u32>,
+    /// Consecutive failed BE↔FE mutual pings per (BE, FE) pair
+    /// (Appendix C.1).
+    mutual_missed: HashMap<(ServerId, ServerId), u32>,
+    /// True while automatic removal is suspended (Appendix C.2).
+    pub suspended: bool,
+}
+
+impl MonitorState {
+    /// Fresh state.
+    pub fn new() -> Self {
+        MonitorState::default()
+    }
+}
+
+impl Cluster {
+    /// One ping-polling round (runs every [`ControllerConfig::ping_period`]
+    /// (crate::controller::ControllerConfig::ping_period)).
+    pub(crate) fn monitor_tick(&mut self, now: SimTime) {
+        let cfg = self.cfg.controller;
+        self.engine.schedule_in(cfg.ping_period, Event::MonitorTick);
+
+        // Only vSwitches hosting FEs are monitored — "since there are only
+        // a few VMs requiring offloading, the monitoring targets are
+        // limited, keeping detection overhead low" (§4.4).
+        let mut targets: Vec<ServerId> = self.fes.keys().map(|(s, _)| *s).collect();
+        targets.sort_unstable_by_key(|s| s.0);
+        targets.dedup();
+        if targets.is_empty() {
+            self.monitor.missed.clear();
+            return;
+        }
+
+        let mut newly_dead: Vec<ServerId> = Vec::new();
+        let mut apparently_dead = 0usize;
+        for &s in &targets {
+            if self.alive[s.0 as usize] {
+                self.monitor.missed.insert(s, 0);
+            } else {
+                let m = self.monitor.missed.entry(s).or_insert(0);
+                *m += 1;
+                apparently_dead += 1;
+                if *m == cfg.ping_misses {
+                    newly_dead.push(s);
+                }
+            }
+        }
+
+        // Appendix C.2: widespread "failure" smells like a monitor bug.
+        if targets.len() >= 4 && apparently_dead * 2 > targets.len() {
+            if !self.monitor.suspended {
+                self.monitor.suspended = true;
+                self.stats.monitor_suspensions += 1;
+            }
+            return;
+        }
+        self.monitor.suspended = false;
+
+        for dead in newly_dead {
+            self.failover_server(dead, now);
+        }
+
+        // BE↔FE mutual ping (Appendix C.1): detects link faults between a
+        // healthy BE and a healthy FE that the centralized monitor cannot
+        // see. Runs at the same cadence here; production uses a lower
+        // frequency because total partitions between servers are rare.
+        let mut pairs: Vec<(nezha_types::VnicId, ServerId, ServerId)> = self
+            .be_meta
+            .iter()
+            .flat_map(|(v, m)| {
+                let be = self.vnic_home[v];
+                m.ready_fes()
+                    .iter()
+                    .map(move |fe| (*v, be, *fe))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        pairs.sort_unstable_by_key(|(v, _, fe)| (v.0, fe.0));
+        for (vnic, be, fe) in pairs {
+            let reachable = self.alive[be.0 as usize]
+                && self.alive[fe.0 as usize]
+                && !self.link_blackholed(be, fe);
+            if reachable {
+                self.monitor.mutual_missed.insert((be, fe), 0);
+            } else if self.alive[fe.0 as usize] {
+                // The FE answers the central monitor but not this BE: a
+                // link fault. After the miss threshold, remove the FE from
+                // *this* BE's pool only.
+                let miss = self.monitor.mutual_missed.entry((be, fe)).or_insert(0);
+                *miss += 1;
+                if *miss == cfg.ping_misses {
+                    self.remove_fe(vnic, fe, now);
+                    let cur = self.be_meta.get(&vnic).map_or(0, |m| m.fe_list.len());
+                    if cur < cfg.min_fes {
+                        self.scale_out_excluding(vnic, cfg.min_fes - cur, &[fe], now);
+                    }
+                    self.stats.failover_events += 1;
+                }
+            }
+        }
+    }
+
+    /// Removes every FE on a crashed server and restores the ≥`min_fes`
+    /// floor (§4.4 failover).
+    pub(crate) fn failover_server(&mut self, dead: ServerId, now: SimTime) {
+        let mut victims: Vec<VnicId> = self
+            .fes
+            .keys()
+            .filter(|(s, _)| *s == dead)
+            .map(|(_, v)| *v)
+            .collect();
+        victims.sort_unstable_by_key(|v| v.0);
+        if victims.is_empty() {
+            return;
+        }
+        self.stats.failover_events += 1;
+        for vnic in victims {
+            self.remove_fe(vnic, dead, now);
+            let cur = self.be_meta.get(&vnic).map_or(0, |m| m.fe_list.len());
+            let floor = self.cfg.controller.min_fes;
+            // "If one of the 4 FEs crashes, we will delete the faulty FE
+            // and add a new one. If there are more than 4 … only delete"
+            // (§4.4).
+            if cur < floor {
+                self.scale_out(vnic, floor - cur, now);
+            }
+        }
+    }
+}

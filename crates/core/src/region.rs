@@ -1,0 +1,636 @@
+//! The flow-level (fluid) region simulator for production-scale results.
+//!
+//! The paper's production experiments span O(10K) servers and months
+//! (Figs. 2–4, 13; Tables 1, 3, 4; Appendix B.2). Packet-level simulation
+//! at that scale is pointless — those results are *statistical* — so this
+//! module models each vSwitch's demand as a stochastic process with the
+//! same resource accounting as the packet-level cluster:
+//!
+//! * per-server baseline demand is heavy-tailed (log-normal, clipped),
+//!   calibrated to Fig. 4's utilization CDF ("shortage and waste": ~5%
+//!   average CPU with a P9999 of ~90%);
+//! * demand **spikes** arrive randomly, with a heavy-tailed magnitude and
+//!   a log-normal *rise time*; an overload occurs when demand exceeds
+//!   capacity while the vNIC is not yet offloaded — under Nezha that
+//!   requires the spike to outrun the ~1–3 s offload activation
+//!   (Fig. 13's residual >99.9%-mitigated overloads);
+//! * offload/scale events follow the controller thresholds of Fig. 8 and
+//!   sample the same completion-time model as the packet-level
+//!   controller (Table 4);
+//! * `middlebox` computes Table 3's per-middlebox gains analytically from
+//!   the calibrated capacity models.
+//!
+//! Every distributional parameter lives in [`RegionConfig`], documented
+//! against the paper quantity it was calibrated to.
+
+use crate::vm::VmConfig;
+use nezha_sim::rng::SimRng;
+use nezha_sim::stats::Samples;
+use nezha_sim::time::SimDuration;
+use nezha_vswitch::config::VSwitchConfig;
+use nezha_vswitch::vnic::VnicProfile;
+use serde::{Deserialize, Serialize};
+
+/// Which capability a demand spike stresses (Fig. 3's hotspot causes).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum SpikeKind {
+    /// New connections per second (CPU on the slow path).
+    Cps,
+    /// Concurrent flows (memory on the fast path).
+    Flows,
+    /// vNIC provisioning (memory on the slow path).
+    Vnics,
+}
+
+/// Region model parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RegionConfig {
+    /// Number of servers (paper: O(10K)).
+    pub servers: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Epoch length (demand re-sampling period).
+    pub epoch: SimDuration,
+    /// Median of the per-server baseline CPU demand (fraction of
+    /// capacity). Calibrated with `cpu_sigma` to Fig. 4a: avg ≈ 5%,
+    /// P90 ≈ 15%, P99 ≈ 41%, P999 ≈ 68%, P9999 ≈ 90%.
+    pub cpu_median: f64,
+    /// Log-normal sigma of the CPU baseline.
+    pub cpu_sigma: f64,
+    /// Median of the per-server baseline memory demand. Calibrated with
+    /// `mem_sigma` to Fig. 4b: avg ≈ 1.5%, P999 ≈ 93%, P9999 ≈ 96%.
+    pub mem_median: f64,
+    /// Log-normal sigma of the memory baseline.
+    pub mem_sigma: f64,
+    /// Fraction of servers hosting memory-heavy middlebox-style vNICs
+    /// (the fat tail of Fig. 4b).
+    pub mem_heavy_frac: f64,
+    /// Per-server, per-epoch probability of a demand spike.
+    pub spike_prob: f64,
+    /// Bounded-Pareto tail index of spike magnitude.
+    pub spike_alpha: f64,
+    /// Spike magnitude bounds (multiplier on baseline).
+    pub spike_mult: (f64, f64),
+    /// Median spike rise time; a spike faster than the offload
+    /// activation still causes a (brief) overload under Nezha.
+    pub spike_rise_median: SimDuration,
+    /// Log-normal sigma of the rise time.
+    pub spike_rise_sigma: f64,
+    /// Relative frequency of CPS / flows / vNIC spikes. Calibrated to
+    /// Fig. 3's observed hotspot shares (≈61% / 30% / 9%, Appendix A.1).
+    pub spike_weights: (f64, f64, f64),
+    /// Offload trigger threshold (Fig. 8: 70%).
+    pub offload_threshold: f64,
+    /// Median of one FE config push (same model as the packet cluster).
+    pub push_median: SimDuration,
+    /// Log-normal sigma of the push.
+    pub push_sigma: f64,
+    /// Gateway update delay.
+    pub gateway_delay: SimDuration,
+    /// vSwitch learning interval.
+    pub learning_interval: SimDuration,
+    /// Initial FE count (Appendix B.2: 4).
+    pub initial_fes: usize,
+    /// Per offloaded-vNIC, per-day probability that demand growth forces
+    /// a scale-out (calibrated to Appendix B.2's ≈2.6% of pools).
+    pub scale_out_daily_prob: f64,
+}
+
+impl Default for RegionConfig {
+    fn default() -> Self {
+        RegionConfig {
+            servers: 10_000,
+            seed: 0x4e5a,
+            epoch: SimDuration::from_secs(3600),
+            cpu_median: 0.028,
+            cpu_sigma: 1.15,
+            mem_median: 0.008,
+            mem_sigma: 1.05,
+            mem_heavy_frac: 0.0035,
+            spike_prob: 0.002,
+            spike_alpha: 1.1,
+            spike_mult: (1.5, 40.0),
+            spike_rise_median: SimDuration::from_secs(60),
+            spike_rise_sigma: 1.2,
+            spike_weights: (0.61, 0.30, 0.09),
+            offload_threshold: 0.70,
+            push_median: SimDuration::from_millis(430),
+            push_sigma: 0.50,
+            gateway_delay: SimDuration::from_millis(100),
+            learning_interval: SimDuration::from_millis(200),
+            initial_fes: 4,
+            scale_out_daily_prob: 0.0009,
+        }
+    }
+}
+
+/// Per-server state.
+#[derive(Clone, Copy, Debug)]
+struct ServerState {
+    base_cpu: f64,
+    base_mem: f64,
+    offloaded: bool,
+}
+
+/// Aggregated outputs of a region run.
+#[derive(Debug, Default)]
+pub struct RegionReport {
+    /// Overload occurrences per day, by cause.
+    pub daily_cps: Vec<u64>,
+    /// Overloads from #concurrent flows per day.
+    pub daily_flows: Vec<u64>,
+    /// Overloads from #vNICs per day.
+    pub daily_vnics: Vec<u64>,
+    /// CPU utilization snapshots across servers and epochs (Fig. 4a).
+    pub cpu_utils: Samples,
+    /// Memory utilization snapshots (Fig. 4b).
+    pub mem_utils: Samples,
+    /// Offload events triggered.
+    pub offload_events: u64,
+    /// Total FEs provisioned (Appendix B.2's 10 062-style count).
+    pub total_fes_provisioned: u64,
+    /// Scale-out operations.
+    pub scale_out_events: u64,
+    /// Offload completion times (Table 4), in seconds.
+    pub completion_times: Samples,
+}
+
+impl RegionReport {
+    /// Total overloads by cause across the run.
+    pub fn totals(&self) -> (u64, u64, u64) {
+        (
+            self.daily_cps.iter().sum(),
+            self.daily_flows.iter().sum(),
+            self.daily_vnics.iter().sum(),
+        )
+    }
+}
+
+/// The fluid region simulator.
+#[derive(Debug)]
+pub struct Region {
+    cfg: RegionConfig,
+    rng: SimRng,
+    servers: Vec<ServerState>,
+}
+
+impl Region {
+    /// Builds a region: every server draws its heavy-tailed baseline.
+    pub fn new(cfg: RegionConfig) -> Self {
+        let mut rng = SimRng::new(cfg.seed);
+        let servers = (0..cfg.servers)
+            .map(|_| {
+                let base_cpu = (cfg.cpu_median * (cfg.cpu_sigma * rng.normal()).exp()).min(0.98);
+                let heavy = rng.chance(cfg.mem_heavy_frac);
+                let base_mem = if heavy {
+                    0.3 + 0.66 * rng.f64()
+                } else {
+                    (cfg.mem_median * (cfg.mem_sigma * rng.normal()).exp()).min(0.96)
+                };
+                ServerState {
+                    base_cpu,
+                    base_mem,
+                    offloaded: false,
+                }
+            })
+            .collect();
+        Region { cfg, rng, servers }
+    }
+
+    /// Samples one offload activation completion time: the slowest of the
+    /// initial FE config pushes, plus the gateway update, plus the
+    /// learning interval — identical in form to the packet-level
+    /// controller, hence Table 4's distribution.
+    pub fn sample_completion(&mut self) -> SimDuration {
+        let mut worst = SimDuration::ZERO;
+        for _ in 0..self.cfg.initial_fes {
+            let d = self
+                .rng
+                .lognormal_duration(self.cfg.push_median, self.cfg.push_sigma);
+            if d > worst {
+                worst = d;
+            }
+        }
+        worst + self.cfg.gateway_delay + self.cfg.learning_interval
+    }
+
+    fn spike_kind(&mut self) -> SpikeKind {
+        let (a, b, _) = self.cfg.spike_weights;
+        let x = self.rng.f64()
+            * (self.cfg.spike_weights.0 + self.cfg.spike_weights.1 + self.cfg.spike_weights.2);
+        if x < a {
+            SpikeKind::Cps
+        } else if x < a + b {
+            SpikeKind::Flows
+        } else {
+            SpikeKind::Vnics
+        }
+    }
+
+    /// Runs the region for `days`, with or without Nezha, producing the
+    /// per-day overload counts and utilization snapshots.
+    pub fn run_days(&mut self, days: usize, nezha: bool) -> RegionReport {
+        let epochs_per_day = ((24 * 3600) as f64 / self.cfg.epoch.as_secs_f64())
+            .round()
+            .max(1.0) as usize;
+        let mut report = RegionReport::default();
+        // Nezha proactively offloads every server already above the
+        // threshold at rollout.
+        if nezha {
+            for i in 0..self.servers.len() {
+                if self.servers[i].base_cpu.max(self.servers[i].base_mem)
+                    > self.cfg.offload_threshold
+                    && !self.servers[i].offloaded
+                {
+                    self.offload(i, &mut report);
+                }
+            }
+        } else {
+            for s in &mut self.servers {
+                s.offloaded = false;
+            }
+        }
+
+        for _day in 0..days {
+            let (mut cps, mut flows, mut vnics) = (0u64, 0u64, 0u64);
+            for _epoch in 0..epochs_per_day {
+                for i in 0..self.servers.len() {
+                    // Small multiplicative wander around the baseline.
+                    let wobble = (0.25 * self.rng.normal()).exp();
+                    let s = self.servers[i];
+                    let mut cpu = (s.base_cpu * wobble).min(0.99);
+                    let mut mem = s.base_mem;
+
+                    // Record the *post-Nezha residual* utilization: an
+                    // offloaded server sheds most of its hot vNIC's load.
+                    if s.offloaded {
+                        cpu *= 0.15;
+                        mem *= 0.4;
+                    }
+                    report.cpu_utils.record(cpu);
+                    report.mem_utils.record(mem);
+
+                    // Threshold-triggered proactive offload.
+                    if nezha && !s.offloaded && cpu.max(mem) > self.cfg.offload_threshold {
+                        self.offload(i, &mut report);
+                    }
+
+                    // Spikes.
+                    if self.rng.chance(self.cfg.spike_prob) {
+                        let kind = self.spike_kind();
+                        let mult = self.rng.bounded_pareto(
+                            self.cfg.spike_alpha,
+                            self.cfg.spike_mult.0,
+                            self.cfg.spike_mult.1,
+                        );
+                        let s = self.servers[i];
+                        // A surge adds demand on top of the baseline: a
+                        // tenant's traffic jumps by an absolute amount (a
+                        // flash crowd does not scale with how idle the
+                        // switch was).
+                        let surge = 0.05 * mult;
+                        let demand = match kind {
+                            SpikeKind::Cps => s.base_cpu + surge,
+                            _ => s.base_mem + surge,
+                        };
+                        if demand <= 1.0 {
+                            continue;
+                        }
+                        // The spike exceeds capacity.
+                        let overload = if !nezha {
+                            true
+                        } else if kind == SpikeKind::Vnics {
+                            // vNIC rule tables are created directly on the
+                            // FEs — Nezha fully prevents these (§6.3.3).
+                            false
+                        } else if s.offloaded {
+                            // Remote pool absorbs it (possibly scaling).
+                            false
+                        } else {
+                            // Offload races the spike's rise: only spikes
+                            // faster than the activation window overload.
+                            let completion = self.sample_completion();
+                            let rise = self.rng.lognormal_duration(
+                                self.cfg.spike_rise_median,
+                                self.cfg.spike_rise_sigma,
+                            );
+                            let lost = rise < completion;
+                            self.offload(i, &mut report);
+                            lost
+                        };
+                        if overload {
+                            match kind {
+                                SpikeKind::Cps => cps += 1,
+                                SpikeKind::Flows => flows += 1,
+                                SpikeKind::Vnics => vnics += 1,
+                            }
+                        }
+                    }
+                }
+                // Scale-out pressure on offloaded pools.
+                if nezha {
+                    let offloaded: Vec<usize> = self
+                        .servers
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| s.offloaded)
+                        .map(|(i, _)| i)
+                        .collect();
+                    let p = self.cfg.scale_out_daily_prob / epochs_per_day as f64;
+                    for _ in offloaded {
+                        if self.rng.chance(p) {
+                            report.scale_out_events += 1;
+                            report.total_fes_provisioned += 1;
+                        }
+                    }
+                }
+            }
+            report.daily_cps.push(cps);
+            report.daily_flows.push(flows);
+            report.daily_vnics.push(vnics);
+        }
+        report
+    }
+
+    fn offload(&mut self, server: usize, report: &mut RegionReport) {
+        self.servers[server].offloaded = true;
+        report.offload_events += 1;
+        report.total_fes_provisioned += self.cfg.initial_fes as u64;
+        let c = self.sample_completion();
+        report.completion_times.record_duration(c);
+    }
+}
+
+/// Analytic Table 3 computation: per-middlebox gains from the calibrated
+/// capacity models.
+pub mod middlebox {
+    use super::*;
+
+    /// Deployed session-table memory of each middlebox class *before*
+    /// Nezha, reflecting production configurations: LBs hold long-lived
+    /// connections to many real servers (large session tables); NAT and
+    /// TR mostly carry short-lived flows (§6.3.1).
+    #[derive(Clone, Copy, Debug)]
+    pub struct MiddleboxClass {
+        /// Display name.
+        pub name: &'static str,
+        /// Table profile.
+        pub profile: VnicProfile,
+        /// Session-table memory budget before Nezha, bytes.
+        pub session_memory_before: u64,
+        /// Per-VM vNIC provisioning cap (blast-radius policy, §6.3.1).
+        pub vnic_policy_cap: u64,
+    }
+
+    /// The three evaluated middleboxes.
+    pub fn classes() -> [MiddleboxClass; 3] {
+        [
+            MiddleboxClass {
+                name: "Load-balancer",
+                profile: VnicProfile::load_balancer(),
+                session_memory_before: 1_000 << 20, // ≈1 GB
+                vnic_policy_cap: 1_000,
+            },
+            MiddleboxClass {
+                name: "NAT gateway",
+                profile: VnicProfile::nat_gateway(),
+                session_memory_before: 100 << 20, // ≈100 MB
+                vnic_policy_cap: 1_000,
+            },
+            MiddleboxClass {
+                name: "Transit router",
+                profile: VnicProfile::transit_router(),
+                session_memory_before: 330 << 20, // ≈330 MB
+                vnic_policy_cap: 1_000,
+            },
+        ]
+    }
+
+    /// One Table 3 row.
+    #[derive(Clone, Copy, Debug)]
+    pub struct GainRow {
+        /// Middlebox name.
+        pub name: &'static str,
+        /// CPS before Nezha.
+        pub cps_before: f64,
+        /// CPS after Nezha (VM-kernel or BE limited).
+        pub cps_after: f64,
+        /// CPS gain.
+        pub cps_gain: f64,
+        /// #vNIC gain.
+        pub vnic_gain: f64,
+        /// #concurrent-flows before.
+        pub flows_before: f64,
+        /// #concurrent-flows after.
+        pub flows_after: f64,
+        /// #concurrent-flows gain.
+        pub flows_gain: f64,
+    }
+
+    /// Computes Table 3 for the given host/VM configuration.
+    pub fn gains(host: &VSwitchConfig, vm: &VmConfig) -> Vec<GainRow> {
+        let m = host.memory;
+        classes()
+            .iter()
+            .map(|c| {
+                // --- CPS ---
+                // Before: the full slow path runs locally, per connection
+                // two first-packets (one per direction) + fast-path rest.
+                let vnic = nezha_vswitch::vnic::Vnic::new(
+                    nezha_types::VnicId(0),
+                    nezha_types::VpcId(0),
+                    nezha_types::Ipv4Addr::new(10, 0, 0, 1),
+                    c.profile,
+                    nezha_types::ServerId(0),
+                );
+                let per_conn_before = vnic.crr_cycles(&host.costs, 64);
+                let cps_before = host.capacity_hz() / per_conn_before as f64;
+                // After: BE residual work per connection (7-packet script).
+                let per_conn_be = host.costs.be_first_packet + 6 * host.costs.be_per_packet;
+                let be_cap = host.capacity_hz() / per_conn_be as f64;
+                let cps_after = be_cap.min(vm.kernel_cps_capacity());
+
+                // --- #vNICs ---
+                // Before: rule tables compete with the deployed session
+                // table for the networking memory pool.
+                let tables = vnic.table_memory(&m);
+                let before_vnics =
+                    (host.table_memory.saturating_sub(c.session_memory_before) / tables).max(1);
+                let after_vnics = (host.table_memory / m.be_metadata).min(c.vnic_policy_cap);
+
+                // --- #concurrent flows ---
+                let per_entry_before = (m.flow_entry + m.state_slab) as f64;
+                let flows_before = c.session_memory_before as f64 / per_entry_before;
+                // After: every rule table lives remotely and entries are
+                // state-only, so (nearly) the whole networking pool holds
+                // 64 B states (§6.3.1: "roughly 30M flows").
+                let session_budget_after = host.table_memory.saturating_sub(m.be_metadata) as f64;
+                let flows_after = session_budget_after / m.state_slab as f64;
+
+                GainRow {
+                    name: c.name,
+                    cps_before,
+                    cps_after,
+                    cps_gain: cps_after / cps_before,
+                    vnic_gain: after_vnics as f64 / before_vnics as f64,
+                    flows_before,
+                    flows_after,
+                    flows_gain: flows_after / flows_before,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> RegionConfig {
+        RegionConfig {
+            servers: 2_000,
+            epoch: SimDuration::from_secs(6 * 3600),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn utilization_cdf_matches_fig4_shape() {
+        let mut region = Region::new(small_cfg());
+        let mut report = region.run_days(2, false);
+        let (mean, _, p90, p99, _, _) = report.cpu_utils.summary();
+        // Fig. 4a envelope: avg ~5%, P90 ~15%, P99 ~41%.
+        assert!((0.02..0.10).contains(&mean), "cpu mean {mean}");
+        assert!((0.08..0.25).contains(&p90), "cpu p90 {p90}");
+        assert!((0.25..0.60).contains(&p99), "cpu p99 {p99}");
+        let mem_mean = report.mem_utils.mean();
+        assert!((0.005..0.04).contains(&mem_mean), "mem mean {mem_mean}");
+        // The extreme-imbalance headline: P9999 ≫ average.
+        let p9999 = report.cpu_utils.percentile(99.99);
+        assert!(p9999 / mean > 8.0, "imbalance ratio {}", p9999 / mean);
+    }
+
+    #[test]
+    fn nezha_mitigates_overloads_by_orders_of_magnitude() {
+        let cfg = RegionConfig {
+            spike_prob: 0.05,
+            ..small_cfg()
+        };
+        let mut r1 = Region::new(cfg);
+        let before = r1.run_days(5, false);
+        let mut r2 = Region::new(cfg);
+        let after = r2.run_days(5, true);
+        let (b_cps, b_flows, b_vnics) = before.totals();
+        let (a_cps, a_flows, a_vnics) = after.totals();
+        assert!(b_cps > 50, "need a meaningful baseline, got {b_cps}");
+        assert!(b_flows > 10);
+        assert!(b_vnics > 0);
+        // Fig. 13: >99.9% of CPS/flows overloads resolved; #vNICs 100%.
+        assert!(
+            (a_cps + a_flows) * 50 < b_cps + b_flows,
+            "mitigation too weak: {b_cps}+{b_flows} -> {a_cps}+{a_flows}"
+        );
+        assert_eq!(a_vnics, 0, "#vNIC overloads must vanish entirely");
+    }
+
+    #[test]
+    fn hotspot_cause_shares_match_fig3() {
+        let mut r = Region::new(RegionConfig {
+            servers: 4_000,
+            spike_prob: 0.05,
+            ..small_cfg()
+        });
+        let before = r.run_days(10, false);
+        let (c, f, v) = before.totals();
+        let total = (c + f + v) as f64;
+        assert!(total > 100.0);
+        let cs = c as f64 / total;
+        let fs = f as f64 / total;
+        let vs = v as f64 / total;
+        // Fig. 3: ≈61% / 30% / 9%.
+        assert!((0.45..0.75).contains(&cs), "cps share {cs}");
+        assert!((0.18..0.42).contains(&fs), "flows share {fs}");
+        assert!((0.02..0.20).contains(&vs), "vnic share {vs}");
+    }
+
+    #[test]
+    fn completion_times_match_table4_band() {
+        let mut r = Region::new(small_cfg());
+        let mut s = Samples::new();
+        for _ in 0..5_000 {
+            s.record_duration(r.sample_completion());
+        }
+        let (mean, _, p90, p99, _, _) = s.summary();
+        // Table 4: avg ≈1.08 s, P90 ≈1.50 s, P99 ≈2.09 s. Shape check.
+        assert!((0.6..1.6).contains(&mean), "mean {mean}");
+        assert!(p90 > mean && p99 > p90);
+        assert!((1.0..2.4).contains(&p90), "p90 {p90}");
+        assert!((1.2..3.5).contains(&p99), "p99 {p99}");
+    }
+
+    #[test]
+    fn table3_gains_match_paper_shape() {
+        let host = VSwitchConfig::middlebox_host();
+        let vm = VmConfig {
+            vcpus: 64,
+            per_core_cps: 90_000.0,
+            contention: 0.055,
+            ..Default::default()
+        };
+        let rows = middlebox::gains(&host, &vm);
+        let lb = &rows[0];
+        let nat = &rows[1];
+        let tr = &rows[2];
+        // Table 3 ordering: NAT > LB > TR on CPS gain; all 2.5-5.5x.
+        assert!(nat.cps_gain > lb.cps_gain && lb.cps_gain > tr.cps_gain);
+        for r in &rows {
+            assert!(
+                (2.5..5.5).contains(&r.cps_gain),
+                "{} cps gain {}",
+                r.name,
+                r.cps_gain
+            );
+            assert!(r.vnic_gain > 40.0, "{} vnic gain {}", r.name, r.vnic_gain);
+        }
+        // Flows: NAT ≫ TR ≫ LB (50.4 / 15.3 / 5.04).
+        assert!(nat.flows_gain > tr.flows_gain && tr.flows_gain > lb.flows_gain);
+        assert!(
+            (3.0..8.0).contains(&lb.flows_gain),
+            "lb flows {}",
+            lb.flows_gain
+        );
+        assert!(
+            (30.0..70.0).contains(&nat.flows_gain),
+            "nat flows {}",
+            nat.flows_gain
+        );
+        assert!(
+            (10.0..25.0).contains(&tr.flows_gain),
+            "tr flows {}",
+            tr.flows_gain
+        );
+    }
+
+    #[test]
+    fn appendix_b2_scale_out_rate_is_small() {
+        let mut r = Region::new(RegionConfig {
+            servers: 5_000,
+            spike_prob: 0.004,
+            ..small_cfg()
+        });
+        let report = r.run_days(30, true);
+        assert!(
+            report.offload_events > 50,
+            "events {}",
+            report.offload_events
+        );
+        // Appendix B.2: ≈4 FEs per offload, ≤ a few % scale-outs.
+        let per_offload = report.total_fes_provisioned as f64 / report.offload_events as f64;
+        assert!(
+            (4.0..4.5).contains(&per_offload),
+            "FEs/offload {per_offload}"
+        );
+        let ratio = report.scale_out_events as f64 / report.offload_events as f64;
+        assert!(ratio < 0.10, "scale-out ratio {ratio}");
+    }
+}

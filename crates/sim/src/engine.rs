@@ -1,0 +1,264 @@
+//! The discrete-event engine: a time-ordered queue of user-defined events.
+//!
+//! Determinism contract: two events scheduled for the same instant are
+//! delivered in the order they were *scheduled* (stable FIFO tie-break via
+//! a monotone sequence number). Combined with the seeded [`crate::SimRng`],
+//! a run is a pure function of its inputs — a property every experiment
+//! harness and regression test in this repository relies on.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// An event with its due time and stable tie-break sequence.
+#[derive(Clone, Debug)]
+pub struct Scheduled<E> {
+    /// When the event fires.
+    pub at: SimTime,
+    seq: u64,
+    /// The user event payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest time (then lowest
+        // sequence number) pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The event engine: a clock plus a priority queue of [`Scheduled`] events.
+///
+/// The engine does not interpret events; callers drive the loop:
+///
+/// ```
+/// use nezha_sim::{Engine, SimDuration, SimTime};
+///
+/// #[derive(Debug)]
+/// enum Ev { Ping, Pong }
+///
+/// let mut eng = Engine::new();
+/// eng.schedule_in(SimDuration::from_millis(1), Ev::Ping);
+/// while let Some(s) = eng.pop() {
+///     match s.event {
+///         Ev::Ping if s.at < SimTime(10_000_000) => {
+///             eng.schedule_in(SimDuration::from_millis(1), Ev::Pong);
+///         }
+///         _ => {}
+///     }
+/// }
+/// assert!(eng.now() >= SimTime(2_000_000));
+/// ```
+pub struct Engine<E> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<E>>,
+    processed: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine at time zero with an empty queue.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            processed: 0,
+        }
+    }
+
+    /// The current simulated time (the due time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` at absolute time `at`. Times before `now` are
+    /// clamped to `now` — the simulator never travels backwards.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { at, seq, event });
+    }
+
+    /// Schedules `event` after `delay` from the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Pops the next event, advancing the clock to its due time.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        let s = self.queue.pop()?;
+        debug_assert!(s.at >= self.now, "event queue went backwards");
+        self.now = s.at;
+        self.processed += 1;
+        Some(s)
+    }
+
+    /// Pops the next event only if it is due at or before `deadline`.
+    ///
+    /// Used by harnesses that interleave simulation with periodic sampling:
+    /// the clock advances to `deadline` when the queue has nothing earlier.
+    pub fn pop_until(&mut self, deadline: SimTime) -> Option<Scheduled<E>> {
+        match self.queue.peek() {
+            Some(s) if s.at <= deadline => self.pop(),
+            _ => {
+                self.now = self.now.max(deadline);
+                None
+            }
+        }
+    }
+
+    /// Due time of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|s| s.at)
+    }
+
+    /// Drops all pending events (used when tearing down a scenario).
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+}
+
+impl<E> fmt::Debug for Engine<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("processed", &self.processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime(30), "c");
+        eng.schedule_at(SimTime(10), "a");
+        eng.schedule_at(SimTime(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| eng.pop()).map(|s| s.event).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(eng.now(), SimTime(30));
+        assert_eq!(eng.processed(), 3);
+    }
+
+    #[test]
+    fn same_time_events_are_fifo() {
+        let mut eng = Engine::new();
+        for i in 0..100 {
+            eng.schedule_at(SimTime(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| eng.pop()).map(|s| s.event).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime(100), ());
+        eng.pop();
+        eng.schedule_at(SimTime(50), ()); // in the past
+        let s = eng.pop().unwrap();
+        assert_eq!(s.at, SimTime(100));
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime(1000), "first");
+        eng.pop();
+        eng.schedule_in(SimDuration::from_nanos(5), "second");
+        assert_eq!(eng.pop().unwrap().at, SimTime(1005));
+    }
+
+    #[test]
+    fn pop_until_respects_deadline_and_advances_clock() {
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime(10), "early");
+        eng.schedule_at(SimTime(100), "late");
+        assert_eq!(eng.pop_until(SimTime(50)).unwrap().event, "early");
+        assert!(eng.pop_until(SimTime(50)).is_none());
+        // Clock advanced to the deadline even though nothing popped.
+        assert_eq!(eng.now(), SimTime(50));
+        assert_eq!(eng.pop().unwrap().event, "late");
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime(1), ());
+        eng.schedule_at(SimTime(2), ());
+        assert_eq!(eng.pending(), 2);
+        eng.clear();
+        assert_eq!(eng.pending(), 0);
+        assert!(eng.pop().is_none());
+    }
+
+    #[test]
+    fn peek_time_reports_next_due() {
+        let mut eng = Engine::new();
+        assert_eq!(eng.peek_time(), None);
+        eng.schedule_at(SimTime(42), ());
+        assert_eq!(eng.peek_time(), Some(SimTime(42)));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_is_deterministic() {
+        // Two identical runs must produce identical event orders.
+        let run = || {
+            let mut eng = Engine::new();
+            let mut order = Vec::new();
+            eng.schedule_at(SimTime(1), 0u32);
+            while let Some(s) = eng.pop() {
+                order.push((s.at, s.event));
+                if s.event < 20 {
+                    eng.schedule_in(SimDuration::from_nanos(s.event as u64 % 3), s.event + 1);
+                    eng.schedule_in(SimDuration::from_nanos(s.event as u64 % 3), s.event + 2);
+                }
+                if order.len() > 2000 {
+                    break;
+                }
+            }
+            order
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,42 @@
+//! # nezha-sim
+//!
+//! A deterministic discrete-event simulator substrate for the Nezha
+//! reproduction. The paper's testbed is hundreds of servers with in-house
+//! CPU+FPGA SmartNICs; this crate replaces that hardware with explicit,
+//! calibrated models:
+//!
+//! * [`time`] — nanosecond simulated clock ([`SimTime`], [`SimDuration`]);
+//! * [`engine`] — a generic event queue with stable FIFO tie-breaking, so
+//!   every run with the same seed replays identically;
+//! * [`rng`] — seeded RNG plus the heavy-tailed samplers (exponential,
+//!   log-normal, bounded Pareto) the workload models need;
+//! * [`resources`] — the SmartNIC resource models: a fluid multi-core
+//!   [`CpuServer`] with bounded backlog (overload ⇒ queueing ⇒ drops, which
+//!   is exactly the mechanism behind the paper's Fig. 12 latency explosion)
+//!   and a byte-accounted [`MemoryPool`];
+//! * [`topology`] — a three-tier (ToR / aggregation / core) datacenter
+//!   fabric giving deterministic hop counts and propagation+serialization
+//!   latency between servers;
+//! * [`stats`] — exact-percentile sample sets, counters, and time series
+//!   used by every experiment harness.
+//!
+//! The engine is intentionally *generic over the event type*: higher layers
+//! (`nezha-core`, the experiment harnesses) define their own event enums and
+//! drive the loop, keeping all domain logic out of the substrate.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod engine;
+pub mod resources;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod topology;
+
+pub use engine::{Engine, Scheduled};
+pub use resources::{CpuOutcome, CpuServer, MemoryPool, UtilizationWindow};
+pub use rng::SimRng;
+pub use stats::{Counter, Samples, TimeSeries};
+pub use time::{SimDuration, SimTime};
+pub use topology::{Topology, TopologyConfig};

@@ -1,0 +1,224 @@
+//! Seeded randomness and the distribution samplers the workload models use.
+//!
+//! Everything random in the simulator flows through [`SimRng`], which wraps
+//! a seeded `SmallRng`. The heavy-tailed samplers (log-normal, bounded
+//! Pareto) are implemented from first principles so we need nothing beyond
+//! the `rand` crate itself; they are exactly what the tenant-population
+//! model needs to reproduce the paper's extreme skew (Fig. 4 / Table 1:
+//! P9999 utilization ~20–64× the average).
+
+use crate::time::SimDuration;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// A deterministic random source.
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl fmt::Debug for SimRng {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimRng").finish_non_exhaustive()
+    }
+}
+
+impl SimRng {
+    /// Creates an RNG from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child RNG; used to give each component its
+    /// own stream so adding randomness in one place never perturbs another.
+    pub fn fork(&mut self, label: u64) -> SimRng {
+        let s = self.inner.gen::<u64>() ^ label.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        SimRng::new(s)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform choice of an index in `[0, n)`. Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0,1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Exponentially distributed value with the given mean.
+    ///
+    /// Inter-arrival times of a Poisson process — the natural model for
+    /// new-connection arrivals in the CPS workloads.
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        // Inverse CDF; guard the log away from 0.
+        let u = self.f64().max(1e-300);
+        -mean * u.ln()
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn normal(&mut self) -> f64 {
+        let u1 = self.f64().max(1e-300);
+        let u2 = self.f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Log-normal with the given parameters of the underlying normal.
+    ///
+    /// `mu`/`sigma` are the mean and stddev of `ln X`. Log-normals are the
+    /// workhorse for resource-demand skew and config-push latencies.
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.normal()).exp()
+    }
+
+    /// Bounded Pareto on `[lo, hi]` with tail index `alpha`.
+    ///
+    /// Heavy-tailed demand with a hard cap: most samples near `lo`, rare
+    /// samples orders of magnitude larger — the Fig. 4 shape.
+    pub fn bounded_pareto(&mut self, alpha: f64, lo: f64, hi: f64) -> f64 {
+        assert!(alpha > 0.0 && lo > 0.0 && hi > lo);
+        let u = self.f64();
+        let la = lo.powf(alpha);
+        let ha = hi.powf(alpha);
+        // Inverse CDF of the bounded Pareto.
+        (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha)
+    }
+
+    /// An exponentially distributed duration with the given mean.
+    pub fn exp_duration(&mut self, mean: SimDuration) -> SimDuration {
+        SimDuration::from_secs_f64(self.exp(mean.as_secs_f64()))
+    }
+
+    /// A log-normal duration specified by its *median* and the sigma of the
+    /// underlying normal (median · e^{σZ}); convenient for modelling config
+    /// push latencies where the paper reports medians and tail percentiles.
+    pub fn lognormal_duration(&mut self, median: SimDuration, sigma: f64) -> SimDuration {
+        SimDuration::from_secs_f64(median.as_secs_f64() * (sigma * self.normal()).exp())
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.f64().to_bits(), b.f64().to_bits());
+        }
+    }
+
+    #[test]
+    fn forked_streams_are_independent_but_deterministic() {
+        let mut root1 = SimRng::new(7);
+        let mut root2 = SimRng::new(7);
+        let mut c1 = root1.fork(1);
+        let mut c2 = root2.fork(1);
+        assert_eq!(c1.range(0, 1000), c2.range(0, 1000));
+        let mut d = root1.fork(2);
+        // Different labels after identical fork histories diverge (with
+        // overwhelming probability for any reasonable sample count).
+        let same = (0..32).all(|_| c1.f64().to_bits() == d.f64().to_bits());
+        assert!(!same);
+    }
+
+    #[test]
+    fn exp_mean_is_right() {
+        let mut rng = SimRng::new(1);
+        let n = 40_000;
+        let mean: f64 = (0..n).map(|_| rng.exp(5.0)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.15, "mean={mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = SimRng::new(2);
+        let n = 40_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.1, "var={var}");
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let mut rng = SimRng::new(3);
+        let n = 20_001;
+        let mut samples: Vec<f64> = (0..n).map(|_| rng.lognormal(2.0, 1.0)).collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[n / 2];
+        // Median of lognormal is e^mu.
+        assert!(
+            (median - 2.0f64.exp()).abs() / 2.0f64.exp() < 0.1,
+            "median={median}"
+        );
+    }
+
+    #[test]
+    fn bounded_pareto_respects_bounds_and_skew() {
+        let mut rng = SimRng::new(4);
+        let (lo, hi) = (1.0, 1000.0);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.bounded_pareto(1.2, lo, hi)).collect();
+        assert!(samples.iter().all(|&x| (lo..=hi).contains(&x)));
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let p50 = sorted[n / 2];
+        let p9999 = sorted[n - 2];
+        // Extreme skew: top sample far above the median.
+        assert!(p9999 / p50 > 50.0, "p50={p50} p9999={p9999}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::new(5);
+        assert!((0..100).all(|_| rng.chance(1.1)));
+        assert!((0..100).all(|_| !rng.chance(-0.5)));
+    }
+
+    #[test]
+    fn durations_are_nonnegative_and_scaled() {
+        let mut rng = SimRng::new(6);
+        let mean = SimDuration::from_millis(100);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| rng.exp_duration(mean).as_secs_f64()).sum();
+        assert!((total / n as f64 - 0.1).abs() < 0.005);
+        let med = SimDuration::from_millis(200);
+        let d = rng.lognormal_duration(med, 0.3);
+        assert!(d.nanos() > 0);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::new(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "astronomically unlikely");
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests of the simulation substrate: event ordering, CPU-server
+//! conservation laws, utilization-window behaviour, and topology metrics.
+
+use nezha_sim::engine::Engine;
+use nezha_sim::resources::{CpuServer, MemoryPool, UtilizationWindow};
+use nezha_sim::time::{SimDuration, SimTime};
+use nezha_sim::topology::{Topology, TopologyConfig};
+use nezha_types::ServerId;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Pops are globally ordered by (time, schedule sequence), regardless
+    /// of insertion order.
+    #[test]
+    fn engine_pops_in_order(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut eng = Engine::new();
+        for (i, &t) in times.iter().enumerate() {
+            eng.schedule_at(SimTime(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        let mut popped = 0;
+        while let Some(s) = eng.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(s.at > lt || (s.at == lt && s.event > li));
+            }
+            last = Some((s.at, s.event));
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// The CPU server never drops while the backlog bound is respected,
+    /// accepted+dropped equals offered, and completion times are
+    /// monotone in offer order.
+    #[test]
+    fn cpu_server_conservation(
+        jobs in prop::collection::vec((0u64..4_000_000, 1u64..200_000), 1..200),
+    ) {
+        let mut cpu = CpuServer::new(2, 1_000_000_000, SimDuration::from_millis(2));
+        let mut t = SimTime(0);
+        let mut last_done: Option<SimTime> = None;
+        let mut accepted = 0u64;
+        let mut dropped = 0u64;
+        for (gap, cycles) in jobs.iter() {
+            t += SimDuration(*gap);
+            match cpu.offer(t, *cycles) {
+                nezha_sim::resources::CpuOutcome::Done { done_at } => {
+                    prop_assert!(done_at >= t);
+                    if let Some(ld) = last_done {
+                        prop_assert!(done_at >= ld, "FIFO service order violated");
+                    }
+                    last_done = Some(done_at);
+                    accepted += 1;
+                }
+                nezha_sim::resources::CpuOutcome::Dropped => {
+                    // Drops only under a genuinely deep backlog.
+                    prop_assert!(cpu.queue_delay(t) > SimDuration::from_millis(2));
+                    dropped += 1;
+                }
+            }
+        }
+        prop_assert_eq!(cpu.counters(), (accepted, dropped));
+        prop_assert_eq!(accepted + dropped, jobs.len() as u64);
+    }
+
+    /// Memory pool: any alloc/free sequence that the pool accepts keeps
+    /// `used + available == capacity` and `used <= peak <= capacity`.
+    #[test]
+    fn memory_pool_invariants(ops in prop::collection::vec((prop::bool::ANY, 1u64..5_000), 1..200)) {
+        let mut pool = MemoryPool::new(100_000);
+        let mut ledger: Vec<u64> = Vec::new();
+        for (is_alloc, size) in ops {
+            if is_alloc {
+                if pool.alloc(size).is_ok() {
+                    ledger.push(size);
+                }
+            } else if let Some(sz) = ledger.pop() {
+                pool.free(sz);
+            }
+            prop_assert_eq!(pool.used() + pool.available(), pool.capacity());
+            prop_assert_eq!(pool.used(), ledger.iter().sum::<u64>());
+            prop_assert!(pool.peak() >= pool.used());
+            prop_assert!(pool.peak() <= pool.capacity());
+        }
+    }
+
+    /// Utilization windows never report more work than was added, and
+    /// report zero once a full window has passed since the last add.
+    #[test]
+    fn window_bounds(adds in prop::collection::vec((0u64..50_000_000, 0.0f64..100.0), 1..100)) {
+        let mut w = UtilizationWindow::new(SimDuration::from_millis(10));
+        let mut t = SimTime(0);
+        let mut total = 0.0;
+        for (gap, amt) in adds {
+            t += SimDuration(gap);
+            w.add(t, amt);
+            total += amt;
+            let s = w.sum(t);
+            prop_assert!(s <= total + 1e-9, "window {s} exceeds all work {total}");
+            prop_assert!(s >= 0.0);
+        }
+        prop_assert_eq!(w.sum(t + SimDuration::from_millis(11)), 0.0);
+    }
+
+    /// Topology: hop counts are symmetric, zero iff same server, and
+    /// latency is monotone in both hops and bytes.
+    #[test]
+    fn topology_metrics(a in 0u32..256, b in 0u32..256, bytes in 0usize..10_000) {
+        let topo = Topology::new(TopologyConfig {
+            servers_per_rack: 8,
+            racks_per_pod: 4,
+            pods: 8,
+            ..TopologyConfig::default()
+        });
+        let (a, b) = (ServerId(a), ServerId(b));
+        prop_assert_eq!(topo.hops(a, b), topo.hops(b, a));
+        prop_assert_eq!(topo.hops(a, b) == 0, a == b);
+        prop_assert!(topo.latency(a, b, bytes + 1) >= topo.latency(a, b, bytes));
+        if a != b {
+            prop_assert!(topo.latency(a, b, bytes) >= topo.latency(a, a, bytes));
+        }
+        // Rack peers really share the rack.
+        for p in topo.rack_peers(a) {
+            prop_assert!(topo.same_rack(a, p));
+            prop_assert_eq!(topo.hops(a, p), 2);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Error types for wire-format encoding and decoding.
+
+use std::fmt;
+
+/// Result alias for codec operations.
+pub type CodecResult<T> = Result<T, CodecError>;
+
+/// Errors raised while parsing or serializing packet headers.
+///
+/// The decoder is strict in the smoltcp spirit: malformed input is rejected
+/// with a precise reason rather than silently coerced, because a production
+/// vSwitch must never act on a header it did not fully understand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input buffer ended before the fixed-size header was complete.
+    Truncated {
+        /// Header that was being parsed.
+        what: &'static str,
+        /// Bytes required by the header.
+        need: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// A version / magic / type field held an unsupported value.
+    BadField {
+        /// Header that was being parsed.
+        what: &'static str,
+        /// Field that failed validation.
+        field: &'static str,
+        /// The offending value, widened to u64 for display.
+        value: u64,
+    },
+    /// A checksum did not verify.
+    BadChecksum {
+        /// Header whose checksum failed.
+        what: &'static str,
+        /// Checksum carried in the packet.
+        got: u16,
+        /// Checksum computed over the received bytes.
+        want: u16,
+    },
+    /// A length field is inconsistent with the buffer.
+    BadLength {
+        /// Header that was being parsed.
+        what: &'static str,
+        /// Length claimed by the header.
+        claimed: usize,
+        /// Length actually available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { what, need, have } => {
+                write!(f, "{what}: truncated (need {need} bytes, have {have})")
+            }
+            CodecError::BadField { what, field, value } => {
+                write!(f, "{what}: unsupported {field} value {value:#x}")
+            }
+            CodecError::BadChecksum { what, got, want } => {
+                write!(
+                    f,
+                    "{what}: checksum mismatch (got {got:#06x}, want {want:#06x})"
+                )
+            }
+            CodecError::BadLength {
+                what,
+                claimed,
+                available,
+            } => {
+                write!(
+                    f,
+                    "{what}: length field {claimed} exceeds available {available}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_precise() {
+        let e = CodecError::Truncated {
+            what: "ipv4",
+            need: 20,
+            have: 7,
+        };
+        assert_eq!(e.to_string(), "ipv4: truncated (need 20 bytes, have 7)");
+
+        let e = CodecError::BadChecksum {
+            what: "ipv4",
+            got: 0x1234,
+            want: 0xabcd,
+        };
+        assert!(e.to_string().contains("0x1234"));
+        assert!(e.to_string().contains("0xabcd"));
+
+        let e = CodecError::BadField {
+            what: "nezha",
+            field: "magic",
+            value: 0xff,
+        };
+        assert!(e.to_string().contains("magic"));
+
+        let e = CodecError::BadLength {
+            what: "udp",
+            claimed: 100,
+            available: 8,
+        };
+        assert!(e.to_string().contains("100"));
+    }
+}

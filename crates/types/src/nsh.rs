@@ -1,0 +1,471 @@
+//! The **Nezha Service Header** — the outer header that carries processing
+//! inputs between a vNIC backend (BE) and its frontends (FEs).
+//!
+//! Because Nezha stores rules/flows (FE) and state (BE) in different
+//! places, "Nezha uses packets to carry the information from one end to
+//! the other, bringing the inputs together for processing" (paper §3.2.1).
+//! The paper piggybacks on an NSH-like encapsulation [RFC 8300]; we define
+//! a concrete binary layout with the same roles:
+//!
+//! * **TX carry** (BE → FE): the session state the FE needs — first-packet
+//!   direction and, under stateful decap, the recorded overlay address the
+//!   FE must encapsulate toward (§5.2).
+//! * **RX carry** (FE → BE): the queried pre-actions for both directions,
+//!   plus information the BE needs to initialize/update state that would
+//!   otherwise be lost after FE processing (e.g. the original overlay
+//!   source for stateful decap), plus any rule-table-involved state such
+//!   as the statistics policy (§3.2.2 — "we encapsulate the state into the
+//!   outer header of the packet instead of using a separate notify packet").
+//! * **Notify** (FE → BE, standalone): rule-table-involved state updates on
+//!   the TX path, generated only when a cached-flow miss produced state
+//!   that differs from what the packet carried (§3.2.2).
+//! * **Health probe / reply**: the centralized monitor's ping polling and
+//!   the BE↔FE mutual ping (§4.4, Appendix C).
+//!
+//! Wire layout (network byte order):
+//!
+//! ```text
+//!  0      2      3      4        8        12      13
+//!  | magic | ver  | kind | vnic   | vpc     | flags | ... optional fields |
+//! ```
+//!
+//! Optional fields appear in a fixed order when their flag bit is set:
+//! first-dir (in flags), decap address (4 B), stats policy (1 B),
+//! pre-action pair (2 × 12 B).
+
+use crate::action::{Decision, PreAction, PreActionPair};
+use crate::addr::{Ipv4Addr, ServerId, VnicId, VpcId};
+use crate::error::{CodecError, CodecResult};
+use crate::flow::Direction;
+use bytes::BufMut;
+use serde::{Deserialize, Serialize};
+
+/// Magic bytes "NZ" identifying a Nezha service header.
+pub const NEZHA_MAGIC: u16 = 0x4e5a;
+/// Current header version.
+pub const NEZHA_VERSION: u8 = 1;
+
+/// What role this Nezha-encapsulated packet plays.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum NezhaPayloadKind {
+    /// Egress data packet BE→FE, carrying local state outward.
+    TxCarry = 0,
+    /// Ingress data packet FE→BE, carrying pre-actions inward.
+    RxCarry = 1,
+    /// Standalone notify packet FE→BE for rule-table-involved state.
+    Notify = 2,
+    /// Health-check probe (monitor→vSwitch or BE↔FE mutual ping).
+    HealthProbe = 3,
+    /// Health-check reply.
+    HealthReply = 4,
+}
+
+impl NezhaPayloadKind {
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(NezhaPayloadKind::TxCarry),
+            1 => Some(NezhaPayloadKind::RxCarry),
+            2 => Some(NezhaPayloadKind::Notify),
+            3 => Some(NezhaPayloadKind::HealthProbe),
+            4 => Some(NezhaPayloadKind::HealthReply),
+            _ => None,
+        }
+    }
+}
+
+// Flag bits.
+const F_HAS_FIRST_DIR: u8 = 0x01;
+const F_FIRST_DIR_TX: u8 = 0x02;
+const F_HAS_DECAP: u8 = 0x04;
+const F_HAS_STATS_POLICY: u8 = 0x08;
+const F_HAS_PRE_ACTIONS: u8 = 0x10;
+
+/// The decoded Nezha service header.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct NezhaHeader {
+    /// Packet role.
+    pub kind: NezhaPayloadKind,
+    /// vNIC this packet belongs to (selects rule tables at the FE and the
+    /// state partition at the BE).
+    pub vnic: VnicId,
+    /// Tenant VPC.
+    pub vpc: VpcId,
+    /// Carried first-packet direction (TX carry: the BE's recorded state;
+    /// also echoed on RX carry so the BE can skip a state write when its
+    /// state already matches).
+    pub first_dir: Option<Direction>,
+    /// Carried stateful-decap address. On TX carry: the state's recorded
+    /// LB address the FE must encapsulate toward. On RX carry: the original
+    /// overlay source the BE must record, which FE processing would
+    /// otherwise destroy (§3.2.2 "rule table not involved").
+    pub decap_addr: Option<Ipv4Addr>,
+    /// Carried statistics policy — rule-table-involved state (§3.2.2).
+    pub stats_policy: Option<u8>,
+    /// Carried pre-actions (RX carry only).
+    pub pre_actions: Option<PreActionPair>,
+}
+
+impl NezhaHeader {
+    /// Fixed portion size in bytes.
+    pub const FIXED_LEN: usize = 13;
+    /// Encoded size of one [`PreAction`].
+    pub const PRE_ACTION_LEN: usize = 16;
+
+    /// A bare header of the given kind with no optional fields.
+    pub const fn bare(kind: NezhaPayloadKind, vnic: VnicId, vpc: VpcId) -> Self {
+        NezhaHeader {
+            kind,
+            vnic,
+            vpc,
+            first_dir: None,
+            decap_addr: None,
+            stats_policy: None,
+            pre_actions: None,
+        }
+    }
+
+    /// Encoded size of this header with its optional fields.
+    pub fn wire_len(&self) -> usize {
+        let mut n = Self::FIXED_LEN;
+        if self.decap_addr.is_some() {
+            n += 4;
+        }
+        if self.stats_policy.is_some() {
+            n += 1;
+        }
+        if self.pre_actions.is_some() {
+            n += 2 * Self::PRE_ACTION_LEN;
+        }
+        n
+    }
+
+    /// Serializes the header.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u16(NEZHA_MAGIC);
+        buf.put_u8(NEZHA_VERSION);
+        buf.put_u8(self.kind as u8);
+        buf.put_u32(self.vnic.0);
+        buf.put_u32(self.vpc.0);
+        let mut flags = 0u8;
+        if let Some(d) = self.first_dir {
+            flags |= F_HAS_FIRST_DIR;
+            if d == Direction::Tx {
+                flags |= F_FIRST_DIR_TX;
+            }
+        }
+        if self.decap_addr.is_some() {
+            flags |= F_HAS_DECAP;
+        }
+        if self.stats_policy.is_some() {
+            flags |= F_HAS_STATS_POLICY;
+        }
+        if self.pre_actions.is_some() {
+            flags |= F_HAS_PRE_ACTIONS;
+        }
+        buf.put_u8(flags);
+        if let Some(a) = self.decap_addr {
+            buf.put_slice(&a.octets());
+        }
+        if let Some(p) = self.stats_policy {
+            buf.put_u8(p);
+        }
+        if let Some(pp) = &self.pre_actions {
+            encode_pre_action(&pp.tx, buf);
+            encode_pre_action(&pp.rx, buf);
+        }
+    }
+
+    /// Parses and validates a header, returning it and the bytes consumed.
+    pub fn decode(data: &[u8]) -> CodecResult<(Self, usize)> {
+        if data.len() < Self::FIXED_LEN {
+            return Err(CodecError::Truncated {
+                what: "nezha",
+                need: Self::FIXED_LEN,
+                have: data.len(),
+            });
+        }
+        let magic = u16::from_be_bytes([data[0], data[1]]);
+        if magic != NEZHA_MAGIC {
+            return Err(CodecError::BadField {
+                what: "nezha",
+                field: "magic",
+                value: magic as u64,
+            });
+        }
+        if data[2] != NEZHA_VERSION {
+            return Err(CodecError::BadField {
+                what: "nezha",
+                field: "version",
+                value: data[2] as u64,
+            });
+        }
+        let kind = NezhaPayloadKind::from_u8(data[3]).ok_or(CodecError::BadField {
+            what: "nezha",
+            field: "kind",
+            value: data[3] as u64,
+        })?;
+        let vnic = VnicId(u32::from_be_bytes([data[4], data[5], data[6], data[7]]));
+        let vpc = VpcId(u32::from_be_bytes([data[8], data[9], data[10], data[11]]));
+        let flags = data[12];
+        let mut off = Self::FIXED_LEN;
+
+        let first_dir = if flags & F_HAS_FIRST_DIR != 0 {
+            Some(if flags & F_FIRST_DIR_TX != 0 {
+                Direction::Tx
+            } else {
+                Direction::Rx
+            })
+        } else {
+            None
+        };
+
+        let decap_addr = if flags & F_HAS_DECAP != 0 {
+            if data.len() < off + 4 {
+                return Err(CodecError::Truncated {
+                    what: "nezha",
+                    need: off + 4,
+                    have: data.len(),
+                });
+            }
+            let a = Ipv4Addr::from_octets([data[off], data[off + 1], data[off + 2], data[off + 3]]);
+            off += 4;
+            Some(a)
+        } else {
+            None
+        };
+
+        let stats_policy = if flags & F_HAS_STATS_POLICY != 0 {
+            if data.len() < off + 1 {
+                return Err(CodecError::Truncated {
+                    what: "nezha",
+                    need: off + 1,
+                    have: data.len(),
+                });
+            }
+            let p = data[off];
+            off += 1;
+            Some(p)
+        } else {
+            None
+        };
+
+        let pre_actions = if flags & F_HAS_PRE_ACTIONS != 0 {
+            if data.len() < off + 2 * Self::PRE_ACTION_LEN {
+                return Err(CodecError::Truncated {
+                    what: "nezha",
+                    need: off + 2 * Self::PRE_ACTION_LEN,
+                    have: data.len(),
+                });
+            }
+            let tx = decode_pre_action(&data[off..off + Self::PRE_ACTION_LEN])?;
+            off += Self::PRE_ACTION_LEN;
+            let rx = decode_pre_action(&data[off..off + Self::PRE_ACTION_LEN])?;
+            off += Self::PRE_ACTION_LEN;
+            Some(PreActionPair { tx, rx })
+        } else {
+            None
+        };
+
+        Ok((
+            NezhaHeader {
+                kind,
+                vnic,
+                vpc,
+                first_dir,
+                decap_addr,
+                stats_policy,
+                pre_actions,
+            },
+            off,
+        ))
+    }
+}
+
+// Per-pre-action flag bits.
+const PA_ACCEPT: u8 = 0x01;
+const PA_STATEFUL_ACL: u8 = 0x02;
+const PA_HAS_NEXT_HOP: u8 = 0x04;
+const PA_HAS_NAT: u8 = 0x08;
+const PA_STATEFUL_DECAP: u8 = 0x10;
+const PA_HAS_MIRROR: u8 = 0x20;
+
+fn encode_pre_action<B: BufMut>(p: &PreAction, buf: &mut B) {
+    let mut flags = 0u8;
+    if p.verdict.is_accept() {
+        flags |= PA_ACCEPT;
+    }
+    if p.stateful_acl {
+        flags |= PA_STATEFUL_ACL;
+    }
+    if p.next_hop.is_some() {
+        flags |= PA_HAS_NEXT_HOP;
+    }
+    if p.nat_rewrite.is_some() {
+        flags |= PA_HAS_NAT;
+    }
+    if p.stateful_decap {
+        flags |= PA_STATEFUL_DECAP;
+    }
+    if p.mirror_to.is_some() {
+        flags |= PA_HAS_MIRROR;
+    }
+    buf.put_u8(flags);
+    buf.put_u32(p.next_hop.map_or(0, |s| s.0));
+    buf.put_u32(p.nat_rewrite.map_or(0, |a| a.0));
+    buf.put_u8(p.qos_class);
+    buf.put_u8(p.stats_policy);
+    buf.put_u32(p.mirror_to.map_or(0, |a| a.0));
+    buf.put_u8(0); // pad to 16
+}
+
+fn decode_pre_action(data: &[u8]) -> CodecResult<PreAction> {
+    debug_assert!(data.len() >= NezhaHeader::PRE_ACTION_LEN);
+    let flags = data[0];
+    let next_hop_raw = u32::from_be_bytes([data[1], data[2], data[3], data[4]]);
+    let nat_raw = u32::from_be_bytes([data[5], data[6], data[7], data[8]]);
+    let mirror_raw = u32::from_be_bytes([data[11], data[12], data[13], data[14]]);
+    Ok(PreAction {
+        verdict: if flags & PA_ACCEPT != 0 {
+            Decision::Accept
+        } else {
+            Decision::Drop
+        },
+        stateful_acl: flags & PA_STATEFUL_ACL != 0,
+        next_hop: (flags & PA_HAS_NEXT_HOP != 0).then_some(ServerId(next_hop_raw)),
+        nat_rewrite: (flags & PA_HAS_NAT != 0).then_some(Ipv4Addr(nat_raw)),
+        stateful_decap: flags & PA_STATEFUL_DECAP != 0,
+        qos_class: data[9],
+        stats_policy: data[10],
+        mirror_to: (flags & PA_HAS_MIRROR != 0).then_some(Ipv4Addr(mirror_raw)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    fn full_header() -> NezhaHeader {
+        NezhaHeader {
+            kind: NezhaPayloadKind::RxCarry,
+            vnic: VnicId(42),
+            vpc: VpcId(7),
+            first_dir: Some(Direction::Tx),
+            decap_addr: Some(Ipv4Addr::new(100, 64, 3, 4)),
+            stats_policy: Some(5),
+            pre_actions: Some(PreActionPair {
+                tx: PreAction {
+                    verdict: Decision::Accept,
+                    stateful_acl: true,
+                    next_hop: Some(ServerId(12)),
+                    nat_rewrite: Some(Ipv4Addr::new(100, 64, 0, 9)),
+                    stateful_decap: true,
+                    qos_class: 2,
+                    stats_policy: 5,
+                    mirror_to: Some(Ipv4Addr::new(172, 16, 9, 9)),
+                },
+                rx: PreAction::drop(),
+            }),
+        }
+    }
+
+    #[test]
+    fn full_round_trip() {
+        let h = full_header();
+        let mut buf = BytesMut::new();
+        h.encode(&mut buf);
+        assert_eq!(buf.len(), h.wire_len());
+        let (d, n) = NezhaHeader::decode(&buf).unwrap();
+        assert_eq!(d, h);
+        assert_eq!(n, h.wire_len());
+    }
+
+    #[test]
+    fn bare_round_trip_every_kind() {
+        for kind in [
+            NezhaPayloadKind::TxCarry,
+            NezhaPayloadKind::RxCarry,
+            NezhaPayloadKind::Notify,
+            NezhaPayloadKind::HealthProbe,
+            NezhaPayloadKind::HealthReply,
+        ] {
+            let h = NezhaHeader::bare(kind, VnicId(1), VpcId(2));
+            let mut buf = BytesMut::new();
+            h.encode(&mut buf);
+            assert_eq!(buf.len(), NezhaHeader::FIXED_LEN);
+            let (d, _) = NezhaHeader::decode(&buf).unwrap();
+            assert_eq!(d, h);
+        }
+    }
+
+    #[test]
+    fn first_dir_both_values_round_trip() {
+        for dir in [Direction::Tx, Direction::Rx] {
+            let mut h = NezhaHeader::bare(NezhaPayloadKind::TxCarry, VnicId(1), VpcId(1));
+            h.first_dir = Some(dir);
+            let mut buf = BytesMut::new();
+            h.encode(&mut buf);
+            let (d, _) = NezhaHeader::decode(&buf).unwrap();
+            assert_eq!(d.first_dir, Some(dir));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_kind() {
+        let h = NezhaHeader::bare(NezhaPayloadKind::Notify, VnicId(1), VpcId(1));
+        let mut buf = BytesMut::new();
+        h.encode(&mut buf);
+        let mut raw = buf.to_vec();
+
+        raw[0] = 0;
+        assert!(matches!(
+            NezhaHeader::decode(&raw),
+            Err(CodecError::BadField { field: "magic", .. })
+        ));
+        raw[0] = (NEZHA_MAGIC >> 8) as u8;
+
+        raw[2] = 99;
+        assert!(matches!(
+            NezhaHeader::decode(&raw),
+            Err(CodecError::BadField {
+                field: "version",
+                ..
+            })
+        ));
+        raw[2] = NEZHA_VERSION;
+
+        raw[3] = 200;
+        assert!(matches!(
+            NezhaHeader::decode(&raw),
+            Err(CodecError::BadField { field: "kind", .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_optional_fields_rejected() {
+        let h = full_header();
+        let mut buf = BytesMut::new();
+        h.encode(&mut buf);
+        // Cut in the middle of the pre-action block.
+        let cut = &buf[..NezhaHeader::FIXED_LEN + 4 + 1 + 3];
+        assert!(matches!(
+            NezhaHeader::decode(cut),
+            Err(CodecError::Truncated { what: "nezha", .. })
+        ));
+    }
+
+    #[test]
+    fn wire_len_matches_flag_combinations() {
+        let mut h = NezhaHeader::bare(NezhaPayloadKind::TxCarry, VnicId(0), VpcId(0));
+        assert_eq!(h.wire_len(), 13);
+        h.first_dir = Some(Direction::Rx); // in flags, no extra bytes
+        assert_eq!(h.wire_len(), 13);
+        h.decap_addr = Some(Ipv4Addr(1));
+        assert_eq!(h.wire_len(), 17);
+        h.stats_policy = Some(1);
+        assert_eq!(h.wire_len(), 18);
+        h.pre_actions = Some(PreActionPair::accept(None, None));
+        assert_eq!(h.wire_len(), 18 + 32);
+    }
+}

@@ -1,0 +1,50 @@
+//! # nezha-vswitch
+//!
+//! A faithful model of the SmartNIC-accelerated vSwitch the Nezha paper
+//! builds on (its Fig. 1): per-vNIC **rule tables** queried on the slow
+//! path, a bidirectional **session table** caching pre-actions and holding
+//! session state on the fast path, stateful NFs expressed as
+//! `Action = func(pkt, rules, states)`, and explicit CPU/memory resource
+//! accounting against the SmartNIC's budgets.
+//!
+//! The crate is deliberately role-agnostic: the same [`VSwitch`] object
+//! serves as a traditional local vSwitch (the baseline), as a Nezha vNIC
+//! **backend** (holding only states), and as a Nezha **frontend** (holding
+//! only rule tables and cached flows) — `nezha-core` composes these roles
+//! from the primitives exposed here, mirroring the paper's claim that
+//! Nezha modifies less than 5% of the vSwitch code (§6.4).
+//!
+//! ## Module map
+//!
+//! * [`config`] — every calibration constant of the resource model;
+//! * [`tables`] — the rule tables: stateful ACL, VXLAN route (LPM), QoS
+//!   meter, NAT, statistics policy, and the vNIC→server mapping;
+//! * [`vnic`] — a vNIC: its tables, overlay address, and size profile;
+//! * [`session`] — the bidirectional session table with aging (including
+//!   the short SYN aging of §7.3);
+//! * [`pipeline`] — slow-path lookup (with cycle costing) and fast-path
+//!   `process_pkt(pre_actions, state)`;
+//! * [`vswitch`] — the assembled vSwitch with CPU/memory enforcement.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod pipeline;
+pub mod session;
+pub mod tables;
+pub mod vnic;
+pub mod vswitch;
+
+pub use config::{CostModel, VSwitchConfig};
+pub use pipeline::{finalize_with_state, process_pkt, slow_path_lookup, update_state};
+pub use pipeline::{LookupResult, PathTaken, ProcessOutcome, ProcessResult};
+pub use session::{SessionEntry, SessionTable};
+pub use tables::acl::{AclRule, AclTable, PortRange};
+pub use tables::nat::NatTable;
+pub use tables::policy::PolicyTable;
+pub use tables::qos::QosTable;
+pub use tables::route::RouteTable;
+pub use tables::vnic_server::VnicServerMap;
+pub use vnic::{Vnic, VnicProfile, VnicTables};
+pub use vswitch::VSwitch;

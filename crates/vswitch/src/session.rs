@@ -1,0 +1,471 @@
+//! The bidirectional session table.
+//!
+//! One entry serves both directions of a session (keyed by the canonical
+//! 5-tuple + VPC id, §2.1), holding the cached pre-actions for both
+//! directions ("cached flows") and the session state. Memory is charged
+//! against the vSwitch table pool: a full entry costs
+//! `flow_entry (≈100 B) + state_slab (64 B)`; a Nezha-BE entry whose
+//! cached flows moved to the FEs costs only the state slab — that freed
+//! memory is exactly where the paper's #concurrent-flows gain comes from
+//! (§6.2.1).
+//!
+//! Aging (§2.2.2, §7.3): established sessions expire after ~8 s idle;
+//! embryonic (SYN-state) sessions get a much shorter timeout so a SYN
+//! flood cannot pin BE memory; closed sessions are reclaimed on sweep.
+
+use crate::config::{MemoryModel, VSwitchConfig};
+use nezha_sim::resources::{MemoryPool, OutOfMemory};
+use nezha_sim::time::SimTime;
+use nezha_types::{Direction, PreActionPair, SessionKey, SessionState, TcpState};
+use std::collections::HashMap;
+
+/// One bidirectional session entry.
+#[derive(Clone, Debug)]
+pub struct SessionEntry {
+    /// The vNIC this session belongs to (for per-vNIC attribution).
+    pub vnic: nezha_types::VnicId,
+    /// Cached pre-actions for both directions; `None` once offloaded to
+    /// FEs (BE role) or for entries created without a local rule lookup.
+    pub pre_actions: Option<PreActionPair>,
+    /// The locally-kept session state (single copy).
+    pub state: SessionState,
+    /// Creation time.
+    pub created: SimTime,
+    /// Last packet time, for aging.
+    pub last_seen: SimTime,
+}
+
+impl SessionEntry {
+    fn memory_bytes(&self, m: &MemoryModel) -> u64 {
+        m.state_slab
+            + if self.pre_actions.is_some() {
+                m.flow_entry
+            } else {
+                0
+            }
+    }
+}
+
+/// The session table with byte-accounted capacity.
+#[derive(Debug, Default)]
+pub struct SessionTable {
+    entries: HashMap<SessionKey, SessionEntry>,
+    created_total: u64,
+    expired_total: u64,
+    rejected_total: u64,
+}
+
+impl SessionTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        SessionTable::default()
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no sessions exist.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(created, expired, rejected-for-memory)` lifetime counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.created_total, self.expired_total, self.rejected_total)
+    }
+
+    /// Looks up a session.
+    pub fn get(&self, key: &SessionKey) -> Option<&SessionEntry> {
+        self.entries.get(key)
+    }
+
+    /// Mutable lookup (does not touch aging; call [`SessionTable::touch`]).
+    pub fn get_mut(&mut self, key: &SessionKey) -> Option<&mut SessionEntry> {
+        self.entries.get_mut(key)
+    }
+
+    /// Marks activity on a session.
+    pub fn touch(&mut self, key: &SessionKey, now: SimTime) {
+        if let Some(e) = self.entries.get_mut(key) {
+            e.last_seen = now;
+        }
+    }
+
+    /// Inserts a new session, charging `pool`. On memory exhaustion the
+    /// insert is rejected — the overload condition behind the paper's
+    /// #concurrent-flows hotspots.
+    pub fn insert(
+        &mut self,
+        key: SessionKey,
+        entry: SessionEntry,
+        pool: &mut MemoryPool,
+        m: &MemoryModel,
+    ) -> Result<(), OutOfMemory> {
+        debug_assert!(!self.entries.contains_key(&key), "duplicate session insert");
+        pool.alloc(entry.memory_bytes(m)).inspect_err(|_e| {
+            self.rejected_total += 1;
+        })?;
+        self.entries.insert(key, entry);
+        self.created_total += 1;
+        Ok(())
+    }
+
+    /// Removes one session, releasing its memory.
+    pub fn remove(&mut self, key: &SessionKey, pool: &mut MemoryPool, m: &MemoryModel) {
+        if let Some(e) = self.entries.remove(key) {
+            pool.free(e.memory_bytes(m));
+        }
+    }
+
+    /// Drops the cached pre-actions of **every** entry, releasing their
+    /// flow-entry bytes. This is the BE entering Nezha's final stage:
+    /// "we can delete the rule tables and cached flows on the BE" (§4.2.1).
+    /// Returns the bytes freed.
+    pub fn drop_cached_flows(&mut self, pool: &mut MemoryPool, m: &MemoryModel) -> u64 {
+        let mut freed = 0;
+        for e in self.entries.values_mut() {
+            if e.pre_actions.take().is_some() {
+                freed += m.flow_entry;
+            }
+        }
+        pool.free(freed);
+        freed
+    }
+
+    /// Invalidates cached pre-actions only (keeps state), as happens when
+    /// rule tables change: "the associated cached flows are invalidated
+    /// and deleted, which will be regenerated after subsequent rule table
+    /// lookups" (§3.2.2). Returns how many entries were invalidated.
+    pub fn invalidate_flows(&mut self, pool: &mut MemoryPool, m: &MemoryModel) -> usize {
+        let mut n = 0;
+        let mut freed = 0;
+        for e in self.entries.values_mut() {
+            if e.pre_actions.take().is_some() {
+                n += 1;
+                freed += m.flow_entry;
+            }
+        }
+        pool.free(freed);
+        n
+    }
+
+    /// Sweeps expired sessions at `now` under the aging policy of `cfg`.
+    /// Returns the number of entries reclaimed.
+    pub fn expire(&mut self, now: SimTime, cfg: &VSwitchConfig, pool: &mut MemoryPool) -> usize {
+        let m = &cfg.memory;
+        let mut freed_bytes = 0;
+        let before = self.entries.len();
+        self.entries.retain(|_, e| {
+            let idle = now.since(e.last_seen);
+            let timeout = if e.state.tcp.is_closed() {
+                // Closed sessions reclaim on the next sweep.
+                nezha_sim::time::SimDuration::ZERO
+            } else if e.state.tcp.is_embryonic() {
+                cfg.syn_aging
+            } else {
+                cfg.session_aging
+            };
+            let keep = idle <= timeout;
+            if !keep {
+                freed_bytes += e.memory_bytes(m);
+            }
+            keep
+        });
+        pool.free(freed_bytes);
+        let expired = before - self.entries.len();
+        self.expired_total += expired as u64;
+        expired
+    }
+
+    /// Creates-and-inserts the common case: a first packet in direction
+    /// `dir` with optional cached pre-actions.
+    #[allow(clippy::too_many_arguments)]
+    pub fn establish(
+        &mut self,
+        key: SessionKey,
+        vnic: nezha_types::VnicId,
+        dir: Direction,
+        pre_actions: Option<PreActionPair>,
+        now: SimTime,
+        pool: &mut MemoryPool,
+        m: &MemoryModel,
+    ) -> Result<&mut SessionEntry, OutOfMemory> {
+        let mut state = SessionState::first_packet(dir);
+        state.tcp = TcpState::None;
+        self.insert(
+            key,
+            SessionEntry {
+                vnic,
+                pre_actions,
+                state,
+                created: now,
+                last_seen: now,
+            },
+            pool,
+            m,
+        )?;
+        Ok(self.entries.get_mut(&key).expect("just inserted"))
+    }
+
+    /// Iterates over `(key, entry)` pairs (stable only within one run).
+    pub fn iter(&self) -> impl Iterator<Item = (&SessionKey, &SessionEntry)> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nezha_sim::time::SimDuration;
+    use nezha_types::{FiveTuple, Ipv4Addr, VpcId};
+
+    fn key(n: u16) -> SessionKey {
+        SessionKey::of(
+            VpcId(1),
+            FiveTuple::tcp(
+                Ipv4Addr::new(10, 0, 0, 1),
+                1000 + n,
+                Ipv4Addr::new(10, 0, 0, 2),
+                80,
+            ),
+        )
+    }
+
+    fn setup() -> (SessionTable, MemoryPool, VSwitchConfig) {
+        (
+            SessionTable::new(),
+            MemoryPool::new(10_000),
+            VSwitchConfig::default(),
+        )
+    }
+
+    #[test]
+    fn establish_charges_full_entry() {
+        let (mut t, mut pool, cfg) = setup();
+        t.establish(
+            key(1),
+            nezha_types::VnicId(0),
+            Direction::Tx,
+            Some(PreActionPair::accept(None, None)),
+            SimTime(0),
+            &mut pool,
+            &cfg.memory,
+        )
+        .unwrap();
+        assert_eq!(pool.used(), 100 + 64);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.counters().0, 1);
+    }
+
+    #[test]
+    fn stateless_be_entry_costs_only_slab() {
+        let (mut t, mut pool, cfg) = setup();
+        t.establish(
+            key(1),
+            nezha_types::VnicId(0),
+            Direction::Rx,
+            None,
+            SimTime(0),
+            &mut pool,
+            &cfg.memory,
+        )
+        .unwrap();
+        assert_eq!(pool.used(), 64);
+    }
+
+    #[test]
+    fn memory_exhaustion_rejects_new_sessions() {
+        let (mut t, _, cfg) = setup();
+        let mut pool = MemoryPool::new(200); // room for exactly one full entry
+        t.establish(
+            key(1),
+            nezha_types::VnicId(0),
+            Direction::Tx,
+            Some(PreActionPair::accept(None, None)),
+            SimTime(0),
+            &mut pool,
+            &cfg.memory,
+        )
+        .unwrap();
+        let err = t.establish(
+            key(2),
+            nezha_types::VnicId(0),
+            Direction::Tx,
+            Some(PreActionPair::accept(None, None)),
+            SimTime(0),
+            &mut pool,
+            &cfg.memory,
+        );
+        assert!(err.is_err());
+        assert_eq!(t.counters().2, 1);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn drop_cached_flows_multiplies_capacity() {
+        // The §6.2.1 mechanism: dropping 100 B of flow entry per session
+        // leaves 64 B entries — the same pool then fits ~2.5x the sessions.
+        let (mut t, _, cfg) = setup();
+        let mut pool = MemoryPool::new(164 * 10);
+        for i in 0..10 {
+            t.establish(
+                key(i),
+                nezha_types::VnicId(0),
+                Direction::Tx,
+                Some(PreActionPair::accept(None, None)),
+                SimTime(0),
+                &mut pool,
+                &cfg.memory,
+            )
+            .unwrap();
+        }
+        assert_eq!(pool.available(), 0);
+        let freed = t.drop_cached_flows(&mut pool, &cfg.memory);
+        assert_eq!(freed, 1000);
+        // 1000 freed bytes now fit 15 more state-only sessions.
+        for i in 10..25 {
+            t.establish(
+                key(i),
+                nezha_types::VnicId(0),
+                Direction::Tx,
+                None,
+                SimTime(0),
+                &mut pool,
+                &cfg.memory,
+            )
+            .unwrap();
+        }
+        assert_eq!(t.len(), 25);
+    }
+
+    #[test]
+    fn aging_established_vs_embryonic() {
+        let (mut t, mut pool, cfg) = setup();
+        // Established session.
+        let e = t
+            .establish(
+                key(1),
+                nezha_types::VnicId(0),
+                Direction::Tx,
+                None,
+                SimTime(0),
+                &mut pool,
+                &cfg.memory,
+            )
+            .unwrap();
+        e.state.tcp = TcpState::Established;
+        // Embryonic session.
+        let e = t
+            .establish(
+                key(2),
+                nezha_types::VnicId(0),
+                Direction::Tx,
+                None,
+                SimTime(0),
+                &mut pool,
+                &cfg.memory,
+            )
+            .unwrap();
+        e.state.tcp = TcpState::SynSent;
+
+        // After 2 s (> syn_aging 1 s, < session_aging 8 s): SYN expires.
+        let n = t.expire(SimTime(2_000_000_000), &cfg, &mut pool);
+        assert_eq!(n, 1);
+        assert!(t.get(&key(1)).is_some());
+        assert!(t.get(&key(2)).is_none());
+
+        // After 10 s idle the established one goes too.
+        let n = t.expire(SimTime(10_000_000_000), &cfg, &mut pool);
+        assert_eq!(n, 1);
+        assert!(t.is_empty());
+        assert_eq!(pool.used(), 0);
+        assert_eq!(t.counters().1, 2);
+    }
+
+    #[test]
+    fn touch_resets_aging_clock() {
+        let (mut t, mut pool, cfg) = setup();
+        let e = t
+            .establish(
+                key(1),
+                nezha_types::VnicId(0),
+                Direction::Tx,
+                None,
+                SimTime(0),
+                &mut pool,
+                &cfg.memory,
+            )
+            .unwrap();
+        e.state.tcp = TcpState::Established;
+        t.touch(&key(1), SimTime(7_000_000_000));
+        // 8 s after creation but only 1 s after the touch: still alive.
+        assert_eq!(t.expire(SimTime(8_000_000_000), &cfg, &mut pool), 0);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn closed_sessions_reclaim_on_sweep() {
+        let (mut t, mut pool, cfg) = setup();
+        let e = t
+            .establish(
+                key(1),
+                nezha_types::VnicId(0),
+                Direction::Tx,
+                None,
+                SimTime(0),
+                &mut pool,
+                &cfg.memory,
+            )
+            .unwrap();
+        e.state.tcp = TcpState::Closed;
+        assert_eq!(
+            t.expire(SimTime(0) + SimDuration::from_millis(1), &cfg, &mut pool),
+            1
+        );
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn invalidate_flows_keeps_state() {
+        let (mut t, mut pool, cfg) = setup();
+        t.establish(
+            key(1),
+            nezha_types::VnicId(0),
+            Direction::Tx,
+            Some(PreActionPair::accept(None, None)),
+            SimTime(0),
+            &mut pool,
+            &cfg.memory,
+        )
+        .unwrap();
+        assert_eq!(t.invalidate_flows(&mut pool, &cfg.memory), 1);
+        let e = t.get(&key(1)).unwrap();
+        assert!(e.pre_actions.is_none());
+        assert_eq!(e.state.first_dir, Some(Direction::Tx));
+        assert_eq!(pool.used(), 64);
+        // Idempotent.
+        assert_eq!(t.invalidate_flows(&mut pool, &cfg.memory), 0);
+    }
+
+    #[test]
+    fn remove_releases_memory() {
+        let (mut t, mut pool, cfg) = setup();
+        t.establish(
+            key(1),
+            nezha_types::VnicId(0),
+            Direction::Tx,
+            Some(PreActionPair::accept(None, None)),
+            SimTime(0),
+            &mut pool,
+            &cfg.memory,
+        )
+        .unwrap();
+        t.remove(&key(1), &mut pool, &cfg.memory);
+        assert_eq!(pool.used(), 0);
+        // Removing a missing key is a no-op.
+        t.remove(&key(1), &mut pool, &cfg.memory);
+        assert_eq!(pool.used(), 0);
+    }
+}

@@ -1,0 +1,21 @@
+//! The per-vNIC rule tables of the vSwitch slow path.
+//!
+//! A new connection queries at least five tables — ACL, QoS, statistics
+//! policy, VXLAN routing, and the vNIC→server mapping (§2.2.2); NAT joins
+//! the pipeline for NAT-gateway vNICs. These tables are **stateless
+//! tenant configuration**: given the same rules, any node answers a lookup
+//! identically — the property Nezha exploits by replicating them to every
+//! FE with no synchronization beyond controller config pushes (§3.2.3).
+//!
+//! Each table reports its [`memory bytes`](acl::AclTable::memory_bytes)
+//! under the configured [`MemoryModel`](crate::config::MemoryModel), which
+//! is how the #vNICs-limited-by-memory bottleneck (§2.2.2) is enforced.
+
+pub mod acl;
+pub mod mirror;
+pub mod pbr;
+pub mod nat;
+pub mod policy;
+pub mod qos;
+pub mod route;
+pub mod vnic_server;

@@ -1,0 +1,91 @@
+//! Elephant flows for the load-imbalance study (§7.5).
+//!
+//! An elephant is a single long-lived flow whose packet rate dwarfs its
+//! neighbours. Under plain 5-tuple hashing it lands on one FE and can
+//! crowd out mice sharing that FE; Nezha's mitigation pins the elephant
+//! to a *dedicated* FE (`BackendMeta::pin_flow` in `nezha-core`). The
+//! generator emits the elephant's packet schedule; the harness injects
+//! them as probes so per-packet latency is observable.
+
+use nezha_sim::time::{SimDuration, SimTime};
+use nezha_types::{FiveTuple, Ipv4Addr, ServerId, VnicId, VpcId};
+
+/// One elephant flow.
+#[derive(Clone, Copy, Debug)]
+pub struct ElephantFlow {
+    /// Target vNIC.
+    pub vnic: VnicId,
+    /// Its VPC.
+    pub vpc: VpcId,
+    /// The elephant's 5-tuple (client → VM).
+    pub tuple: FiveTuple,
+    /// Server hosting the sending endpoint.
+    pub peer_server: ServerId,
+    /// Packets per second.
+    pub pps: f64,
+    /// Bytes per packet.
+    pub packet_bytes: u32,
+    /// Flow duration.
+    pub duration: SimDuration,
+}
+
+impl ElephantFlow {
+    /// A 1500 B bulk flow toward `service_addr:port` at `gbps` gigabits
+    /// per second.
+    pub fn bulk(
+        vnic: VnicId,
+        vpc: VpcId,
+        service_addr: Ipv4Addr,
+        port: u16,
+        peer_server: ServerId,
+        gbps: f64,
+        duration: SimDuration,
+    ) -> Self {
+        ElephantFlow {
+            vnic,
+            vpc,
+            tuple: FiveTuple::tcp(Ipv4Addr::new(198, 19, 0, 1), 40_000, service_addr, port),
+            peer_server,
+            pps: gbps * 1e9 / (1500.0 * 8.0),
+            packet_bytes: 1500,
+            duration,
+        }
+    }
+
+    /// The packet injection times, uniformly paced.
+    pub fn schedule(&self, start: SimTime) -> Vec<SimTime> {
+        let n = (self.pps * self.duration.as_secs_f64()) as usize;
+        let gap = SimDuration::from_secs_f64(1.0 / self.pps);
+        (0..n)
+            .map(|i| start + SimDuration(gap.nanos() * i as u64))
+            .collect()
+    }
+
+    /// Offered load in bits per second.
+    pub fn bps(&self) -> f64 {
+        self.pps * self.packet_bytes as f64 * 8.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bulk_flow_rate_math() {
+        let e = ElephantFlow::bulk(
+            VnicId(1),
+            VpcId(1),
+            Ipv4Addr::new(10, 7, 0, 1),
+            9000,
+            ServerId(9),
+            10.0,
+            SimDuration::from_millis(10),
+        );
+        assert!((e.bps() - 10e9).abs() / 10e9 < 1e-9);
+        let sched = e.schedule(SimTime::ZERO);
+        // 10 Gbps of 1500B frames ≈ 833K pps → ~8333 packets in 10 ms.
+        assert!((8_000..8_500).contains(&sched.len()), "{}", sched.len());
+        assert!(sched.windows(2).all(|w| w[0] < w[1]));
+    }
+}

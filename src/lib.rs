@@ -1,0 +1,62 @@
+//! # nezha
+//!
+//! A research-quality Rust reproduction of **"Nezha: SmartNIC-Based
+//! Virtual Switch Load Sharing"** (SIGCOMM 2025): a distributed vSwitch
+//! load-sharing system that offloads a high-demand vNIC's *stateless*
+//! rule tables and cached flows to a pool of idle SmartNICs (frontends)
+//! while keeping all session state local in a single copy (the backend) —
+//! eliminating state synchronization, and making load balancing a plain
+//! 5-tuple hash and fault tolerance active-active.
+//!
+//! The paper's SmartNIC testbed and production region are replaced by a
+//! deterministic discrete-event simulator with explicit CPU/memory/fabric
+//! models (see `DESIGN.md` for the substitution argument). This facade
+//! crate re-exports the workspace:
+//!
+//! * [`types`] — wire formats, flow keys, actions, the Nezha service
+//!   header;
+//! * [`sim`] — the event engine, resource models, topology, statistics;
+//! * [`vswitch`] — the SmartNIC vSwitch: rule tables, session table,
+//!   slow/fast path, stateful NFs;
+//! * [`core`] — Nezha itself: BE/FE split, controller, offload/fallback,
+//!   scaling, failover, and the region-scale fluid simulator;
+//! * [`workloads`] — TCP_CRR, persistent flows, SYN floods, elephants,
+//!   tenant populations;
+//! * [`baselines`] — Sirius-like, Tea-like, Sailfish-like comparators and
+//!   the deployment-cost model.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nezha::core::{Cluster, ClusterConfig};
+//! use nezha::core::vm::VmConfig;
+//! use nezha::sim::time::{SimDuration, SimTime};
+//! use nezha::types::{Ipv4Addr, VnicId, VpcId};
+//! use nezha::vswitch::vnic::{Vnic, VnicProfile};
+//!
+//! // A small testbed with one busy vNIC on server 0.
+//! let mut cluster = Cluster::new(ClusterConfig::default());
+//! let mut vnic = Vnic::new(
+//!     VnicId(1),
+//!     VpcId(1),
+//!     Ipv4Addr::new(10, 7, 0, 1),
+//!     VnicProfile::default(),
+//!     nezha::types::ServerId(0),
+//! );
+//! vnic.allow_inbound_port(9000);
+//! cluster.add_vnic(vnic, nezha::types::ServerId(0), VmConfig::with_vcpus(64));
+//!
+//! // Offload it to four idle SmartNICs and let the config propagate.
+//! cluster.trigger_offload(VnicId(1), SimTime::ZERO).unwrap();
+//! cluster.run_until(SimTime::ZERO + SimDuration::from_secs(3));
+//! assert_eq!(cluster.fe_count(VnicId(1)), 4);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use nezha_baselines as baselines;
+pub use nezha_core as core;
+pub use nezha_sim as sim;
+pub use nezha_types as types;
+pub use nezha_vswitch as vswitch;
+pub use nezha_workloads as workloads;
