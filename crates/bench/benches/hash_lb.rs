@@ -44,5 +44,31 @@ fn bench_hash_lb(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_hash_lb);
+/// Exports the hash-quality census behind the timing numbers: how evenly
+/// the stable hash spreads 100K tuples over a 4-FE pool.
+fn emit_balance_snapshot(c: &mut Criterion) {
+    let _ = c;
+    let reg = nezha_sim::metrics::MetricsRegistry::new();
+    let mut meta = BackendMeta::new(SimTime(0));
+    for s in 1..=4 {
+        meta.add_fe(ServerId(s));
+        meta.mark_ready(ServerId(s));
+    }
+    for i in 0..100_000u32 {
+        let t = FiveTuple::tcp(
+            Ipv4Addr(0x0a070000 | i),
+            (i % 50_000) as u16,
+            Ipv4Addr::new(10, 7, 0, 1),
+            9000,
+        );
+        let key = SessionKey::of(VpcId(1), t);
+        if let Some(fe) = meta.select_fe(&key, t.canonical().stable_hash()) {
+            let h = reg.counter("bench.fe_selected", &[("fe", fe.raw().to_string())]);
+            reg.inc(h);
+        }
+    }
+    nezha_bench::output::emit_snapshot("bench_hash_lb", &reg.snapshot());
+}
+
+criterion_group!(benches, bench_hash_lb, emit_balance_snapshot);
 criterion_main!(benches);

@@ -50,5 +50,19 @@ fn bench_nsh(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_nsh);
+/// Exports the wire sizes behind the timing numbers (the per-packet
+/// overhead the NSH carry path adds).
+fn emit_size_snapshot(c: &mut Criterion) {
+    let _ = c;
+    let reg = nezha_sim::metrics::MetricsRegistry::new();
+    let mut buf = BytesMut::new();
+    full_header().encode(&mut buf);
+    reg.add(reg.counter("bench.nsh_full_bytes", &[]), buf.len() as u64);
+    buf.clear();
+    NezhaHeader::bare(NezhaPayloadKind::TxCarry, VnicId(1), VpcId(1)).encode(&mut buf);
+    reg.add(reg.counter("bench.nsh_bare_bytes", &[]), buf.len() as u64);
+    nezha_bench::output::emit_snapshot("bench_nsh_codec", &reg.snapshot());
+}
+
+criterion_group!(benches, bench_nsh, emit_size_snapshot);
 criterion_main!(benches);

@@ -38,5 +38,20 @@ fn bench_rule_lookup(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_rule_lookup);
+/// Exports the cost model's cycles for the same sweep, so the measured
+/// degradation can be compared against the simulated card's (Table A1).
+fn emit_model_snapshot(c: &mut Criterion) {
+    let _ = c;
+    let reg = nezha_sim::metrics::MetricsRegistry::new();
+    let cfg = nezha_vswitch::config::VSwitchConfig::default();
+    for rules in [0usize, 8, 64, 100, 1000] {
+        reg.set(
+            reg.gauge("bench.lookup_model_cycles", &[("rules", rules.to_string())]),
+            cfg.costs.lookup_cycles(64, rules, 0) as f64,
+        );
+    }
+    nezha_bench::output::emit_snapshot("bench_rule_lookup", &reg.snapshot());
+}
+
+criterion_group!(benches, bench_rule_lookup, emit_model_snapshot);
 criterion_main!(benches);

@@ -96,5 +96,35 @@ fn bench_session_table(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_session_table);
+/// Exports the table census behind the timing numbers: sessions held and
+/// then expired by a full aging sweep over a 100K-entry table.
+fn emit_table_snapshot(c: &mut Criterion) {
+    let _ = c;
+    let cfg = VSwitchConfig::default();
+    let reg = nezha_sim::metrics::MetricsRegistry::new();
+    let mut table = SessionTable::new();
+    let mut pool = MemoryPool::new(1 << 30);
+    for i in 0..100_000u32 {
+        table
+            .establish(
+                key(i),
+                VnicId(1),
+                Direction::Rx,
+                None,
+                SimTime(0),
+                &mut pool,
+                &cfg.memory,
+            )
+            .unwrap();
+    }
+    reg.add(
+        reg.counter("bench.sessions_established", &[]),
+        table.len() as u64,
+    );
+    let expired = table.expire(SimTime(10_000_000_000), &cfg, &mut pool);
+    reg.add(reg.counter("bench.sessions_expired", &[]), expired as u64);
+    nezha_bench::output::emit_snapshot("bench_session_table", &reg.snapshot());
+}
+
+criterion_group!(benches, bench_session_table, emit_table_snapshot);
 criterion_main!(benches);

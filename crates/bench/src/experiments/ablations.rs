@@ -1,4 +1,3 @@
-#![allow(clippy::field_reassign_with_default)]
 //! Ablations of Nezha's design choices, beyond the paper's own figures.
 //!
 //! DESIGN.md commits to exercising the choices the paper argues for in
@@ -51,7 +50,8 @@ fn drive(c: &mut Cluster, conns: u32) {
             start: t + SimDuration::from_micros(500 * i as u64),
             payload: 100,
             overlay_encap_src: None,
-        });
+        })
+        .unwrap();
     }
     c.run_until(c.now() + SimDuration::from_secs(4));
 }
@@ -68,7 +68,8 @@ fn fresh(f: impl FnOnce(&mut nezha_core::ClusterConfig)) -> Cluster {
         harness::HOME,
     );
     vnic.allow_inbound_port(harness::SERVICE_PORT);
-    c.add_vnic(vnic, harness::HOME, nezha_core::vm::VmConfig::default());
+    c.add_vnic(vnic, harness::HOME, nezha_core::vm::VmConfig::default())
+        .unwrap();
     c
 }
 
@@ -99,15 +100,17 @@ fn lb_granularity() {
             lookups += misses;
             cached += c.fe_cached_flows(fe, harness::VNIC).unwrap();
         }
+        let snap = c.metrics().snapshot();
         row(
             &[
                 name.to_string(),
-                c.stats.completed.to_string(),
+                snap.counter("conn.completed").to_string(),
                 lookups.to_string(),
                 cached.to_string(),
             ],
             &widths,
         );
+        emit_snapshot(&format!("ablation_lb_{name}"), &snap);
     }
     println!("  -> packet-level spreads each session over every FE: ~4x the rule");
     println!("     lookups and ~4x the cached-flow memory for identical goodput");
@@ -118,7 +121,10 @@ fn notify_suppression() {
     println!("  (2) notify-packet suppression (§3.2.2)");
     let widths = [22usize, 12, 12];
     header(&["policy", "notifies", "completed"], &widths);
-    for (name, always) in [("differs-only (Nezha)", false), ("every miss", true)] {
+    for (id, name, always) in [
+        ("differs_only", "differs-only (Nezha)", false),
+        ("every_miss", "every miss", true),
+    ] {
         let mut c = offloaded(|cfg| cfg.notify_always = always);
         // Outbound connections: the TX workflow is where notify packets
         // arise (§3.2.2) — the first packet reaches the FE from the BE.
@@ -138,17 +144,20 @@ fn notify_suppression() {
                 start: t + SimDuration::from_micros(500 * i as u64),
                 payload: 100,
                 overlay_encap_src: None,
-            });
+            })
+            .unwrap();
         }
         c.run_until(c.now() + SimDuration::from_secs(4));
+        let snap = c.metrics().snapshot();
         row(
             &[
                 name.to_string(),
-                c.stats.notifies.to_string(),
-                c.stats.completed.to_string(),
+                snap.counter("nsh.notifies").to_string(),
+                snap.counter("conn.completed").to_string(),
             ],
             &widths,
         );
+        emit_snapshot(&format!("ablation_notify_{id}"), &snap);
     }
     println!("  -> suppressing no-change notifies removes one BE interrupt per new");
     println!("     flow with no loss of state fidelity");
@@ -162,9 +171,9 @@ fn dual_running() {
         &["transition", "stale bounces", "completed", "failed"],
         &widths,
     );
-    for (name, skip) in [
-        ("dual-running (Nezha)", false),
-        ("immediate teardown", true),
+    for (id, name, skip) in [
+        ("dual_running", "dual-running (Nezha)", false),
+        ("immediate_teardown", "immediate teardown", true),
     ] {
         // Drive traffic *across* the transition: start conns first, then
         // trigger the offload while they flow.
@@ -186,20 +195,23 @@ fn dual_running() {
                 start: t0 + SimDuration::from_micros(1000 * i as u64),
                 payload: 100,
                 overlay_encap_src: None,
-            });
+            })
+            .unwrap();
         }
         c.run_until(t0 + SimDuration::from_millis(100));
         c.trigger_offload(harness::VNIC, c.now()).unwrap();
         c.run_until(t0 + SimDuration::from_secs(6));
+        let snap = c.metrics().snapshot();
         row(
             &[
                 name.to_string(),
-                c.stats.stale_bounces.to_string(),
-                c.stats.completed.to_string(),
-                c.stats.failed.to_string(),
+                snap.counter("pkt.stale_bounces").to_string(),
+                snap.counter("conn.completed").to_string(),
+                snap.counter("conn.failed").to_string(),
             ],
             &widths,
         );
+        emit_snapshot(&format!("ablation_dual_{id}"), &snap);
     }
     println!("  -> without the dual-running stage, every in-flight packet that");
     println!("     still targets the BE takes an extra bounce through an FE");
@@ -219,9 +231,11 @@ fn variable_state() {
         (0.07, true, false),
         (0.05, false, true),
     ] {
-        let mut s = SessionState::default();
-        s.first_dir = Some(nezha_types::Direction::Tx);
-        s.tcp = nezha_types::TcpState::Established;
+        let mut s = SessionState {
+            first_dir: Some(nezha_types::Direction::Tx),
+            tcp: nezha_types::TcpState::Established,
+            ..SessionState::default()
+        };
         if decap {
             s.decap = Some(nezha_types::StatefulDecapState {
                 overlay_src: Ipv4Addr::new(100, 64, 0, 1),

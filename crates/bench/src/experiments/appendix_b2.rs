@@ -21,6 +21,8 @@ pub fn run() {
         seed: 0xb2,
         ..RegionConfig::default()
     });
+    let reg = nezha_sim::metrics::MetricsRegistry::new();
+    region.attach_metrics(&reg);
     let report = region.run_days(30, true);
     let per_offload = report.total_fes_provisioned as f64 / report.offload_events.max(1) as f64;
     let scaled_frac = report.scale_out_events as f64 / report.offload_events.max(1) as f64;
@@ -56,4 +58,5 @@ pub fn run() {
         row(&[name.to_string(), v, p], &[28, 12, 12]);
     }
     assert!(scaled_frac < 0.10, "scale-out ratio {scaled_frac} too high");
+    emit_snapshot("appendix_b2", &reg.snapshot());
 }

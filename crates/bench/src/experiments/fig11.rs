@@ -41,21 +41,23 @@ pub fn run() {
         let rate = (1.75 * local_cap * frac).max(200.0);
         t += SimDuration::from_secs_f64(rng.exp(1.0 / rate));
         let client = Ipv4Addr::new(10, 7, 1, (n % 200) as u8 + 1);
-        cluster.add_conn(ConnSpec {
-            vnic: harness::VNIC,
-            vpc: harness::VPC,
-            tuple: FiveTuple::tcp(
-                client,
-                (10_000 + (n / 200) % 50_000) as u16,
-                harness::SERVICE_ADDR,
-                harness::SERVICE_PORT,
-            ),
-            peer_server: harness::client_servers()[(n % 8) as usize],
-            kind: ConnKind::Inbound,
-            start: t,
-            payload: 64,
-            overlay_encap_src: None,
-        });
+        cluster
+            .add_conn(ConnSpec {
+                vnic: harness::VNIC,
+                vpc: harness::VPC,
+                tuple: FiveTuple::tcp(
+                    client,
+                    (10_000 + (n / 200) % 50_000) as u16,
+                    harness::SERVICE_ADDR,
+                    harness::SERVICE_PORT,
+                ),
+                peer_server: harness::client_servers()[(n % 8) as usize],
+                kind: ConnKind::Inbound,
+                start: t,
+                payload: 64,
+                overlay_encap_src: None,
+            })
+            .unwrap();
         n += 1;
     }
 
@@ -68,19 +70,26 @@ pub fn run() {
     for step in 1..=32 {
         let sample_at = SimTime(step * 500_000_000);
         cluster.run_until(sample_at);
-        let be = cluster.switch(harness::HOME).cpu_utilization(sample_at);
+        let be = cluster
+            .switch(harness::HOME)
+            .unwrap()
+            .cpu_utilization(sample_at);
         let fes = cluster.fe_servers(harness::VNIC);
         let fe_avg = if fes.is_empty() {
             0.0
         } else {
             fes.iter()
-                .map(|s| cluster.switch(*s).cpu_utilization(sample_at))
+                .map(|s| cluster.switch(*s).unwrap().cpu_utilization(sample_at))
                 .sum::<f64>()
                 / fes.len() as f64
         };
         be_series.push(be);
         fe_series.push(fe_avg);
-        let events = (cluster.stats.offload_events, cluster.stats.scale_out_events);
+        let snap = cluster.metrics().snapshot();
+        let events = (
+            snap.counter("ctrl.offload_events"),
+            snap.counter("ctrl.scale_out_events"),
+        );
         let note = if events.0 > last_events.0 {
             "<- offload triggered"
         } else if events.1 > last_events.1 {
@@ -105,9 +114,12 @@ pub fn run() {
     println!();
     println!("  BE CPU : {}", sparkline(&be_series));
     println!("  FE avg : {}", sparkline(&fe_series));
+    let snap = cluster.metrics().snapshot();
     println!(
         "  offloads: {}, scale-outs: {} (paper: offload at 70% -> BE drops to ~10%;",
-        cluster.stats.offload_events, cluster.stats.scale_out_events
+        snap.counter("ctrl.offload_events"),
+        snap.counter("ctrl.scale_out_events")
     );
     println!("  FE scale-out at 40% -> per-FE load halves, 4 -> 8 FEs)");
+    emit_snapshot("fig11", &snap);
 }

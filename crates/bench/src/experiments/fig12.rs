@@ -19,6 +19,7 @@ pub fn run() {
 
     let mut without_series = Vec::new();
     let mut with_series = Vec::new();
+    let reg = nezha_sim::metrics::MetricsRegistry::new();
     for &f in &LOADS {
         // Without Nezha.
         let mut base = harness::testbed(TestbedOpts::scaled());
@@ -36,6 +37,9 @@ pub fn run() {
 
         without_series.push(lat_wo);
         with_series.push(lat_w);
+        let load = [("load", format!("{f:.2}"))];
+        reg.set(reg.gauge("fig12.latency_without_nezha", &load), lat_wo);
+        reg.set(reg.gauge("fig12.latency_with_nezha", &load), lat_w);
         row(
             &[
                 format!("{f:.2}"),
@@ -50,6 +54,7 @@ pub fn run() {
     println!("  with Nezha: {}", sparkline(&with_series));
     println!("  paper: identical below 70%; ~10us extra hop around 80%; without");
     println!("  Nezha latency deteriorates rapidly beyond ~90% load");
+    emit_snapshot("fig12", &reg.snapshot());
 }
 
 /// Applies `rate` CPS of background load, then probes latency mid-run.
@@ -66,7 +71,7 @@ fn latency_under_load(cluster: &mut nezha_core::Cluster, rate: f64) -> f64 {
     );
     let mut rng = nezha_sim::rng::SimRng::new(12);
     for s in wl.generate(start, &mut rng) {
-        cluster.add_conn(s);
+        cluster.add_conn(s).unwrap();
     }
     // Let the load establish, then probe in the steady window.
     cluster.run_until(start + SimDuration::from_millis(600));

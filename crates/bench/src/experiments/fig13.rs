@@ -14,6 +14,7 @@ pub fn run() {
         "Fig. 13",
         "Daily overload occurrence before/after Nezha (two regions)",
     );
+    let reg = nezha_sim::metrics::MetricsRegistry::new();
     for (region_name, seed) in [("region A", 131u64), ("region B", 132u64)] {
         let cfg = RegionConfig {
             servers: 10_000,
@@ -59,5 +60,16 @@ pub fn run() {
             pct(total_mitigated)
         );
         assert_eq!(a_vnics, 0, "vNIC overloads must be fully prevented");
+        let labels = [("region", region_name.to_string())];
+        reg.add(
+            reg.counter("fig13.overloads_before", &labels),
+            b_cps + b_flows + b_vnics,
+        );
+        reg.add(
+            reg.counter("fig13.overloads_after", &labels),
+            a_cps + a_flows + a_vnics,
+        );
+        reg.set(reg.gauge("fig13.mitigated_share", &labels), total_mitigated);
     }
+    emit_snapshot("fig13", &reg.snapshot());
 }

@@ -30,7 +30,7 @@ pub fn run() {
     );
     let mut rng = nezha_sim::rng::SimRng::new(14);
     for s in wl.generate(start, &mut rng) {
-        cluster.add_conn(s);
+        cluster.add_conn(s).unwrap();
     }
     let victim = cluster.fe_servers(harness::VNIC)[0];
     let crash_at = start + SimDuration::from_secs(6);
@@ -38,7 +38,8 @@ pub fn run() {
     cluster.run_until(start + SimDuration::from_secs(16));
 
     // Loss rate per 100 ms bin around the crash.
-    let ratios = cluster.stats.loss_series.ratio(&cluster.stats.total_series);
+    let snap = cluster.metrics().snapshot();
+    let ratios = snap.series("pkt.loss").ratio(snap.series("pkt.total"));
     let t0 = crash_at.as_secs_f64();
     let series: Vec<(f64, f64)> = ratios
         .into_iter()
@@ -84,7 +85,7 @@ pub fn run() {
     row(
         &[
             "failovers completed".into(),
-            cluster.stats.failover_events.to_string(),
+            snap.counter("ctrl.failover_events").to_string(),
             "1".into(),
         ],
         &widths,
@@ -93,10 +94,14 @@ pub fn run() {
     row(
         &[
             "loss rate 4s after crash".into(),
-            pct(cluster.stats.loss_series.at(after) / cluster.stats.total_series.at(after).max(1.0)),
+            pct(snap.series("pkt.loss").at(after) / snap.series("pkt.total").at(after).max(1.0)),
             "~0".into(),
         ],
         &widths,
     );
-    assert!(cluster.stats.failover_events >= 1, "failover must trigger");
+    assert!(
+        snap.counter("ctrl.failover_events") >= 1,
+        "failover must trigger"
+    );
+    emit_snapshot("fig14", &snap);
 }

@@ -1,4 +1,3 @@
-#![allow(clippy::field_reassign_with_default)]
 //! Fig. 15 — average state size across services in a region.
 //!
 //! Paper: the fixed 64 B state slab mostly holds 5–8 B of actual state
@@ -59,15 +58,21 @@ pub fn run() {
     );
 
     let mut overall = Samples::new();
+    let reg = nezha_sim::metrics::MetricsRegistry::new();
+    let state_bytes = reg.histogram("fig15.state_bytes", &[]);
     for (ci, class) in classes.iter().enumerate() {
         let mut cluster = harness::testbed(harness::TestbedOpts::scaled());
         let vnic_id = VnicId(10 + ci as u32);
         let addr = Ipv4Addr::new(10, 8 + ci as u8, 0, 1);
-        let mut profile = VnicProfile::default();
-        profile.stateful_decap = class.decap;
+        let profile = VnicProfile {
+            stateful_decap: class.decap,
+            ..VnicProfile::default()
+        };
         let mut vnic = Vnic::new(vnic_id, VpcId(1), addr, profile, ServerId(1));
         vnic.allow_inbound_port(8080);
-        cluster.add_vnic(vnic, ServerId(1), VmConfig::with_vcpus(16));
+        cluster
+            .add_vnic(vnic, ServerId(1), VmConfig::with_vcpus(16))
+            .unwrap();
 
         // Persistent connections so sessions stay live for the census.
         // "Logged" flows come from the prefixes the statistics policies
@@ -80,29 +85,32 @@ pub fn run() {
             } else {
                 Ipv4Addr(addr.masked(16).0 | (1 << 8) | (i as u32 % 250 + 1))
             };
-            cluster.add_conn(ConnSpec {
-                vnic: vnic_id,
-                vpc: VpcId(1),
-                tuple: FiveTuple::tcp(
-                    client,
-                    10_000 + (i / 250) as u16 * 251 + (i % 250) as u16,
-                    addr,
-                    8080,
-                ),
-                peer_server: ServerId(16 + (i % 8) as u32),
-                kind: ConnKind::PersistentInbound,
-                start: SimTime::ZERO + SimDuration::from_micros(100 * i as u64),
-                payload: 64,
-                overlay_encap_src: class.decap.then_some(Ipv4Addr::new(100, 64, 0, 9)),
-            });
+            cluster
+                .add_conn(ConnSpec {
+                    vnic: vnic_id,
+                    vpc: VpcId(1),
+                    tuple: FiveTuple::tcp(
+                        client,
+                        10_000 + (i / 250) as u16 * 251 + (i % 250) as u16,
+                        addr,
+                        8080,
+                    ),
+                    peer_server: ServerId(16 + (i % 8) as u32),
+                    kind: ConnKind::PersistentInbound,
+                    start: SimTime::ZERO + SimDuration::from_micros(100 * i as u64),
+                    payload: 64,
+                    overlay_encap_src: class.decap.then_some(Ipv4Addr::new(100, 64, 0, 9)),
+                })
+                .unwrap();
         }
         cluster.run_until(SimTime::ZERO + SimDuration::from_millis(600));
 
         let mut sizes = Samples::new();
-        for (_, e) in cluster.switch(ServerId(1)).sessions.iter() {
+        for (_, e) in cluster.switch(ServerId(1)).unwrap().sessions.iter() {
             if e.vnic == vnic_id {
                 sizes.record(e.state.used_bytes() as f64);
                 overall.record(e.state.used_bytes() as f64);
+                reg.observe(state_bytes, e.state.used_bytes() as f64);
             }
         }
         row(
@@ -122,4 +130,5 @@ pub fn run() {
         SessionState::SLAB_BYTES,
         SessionState::SLAB_BYTES as f64 / overall.mean()
     );
+    emit_snapshot("fig15", &reg.snapshot());
 }

@@ -54,4 +54,10 @@ pub fn run() {
         pct(vs_over95)
     );
     println!("  VMs below 60% own CPU   : {} (paper: ~90%)", pct(under60));
+
+    let reg = nezha_sim::metrics::MetricsRegistry::new();
+    reg.add(reg.counter("fig2.high_cps_vms", &[]), hot.len() as u64);
+    reg.set(reg.gauge("fig2.vswitch_over95_share", &[]), vs_over95);
+    reg.set(reg.gauge("fig2.vm_under60_share", &[]), under60);
+    emit_snapshot("fig2", &reg.snapshot());
 }

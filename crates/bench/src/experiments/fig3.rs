@@ -16,6 +16,8 @@ pub fn run() {
         seed: 3,
         ..RegionConfig::default()
     });
+    let reg = nezha_sim::metrics::MetricsRegistry::new();
+    region.attach_metrics(&reg);
     let report = region.run_days(20, false);
     let (cps, flows, vnics) = report.totals();
     let total = (cps + flows + vnics) as f64;
@@ -36,4 +38,5 @@ pub fn run() {
             &[18, 10, 8, 8],
         );
     }
+    emit_snapshot("fig3", &reg.snapshot());
 }

@@ -16,6 +16,8 @@ pub fn run() {
         seed: 4,
         ..RegionConfig::default()
     });
+    let reg = nezha_sim::metrics::MetricsRegistry::new();
+    region.attach_metrics(&reg);
     let mut report = region.run_days(4, false);
 
     header(
@@ -62,4 +64,5 @@ pub fn run() {
         c9999 / c_mean,
         m9999 / m_mean
     );
+    emit_snapshot("fig4", &reg.snapshot());
 }

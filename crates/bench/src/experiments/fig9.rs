@@ -42,6 +42,8 @@ pub fn run() {
         &["#FEs", "CPS", "CPS gain", "#flows gain", "#vNICs gain"],
         &widths,
     );
+    let reg = nezha_sim::metrics::MetricsRegistry::new();
+    reg.set(reg.gauge("fig9.baseline_cps", &[]), base);
     for &k in &FE_COUNTS {
         let cps = harness::find_capacity(
             || {
@@ -58,6 +60,11 @@ pub fn run() {
         );
         let cfg = harness::testbed(TestbedOpts::scaled()).cfg.vswitch;
         let (flows_gain, vnic_gain) = memory_gains(&cfg, k);
+        let fes = [("fes", k.to_string())];
+        reg.set(reg.gauge("fig9.cps", &fes), cps);
+        reg.set(reg.gauge("fig9.cps_gain", &fes), cps / base);
+        reg.set(reg.gauge("fig9.flows_gain", &fes), flows_gain);
+        reg.set(reg.gauge("fig9.vnic_gain", &fes), vnic_gain);
         row(
             &[
                 k.to_string(),
@@ -72,6 +79,7 @@ pub fn run() {
     println!();
     println!("  paper: CPS plateaus at ~3.3x and #flows at ~3.8x beyond 4 FEs;");
     println!("         #vNICs grows with #FEs toward the 1000x BE-metadata ceiling");
+    emit_snapshot("fig9", &reg.snapshot());
 }
 
 /// #flows and #vNICs gains at pool size `k`, from the byte models.

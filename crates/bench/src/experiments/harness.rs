@@ -1,4 +1,3 @@
-#![allow(clippy::field_reassign_with_default)]
 //! Shared testbed construction and CPS measurement for the packet-level
 //! experiments (Figs. 9–12, 14).
 //!
@@ -11,6 +10,7 @@
 //! dividing the event count by ~4.
 
 use nezha_core::cluster::{Cluster, ClusterConfig};
+use nezha_core::controller::ControllerConfig;
 use nezha_core::vm::VmConfig;
 use nezha_sim::time::SimDuration;
 use nezha_sim::topology::TopologyConfig;
@@ -60,45 +60,104 @@ impl Default for TestbedOpts {
 }
 
 impl TestbedOpts {
+    /// Starts a fluent [`TestbedOptsBuilder`] from the defaults.
+    pub fn builder() -> TestbedOptsBuilder {
+        TestbedOptsBuilder::default()
+    }
+
     /// The quarter-scale testbed: 1-core vSwitches + a VM with a quarter
     /// of the kernel capacity. All capacity *ratios* match the full-scale
     /// testbed.
     pub fn scaled() -> Self {
-        TestbedOpts {
-            cores: 1,
-            per_core_cps: 13_425.0,
-            ..Default::default()
-        }
+        TestbedOpts::builder()
+            .cores(1)
+            .per_core_cps(13_425.0)
+            .build()
+    }
+}
+
+/// Fluent builder for [`TestbedOpts`], starting from the defaults.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TestbedOptsBuilder {
+    opts: TestbedOpts,
+}
+
+impl TestbedOptsBuilder {
+    /// vSwitch cores (1 = scaled-down testbed).
+    pub fn cores(mut self, cores: u32) -> Self {
+        self.opts.cores = cores;
+        self
+    }
+
+    /// VM vCPUs.
+    pub fn vcpus(mut self, vcpus: u32) -> Self {
+        self.opts.vcpus = vcpus;
+        self
+    }
+
+    /// VM per-core CPS.
+    pub fn per_core_cps(mut self, cps: f64) -> Self {
+        self.opts.per_core_cps = cps;
+        self
+    }
+
+    /// Enables automatic offload/scaling.
+    pub fn auto(mut self, auto: bool) -> Self {
+        self.opts.auto = auto;
+        self
+    }
+
+    /// Initial FE count for manual offloads.
+    pub fn initial_fes(mut self, fes: usize) -> Self {
+        self.opts.initial_fes = fes;
+        self
+    }
+
+    /// RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.opts.seed = seed;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> TestbedOpts {
+        self.opts
     }
 }
 
 /// Builds the standard testbed.
 pub fn testbed(opts: TestbedOpts) -> Cluster {
-    let mut cfg = ClusterConfig::default();
-    cfg.topology = TopologyConfig {
-        servers_per_rack: 16,
-        racks_per_pod: 2,
-        pods: 1,
-        ..TopologyConfig::default()
-    };
-    cfg.vswitch.cores = opts.cores;
-    cfg.controller.auto_offload = opts.auto;
-    cfg.controller.auto_scale = opts.auto;
-    cfg.controller.initial_fes = opts.initial_fes;
-    cfg.controller.min_fes = opts.initial_fes.min(4);
-    cfg.seed = opts.seed;
+    let cfg = ClusterConfig::builder()
+        .topology(TopologyConfig {
+            servers_per_rack: 16,
+            racks_per_pod: 2,
+            pods: 1,
+            ..TopologyConfig::default()
+        })
+        .cores(opts.cores)
+        .controller(ControllerConfig {
+            auto_offload: opts.auto,
+            auto_scale: opts.auto,
+            initial_fes: opts.initial_fes,
+            min_fes: opts.initial_fes.min(4),
+            ..ControllerConfig::default()
+        })
+        .seed(opts.seed)
+        .build();
     let mut cluster = Cluster::new(cfg);
     let mut vnic = Vnic::new(VNIC, VPC, SERVICE_ADDR, VnicProfile::default(), HOME);
     vnic.allow_inbound_port(SERVICE_PORT);
-    cluster.add_vnic(
-        vnic,
-        HOME,
-        VmConfig {
-            vcpus: opts.vcpus,
-            per_core_cps: opts.per_core_cps,
-            ..VmConfig::default()
-        },
-    );
+    cluster
+        .add_vnic(
+            vnic,
+            HOME,
+            VmConfig {
+                vcpus: opts.vcpus,
+                per_core_cps: opts.per_core_cps,
+                ..VmConfig::default()
+            },
+        )
+        .unwrap();
     cluster
 }
 
@@ -139,15 +198,15 @@ pub fn measure_cps(
     let mut rng = nezha_sim::rng::SimRng::new(cluster.cfg.seed ^ rate as u64);
     let specs = wl.generate(start, &mut rng);
     for s in specs {
-        cluster.add_conn(s);
+        cluster.add_conn(s).unwrap();
     }
     // Run past the end so in-flight connections finish.
     cluster.run_until(start + warmup + window + SimDuration::from_secs(2));
     // Count completions whose bin falls inside the measurement window.
     let w0 = (start + warmup).as_secs_f64();
     let w1 = (start + warmup + window).as_secs_f64();
-    let completed: f64 = cluster
-        .stats
+    let stats = cluster.stats();
+    let completed: f64 = stats
         .cps_series
         .points()
         .iter()
@@ -157,7 +216,7 @@ pub fn measure_cps(
     CpsResult {
         cps: completed / window.as_secs_f64(),
         offered: rate,
-        loss_rate: cluster.stats.pkts.loss_rate(),
+        loss_rate: stats.pkts.loss_rate(),
     }
 }
 
@@ -178,7 +237,7 @@ pub fn offload_and_settle(cluster: &mut Cluster) {
 /// Sweeps probe latency at a given instant: injects `n` probes with
 /// distinct tuples 1 ms apart and returns their mean latency (seconds).
 pub fn probe_latency(cluster: &mut Cluster, n: usize) -> f64 {
-    let before = cluster.stats.probe_latency.len();
+    let before = cluster.stats().probe_latency.len();
     let t0 = cluster.now();
     for i in 0..n {
         let tuple = nezha_types::FiveTuple::tcp(
@@ -187,16 +246,19 @@ pub fn probe_latency(cluster: &mut Cluster, n: usize) -> f64 {
             SERVICE_ADDR,
             SERVICE_PORT,
         );
-        cluster.inject_probe_rx(
-            VNIC,
-            tuple,
-            64,
-            client_servers()[i % 8],
-            t0 + SimDuration::from_millis(i as u64),
-        );
+        cluster
+            .inject_probe_rx(
+                VNIC,
+                tuple,
+                64,
+                client_servers()[i % 8],
+                t0 + SimDuration::from_millis(i as u64),
+            )
+            .unwrap();
     }
     cluster.run_until(t0 + SimDuration::from_millis(n as u64 + 500));
-    let lats = &cluster.stats.probe_latency.raw()[before..];
+    let stats = cluster.stats();
+    let lats = &stats.probe_latency.raw()[before..];
     if lats.is_empty() {
         return f64::NAN;
     }

@@ -19,11 +19,21 @@ pub fn run() {
         &["capability", "P50", "P90", "P99", "P999", "P9999"],
         &[18, 8, 8, 8, 8, 8],
     );
+    let reg = nezha_sim::metrics::MetricsRegistry::new();
     for (name, s) in [
         ("CPS", shares.cps),
         ("#concurrent flows", shares.flows),
         ("#vNICs", shares.vnics),
     ] {
+        for (p, v) in ["p50", "p90", "p99", "p999", "p9999"].iter().zip(s) {
+            reg.set(
+                reg.gauge(
+                    "table1.usage_share",
+                    &[("capability", name.to_string()), ("pct", p.to_string())],
+                ),
+                v,
+            );
+        }
         row(
             &[
                 name.to_string(),
@@ -38,4 +48,5 @@ pub fn run() {
     }
     println!();
     println!("  paper (CPS row): 0.53%  1.41%  6.41%  18.38%  100%");
+    emit_snapshot("table1", &reg.snapshot());
 }

@@ -36,7 +36,12 @@ pub fn run() {
         &[14, 11, 10, 9, 8, 8, 18],
     );
     let paper = [("4X", "5.04X"), ("4.4X", "50.4X"), ("3X", "15.3X")];
+    let reg = nezha_sim::metrics::MetricsRegistry::new();
     for (r, p) in rows.iter().zip(paper) {
+        let mb = [("middlebox", r.name.to_string())];
+        reg.set(reg.gauge("table3.cps_gain", &mb), r.cps_gain);
+        reg.set(reg.gauge("table3.vnic_gain", &mb), r.vnic_gain);
+        reg.set(reg.gauge("table3.flows_gain", &mb), r.flows_gain);
         row(
             &[
                 r.name.to_string(),
@@ -55,4 +60,5 @@ pub fn run() {
         "  LB #flows after: {} (paper: \"roughly 30M flows\")",
         eng(rows[0].flows_after)
     );
+    emit_snapshot("table3", &reg.snapshot());
 }

@@ -21,9 +21,14 @@ pub fn run() {
         seed: 44,
         ..RegionConfig::default()
     });
+    let reg = nezha_sim::metrics::MetricsRegistry::new();
+    let model_hist = reg.histogram("table4.completion_model_secs", &[]);
+    let measured_hist = reg.histogram("table4.completion_measured_secs", &[]);
     let mut s = Samples::new();
     for _ in 0..30_000 {
-        s.record_duration(region.sample_completion());
+        let d = region.sample_completion();
+        s.record_duration(d);
+        reg.observe_duration(model_hist, d);
     }
     let ms = |v: f64| format!("{:.0}", v * 1e3);
     header(
@@ -64,8 +69,14 @@ pub fn run() {
             .unwrap();
         let t = cluster.now();
         cluster.run_until(t + SimDuration::from_secs(6));
-        for v in cluster.stats.offload_completion.raw() {
+        for v in cluster
+            .metrics()
+            .snapshot()
+            .histogram("offload.completion")
+            .raw()
+        {
             measured.record(*v);
+            reg.observe(measured_hist, *v);
         }
     }
     let (m_mean, _, m90, _, _, _) = measured.summary();
@@ -76,4 +87,5 @@ pub fn run() {
         ms(m_mean),
         ms(m90)
     );
+    emit_snapshot("table4", &reg.snapshot());
 }

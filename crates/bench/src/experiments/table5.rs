@@ -48,4 +48,14 @@ pub fn run() {
         "  Nezha / Sailfish total effort: {} (paper: \"only 10% of the development effort\")",
         pct(nezha_effort_ratio())
     );
+    let reg = nezha_sim::metrics::MetricsRegistry::new();
+    reg.set(reg.gauge("table5.effort_ratio", &[]), nezha_effort_ratio());
+    for c in &systems {
+        let sys = [("system", c.name.to_string())];
+        reg.add(
+            reg.counter("table5.total_pm", &sys),
+            (c.hardware_pm + c.software_pm + c.iteration_pm) as u64,
+        );
+    }
+    emit_snapshot("table5", &reg.snapshot());
 }

@@ -27,8 +27,17 @@ pub fn run() {
     let cfg = VSwitchConfig::default();
 
     println!("  (a) simulated card: capacity / lookup cycles");
+    let reg = nezha_sim::metrics::MetricsRegistry::new();
     print_grid(|bytes, rules| {
-        cfg.capacity_hz() / cfg.costs.lookup_cycles(bytes, rules, 0) as f64 / 1e6
+        let mpps = cfg.capacity_hz() / cfg.costs.lookup_cycles(bytes, rules, 0) as f64 / 1e6;
+        reg.set(
+            reg.gauge(
+                "table_a1.model_mpps",
+                &[("bytes", bytes.to_string()), ("rules", rules.to_string())],
+            ),
+            mpps,
+        );
+        mpps
     });
 
     println!();
@@ -76,6 +85,7 @@ pub fn run() {
     });
     println!();
     println!("  paper (64B row): 6.612  6.609  6.333  5.973  5.966  5.422 Mpps");
+    emit_snapshot("table_a1", &reg.snapshot());
 }
 
 fn print_grid(f: impl Fn(usize, usize) -> f64) {

@@ -1,4 +1,44 @@
-//! Plain-text table/series output helpers shared by every experiment.
+//! Plain-text table/series output helpers shared by every experiment,
+//! plus the machine-readable JSON snapshot exporter.
+//!
+//! Every experiment finishes by handing its [`MetricsSnapshot`] to
+//! [`emit_snapshot`], which renders one JSON line per snapshot (see
+//! EXPERIMENTS.md for the format). By default the line goes nowhere —
+//! the human-readable tables stay the primary output — but:
+//!
+//! * `NEZHA_SNAPSHOT_DIR=<dir>` writes `<dir>/<id>.json`;
+//! * `NEZHA_BENCH_JSON=1` prints the line to stdout (the same switch
+//!   the Criterion benches use for their JSON lines).
+
+use nezha_sim::metrics::MetricsSnapshot;
+use std::io::Write;
+
+/// Renders one snapshot as the canonical JSON line:
+/// `{"id": "<id>", "metrics": { ... }}`. Deterministic — the metric map
+/// is sorted by key and floats print via Rust's shortest-round-trip
+/// formatting, so same-seed runs emit byte-identical lines.
+pub fn snapshot_line(id: &str, snap: &MetricsSnapshot) -> String {
+    format!("{{\"id\": {:?}, \"metrics\": {}}}", id, snap.to_json())
+}
+
+/// Exports one experiment's metrics snapshot (see the module docs for
+/// the `NEZHA_SNAPSHOT_DIR` / `NEZHA_BENCH_JSON` switches). Errors
+/// writing the file are reported on stderr, never fatal.
+pub fn emit_snapshot(id: &str, snap: &MetricsSnapshot) {
+    let line = snapshot_line(id, snap);
+    if let Ok(dir) = std::env::var("NEZHA_SNAPSHOT_DIR") {
+        if !dir.is_empty() {
+            let path = std::path::Path::new(&dir).join(format!("{id}.json"));
+            let write = std::fs::File::create(&path).and_then(|mut f| writeln!(f, "{line}"));
+            if let Err(e) = write {
+                eprintln!("warning: cannot write snapshot {}: {e}", path.display());
+            }
+        }
+    }
+    if std::env::var("NEZHA_BENCH_JSON").is_ok_and(|v| v == "1") {
+        println!("{line}");
+    }
+}
 
 /// Prints an experiment banner.
 pub fn banner(id: &str, title: &str) {
@@ -80,6 +120,18 @@ mod tests {
     fn formatting() {
         assert_eq!(gain(3.345), "3.35x");
         assert_eq!(pct(0.5), "50.00%");
+    }
+
+    #[test]
+    fn snapshot_line_is_deterministic_json() {
+        let reg = nezha_sim::metrics::MetricsRegistry::new();
+        let h = reg.counter("pkt.ok", &[]);
+        reg.add(h, 3);
+        let a = snapshot_line("figX", &reg.snapshot());
+        let b = snapshot_line("figX", &reg.snapshot());
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"id\": \"figX\", \"metrics\": {"));
+        assert!(a.contains("\"pkt.ok\""));
     }
 
     #[test]

@@ -115,7 +115,11 @@ impl BackendMeta {
             .copied()
             .filter(|s| !self.dedicated.contains(s))
             .collect();
-        let ring = if general.is_empty() { &self.ready } else { &general };
+        let ring = if general.is_empty() {
+            &self.ready
+        } else {
+            &general
+        };
         if ring.is_empty() {
             None
         } else {
@@ -234,7 +238,10 @@ mod tests {
         // Other flows hash over the remaining (non-dedicated) FEs.
         for h in 0..32 {
             let pick = be.select_fe(&key(6), h).unwrap();
-            assert_ne!(pick, dedicated, "general traffic must avoid the dedicated FE");
+            assert_ne!(
+                pick, dedicated,
+                "general traffic must avoid the dedicated FE"
+            );
         }
     }
 }

@@ -26,13 +26,16 @@ use crate::gateway::Gateway;
 use crate::monitor::MonitorState;
 use crate::vm::{VmConfig, VmModel};
 use nezha_sim::engine::Engine;
+use nezha_sim::metrics::{CounterHandle, HistogramHandle, MetricsRegistry, SeriesHandle};
 use nezha_sim::resources::CpuOutcome;
 use nezha_sim::rng::SimRng;
 use nezha_sim::stats::{Counter, Samples, TimeSeries};
 use nezha_sim::time::{SimDuration, SimTime};
 use nezha_sim::topology::{Topology, TopologyConfig};
+use nezha_sim::trace::{PacketTrace, TraceEvent, TraceEventKind};
 use nezha_types::{
-    Direction, Ipv4Addr, NezhaHeader, NezhaPayloadKind, Packet, ServerId, SessionKey, VnicId,
+    Direction, Ipv4Addr, NezhaError, NezhaHeader, NezhaPayloadKind, NezhaResult, Packet, ServerId,
+    SessionKey, VnicId,
 };
 use nezha_vswitch::config::VSwitchConfig;
 use nezha_vswitch::pipeline::{self, ProcessOutcome};
@@ -98,6 +101,128 @@ impl Default for ClusterConfig {
             notify_always: false,
             skip_dual_running: false,
         }
+    }
+}
+
+/// Fluent builder for [`ClusterConfig`], starting from the defaults.
+///
+/// ```
+/// use nezha_core::cluster::ClusterConfig;
+///
+/// let cfg = ClusterConfig::builder()
+///     .seed(7)
+///     .auto(true)
+///     .build();
+/// assert_eq!(cfg.seed, 7);
+/// assert!(cfg.controller.auto_offload);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClusterConfigBuilder {
+    cfg: ClusterConfig,
+}
+
+impl ClusterConfigBuilder {
+    /// Fabric shape.
+    pub fn topology(mut self, topology: TopologyConfig) -> Self {
+        self.cfg.topology = topology;
+        self
+    }
+
+    /// Per-server vSwitch configuration.
+    pub fn vswitch(mut self, vswitch: VSwitchConfig) -> Self {
+        self.cfg.vswitch = vswitch;
+        self
+    }
+
+    /// Controller thresholds and delays.
+    pub fn controller(mut self, controller: ControllerConfig) -> Self {
+        self.cfg.controller = controller;
+        self
+    }
+
+    /// vSwitch gateway-learning interval.
+    pub fn learning_interval(mut self, interval: SimDuration) -> Self {
+        self.cfg.learning_interval = interval;
+        self
+    }
+
+    /// Session aging sweep period.
+    pub fn aging_period(mut self, period: SimDuration) -> Self {
+        self.cfg.aging_period = period;
+        self
+    }
+
+    /// Retransmission timeout for lost connection packets.
+    pub fn retry_timeout(mut self, timeout: SimDuration) -> Self {
+        self.cfg.retry_timeout = timeout;
+        self
+    }
+
+    /// Retries before a connection is declared failed.
+    pub fn max_retries(mut self, retries: u32) -> Self {
+        self.cfg.max_retries = retries;
+        self
+    }
+
+    /// RNG seed (full determinism).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// FE selection granularity (Nezha uses flow-level).
+    pub fn lb_mode(mut self, mode: LbMode) -> Self {
+        self.cfg.lb_mode = mode;
+        self
+    }
+
+    /// Ablation: notify on every FE cache miss.
+    pub fn notify_always(mut self, always: bool) -> Self {
+        self.cfg.notify_always = always;
+        self
+    }
+
+    /// Ablation: skip the dual-running stage.
+    pub fn skip_dual_running(mut self, skip: bool) -> Self {
+        self.cfg.skip_dual_running = skip;
+        self
+    }
+
+    /// Convenience: vSwitch core count (the most-tuned knob in tests).
+    pub fn cores(mut self, cores: u32) -> Self {
+        self.cfg.vswitch.cores = cores;
+        self
+    }
+
+    /// Convenience: enables/disables both automatic offload and scaling.
+    pub fn auto(mut self, auto: bool) -> Self {
+        self.cfg.controller.auto_offload = auto;
+        self.cfg.controller.auto_scale = auto;
+        self
+    }
+
+    /// Convenience: automatic offload only (leaves auto-scaling as-is).
+    pub fn auto_offload(mut self, auto: bool) -> Self {
+        self.cfg.controller.auto_offload = auto;
+        self
+    }
+
+    /// Convenience: automatic FE scaling only (leaves auto-offload as-is).
+    pub fn auto_scale(mut self, auto: bool) -> Self {
+        self.cfg.controller.auto_scale = auto;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> ClusterConfig {
+        self.cfg
+    }
+}
+
+impl ClusterConfig {
+    /// Starts a fluent [`ClusterConfigBuilder`] from the defaults.
+    pub fn builder() -> ClusterConfigBuilder {
+        ClusterConfigBuilder::default()
     }
 }
 
@@ -204,7 +329,13 @@ pub enum Event {
 }
 
 /// Aggregated measurements.
-#[derive(Debug)]
+///
+/// Since the telemetry redesign this is an owned *view* assembled on
+/// demand from the cluster's [`MetricsRegistry`] by [`Cluster::stats`];
+/// field names are unchanged so `c.stats.X` call sites only became
+/// `c.stats().X`. Experiments should prefer reading the registry snapshot
+/// directly (`c.metrics().snapshot()`).
+#[derive(Clone, Debug)]
 pub struct ClusterStats {
     /// Connection-packet delivery counter (ok vs lost).
     pub pkts: Counter,
@@ -251,29 +382,117 @@ pub struct ClusterStats {
     pub monitor_suspensions: u64,
 }
 
-impl ClusterStats {
-    fn new() -> Self {
+/// The cluster's telemetry plumbing: the shared registry, the shared
+/// packet-trace ring, and the pre-registered handles every hot-path
+/// increment goes through. Registered once in [`Cluster::new`].
+#[derive(Debug, Clone)]
+pub(crate) struct ClusterTelemetry {
+    /// The registry shared by the engine, every vSwitch, and the cluster.
+    pub(crate) registry: MetricsRegistry,
+    /// The trace ring shared with every vSwitch (disabled until
+    /// [`Cluster::enable_trace`]).
+    pub(crate) trace: PacketTrace,
+    pub(crate) pkt_ok: CounterHandle,
+    pub(crate) pkt_dropped: CounterHandle,
+    pub(crate) probe_latency: HistogramHandle,
+    pub(crate) conn_latency: HistogramHandle,
+    pub(crate) cps_series: SeriesHandle,
+    pub(crate) loss_series: SeriesHandle,
+    pub(crate) total_series: SeriesHandle,
+    pub(crate) offload_completion: HistogramHandle,
+    pub(crate) completed: CounterHandle,
+    pub(crate) denied: CounterHandle,
+    pub(crate) failed: CounterHandle,
+    pub(crate) notifies: CounterHandle,
+    pub(crate) mirror_copies: CounterHandle,
+    pub(crate) stale_bounces: CounterHandle,
+    pub(crate) misroutes: CounterHandle,
+    pub(crate) offload_events: CounterHandle,
+    pub(crate) scale_out_events: CounterHandle,
+    pub(crate) scale_in_events: CounterHandle,
+    pub(crate) fallback_events: CounterHandle,
+    pub(crate) failover_events: CounterHandle,
+    pub(crate) monitor_suspensions: CounterHandle,
+}
+
+impl ClusterTelemetry {
+    fn register(registry: MetricsRegistry) -> Self {
+        let c = |name: &str| registry.counter(name, &[]);
+        let h = |name: &str| registry.histogram(name, &[]);
+        ClusterTelemetry {
+            trace: PacketTrace::disabled(),
+            pkt_ok: c("pkt.ok"),
+            pkt_dropped: c("pkt.dropped"),
+            probe_latency: h("latency.probe"),
+            conn_latency: h("latency.conn"),
+            cps_series: registry.series("conn.cps", &[], SimDuration::from_millis(50)),
+            loss_series: registry.series("pkt.loss", &[], SimDuration::from_millis(100)),
+            total_series: registry.series("pkt.total", &[], SimDuration::from_millis(100)),
+            offload_completion: h("offload.completion"),
+            completed: c("conn.completed"),
+            denied: c("conn.denied"),
+            failed: c("conn.failed"),
+            notifies: c("nsh.notifies"),
+            mirror_copies: c("pkt.mirror_copies"),
+            stale_bounces: c("pkt.stale_bounces"),
+            misroutes: c("pkt.misroutes"),
+            offload_events: c("ctrl.offload_events"),
+            scale_out_events: c("ctrl.scale_out_events"),
+            scale_in_events: c("ctrl.scale_in_events"),
+            fallback_events: c("ctrl.fallback_events"),
+            failover_events: c("ctrl.failover_events"),
+            monitor_suspensions: c("monitor.suspensions"),
+            registry,
+        }
+    }
+
+    /// Counter increment (hot path: one borrow + one index).
+    pub(crate) fn inc(&self, h: CounterHandle) {
+        self.registry.inc(h);
+    }
+
+    /// Counter increment by `n`.
+    pub(crate) fn add(&self, h: CounterHandle, n: u64) {
+        self.registry.add(h, n);
+    }
+
+    /// Duration observation in seconds.
+    pub(crate) fn observe_duration(&self, h: HistogramHandle, d: SimDuration) {
+        self.registry.observe_duration(h, d);
+    }
+
+    /// Series bin accumulation.
+    pub(crate) fn series_add(&self, h: SeriesHandle, at: SimTime, v: f64) {
+        self.registry.series_add(h, at, v);
+    }
+
+    /// Assembles the legacy [`ClusterStats`] view from the registry.
+    fn stats(&self) -> ClusterStats {
+        let v = |h: CounterHandle| self.registry.counter_value(h);
         ClusterStats {
-            pkts: Counter::default(),
-            probe_latency: Samples::new(),
-            conn_latency: Samples::new(),
-            cps_series: TimeSeries::new(SimDuration::from_millis(50)),
-            loss_series: TimeSeries::new(SimDuration::from_millis(100)),
-            total_series: TimeSeries::new(SimDuration::from_millis(100)),
-            offload_completion: Samples::new(),
-            completed: 0,
-            denied: 0,
-            failed: 0,
-            notifies: 0,
-            mirror_copies: 0,
-            stale_bounces: 0,
-            misroutes: 0,
-            offload_events: 0,
-            scale_out_events: 0,
-            scale_in_events: 0,
-            fallback_events: 0,
-            failover_events: 0,
-            monitor_suspensions: 0,
+            pkts: Counter {
+                ok: v(self.pkt_ok),
+                dropped: v(self.pkt_dropped),
+            },
+            probe_latency: self.registry.histogram_samples(self.probe_latency),
+            conn_latency: self.registry.histogram_samples(self.conn_latency),
+            cps_series: self.registry.series_data(self.cps_series),
+            loss_series: self.registry.series_data(self.loss_series),
+            total_series: self.registry.series_data(self.total_series),
+            offload_completion: self.registry.histogram_samples(self.offload_completion),
+            completed: v(self.completed),
+            denied: v(self.denied),
+            failed: v(self.failed),
+            notifies: v(self.notifies),
+            mirror_copies: v(self.mirror_copies),
+            stale_bounces: v(self.stale_bounces),
+            misroutes: v(self.misroutes),
+            offload_events: v(self.offload_events),
+            scale_out_events: v(self.scale_out_events),
+            scale_in_events: v(self.scale_in_events),
+            fallback_events: v(self.fallback_events),
+            failover_events: v(self.failover_events),
+            monitor_suspensions: v(self.monitor_suspensions),
         }
     }
 }
@@ -326,8 +545,8 @@ pub struct Cluster {
     pub(crate) conns: HashMap<u64, ConnState>,
     next_conn_id: u64,
     next_probe_id: u64,
-    /// Measurements.
-    pub stats: ClusterStats,
+    /// Telemetry: shared registry + trace + pre-registered handles.
+    pub(crate) tel: ClusterTelemetry,
     /// Controller bookkeeping.
     pub(crate) controller: ControllerState,
     /// Monitor bookkeeping.
@@ -355,10 +574,17 @@ impl Cluster {
     pub fn new(cfg: ClusterConfig) -> Self {
         let topo = Topology::new(cfg.topology);
         let n = topo.total_servers() as usize;
-        let switches = (0..n)
-            .map(|i| VSwitch::new(ServerId(i as u32), cfg.vswitch))
+        let tel = ClusterTelemetry::register(MetricsRegistry::new());
+        let switches: Vec<VSwitch> = (0..n)
+            .map(|i| {
+                let mut vs = VSwitch::new(ServerId(i as u32), cfg.vswitch);
+                vs.attach_metrics(&tel.registry);
+                vs.attach_trace(&tel.trace);
+                vs
+            })
             .collect();
         let mut engine = Engine::new();
+        engine.attach_metrics(&tel.registry);
         engine.schedule_in(cfg.controller.report_period, Event::ControllerTick);
         engine.schedule_in(cfg.controller.ping_period, Event::MonitorTick);
         engine.schedule_in(cfg.aging_period, Event::AgingTick);
@@ -377,7 +603,7 @@ impl Cluster {
             conns: HashMap::new(),
             next_conn_id: 1,
             next_probe_id: 1,
-            stats: ClusterStats::new(),
+            tel,
             controller: ControllerState::new(),
             monitor: MonitorState::new(),
             rng: SimRng::new(cfg.seed),
@@ -411,14 +637,58 @@ impl Cluster {
         self.engine.now()
     }
 
+    /// The cluster's shared [`MetricsRegistry`] — engine, every vSwitch,
+    /// and the management plane all report here. Take `.snapshot()` to
+    /// read every metric deterministically.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.tel.registry
+    }
+
+    /// The shared packet-trace ring (disabled until
+    /// [`Cluster::enable_trace`]).
+    pub fn trace(&self) -> &PacketTrace {
+        &self.tel.trace
+    }
+
+    /// Turns on structured per-packet tracing, keeping at most `capacity`
+    /// most-recent events. Pass 0 to disable again.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.tel.trace.set_capacity(capacity);
+    }
+
+    /// The legacy aggregated view, assembled from the metrics registry.
+    pub fn stats(&self) -> ClusterStats {
+        self.tel.stats()
+    }
+
+    /// Records one cluster-level trace event for `pkt` at `server`.
+    fn trace_pkt(&self, at: SimTime, server: ServerId, pkt: &Packet, kind: TraceEventKind) {
+        if self.tel.trace.is_enabled() {
+            self.tel.trace.record(TraceEvent {
+                at,
+                trace_id: pkt.trace,
+                server,
+                vnic: pkt.vnic,
+                kind,
+            });
+        }
+    }
+
     /// Immutable access to a server's vSwitch.
-    pub fn switch(&self, s: ServerId) -> &VSwitch {
-        &self.switches[s.0 as usize]
+    ///
+    /// Errors with [`NezhaError::UnknownServer`] when `s` is outside the
+    /// topology.
+    pub fn switch(&self, s: ServerId) -> NezhaResult<&VSwitch> {
+        self.switches
+            .get(s.0 as usize)
+            .ok_or(NezhaError::UnknownServer(s))
     }
 
     /// Mutable access to a server's vSwitch (tests / rule pushes).
-    pub fn switch_mut(&mut self, s: ServerId) -> &mut VSwitch {
-        &mut self.switches[s.0 as usize]
+    pub fn switch_mut(&mut self, s: ServerId) -> NezhaResult<&mut VSwitch> {
+        self.switches
+            .get_mut(s.0 as usize)
+            .ok_or(NezhaError::UnknownServer(s))
     }
 
     /// Whether a server is alive.
@@ -455,15 +725,13 @@ impl Cluster {
     /// TX selection, the gateway's RX selection, and the general hash
     /// ring are all updated — the dedicated FE serves (nearly) only the
     /// elephant from now on.
-    pub fn pin_flow(
-        &mut self,
-        vnic: VnicId,
-        key: SessionKey,
-        fe: ServerId,
-    ) -> Result<(), &'static str> {
-        let meta = self.be_meta.get_mut(&vnic).ok_or("vNIC not offloaded")?;
+    pub fn pin_flow(&mut self, vnic: VnicId, key: SessionKey, fe: ServerId) -> NezhaResult<()> {
+        let meta = self
+            .be_meta
+            .get_mut(&vnic)
+            .ok_or(NezhaError::NotOffloaded(vnic))?;
         if !meta.fe_list.contains(&fe) {
-            return Err("target is not one of the vNIC's FEs");
+            return Err(NezhaError::NotAnFe { vnic, fe });
         }
         meta.pin_flow(key, fe);
         let general = meta.general_fes();
@@ -501,26 +769,40 @@ impl Cluster {
 
     /// Installs a vNIC (with VM) on its home server and registers it at
     /// the gateway.
-    pub fn add_vnic(&mut self, vnic: Vnic, home: ServerId, vm: VmConfig) {
+    ///
+    /// Errors when `home` is outside the topology or its vSwitch cannot
+    /// fit the vNIC's tables; the cluster is left unchanged.
+    pub fn add_vnic(&mut self, vnic: Vnic, home: ServerId, vm: VmConfig) -> NezhaResult<()> {
         let id = vnic.id;
         let addr = vnic.addr;
-        self.master_vnics.insert(id, vnic.clone());
-        self.switches[home.0 as usize]
-            .add_vnic(vnic)
-            .expect("home vSwitch cannot fit the vNIC's tables");
+        self.switches
+            .get_mut(home.0 as usize)
+            .ok_or(NezhaError::UnknownServer(home))?
+            .add_vnic(vnic.clone())
+            .map_err(|_| NezhaError::InsufficientMemory {
+                what: "vNIC tables",
+            })?;
+        self.master_vnics.insert(id, vnic);
         self.vnic_home.insert(id, home);
         self.vnic_addr.insert(id, addr);
         self.gateway.update(addr, vec![home], self.engine.now());
         self.vms.insert(id, VmModel::new(vm));
+        Ok(())
     }
 
     /// Registers the mapping of a peer/client overlay address so the
     /// vNIC's egress lookups resolve to real topology servers.
-    pub fn map_peer(&mut self, vnic: VnicId, addr: Ipv4Addr, server: ServerId) {
+    ///
+    /// Errors with [`NezhaError::UnknownVnic`] for a vNIC that was never
+    /// [added](Cluster::add_vnic).
+    pub fn map_peer(&mut self, vnic: VnicId, addr: Ipv4Addr, server: ServerId) -> NezhaResult<()> {
+        let home = *self
+            .vnic_home
+            .get(&vnic)
+            .ok_or(NezhaError::UnknownVnic(vnic))?;
         if let Some(master) = self.master_vnics.get_mut(&vnic) {
             master.tables.vnic_server.set(addr, server);
         }
-        let home = self.vnic_home[&vnic];
         let home_vs = &mut self.switches[home.0 as usize];
         if home_vs.vnic(vnic).is_some() {
             home_vs
@@ -553,11 +835,15 @@ impl Cluster {
                 }
             }
         }
+        Ok(())
     }
 
     /// Registers a connection and schedules its start. Peer addresses are
     /// mapped automatically. Returns the connection id.
-    pub fn add_conn(&mut self, spec: ConnSpec) -> u64 {
+    ///
+    /// Errors with [`NezhaError::UnknownVnic`] when `spec.vnic` was never
+    /// [added](Cluster::add_vnic).
+    pub fn add_conn(&mut self, spec: ConnSpec) -> NezhaResult<u64> {
         let id = self.next_conn_id;
         self.next_conn_id += 1;
         let peer_addr = match spec.kind {
@@ -566,7 +852,7 @@ impl Cluster {
             }
             ConnKind::Outbound => spec.tuple.dst_ip,
         };
-        self.map_peer(spec.vnic, peer_addr, spec.peer_server);
+        self.map_peer(spec.vnic, peer_addr, spec.peer_server)?;
         self.conns.insert(
             id,
             ConnState {
@@ -579,7 +865,7 @@ impl Cluster {
         );
         self.engine
             .schedule_at(spec.start, Event::StartConn { conn: id });
-        id
+        Ok(id)
     }
 
     /// Injects a standalone probe packet (latency measurement, Fig. 12).
@@ -592,8 +878,8 @@ impl Cluster {
         payload: u32,
         from: ServerId,
         at: SimTime,
-    ) {
-        self.inject_rx_packet(vnic, tuple, payload, from, at, false);
+    ) -> NezhaResult<()> {
+        self.inject_rx_packet(vnic, tuple, payload, from, at, false)
     }
 
     /// Injects a bulk/background RX packet: takes the full data-plane
@@ -606,8 +892,8 @@ impl Cluster {
         payload: u32,
         from: ServerId,
         at: SimTime,
-    ) {
-        self.inject_rx_packet(vnic, tuple, payload, from, at, true);
+    ) -> NezhaResult<()> {
+        self.inject_rx_packet(vnic, tuple, payload, from, at, true)
     }
 
     fn inject_rx_packet(
@@ -618,18 +904,17 @@ impl Cluster {
         from: ServerId,
         at: SimTime,
         silent: bool,
-    ) {
+    ) -> NezhaResult<()> {
+        let vpc = self
+            .master_vnics
+            .get(&vnic)
+            .ok_or(NezhaError::UnknownVnic(vnic))?
+            .vpc;
         let id = PROBE_BIT | if silent { SILENT_BIT } else { 0 } | self.next_probe_id;
         self.next_probe_id += 1;
-        let pkt = Packet::rx_data(
-            id,
-            self.master_vnics[&vnic].vpc,
-            vnic,
-            tuple,
-            nezha_types::TcpFlags::ACK,
-            payload,
-        );
+        let pkt = Packet::rx_data(id, vpc, vnic, tuple, nezha_types::TcpFlags::ACK, payload);
         self.engine.schedule_at(at, Event::StartProbe { pkt, from });
+        Ok(())
     }
 
     /// Crashes a server at `at` (its vSwitch stops processing and stops
@@ -704,7 +989,7 @@ impl Cluster {
                 Packet::rx_data(trace, spec.vpc, spec.vnic, tuple, step.flags, payload)
             }
         };
-        self.stats.total_series.add(now, 1.0);
+        self.tel.series_add(self.tel.total_series, now, 1.0);
         match step.dir {
             Direction::Tx => {
                 // VM-originated: the kernel pays its share of the
@@ -762,14 +1047,13 @@ impl Cluster {
         }
         conn.pos += 1;
         conn.retries = 0;
-        self.stats.pkts.ok += 1;
+        self.tel.inc(self.tel.pkt_ok);
         if conn.pos == conn.spec.kind.script().len() {
             conn.status = ConnStatus::Completed;
-            self.stats.completed += 1;
-            self.stats
-                .conn_latency
-                .record_duration(now.since(conn.started_at));
-            self.stats.cps_series.add(now, 1.0);
+            let latency = now.since(conn.started_at);
+            self.tel.inc(self.tel.completed);
+            self.tel.observe_duration(self.tel.conn_latency, latency);
+            self.tel.series_add(self.tel.cps_series, now, 1.0);
             if let Some(vm) = self.vms.get_mut(&conn.spec.vnic) {
                 vm.conn_completed();
             }
@@ -789,7 +1073,7 @@ impl Cluster {
         conn.retries += 1;
         if conn.retries > self.cfg.max_retries {
             conn.status = ConnStatus::Failed;
-            self.stats.failed += 1;
+            self.tel.inc(self.tel.failed);
             return;
         }
         self.inject_step(conn_id, step, now);
@@ -797,8 +1081,8 @@ impl Cluster {
 
     /// Records a lost conn/probe packet and schedules the retry.
     fn lose_packet(&mut self, trace: u64, now: SimTime) {
-        self.stats.loss_series.add(now, 1.0);
-        self.stats.pkts.dropped += 1;
+        self.tel.series_add(self.tel.loss_series, now, 1.0);
+        self.tel.inc(self.tel.pkt_dropped);
         if trace & PROBE_BIT != 0 || trace == 0 {
             return; // probes and notify packets (trace 0) are not retried
         }
@@ -816,7 +1100,7 @@ impl Cluster {
         if let Some(conn) = self.conns.get_mut(&(trace >> 4)) {
             if conn.status == ConnStatus::InFlight {
                 conn.status = ConnStatus::Denied;
-                self.stats.denied += 1;
+                self.tel.inc(self.tel.denied);
             }
         }
     }
@@ -825,7 +1109,8 @@ impl Cluster {
     fn complete_step(&mut self, trace: u64, sent_at: SimTime, at: SimTime) {
         if trace & PROBE_BIT != 0 {
             if trace & SILENT_BIT == 0 {
-                self.stats.probe_latency.record_duration(at.since(sent_at));
+                self.tel
+                    .observe_duration(self.tel.probe_latency, at.since(sent_at));
             }
             return;
         }
@@ -897,7 +1182,7 @@ impl Cluster {
         } else {
             // Stale mapping pointed at a server that is neither home nor a
             // configured FE (e.g. an FE that was just scaled in).
-            self.stats.misroutes += 1;
+            self.tel.inc(self.tel.misroutes);
             self.lose_packet(pkt.trace, now);
         }
     }
@@ -973,6 +1258,7 @@ impl Cluster {
         let mut out = pkt.with_nezha(nsh);
         out.outer_src = Some(server);
         out.outer_dst = Some(fe);
+        self.trace_pkt(done, server, &out, TraceEventKind::NshEncap);
         let lat = self.topo.latency(server, fe, out.wire_len());
         self.engine.schedule_at(
             done + lat,
@@ -995,9 +1281,10 @@ impl Cluster {
     ) {
         let nsh = pkt.nezha.expect("tx carry");
         let Some(_) = self.fes.get(&(server, pkt.vnic)) else {
-            self.stats.misroutes += 1;
+            self.tel.inc(self.tel.misroutes);
             return self.lose_packet(pkt.trace, now);
         };
+        self.trace_pkt(now, server, &pkt, TraceEventKind::NshDecap);
         // Split borrows: switch and FE are distinct fields.
         let vs = &mut self.switches[server.0 as usize];
         let mem_model = vs.config().memory;
@@ -1037,7 +1324,10 @@ impl Cluster {
         if action.verdict == nezha_types::Decision::Drop {
             return self.deny_conn(pkt.trace);
         }
-        self.stats.mirror_copies += pipeline::mirror_copies(&action) as u64;
+        self.tel.add(
+            self.tel.mirror_copies,
+            pipeline::mirror_copies(&action) as u64,
+        );
 
         // Notify packets: rule-table-involved state discovered at the FE
         // that differs from what the packet carried (§3.2.2).
@@ -1089,6 +1379,7 @@ impl Cluster {
         let mut out = out.with_nezha(nsh);
         out.outer_src = Some(server);
         out.outer_dst = Some(be);
+        self.trace_pkt(done, server, &out, TraceEventKind::NshEncap);
         let lat = self.topo.latency(server, be, out.wire_len());
         self.engine.schedule_at(
             done + lat,
@@ -1111,13 +1402,14 @@ impl Cluster {
     ) {
         let nsh = pkt.nezha.expect("rx carry");
         if self.vnic_home.get(&pkt.vnic) != Some(&server) {
-            self.stats.misroutes += 1;
+            self.tel.inc(self.tel.misroutes);
             return self.lose_packet(pkt.trace, now);
         }
         let Some(pair) = nsh.pre_actions else {
-            self.stats.misroutes += 1;
+            self.tel.inc(self.tel.misroutes);
             return self.lose_packet(pkt.trace, now);
         };
+        self.trace_pkt(now, server, &pkt, TraceEventKind::NshDecap);
         let key = SessionKey::of(pkt.vpc, pkt.tuple);
         let vs = &mut self.switches[server.0 as usize];
         let mem_model = vs.config().memory;
@@ -1163,7 +1455,10 @@ impl Cluster {
         if action.verdict == nezha_types::Decision::Drop {
             return self.deny_conn(pkt.trace);
         }
-        self.stats.mirror_copies += pipeline::mirror_copies(&action) as u64;
+        self.tel.add(
+            self.tel.mirror_copies,
+            pipeline::mirror_copies(&action) as u64,
+        );
         self.deliver_to_vm(pkt.vnic, pkt.trace, sent_at, done, now);
     }
 
@@ -1201,7 +1496,7 @@ impl Cluster {
             return self.process_locally(server, pkt, sent_at, now);
         }
         // Final stage: tables are gone. Bounce to an FE (costs a parse).
-        self.stats.stale_bounces += 1;
+        self.tel.inc(self.tel.stale_bounces);
         let key = SessionKey::of(pkt.vpc, pkt.tuple);
         let meta = self.be_meta.get(&pkt.vnic).expect("offloaded");
         let Some(fe) = meta.select_fe(&key, flow_hash(&pkt.tuple)) else {
@@ -1242,11 +1537,12 @@ impl Cluster {
         self.controller.note_local_cycles(server, cycles_hint);
         match r.outcome {
             ProcessOutcome::Forwarded(action) => {
-                self.stats.mirror_copies += pipeline::mirror_copies(&action) as u64;
+                self.tel.add(
+                    self.tel.mirror_copies,
+                    pipeline::mirror_copies(&action) as u64,
+                );
                 match pkt.dir {
-                    Direction::Tx => {
-                        self.forward_to_peer(server, pkt, action, sent_at, r.done_at)
-                    }
+                    Direction::Tx => self.forward_to_peer(server, pkt, action, sent_at, r.done_at),
                     Direction::Rx => {
                         self.deliver_to_vm(pkt.vnic, pkt.trace, sent_at, r.done_at, now)
                     }
@@ -1313,7 +1609,8 @@ impl Cluster {
         done: SimTime,
         _now: SimTime,
     ) {
-        self.stats.notifies += 1;
+        self.tel.inc(self.tel.notifies);
+        self.trace_pkt(done, fe_server, pkt, TraceEventKind::Notify);
         let be = self.vnic_home[&pkt.vnic];
         let mut nsh = NezhaHeader::bare(NezhaPayloadKind::Notify, pkt.vnic, pkt.vpc);
         nsh.stats_policy = Some(policy);
@@ -1341,7 +1638,6 @@ impl Cluster {
 }
 
 #[cfg(test)]
-#[allow(clippy::field_reassign_with_default)]
 mod tests {
     use super::*;
     use crate::vm::VmConfig;
@@ -1353,15 +1649,15 @@ mod tests {
     const SVC_PORT: u16 = 9000;
 
     fn small_cluster(auto: bool) -> Cluster {
-        let mut cfg = ClusterConfig::default();
-        cfg.topology = TopologyConfig {
-            servers_per_rack: 8,
-            racks_per_pod: 2,
-            pods: 1,
-            ..TopologyConfig::default()
-        };
-        cfg.controller.auto_offload = auto;
-        cfg.controller.auto_scale = auto;
+        let cfg = ClusterConfig::builder()
+            .topology(TopologyConfig {
+                servers_per_rack: 8,
+                racks_per_pod: 2,
+                pods: 1,
+                ..TopologyConfig::default()
+            })
+            .auto(auto)
+            .build();
         let mut cluster = Cluster::new(cfg);
         let mut vnic = Vnic::new(
             VNIC,
@@ -1371,7 +1667,9 @@ mod tests {
             HOME,
         );
         vnic.allow_inbound_port(SVC_PORT);
-        cluster.add_vnic(vnic, HOME, VmConfig::with_vcpus(64));
+        cluster
+            .add_vnic(vnic, HOME, VmConfig::with_vcpus(64))
+            .unwrap();
         cluster
     }
 
@@ -1395,7 +1693,9 @@ mod tests {
 
     fn run_conns(cluster: &mut Cluster, n: u16, spacing: SimDuration) -> SimTime {
         for i in 0..n {
-            cluster.add_conn(inbound_spec(i, SimTime(0) + spacing.times(i as u64)));
+            cluster
+                .add_conn(inbound_spec(i, SimTime(0) + spacing.times(i as u64)))
+                .unwrap();
         }
         let end = SimTime(0) + spacing.times(n as u64) + SimDuration::from_secs(5);
         cluster.run_until(end);
@@ -1407,15 +1707,64 @@ mod tests {
         let mut c = small_cluster(false);
         run_conns(&mut c, 50, SimDuration::from_millis(2));
         assert_eq!(
-            c.stats.completed, 50,
+            c.stats().completed,
+            50,
             "failed={} denied={}",
-            c.stats.failed, c.stats.denied
+            c.stats().failed,
+            c.stats().denied
         );
-        assert_eq!(c.stats.failed, 0);
-        assert_eq!(c.stats.denied, 0);
+        assert_eq!(c.stats().failed, 0);
+        assert_eq!(c.stats().denied, 0);
         // Sessions were tracked and later aged out.
-        let (created, _, _) = c.switch(HOME).sessions.counters();
+        let (created, _, _) = c.switch(HOME).unwrap().sessions.counters();
         assert_eq!(created, 50);
+    }
+
+    #[test]
+    fn control_plane_errors_are_typed() {
+        let mut c = small_cluster(false);
+        let ghost = VnicId(99);
+        assert_eq!(
+            c.trigger_offload(ghost, SimTime(0)),
+            Err(NezhaError::UnknownVnic(ghost))
+        );
+        assert_eq!(
+            c.add_conn(crate::conn::ConnSpec {
+                vnic: ghost,
+                ..inbound_spec(1, SimTime(0))
+            }),
+            Err(NezhaError::UnknownVnic(ghost))
+        );
+        let key = SessionKey::of(VpcId(1), inbound_spec(1, SimTime(0)).tuple);
+        assert_eq!(
+            c.pin_flow(ghost, key, ServerId(1)),
+            Err(NezhaError::NotOffloaded(ghost))
+        );
+        assert_eq!(
+            c.switch(ServerId(9_999)).err(),
+            Some(NezhaError::UnknownServer(ServerId(9_999)))
+        );
+        c.trigger_offload(VNIC, SimTime(0)).unwrap();
+        assert_eq!(
+            c.trigger_offload(VNIC, SimTime(0)),
+            Err(NezhaError::AlreadyOffloaded(VNIC))
+        );
+        // Fallback before the offload reaches its final stage is refused.
+        assert_eq!(
+            c.trigger_fallback(VNIC, c.now()),
+            Err(NezhaError::OffloadInProgress(VNIC))
+        );
+        c.run_until(SimTime(0) + SimDuration::from_secs(3));
+        // Pinning to a server that hosts no FE for the vNIC is refused.
+        let not_fe = ServerId(15);
+        assert!(!c.fe_servers(VNIC).contains(&not_fe));
+        assert_eq!(
+            c.pin_flow(VNIC, key, not_fe),
+            Err(NezhaError::NotAnFe {
+                vnic: VNIC,
+                fe: not_fe
+            })
+        );
     }
 
     #[test]
@@ -1423,10 +1772,10 @@ mod tests {
         let mut c = small_cluster(false);
         let mut spec = inbound_spec(1, SimTime(0));
         spec.tuple.dst_port = 47_123; // no accept rule, stateful default
-        c.add_conn(spec);
+        c.add_conn(spec).unwrap();
         c.run_until(SimTime(0) + SimDuration::from_secs(5));
-        assert_eq!(c.stats.denied, 1);
-        assert_eq!(c.stats.completed, 0);
+        assert_eq!(c.stats().denied, 1);
+        assert_eq!(c.stats().completed, 0);
     }
 
     #[test]
@@ -1437,7 +1786,8 @@ mod tests {
             c.add_conn(inbound_spec(
                 i,
                 SimTime(0) + SimDuration::from_millis(5 * i as u64),
-            ));
+            ))
+            .unwrap();
         }
         c.run_until(SimTime(0) + SimDuration::from_millis(100));
         c.trigger_offload(VNIC, c.now()).unwrap();
@@ -1446,7 +1796,8 @@ mod tests {
             c.add_conn(inbound_spec(
                 i,
                 c.now() + SimDuration::from_millis(5 * (i - 40) as u64),
-            ));
+            ))
+            .unwrap();
         }
         c.run_until(c.now() + SimDuration::from_secs(8));
         let meta = c.backend(VNIC).expect("offloaded");
@@ -1454,13 +1805,16 @@ mod tests {
         assert_eq!(meta.fe_list.len(), 4);
         assert!(meta.activated_at.is_some());
         assert_eq!(
-            c.stats.completed, 120,
+            c.stats().completed,
+            120,
             "failed={} denied={} misroutes={}",
-            c.stats.failed, c.stats.denied, c.stats.misroutes
+            c.stats().failed,
+            c.stats().denied,
+            c.stats().misroutes
         );
-        assert_eq!(c.stats.failed, 0);
+        assert_eq!(c.stats().failed, 0);
         // Completion time recorded, in Table 4's ballpark.
-        let mean = c.stats.offload_completion.mean();
+        let mean = c.stats().offload_completion.mean();
         assert!((0.3..3.0).contains(&mean), "completion {mean}s");
         // FEs actually processed traffic.
         let fe_hits: u64 = c
@@ -1470,7 +1824,7 @@ mod tests {
             .sum();
         assert!(fe_hits > 0, "FEs never saw traffic");
         // BE rule tables are gone; home switch no longer hosts the vNIC.
-        assert!(c.switch(HOME).vnic(VNIC).is_none());
+        assert!(c.switch(HOME).unwrap().vnic(VNIC).is_none());
     }
 
     #[test]
@@ -1482,17 +1836,18 @@ mod tests {
             c.add_conn(inbound_spec(
                 i,
                 c.now() + SimDuration::from_millis(i as u64),
-            ));
+            ))
+            .unwrap();
         }
         c.run_until(c.now() + SimDuration::from_secs(6));
-        assert_eq!(c.stats.completed, 200);
+        assert_eq!(c.stats().completed, 200);
         // Every FE served some flows (hash spreading, §3.2.3).
         for s in c.fe_servers(VNIC) {
             let (hits, misses, _) = c.fes[&(s, VNIC)].counters();
             assert!(hits + misses > 0, "FE on {s} idle");
         }
         // Notifies were generated for stats-policy flows only on misses.
-        assert!(c.stats.notifies <= c.stats.completed * 2);
+        assert!(c.stats().notifies <= c.stats().completed * 2);
     }
 
     #[test]
@@ -1508,20 +1863,25 @@ mod tests {
             c.add_conn(inbound_spec(
                 i,
                 c.now() + SimDuration::from_millis(10 * i as u64),
-            ));
+            ))
+            .unwrap();
         }
         c.run_until(c.now() + SimDuration::from_secs(12));
-        assert!(c.stats.failover_events >= 1);
+        assert!(c.stats().failover_events >= 1);
         // The pool is restored to the 4-FE floor on live servers.
         let fes = c.fe_servers(VNIC);
         assert_eq!(fes.len(), 4, "pool {fes:?}");
         assert!(!fes.contains(&victim));
         // Losses were transient: the vast majority of conns completed.
-        let total = c.stats.completed + c.stats.failed + c.stats.denied;
+        let total = c.stats().completed + c.stats().failed + c.stats().denied;
         assert_eq!(total, 600);
-        assert!(c.stats.completed >= 590, "completed {}", c.stats.completed);
+        assert!(
+            c.stats().completed >= 590,
+            "completed {}",
+            c.stats().completed
+        );
         // Loss was confined to around the crash instant (Fig. 14 shape).
-        assert!(c.stats.pkts.dropped > 0, "crash must cost some packets");
+        assert!(c.stats().pkts.dropped > 0, "crash must cost some packets");
     }
 
     #[test]
@@ -1534,17 +1894,21 @@ mod tests {
         c.run_until(c.now() + SimDuration::from_secs(3));
         assert!(c.backend(VNIC).is_none(), "fallback must clear BE meta");
         assert_eq!(c.fe_count(VNIC), 0);
-        assert!(c.switch(HOME).vnic(VNIC).is_some(), "tables restored");
+        assert!(
+            c.switch(HOME).unwrap().vnic(VNIC).is_some(),
+            "tables restored"
+        );
         // Traffic flows locally again.
         for i in 0..30 {
             c.add_conn(inbound_spec(
                 i,
                 c.now() + SimDuration::from_millis(2 * i as u64),
-            ));
+            ))
+            .unwrap();
         }
         c.run_until(c.now() + SimDuration::from_secs(5));
-        assert_eq!(c.stats.completed, 30);
-        assert_eq!(c.stats.failed, 0);
+        assert_eq!(c.stats().completed, 30);
+        assert_eq!(c.stats().failed, 0);
     }
 
     #[test]
@@ -1557,10 +1921,11 @@ mod tests {
             SVC_PORT,
         );
         // Local probe.
-        c.inject_probe_rx(VNIC, tuple, 64, ServerId(9), SimTime(0));
+        c.inject_probe_rx(VNIC, tuple, 64, ServerId(9), SimTime(0))
+            .unwrap();
         c.run_until(SimTime(0) + SimDuration::from_millis(100));
-        assert_eq!(c.stats.probe_latency.len(), 1);
-        let local = c.stats.probe_latency.raw()[0];
+        assert_eq!(c.stats().probe_latency.len(), 1);
+        let local = c.stats().probe_latency.raw()[0];
 
         // Offloaded probe (new session, same path shape plus FE detour).
         c.trigger_offload(VNIC, c.now()).unwrap();
@@ -1571,10 +1936,11 @@ mod tests {
             Ipv4Addr::new(10, 7, 0, 1),
             SVC_PORT,
         );
-        c.inject_probe_rx(VNIC, tuple2, 64, ServerId(9), c.now());
+        c.inject_probe_rx(VNIC, tuple2, 64, ServerId(9), c.now())
+            .unwrap();
         c.run_until(c.now() + SimDuration::from_millis(100));
-        assert_eq!(c.stats.probe_latency.len(), 2);
-        let offloaded = c.stats.probe_latency.raw()[1];
+        assert_eq!(c.stats().probe_latency.len(), 2);
+        let offloaded = c.stats().probe_latency.raw()[1];
         let extra = offloaded - local;
         // Fig. 12: the detour adds a few tens of microseconds at most.
         assert!(extra > 0.0, "offloaded {offloaded} <= local {local}");
@@ -1588,7 +1954,7 @@ mod tests {
         // window so ~50K offered CPS (about 0.85x its capacity) crosses
         // the 70% threshold within the test's horizon.
         {
-            let vs = c.switch_mut(HOME);
+            let vs = c.switch_mut(HOME).unwrap();
             *vs = {
                 let mut cfg = ClusterConfig::default().vswitch;
                 cfg.cores = 1;
@@ -1622,16 +1988,16 @@ mod tests {
                 payload: 64,
                 overlay_encap_src: None,
             };
-            c.add_conn(spec);
+            c.add_conn(spec).unwrap();
         }
         c.run_until(SimTime(0) + SimDuration::from_secs(4));
-        assert!(c.stats.offload_events >= 1, "controller never offloaded");
+        assert!(c.stats().offload_events >= 1, "controller never offloaded");
         assert_eq!(
             c.backend(VNIC).map(|m| m.phase),
             Some(OffloadPhase::Offloaded)
         );
         // After offload the BE runs cool again.
-        let be_util = c.switch(HOME).cpu_utilization(c.now());
+        let be_util = c.switch(HOME).unwrap().cpu_utilization(c.now());
         assert!(be_util < 0.5, "BE still hot: {be_util}");
     }
 
@@ -1639,8 +2005,10 @@ mod tests {
     fn stateful_decap_survives_the_split() {
         let mut c = small_cluster(false);
         // A second vNIC acting as an LB real server with stateful decap.
-        let mut profile = VnicProfile::default();
-        profile.stateful_decap = true;
+        let profile = VnicProfile {
+            stateful_decap: true,
+            ..VnicProfile::default()
+        };
         let mut vnic = Vnic::new(
             VnicId(2),
             VpcId(1),
@@ -1649,7 +2017,8 @@ mod tests {
             ServerId(1),
         );
         vnic.allow_inbound_port(8080);
-        c.add_vnic(vnic, ServerId(1), VmConfig::with_vcpus(16));
+        c.add_vnic(vnic, ServerId(1), VmConfig::with_vcpus(16))
+            .unwrap();
         c.trigger_offload(VnicId(2), SimTime(0)).unwrap();
         c.run_until(SimTime(0) + SimDuration::from_secs(3));
 
@@ -1668,14 +2037,19 @@ mod tests {
             payload: 256,
             overlay_encap_src: Some(Ipv4Addr::new(100, 64, 0, 5)), // LB VIP
         };
-        c.add_conn(spec);
+        c.add_conn(spec).unwrap();
         // Inspect the session before the aging sweep reclaims the closed
         // connection.
         c.run_until(c.now() + SimDuration::from_millis(400));
-        assert_eq!(c.stats.completed, 1);
+        assert_eq!(c.stats().completed, 1);
         // The BE recorded the LB address from the FE-carried info.
         let key = SessionKey::of(VpcId(1), spec.tuple);
-        let entry = c.switch(ServerId(1)).sessions.get(&key).expect("session");
+        let entry = c
+            .switch(ServerId(1))
+            .unwrap()
+            .sessions
+            .get(&key)
+            .expect("session");
         assert_eq!(
             entry.state.decap.map(|d| d.overlay_src),
             Some(Ipv4Addr::new(100, 64, 0, 5))

@@ -21,7 +21,7 @@ use crate::be::{BackendMeta, OffloadPhase};
 use crate::cluster::{Cluster, ConfigOp, Event};
 use crate::fe::FrontEnd;
 use nezha_sim::time::{SimDuration, SimTime};
-use nezha_types::{ServerId, VnicId};
+use nezha_types::{NezhaError, NezhaResult, ServerId, VnicId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -152,6 +152,17 @@ impl Cluster {
             let mem = self.switches[i].mem_utilization();
             let util = cpu.max(mem);
             let (local, remote) = self.controller.split(server);
+            // Publish the per-server utilization report the decisions
+            // below are based on (registration is idempotent; ticks are
+            // 100 ms apart, far off the packet hot path).
+            {
+                let reg = &self.tel.registry;
+                let labels = [("server", server.raw().to_string())];
+                reg.set(reg.gauge("ctrl.cpu_util", &labels), cpu);
+                reg.set(reg.gauge("ctrl.mem_util", &labels), mem);
+                reg.set(reg.gauge("ctrl.local_cycles", &labels), local);
+                reg.set(reg.gauge("ctrl.remote_cycles", &labels), remote);
+            }
 
             if util > cfg.offload_threshold && cfg.auto_offload && local >= remote {
                 self.offload_overloaded(server, cpu, mem, now);
@@ -222,7 +233,7 @@ impl Cluster {
     ///
     /// Errors if the vNIC is unknown, already offloaded, or no candidate
     /// FEs exist.
-    pub fn trigger_offload(&mut self, vnic: VnicId, now: SimTime) -> Result<(), &'static str> {
+    pub fn trigger_offload(&mut self, vnic: VnicId, now: SimTime) -> NezhaResult<()> {
         self.trigger_offload_to_version(vnic, now, None)
     }
 
@@ -235,23 +246,28 @@ impl Cluster {
         vnic: VnicId,
         now: SimTime,
         version: Option<u32>,
-    ) -> Result<(), &'static str> {
+    ) -> NezhaResult<()> {
         if self.be_meta.contains_key(&vnic) {
-            return Err("already offloaded");
+            return Err(NezhaError::AlreadyOffloaded(vnic));
         }
-        let home = *self.vnic_home.get(&vnic).ok_or("unknown vNIC")?;
+        let home = *self
+            .vnic_home
+            .get(&vnic)
+            .ok_or(NezhaError::UnknownVnic(vnic))?;
         let cfg = self.cfg.controller;
         let fes = self.select_idle_vswitches_versioned(home, cfg.initial_fes, &[], version);
         if fes.is_empty() {
-            return Err("no idle vSwitches available");
+            return Err(NezhaError::NoIdleVswitches);
         }
         // BE metadata costs the 2 KB of §6.2.1.
         let be_bytes = self.cfg.vswitch.memory.be_metadata;
         if self.switches[home.0 as usize].mem.alloc(be_bytes).is_err() {
-            return Err("BE metadata does not fit");
+            return Err(NezhaError::InsufficientMemory {
+                what: "BE metadata",
+            });
         }
         let mut meta = BackendMeta::new(now);
-        self.stats.offload_events += 1;
+        self.tel.inc(self.tel.offload_events);
 
         // Push rule tables to each FE with a modeled per-FE delay.
         let mut worst = SimDuration::ZERO;
@@ -371,7 +387,7 @@ impl Cluster {
         if new_fes.is_empty() {
             return 0;
         }
-        self.stats.scale_out_events += 1;
+        self.tel.inc(self.tel.scale_out_events);
         self.controller.last_scale_out.insert(vnic, now);
         let meta = self.be_meta.get_mut(&vnic).expect("checked");
         let mut added = 0;
@@ -422,7 +438,7 @@ impl Cluster {
         if victims.is_empty() {
             return;
         }
-        self.stats.scale_in_events += 1;
+        self.tel.inc(self.tel.scale_in_events);
         for vnic in victims {
             self.remove_fe(vnic, server, now);
             // Keep the pool at the minimum (§4.4 logic shared with
@@ -465,24 +481,27 @@ impl Cluster {
     }
 
     /// Starts a fallback to local processing (§4.2.2).
-    pub fn trigger_fallback(&mut self, vnic: VnicId, now: SimTime) -> Result<(), &'static str> {
-        let meta = self.be_meta.get_mut(&vnic).ok_or("not offloaded")?;
+    pub fn trigger_fallback(&mut self, vnic: VnicId, now: SimTime) -> NezhaResult<()> {
+        let meta = self
+            .be_meta
+            .get_mut(&vnic)
+            .ok_or(NezhaError::NotOffloaded(vnic))?;
         if meta.phase != OffloadPhase::Offloaded {
-            return Err("offload not in final stage");
+            return Err(NezhaError::OffloadInProgress(vnic));
         }
         let home = self.vnic_home[&vnic];
         // Re-arm the BE with the master tables first (dual-running again).
         let master = self
             .master_vnics
             .get(&vnic)
-            .ok_or("no master copy")?
+            .ok_or(NezhaError::UnknownVnic(vnic))?
             .clone();
         self.switches[home.0 as usize]
             .add_vnic(master)
-            .map_err(|_| "BE cannot refit the tables")?;
+            .map_err(|_| NezhaError::InsufficientMemory { what: "BE tables" })?;
         let meta = self.be_meta.get_mut(&vnic).expect("checked");
         meta.phase = OffloadPhase::FallbackDual;
-        self.stats.fallback_events += 1;
+        self.tel.inc(self.tel.fallback_events);
         // Gateway points back at the BE; once learned, tear the FEs down.
         let addr = self.vnic_addr[&vnic];
         let cfg = self.cfg.controller;
@@ -602,7 +621,8 @@ impl Cluster {
                 if meta.phase == OffloadPhase::OffloadDual && meta.activated_at.is_none() {
                     meta.activated_at = Some(now);
                     let completion = now.since(meta.triggered_at);
-                    self.stats.offload_completion.record_duration(completion);
+                    self.tel
+                        .observe_duration(self.tel.offload_completion, completion);
                     // Enter the final stage after learning-interval + RTT.
                     self.engine.schedule_in(
                         self.gateway.learning_interval() + SimDuration::from_millis(2),
@@ -658,4 +678,3 @@ impl Cluster {
         }
     }
 }
-

@@ -74,7 +74,7 @@ impl Cluster {
         if targets.len() >= 4 && apparently_dead * 2 > targets.len() {
             if !self.monitor.suspended {
                 self.monitor.suspended = true;
-                self.stats.monitor_suspensions += 1;
+                self.tel.inc(self.tel.monitor_suspensions);
             }
             return;
         }
@@ -118,7 +118,7 @@ impl Cluster {
                     if cur < cfg.min_fes {
                         self.scale_out_excluding(vnic, cfg.min_fes - cur, &[fe], now);
                     }
-                    self.stats.failover_events += 1;
+                    self.tel.inc(self.tel.failover_events);
                 }
             }
         }
@@ -137,7 +137,7 @@ impl Cluster {
         if victims.is_empty() {
             return;
         }
-        self.stats.failover_events += 1;
+        self.tel.inc(self.tel.failover_events);
         for vnic in victims {
             self.remove_fe(vnic, dead, now);
             let cur = self.be_meta.get(&vnic).map_or(0, |m| m.fe_list.len());

@@ -24,6 +24,7 @@
 //! against the paper quantity it was calibrated to.
 
 use crate::vm::VmConfig;
+use nezha_sim::metrics::{CounterHandle, HistogramHandle, MetricsRegistry};
 use nezha_sim::rng::SimRng;
 use nezha_sim::stats::Samples;
 use nezha_sim::time::SimDuration;
@@ -166,12 +167,46 @@ impl RegionReport {
     }
 }
 
+/// Pre-registered handles mirroring [`RegionReport`] into an attached
+/// [`MetricsRegistry`] (all under the `region.` prefix).
+#[derive(Clone, Debug)]
+struct RegionTelemetry {
+    registry: MetricsRegistry,
+    overload_cps: CounterHandle,
+    overload_flows: CounterHandle,
+    overload_vnics: CounterHandle,
+    offload_events: CounterHandle,
+    scale_out_events: CounterHandle,
+    fes_provisioned: CounterHandle,
+    cpu_util: HistogramHandle,
+    mem_util: HistogramHandle,
+    completion_secs: HistogramHandle,
+}
+
+impl RegionTelemetry {
+    fn register(registry: &MetricsRegistry) -> Self {
+        RegionTelemetry {
+            registry: registry.clone(),
+            overload_cps: registry.counter("region.overload.cps", &[]),
+            overload_flows: registry.counter("region.overload.flows", &[]),
+            overload_vnics: registry.counter("region.overload.vnics", &[]),
+            offload_events: registry.counter("region.offload_events", &[]),
+            scale_out_events: registry.counter("region.scale_out_events", &[]),
+            fes_provisioned: registry.counter("region.fes_provisioned", &[]),
+            cpu_util: registry.histogram("region.cpu_util", &[]),
+            mem_util: registry.histogram("region.mem_util", &[]),
+            completion_secs: registry.histogram("region.offload_completion_secs", &[]),
+        }
+    }
+}
+
 /// The fluid region simulator.
 #[derive(Debug)]
 pub struct Region {
     cfg: RegionConfig,
     rng: SimRng,
     servers: Vec<ServerState>,
+    tel: Option<RegionTelemetry>,
 }
 
 impl Region {
@@ -194,7 +229,20 @@ impl Region {
                 }
             })
             .collect();
-        Region { cfg, rng, servers }
+        Region {
+            cfg,
+            rng,
+            servers,
+            tel: None,
+        }
+    }
+
+    /// Attaches a [`MetricsRegistry`]: subsequent [`Region::run_days`]
+    /// calls mirror the [`RegionReport`] quantities into `region.*`
+    /// counters and histograms there. Optional — an unattached region
+    /// pays no telemetry cost.
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        self.tel = Some(RegionTelemetry::register(registry));
     }
 
     /// Samples one offload activation completion time: the slowest of the
@@ -269,6 +317,10 @@ impl Region {
                     }
                     report.cpu_utils.record(cpu);
                     report.mem_utils.record(mem);
+                    if let Some(tel) = &self.tel {
+                        tel.registry.observe(tel.cpu_util, cpu);
+                        tel.registry.observe(tel.mem_util, mem);
+                    }
 
                     // Threshold-triggered proactive offload.
                     if nezha && !s.offloaded && cpu.max(mem) > self.cfg.offload_threshold {
@@ -324,6 +376,14 @@ impl Region {
                                 SpikeKind::Flows => flows += 1,
                                 SpikeKind::Vnics => vnics += 1,
                             }
+                            if let Some(tel) = &self.tel {
+                                let h = match kind {
+                                    SpikeKind::Cps => tel.overload_cps,
+                                    SpikeKind::Flows => tel.overload_flows,
+                                    SpikeKind::Vnics => tel.overload_vnics,
+                                };
+                                tel.registry.inc(h);
+                            }
                         }
                     }
                 }
@@ -341,6 +401,10 @@ impl Region {
                         if self.rng.chance(p) {
                             report.scale_out_events += 1;
                             report.total_fes_provisioned += 1;
+                            if let Some(tel) = &self.tel {
+                                tel.registry.inc(tel.scale_out_events);
+                                tel.registry.inc(tel.fes_provisioned);
+                            }
                         }
                     }
                 }
@@ -358,6 +422,12 @@ impl Region {
         report.total_fes_provisioned += self.cfg.initial_fes as u64;
         let c = self.sample_completion();
         report.completion_times.record_duration(c);
+        if let Some(tel) = &self.tel {
+            tel.registry.inc(tel.offload_events);
+            tel.registry
+                .add(tel.fes_provisioned, self.cfg.initial_fes as u64);
+            tel.registry.observe(tel.completion_secs, c.as_secs_f64());
+        }
     }
 }
 
@@ -609,6 +679,35 @@ mod tests {
             "tr flows {}",
             tr.flows_gain
         );
+    }
+
+    #[test]
+    fn attached_registry_mirrors_the_report() {
+        let reg = MetricsRegistry::new();
+        let mut r = Region::new(RegionConfig {
+            servers: 500,
+            spike_prob: 0.05,
+            ..small_cfg()
+        });
+        r.attach_metrics(&reg);
+        let report = r.run_days(3, true);
+        let snap = reg.snapshot();
+        let (cps, flows, vnics) = report.totals();
+        assert_eq!(snap.counter("region.overload.cps"), cps);
+        assert_eq!(snap.counter("region.overload.flows"), flows);
+        assert_eq!(snap.counter("region.overload.vnics"), vnics);
+        assert_eq!(snap.counter("region.offload_events"), report.offload_events);
+        assert_eq!(
+            snap.counter("region.fes_provisioned"),
+            report.total_fes_provisioned
+        );
+        assert_eq!(
+            snap.counter("region.scale_out_events"),
+            report.scale_out_events
+        );
+        let cpu = snap.histogram("region.cpu_util");
+        assert_eq!(cpu.len(), report.cpu_utils.len());
+        assert!((cpu.mean() - report.cpu_utils.mean()).abs() < 1e-12);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! a run is a pure function of its inputs — a property every experiment
 //! harness and regression test in this repository relies on.
 
+use crate::metrics::{CounterHandle, MetricsRegistry};
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -72,6 +73,15 @@ pub struct Engine<E> {
     seq: u64,
     queue: BinaryHeap<Scheduled<E>>,
     processed: u64,
+    telemetry: Option<EngineTelemetry>,
+}
+
+/// Pre-registered handles the engine updates when metrics are attached.
+#[derive(Clone, Debug)]
+struct EngineTelemetry {
+    registry: MetricsRegistry,
+    scheduled: CounterHandle,
+    processed: CounterHandle,
 }
 
 impl<E> Default for Engine<E> {
@@ -88,7 +98,22 @@ impl<E> Engine<E> {
             seq: 0,
             queue: BinaryHeap::new(),
             processed: 0,
+            telemetry: None,
         }
+    }
+
+    /// Attaches a [`MetricsRegistry`]: from now on the engine keeps the
+    /// `engine.scheduled` / `engine.processed` counters up to date there.
+    /// Optional — an unattached engine pays no telemetry cost.
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        let tel = EngineTelemetry {
+            registry: registry.clone(),
+            scheduled: registry.counter("engine.scheduled", &[]),
+            processed: registry.counter("engine.processed", &[]),
+        };
+        tel.registry.add(tel.scheduled, self.seq);
+        tel.registry.add(tel.processed, self.processed);
+        self.telemetry = Some(tel);
     }
 
     /// The current simulated time (the due time of the last popped event).
@@ -112,6 +137,9 @@ impl<E> Engine<E> {
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
+        if let Some(tel) = &self.telemetry {
+            tel.registry.inc(tel.scheduled);
+        }
         self.queue.push(Scheduled { at, seq, event });
     }
 
@@ -126,6 +154,9 @@ impl<E> Engine<E> {
         debug_assert!(s.at >= self.now, "event queue went backwards");
         self.now = s.at;
         self.processed += 1;
+        if let Some(tel) = &self.telemetry {
+            tel.registry.inc(tel.processed);
+        }
         Some(s)
     }
 
@@ -238,6 +269,20 @@ mod tests {
         assert_eq!(eng.peek_time(), None);
         eng.schedule_at(SimTime(42), ());
         assert_eq!(eng.peek_time(), Some(SimTime(42)));
+    }
+
+    #[test]
+    fn attached_metrics_track_scheduled_and_processed() {
+        let reg = MetricsRegistry::new();
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime(1), ()); // before attach: seeded into the counter
+        eng.attach_metrics(&reg);
+        eng.schedule_at(SimTime(2), ());
+        eng.pop();
+        eng.pop();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("engine.scheduled"), 2);
+        assert_eq!(snap.counter("engine.processed"), 2);
     }
 
     #[test]

@@ -18,7 +18,13 @@
 //!   fabric giving deterministic hop counts and propagation+serialization
 //!   latency between servers;
 //! * [`stats`] — exact-percentile sample sets, counters, and time series
-//!   used by every experiment harness.
+//!   used by every experiment harness;
+//! * [`metrics`] — the unified telemetry registry: named, labeled
+//!   counters/gauges/histograms/series behind cheap pre-registered handles,
+//!   snapshotting to deterministic JSON;
+//! * [`trace`] — a bounded, filterable ring buffer of structured per-packet
+//!   events (enqueue, CPU charge, table hit/miss, NSH encap/decap, notify,
+//!   drop-with-reason) on the simulated clock.
 //!
 //! The engine is intentionally *generic over the event type*: higher layers
 //! (`nezha-core`, the experiment harnesses) define their own event enums and
@@ -28,15 +34,22 @@
 #![warn(missing_debug_implementations)]
 
 pub mod engine;
+pub mod metrics;
 pub mod resources;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod topology;
+pub mod trace;
 
 pub use engine::{Engine, Scheduled};
+pub use metrics::{
+    CounterHandle, GaugeHandle, HistogramHandle, MetricValue, MetricsRegistry, MetricsSnapshot,
+    SeriesHandle,
+};
 pub use resources::{CpuOutcome, CpuServer, MemoryPool, UtilizationWindow};
 pub use rng::SimRng;
 pub use stats::{Counter, Samples, TimeSeries};
 pub use time::{SimDuration, SimTime};
 pub use topology::{Topology, TopologyConfig};
+pub use trace::{DropReason, PacketTrace, TraceEvent, TraceEventKind, TraceFilter};

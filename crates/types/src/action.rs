@@ -194,7 +194,11 @@ impl Action {
             nat_rewrite: pre.nat_rewrite,
             encap_override: None,
             qos_class: pre.qos_class,
-            mirror_to: if verdict.is_accept() { pre.mirror_to } else { None },
+            mirror_to: if verdict.is_accept() {
+                pre.mirror_to
+            } else {
+                None
+            },
         }
     }
 }

@@ -1,9 +1,73 @@
-//! Error types for wire-format encoding and decoding.
+//! Error types for wire-format encoding/decoding and control-plane
+//! operations.
 
+use crate::addr::{ServerId, VnicId};
 use std::fmt;
 
 /// Result alias for codec operations.
 pub type CodecResult<T> = Result<T, CodecError>;
+
+/// Result alias for control-plane operations on the cluster.
+pub type NezhaResult<T> = Result<T, NezhaError>;
+
+/// Errors returned by the cluster's public control-plane API.
+///
+/// Every fallible operation on [`Cluster`] reports its failure through
+/// this enum instead of panicking, so harnesses and examples can probe
+/// invalid operations (double offload, pinning to a non-FE, …) and
+/// assert on the precise reason.
+///
+/// [`Cluster`]: https://docs.rs/nezha-core
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NezhaError {
+    /// The vNIC id is not installed in the cluster.
+    UnknownVnic(VnicId),
+    /// The server id is outside the topology (or the slot is empty).
+    UnknownServer(ServerId),
+    /// The vNIC is already offloaded; offloading twice is invalid.
+    AlreadyOffloaded(VnicId),
+    /// The operation requires the vNIC to be offloaded, and it is not.
+    NotOffloaded(VnicId),
+    /// The offload has not reached its final stage yet.
+    OffloadInProgress(VnicId),
+    /// No idle vSwitch satisfies the FE selection constraints.
+    NoIdleVswitches,
+    /// The target server does not host an FE for this vNIC.
+    NotAnFe {
+        /// vNIC whose FE set was consulted.
+        vnic: VnicId,
+        /// Server that is not in that FE set.
+        fe: ServerId,
+    },
+    /// A table/metadata allocation did not fit in vSwitch memory.
+    InsufficientMemory {
+        /// What was being allocated.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for NezhaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NezhaError::UnknownVnic(v) => write!(f, "unknown vNIC {}", v.0),
+            NezhaError::UnknownServer(s) => write!(f, "unknown server {}", s.0),
+            NezhaError::AlreadyOffloaded(v) => write!(f, "vNIC {} is already offloaded", v.0),
+            NezhaError::NotOffloaded(v) => write!(f, "vNIC {} is not offloaded", v.0),
+            NezhaError::OffloadInProgress(v) => {
+                write!(f, "vNIC {}'s offload has not reached its final stage", v.0)
+            }
+            NezhaError::NoIdleVswitches => write!(f, "no idle vSwitches available"),
+            NezhaError::NotAnFe { vnic, fe } => {
+                write!(f, "server {} is not an FE of vNIC {}", fe.0, vnic.0)
+            }
+            NezhaError::InsufficientMemory { what } => {
+                write!(f, "{what} does not fit in vSwitch memory")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NezhaError {}
 
 /// Errors raised while parsing or serializing packet headers.
 ///
@@ -115,5 +179,27 @@ mod tests {
             available: 8,
         };
         assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn nezha_error_messages_name_the_subject() {
+        assert_eq!(
+            NezhaError::UnknownVnic(VnicId(7)).to_string(),
+            "unknown vNIC 7"
+        );
+        assert_eq!(
+            NezhaError::AlreadyOffloaded(VnicId(3)).to_string(),
+            "vNIC 3 is already offloaded"
+        );
+        let e = NezhaError::NotAnFe {
+            vnic: VnicId(1),
+            fe: ServerId(9),
+        };
+        assert!(e.to_string().contains("server 9"));
+        assert!(e.to_string().contains("vNIC 1"));
+        let e = NezhaError::InsufficientMemory {
+            what: "BE metadata",
+        };
+        assert!(e.to_string().contains("BE metadata"));
     }
 }

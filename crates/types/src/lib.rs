@@ -30,7 +30,7 @@ pub mod tcp_fsm;
 
 pub use action::{Action, Decision, PreAction, PreActionPair};
 pub use addr::{Ipv4Addr, MacAddr, ServerId, VnicId, VpcId};
-pub use error::{CodecError, CodecResult};
+pub use error::{CodecError, CodecResult, NezhaError, NezhaResult};
 pub use five_tuple::{FiveTuple, IpProtocol};
 pub use flow::{Direction, FlowKey, SessionKey};
 pub use headers::{EthernetHeader, Ipv4Header, TcpFlags, TcpHeader, UdpHeader, VxlanHeader};

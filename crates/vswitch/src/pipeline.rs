@@ -231,7 +231,6 @@ pub fn mirror_copies(action: &Action) -> u32 {
 }
 
 #[cfg(test)]
-#[allow(clippy::field_reassign_with_default)]
 mod tests {
     use super::*;
     use crate::vnic::VnicProfile;
@@ -284,8 +283,10 @@ mod tests {
         // A vNIC with no vNIC-server entries at all: destinations are
         // routable via the default route but resolve to no server, which
         // models egress via the VPC gateway (next_hop None, Accept).
-        let mut profile = VnicProfile::default();
-        profile.vnic_server_entries = 0;
+        let profile = VnicProfile {
+            vnic_server_entries: 0,
+            ..VnicProfile::default()
+        };
         let v = Vnic::new(
             VnicId(3),
             VpcId(1),
@@ -387,8 +388,10 @@ mod tests {
 
     #[test]
     fn stateful_decap_records_and_reencapsulates() {
-        let mut profile = VnicProfile::default();
-        profile.stateful_decap = true;
+        let profile = VnicProfile {
+            stateful_decap: true,
+            ..VnicProfile::default()
+        };
         let v = Vnic::new(
             VnicId(2),
             VpcId(1),

@@ -44,7 +44,9 @@ impl MirrorTable {
     pub fn lookup(&self, dst: Ipv4Addr, dst_port: u16) -> Option<Ipv4Addr> {
         self.rules
             .iter()
-            .find(|r| dst.in_prefix(r.dst_prefix.0, r.dst_prefix.1) && r.dst_ports.contains(dst_port))
+            .find(|r| {
+                dst.in_prefix(r.dst_prefix.0, r.dst_prefix.1) && r.dst_ports.contains(dst_port)
+            })
             .map(|r| r.collector)
     }
 

@@ -13,8 +13,8 @@
 
 pub mod acl;
 pub mod mirror;
-pub mod pbr;
 pub mod nat;
+pub mod pbr;
 pub mod policy;
 pub mod qos;
 pub mod route;

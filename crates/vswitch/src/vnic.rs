@@ -9,8 +9,8 @@
 use crate::config::MemoryModel;
 use crate::tables::acl::{AclRule, AclTable, PortRange};
 use crate::tables::mirror::{MirrorRule, MirrorTable};
-use crate::tables::pbr::{PbrRule, PbrTable};
 use crate::tables::nat::{NatRule, NatTable};
+use crate::tables::pbr::{PbrRule, PbrTable};
 use crate::tables::policy::{PolicyRule, PolicyTable};
 use crate::tables::qos::{QosRule, QosTable};
 use crate::tables::route::{RouteTable, RouteTarget};

@@ -11,12 +11,18 @@ use crate::config::VSwitchConfig;
 use crate::pipeline::{self, PathTaken, ProcessOutcome, ProcessResult};
 use crate::session::SessionTable;
 use crate::vnic::Vnic;
+use nezha_sim::metrics::{CounterHandle, MetricsRegistry};
 use nezha_sim::resources::{CpuOutcome, CpuServer, MemoryPool, OutOfMemory};
 use nezha_sim::time::SimTime;
+use nezha_sim::trace::{DropReason, PacketTrace, TraceEvent, TraceEventKind};
 use nezha_types::{Decision, Packet, SessionKey, VnicId};
 use std::collections::HashMap;
 
 /// Lifetime packet counters of one vSwitch.
+///
+/// Since the telemetry redesign this is a *view* assembled from the
+/// vSwitch's `vswitch.*{server=N}` metrics on demand — the struct is kept
+/// so existing `vs.counters().forwarded`-style call sites read unchanged.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct VSwitchCounters {
     /// Packets processed to a forwarding decision.
@@ -33,6 +39,53 @@ pub struct VSwitchCounters {
     pub session_overflows: u64,
     /// Mirror copies generated toward collectors.
     pub mirrored: u64,
+}
+
+/// Pre-registered handles for the per-switch counters. Registered once at
+/// construction (or re-registered on [`VSwitch::attach_metrics`]); the hot
+/// path only does handle increments.
+#[derive(Clone, Debug)]
+struct SwitchTelemetry {
+    registry: MetricsRegistry,
+    trace: PacketTrace,
+    forwarded: CounterHandle,
+    acl_drops: CounterHandle,
+    unroutable: CounterHandle,
+    rate_limited: CounterHandle,
+    cpu_drops: CounterHandle,
+    session_overflows: CounterHandle,
+    mirrored: CounterHandle,
+}
+
+impl SwitchTelemetry {
+    fn register(registry: &MetricsRegistry, server: nezha_types::ServerId) -> Self {
+        let labels = [("server", server.raw().to_string())];
+        let c = |name: &str| registry.counter(name, &labels);
+        SwitchTelemetry {
+            registry: registry.clone(),
+            trace: PacketTrace::disabled(),
+            forwarded: c("vswitch.forwarded"),
+            acl_drops: c("vswitch.acl_drops"),
+            unroutable: c("vswitch.unroutable"),
+            rate_limited: c("vswitch.rate_limited"),
+            cpu_drops: c("vswitch.cpu_drops"),
+            session_overflows: c("vswitch.session_overflows"),
+            mirrored: c("vswitch.mirrored"),
+        }
+    }
+
+    fn view(&self) -> VSwitchCounters {
+        let v = |h: CounterHandle| self.registry.counter_value(h);
+        VSwitchCounters {
+            forwarded: v(self.forwarded),
+            acl_drops: v(self.acl_drops),
+            unroutable: v(self.unroutable),
+            rate_limited: v(self.rate_limited),
+            cpu_drops: v(self.cpu_drops),
+            session_overflows: v(self.session_overflows),
+            mirrored: v(self.mirrored),
+        }
+    }
 }
 
 /// A SmartNIC vSwitch instance.
@@ -52,7 +105,7 @@ pub struct VSwitch {
     vnics: HashMap<VnicId, Vnic>,
     /// The session table (public: the Nezha BE role manipulates it).
     pub sessions: SessionTable,
-    counters: VSwitchCounters,
+    tel: SwitchTelemetry,
     /// Cycles charged per vNIC (for the controller's offload-candidate
     /// ranking, §4.2.1), measured over the CPU's utilization window.
     vnic_cycles: HashMap<VnicId, f64>,
@@ -72,7 +125,7 @@ impl VSwitch {
             mem: MemoryPool::new(cfg.table_memory),
             vnics: HashMap::new(),
             sessions: SessionTable::new(),
-            counters: VSwitchCounters::default(),
+            tel: SwitchTelemetry::register(&MetricsRegistry::new(), id),
             vnic_cycles: HashMap::new(),
             vnic_charged: HashMap::new(),
             cfg,
@@ -84,9 +137,38 @@ impl VSwitch {
         &self.cfg
     }
 
-    /// Lifetime counters.
-    pub fn counters(&self) -> &VSwitchCounters {
-        &self.counters
+    /// Re-homes this switch's `vswitch.*{server=N}` counters into a shared
+    /// [`MetricsRegistry`] (carrying over any counts already accumulated in
+    /// the private default registry). The cluster calls this so one
+    /// snapshot covers every switch.
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        let old = self.tel.view();
+        let trace = self.tel.trace.clone();
+        self.tel = SwitchTelemetry::register(registry, self.id);
+        self.tel.trace = trace;
+        let carry = [
+            (self.tel.forwarded, old.forwarded),
+            (self.tel.acl_drops, old.acl_drops),
+            (self.tel.unroutable, old.unroutable),
+            (self.tel.rate_limited, old.rate_limited),
+            (self.tel.cpu_drops, old.cpu_drops),
+            (self.tel.session_overflows, old.session_overflows),
+            (self.tel.mirrored, old.mirrored),
+        ];
+        for (h, n) in carry {
+            registry.add(h, n);
+        }
+    }
+
+    /// Attaches a shared [`PacketTrace`]; subsequent packets record
+    /// structured events (enqueue, CPU charge, table hit/miss, drops).
+    pub fn attach_trace(&mut self, trace: &PacketTrace) {
+        self.tel.trace = trace.clone();
+    }
+
+    /// Lifetime counters, assembled from the metrics registry.
+    pub fn counters(&self) -> VSwitchCounters {
+        self.tel.view()
     }
 
     /// Installs a vNIC, charging its rule-table memory. Fails when the
@@ -206,23 +288,39 @@ impl VSwitch {
         self.sessions.expire(now, &self.cfg, &mut self.mem)
     }
 
+    /// Records one structured trace event for `pkt` (no-op when no trace
+    /// buffer is attached or the filter rejects it).
+    pub fn trace_event(&self, at: SimTime, pkt: &Packet, kind: TraceEventKind) {
+        if self.tel.trace.is_enabled() {
+            self.tel.trace.record(TraceEvent {
+                at,
+                trace_id: pkt.trace,
+                server: self.id,
+                vnic: pkt.vnic,
+                kind,
+            });
+        }
+    }
+
     /// Processes one packet in the **traditional local architecture**:
     /// this vSwitch holds the vNIC's rules, flows, and state.
     ///
     /// `pkt.vnic` must be hosted here; packets for unknown vNICs are
     /// unroutable (they indicate a stale vNIC-server mapping upstream).
     pub fn process_local(&mut self, pkt: &Packet, now: SimTime) -> ProcessResult {
+        self.trace_event(now, pkt, TraceEventKind::Enqueue);
         let costs = self.cfg.costs;
         let key = SessionKey::of(pkt.vpc, pkt.tuple);
         let bytes = pkt.wire_len();
 
         let Some(vnic) = self.vnics.get(&pkt.vnic) else {
-            return self.finish(
+            return self.finish_traced(
                 ProcessOutcome::Unroutable,
                 PathTaken::Slow,
                 now,
                 false,
                 false,
+                pkt,
             );
         };
         let slow_cycles = vnic.slow_path_cycles(&costs, bytes);
@@ -234,19 +332,22 @@ impl VSwitch {
             .is_some_and(|e| e.pre_actions.is_some());
 
         if have_cached {
+            self.trace_event(now, pkt, TraceEventKind::TableHit);
             let cycles = costs.fast_path_cycles(bytes);
             let done = match self.charge(now, pkt.vnic, cycles) {
                 CpuOutcome::Dropped => {
-                    return self.finish(
+                    return self.finish_traced(
                         ProcessOutcome::CpuOverload,
                         PathTaken::Fast,
                         now,
                         false,
                         false,
+                        pkt,
                     )
                 }
                 CpuOutcome::Done { done_at } => done_at,
             };
+            self.trace_event(now, pkt, TraceEventKind::CpuCharge { cycles });
             let entry = self.sessions.get_mut(&key).expect("checked above");
             let pre = *entry
                 .pre_actions
@@ -269,35 +370,39 @@ impl VSwitch {
             } else {
                 ProcessOutcome::Forwarded(action)
             };
-            return self.finish(outcome, PathTaken::Fast, done, false, false);
+            return self.finish_traced(outcome, PathTaken::Fast, done, false, false, pkt);
         }
 
         // Slow path: full lookup (+ session establishment).
+        self.trace_event(now, pkt, TraceEventKind::TableMiss);
         let cycles = slow_cycles;
         let done = match self.charge(now, pkt.vnic, cycles) {
             CpuOutcome::Dropped => {
-                return self.finish(
+                return self.finish_traced(
                     ProcessOutcome::CpuOverload,
                     PathTaken::Slow,
                     now,
                     false,
                     false,
+                    pkt,
                 )
             }
             CpuOutcome::Done { done_at } => done_at,
         };
+        self.trace_event(now, pkt, TraceEventKind::CpuCharge { cycles });
         let vnic = self.vnics.get(&pkt.vnic).expect("checked above");
         let lookup = pipeline::slow_path_lookup(vnic, &pkt.tuple, pkt.dir);
 
         // Routing failures are stateless, final drops.
         let pre = *lookup.pair.for_direction(pkt.dir);
         if pre.verdict == Decision::Drop && !pre.stateful_acl {
-            return self.finish(
+            return self.finish_traced(
                 ProcessOutcome::Unroutable,
                 PathTaken::Slow,
                 done,
                 false,
                 false,
+                pkt,
             );
         }
 
@@ -347,29 +452,49 @@ impl VSwitch {
         } else {
             ProcessOutcome::Forwarded(action)
         };
-        self.finish(outcome, PathTaken::Slow, done, created, overflow)
+        self.finish_traced(outcome, PathTaken::Slow, done, created, overflow, pkt)
     }
 
-    fn finish(
+    fn finish_traced(
         &mut self,
         outcome: ProcessOutcome,
         path: PathTaken,
         done_at: SimTime,
         created_session: bool,
         session_overflow: bool,
+        pkt: &Packet,
     ) -> ProcessResult {
-        match outcome {
+        let reg = &self.tel.registry;
+        let drop_reason = match outcome {
             ProcessOutcome::Forwarded(a) => {
-                self.counters.forwarded += 1;
-                self.counters.mirrored += u64::from(a.mirror_to.is_some());
+                reg.inc(self.tel.forwarded);
+                if a.mirror_to.is_some() {
+                    reg.inc(self.tel.mirrored);
+                }
+                None
             }
-            ProcessOutcome::AclDrop => self.counters.acl_drops += 1,
-            ProcessOutcome::Unroutable => self.counters.unroutable += 1,
-            ProcessOutcome::RateLimited => self.counters.rate_limited += 1,
-            ProcessOutcome::CpuOverload => self.counters.cpu_drops += 1,
-        }
+            ProcessOutcome::AclDrop => {
+                reg.inc(self.tel.acl_drops);
+                Some(DropReason::PolicyDeny)
+            }
+            ProcessOutcome::Unroutable => {
+                reg.inc(self.tel.unroutable);
+                Some(DropReason::NoRoute)
+            }
+            ProcessOutcome::RateLimited => {
+                reg.inc(self.tel.rate_limited);
+                Some(DropReason::RateLimited)
+            }
+            ProcessOutcome::CpuOverload => {
+                reg.inc(self.tel.cpu_drops);
+                Some(DropReason::Backlog)
+            }
+        };
         if session_overflow {
-            self.counters.session_overflows += 1;
+            reg.inc(self.tel.session_overflows);
+        }
+        if let Some(reason) = drop_reason {
+            self.trace_event(done_at, pkt, TraceEventKind::Drop(reason));
         }
         ProcessResult {
             outcome,
@@ -382,7 +507,6 @@ impl VSwitch {
 }
 
 #[cfg(test)]
-#[allow(clippy::field_reassign_with_default)]
 mod tests {
     use super::*;
     use crate::vnic::VnicProfile;
@@ -479,8 +603,10 @@ mod tests {
 
     #[test]
     fn vnic_table_memory_enforced() {
-        let mut cfg = VSwitchConfig::default();
-        cfg.table_memory = 10 * 1024 * 1024; // 10 MB: fits one default vNIC
+        // 10 MB: fits one default vNIC.
+        let cfg = VSwitchConfig::builder()
+            .table_memory(10 * 1024 * 1024)
+            .build();
         let mut vs = VSwitch::new(ServerId(0), cfg);
         let v1 = Vnic::new(
             VnicId(1),
@@ -540,9 +666,10 @@ mod tests {
 
     #[test]
     fn session_overflow_processes_uncached() {
-        let mut cfg = VSwitchConfig::default();
         // Just enough memory for the vNIC tables + one session.
-        cfg.table_memory = 8 * 1024 * 1024;
+        let cfg = VSwitchConfig::builder()
+            .table_memory(8 * 1024 * 1024)
+            .build();
         let mut vs = VSwitch::new(ServerId(0), cfg);
         let vnic = Vnic::new(
             VnicId(1),
@@ -597,7 +724,6 @@ mod tests {
 }
 
 #[cfg(test)]
-#[allow(clippy::field_reassign_with_default)]
 mod qos_tests {
     use super::*;
     use crate::tables::acl::PortRange;

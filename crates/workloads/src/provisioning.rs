@@ -83,7 +83,6 @@ impl VnicProvisioning {
 }
 
 #[cfg(test)]
-#[allow(clippy::field_reassign_with_default)]
 mod tests {
     use super::*;
     use nezha_types::ServerId;
@@ -115,8 +114,7 @@ mod tests {
     fn vswitch_memory_caps_provisioning_without_nezha() {
         // The #vNICs bottleneck of §2.2.2, reproduced: a memory-squeezed
         // vSwitch accepts only a fraction of a serverless burst.
-        let mut cfg = VSwitchConfig::default();
-        cfg.table_memory = 64 << 20; // 64 MB
+        let cfg = VSwitchConfig::builder().table_memory(64 << 20).build();
         let mut vs = VSwitch::new(ServerId(0), cfg);
         let mut accepted = 0;
         for (_, v) in burst(100).generate(SimTime(0)) {

@@ -1,4 +1,3 @@
-#![allow(clippy::field_reassign_with_default)]
 //! Elephant-flow isolation (§7.5): pin a bandwidth monster to a dedicated
 //! FE so the mice sharing its hash bucket stop suffering.
 //!
@@ -21,7 +20,7 @@ const SERVICE: Ipv4Addr = Ipv4Addr::new(10, 7, 0, 1);
 
 fn mouse_latency(cluster: &mut Cluster, tag: u16) -> f64 {
     // Mice: short probes from many clients (distinct flows).
-    let before = cluster.stats.probe_latency.len();
+    let before = cluster.stats().probe_latency.len();
     let t0 = cluster.now();
     for i in 0..40u16 {
         let tuple = FiveTuple::tcp(
@@ -30,28 +29,31 @@ fn mouse_latency(cluster: &mut Cluster, tag: u16) -> f64 {
             SERVICE,
             9000,
         );
-        cluster.inject_probe_rx(
-            VNIC,
-            tuple,
-            64,
-            ServerId(24 + (i % 8) as u32),
-            t0 + SimDuration::from_millis(i as u64),
-        );
+        cluster
+            .inject_probe_rx(
+                VNIC,
+                tuple,
+                64,
+                ServerId(24 + (i % 8) as u32),
+                t0 + SimDuration::from_millis(i as u64),
+            )
+            .unwrap();
     }
     cluster.run_until(t0 + SimDuration::from_millis(600));
-    let lats = &cluster.stats.probe_latency.raw()[before..];
+    let stats = cluster.stats();
+    let lats = &stats.probe_latency.raw()[before..];
     lats.iter().sum::<f64>() / lats.len() as f64
 }
 
 fn main() {
-    let mut cfg = ClusterConfig::default();
-    cfg.vswitch.cores = 1; // small FEs so the elephant actually hurts
-    cfg.controller.auto_offload = false;
-    cfg.controller.auto_scale = false;
+    // Small FEs so the elephant actually hurts.
+    let cfg = ClusterConfig::builder().cores(1).auto(false).build();
     let mut cluster = Cluster::new(cfg);
     let mut vnic = Vnic::new(VNIC, VpcId(1), SERVICE, VnicProfile::default(), ServerId(0));
     vnic.allow_inbound_port(9000);
-    cluster.add_vnic(vnic, ServerId(0), VmConfig::default());
+    cluster
+        .add_vnic(vnic, ServerId(0), VmConfig::default())
+        .unwrap();
     cluster.trigger_offload(VNIC, SimTime::ZERO).unwrap();
     cluster.run_until(SimTime::ZERO + SimDuration::from_secs(3));
     println!("pool: {:?}", cluster.fe_servers(VNIC));
@@ -74,7 +76,15 @@ fn main() {
     let run_elephant = |cluster: &mut Cluster| {
         let t0 = cluster.now();
         for at in elephant.schedule(t0) {
-            cluster.inject_bulk_rx(VNIC, elephant.tuple, elephant.packet_bytes, ServerId(30), at);
+            cluster
+                .inject_bulk_rx(
+                    VNIC,
+                    elephant.tuple,
+                    elephant.packet_bytes,
+                    ServerId(30),
+                    at,
+                )
+                .unwrap();
         }
     };
 
@@ -92,10 +102,17 @@ fn main() {
     let key = SessionKey::of(VpcId(1), elephant.tuple);
     let hash = elephant.tuple.canonical().stable_hash();
     let fes = cluster.fe_servers(VNIC);
-    let natural = cluster.backend(VNIC).unwrap().select_fe(&key, hash).unwrap();
+    let natural = cluster
+        .backend(VNIC)
+        .unwrap()
+        .select_fe(&key, hash)
+        .unwrap();
     let dedicated = *fes.iter().find(|s| **s != natural).unwrap();
     cluster.pin_flow(VNIC, key, dedicated).unwrap();
-    println!("pinned elephant {} -> dedicated FE {dedicated}", elephant.tuple);
+    println!(
+        "pinned elephant {} -> dedicated FE {dedicated}",
+        elephant.tuple
+    );
     // Give every sender time to learn the narrowed general ring.
     let t = cluster.now();
     cluster.run_until(t + SimDuration::from_millis(400));
@@ -104,7 +121,10 @@ fn main() {
     let t = cluster.now();
     cluster.run_until(t + SimDuration::from_millis(50));
     let isolated = mouse_latency(&mut cluster, 2);
-    println!("mouse latency, elephant pinned:     {:7.1} us", isolated * 1e6);
+    println!(
+        "mouse latency, elephant pinned:     {:7.1} us",
+        isolated * 1e6
+    );
     println!();
     println!(
         "isolation recovered {:.0}% of the elephant's added latency",

@@ -1,4 +1,3 @@
-#![allow(clippy::field_reassign_with_default)]
 //! Failover drill: crash an FE under live traffic and watch the health
 //! monitor detect it and restore the pool (paper §4.4 / Fig. 14).
 //!
@@ -15,13 +14,16 @@ const VNIC: VnicId = VnicId(1);
 const SERVICE: Ipv4Addr = Ipv4Addr::new(10, 7, 0, 1);
 
 fn main() {
-    let mut cfg = ClusterConfig::default();
-    cfg.vswitch.cores = 1;
-    cfg.controller.auto_offload = false;
+    let cfg = ClusterConfig::builder()
+        .cores(1)
+        .auto_offload(false)
+        .build();
     let mut cluster = Cluster::new(cfg);
     let mut vnic = Vnic::new(VNIC, VpcId(1), SERVICE, VnicProfile::default(), ServerId(0));
     vnic.allow_inbound_port(9000);
-    cluster.add_vnic(vnic, ServerId(0), VmConfig::default());
+    cluster
+        .add_vnic(vnic, ServerId(0), VmConfig::default())
+        .unwrap();
 
     cluster.trigger_offload(VNIC, SimTime::ZERO).unwrap();
     cluster.run_until(SimTime::ZERO + SimDuration::from_secs(3));
@@ -41,7 +43,7 @@ fn main() {
     let start = cluster.now();
     let mut rng = nezha::sim::rng::SimRng::new(99);
     for s in wl.generate(start, &mut rng) {
-        cluster.add_conn(s);
+        cluster.add_conn(s).unwrap();
     }
     let victim = fes[0];
     let crash_at = start + SimDuration::from_secs(6);
@@ -58,7 +60,7 @@ fn main() {
         let t = start + SimDuration::from_secs(step);
         cluster.run_until(t);
         let fes = cluster.fe_servers(VNIC);
-        let lost_total = cluster.stats.pkts.dropped;
+        let lost_total = cluster.stats().pkts.dropped;
         let lost = lost_total - last_lost;
         last_lost = lost_total;
         println!(
@@ -66,7 +68,7 @@ fn main() {
             t.as_secs_f64(),
             fes,
             lost,
-            if cluster.stats.failover_events > 0 && lost == 0 && step >= 8 {
+            if cluster.stats().failover_events > 0 && lost == 0 && step >= 8 {
                 "  (failed over, recovered)"
             } else {
                 ""
@@ -74,17 +76,17 @@ fn main() {
         );
     }
 
-    let total = cluster.stats.completed + cluster.stats.failed;
+    let total = cluster.stats().completed + cluster.stats().failed;
     println!();
     println!(
         "connections: {} completed, {} failed ({:.3}% of {total})",
-        cluster.stats.completed,
-        cluster.stats.failed,
-        cluster.stats.failed as f64 / total as f64 * 100.0
+        cluster.stats().completed,
+        cluster.stats().failed,
+        cluster.stats().failed as f64 / total as f64 * 100.0
     );
     println!(
         "failovers: {}; pool restored to {} FEs without the victim",
-        cluster.stats.failover_events,
+        cluster.stats().failover_events,
         cluster.fe_count(VNIC)
     );
     assert!(!cluster.fe_servers(VNIC).contains(&victim));

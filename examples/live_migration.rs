@@ -1,4 +1,3 @@
-#![allow(clippy::field_reassign_with_default)]
 //! VM live migration, two ways (paper §7.2 / Fig. A1).
 //!
 //! Traditional migration copies the VM's memory and reconfigures the
@@ -46,7 +45,9 @@ fn main() {
         ServerId(0),
     );
     v.allow_inbound_port(9000);
-    cluster.add_vnic(v, ServerId(0), VmConfig::default());
+    cluster
+        .add_vnic(v, ServerId(0), VmConfig::default())
+        .unwrap();
     cluster.trigger_offload(vnic, SimTime::ZERO).unwrap();
     cluster.run_until(SimTime::ZERO + SimDuration::from_secs(3));
 

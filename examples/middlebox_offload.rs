@@ -1,4 +1,3 @@
-#![allow(clippy::field_reassign_with_default)]
 //! Middlebox scenario: an LB real-server vNIC with stateful
 //! decapsulation, offloaded under Nezha (the paper's §5.2 case study and
 //! the Table 3 production setting).
@@ -21,19 +20,22 @@ use nezha::vswitch::config::VSwitchConfig;
 use nezha::vswitch::vnic::{Vnic, VnicProfile};
 
 fn main() {
-    let mut cfg = ClusterConfig::default();
-    cfg.controller.auto_offload = false;
+    let cfg = ClusterConfig::builder().auto_offload(false).build();
     let mut cluster = Cluster::new(cfg);
 
     // A real server behind a load balancer: stateful decap applies.
     let rs = VnicId(7);
     let rs_addr = Ipv4Addr::new(10, 9, 0, 1);
     let lb_vip = Ipv4Addr::new(100, 64, 0, 5);
-    let mut profile = VnicProfile::default();
-    profile.stateful_decap = true;
+    let profile = VnicProfile {
+        stateful_decap: true,
+        ..VnicProfile::default()
+    };
     let mut vnic = Vnic::new(rs, VpcId(3), rs_addr, profile, ServerId(0));
     vnic.allow_inbound_port(8080);
-    cluster.add_vnic(vnic, ServerId(0), VmConfig::with_vcpus(32));
+    cluster
+        .add_vnic(vnic, ServerId(0), VmConfig::with_vcpus(32))
+        .unwrap();
 
     // Offload it, then run one client connection through the LB.
     cluster.trigger_offload(rs, cluster.now()).unwrap();
@@ -51,14 +53,15 @@ fn main() {
         payload: 512,
         overlay_encap_src: Some(lb_vip), // the LB's address on the overlay
     };
-    cluster.add_conn(spec);
+    cluster.add_conn(spec).unwrap();
     let t = cluster.now();
     cluster.run_until(t + SimDuration::from_millis(400));
 
-    assert_eq!(cluster.stats.completed, 1, "connection must complete");
+    assert_eq!(cluster.stats().completed, 1, "connection must complete");
     let key = SessionKey::of(VpcId(3), spec.tuple);
     let entry = cluster
         .switch(ServerId(0))
+        .unwrap()
         .sessions
         .get(&key)
         .expect("session state lives at the BE");

@@ -1,4 +1,3 @@
-#![allow(clippy::field_reassign_with_default)]
 //! Quickstart: offload one overloaded vNIC and watch its CPS multiply.
 //!
 //! Builds a small simulated datacenter, drives a TCP_CRR workload at a
@@ -21,22 +20,26 @@ const SERVICE: Ipv4Addr = Ipv4Addr::new(10, 7, 0, 1);
 const PORT: u16 = 9000;
 
 fn build(offload: bool) -> Cluster {
-    let mut cfg = ClusterConfig::default();
-    cfg.vswitch.cores = 1; // a small SmartNIC keeps the demo fast
-    cfg.controller.auto_offload = false;
+    // A small SmartNIC keeps the demo fast.
+    let cfg = ClusterConfig::builder()
+        .cores(1)
+        .auto_offload(false)
+        .build();
     let mut cluster = Cluster::new(cfg);
 
     // One tenant vNIC with a security group that exposes port 9000.
     let mut vnic = Vnic::new(VNIC, VpcId(1), SERVICE, VnicProfile::default(), HOME);
     vnic.allow_inbound_port(PORT);
-    cluster.add_vnic(
-        vnic,
-        HOME,
-        VmConfig {
-            per_core_cps: 13_425.0,
-            ..VmConfig::default()
-        },
-    );
+    cluster
+        .add_vnic(
+            vnic,
+            HOME,
+            VmConfig {
+                per_core_cps: 13_425.0,
+                ..VmConfig::default()
+            },
+        )
+        .unwrap();
 
     if offload {
         cluster
@@ -46,7 +49,7 @@ fn build(offload: bool) -> Cluster {
         println!(
             "offloaded vNIC {VNIC} to FEs {:?} in {:.0} ms",
             cluster.fe_servers(VNIC),
-            cluster.stats.offload_completion.mean() * 1e3
+            cluster.stats().offload_completion.mean() * 1e3
         );
     }
     cluster
@@ -66,13 +69,13 @@ fn drive(cluster: &mut Cluster, rate: f64) -> (f64, f64) {
     );
     let mut rng = nezha::sim::rng::SimRng::new(7);
     for spec in wl.generate(start, &mut rng) {
-        cluster.add_conn(spec);
+        cluster.add_conn(spec).unwrap();
     }
     cluster.run_until(start + duration + SimDuration::from_secs(1));
-    let total = cluster.stats.completed + cluster.stats.failed + cluster.stats.denied;
+    let total = cluster.stats().completed + cluster.stats().failed + cluster.stats().denied;
     (
-        cluster.stats.completed as f64 / duration.as_secs_f64(),
-        1.0 - cluster.stats.completed as f64 / total.max(1) as f64,
+        cluster.stats().completed as f64 / duration.as_secs_f64(),
+        1.0 - cluster.stats().completed as f64 / total.max(1) as f64,
     )
 }
 

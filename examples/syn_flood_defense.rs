@@ -1,4 +1,3 @@
-#![allow(clippy::field_reassign_with_default)]
 //! SYN-flood defence: the short aging time for embryonic sessions keeps
 //! BE state memory bounded under attack (paper §7.3).
 //!
@@ -22,12 +21,13 @@ const VNIC: VnicId = VnicId(1);
 const SERVICE: Ipv4Addr = Ipv4Addr::new(10, 7, 0, 1);
 
 fn main() {
-    let mut cfg = ClusterConfig::default();
-    cfg.controller.auto_offload = false;
+    let cfg = ClusterConfig::builder().auto_offload(false).build();
     let mut cluster = Cluster::new(cfg);
     let mut vnic = Vnic::new(VNIC, VpcId(1), SERVICE, VnicProfile::default(), ServerId(0));
     vnic.allow_inbound_port(9000);
-    cluster.add_vnic(vnic, ServerId(0), VmConfig::default());
+    cluster
+        .add_vnic(vnic, ServerId(0), VmConfig::default())
+        .unwrap();
     cluster.trigger_offload(VNIC, SimTime::ZERO).unwrap();
     cluster.run_until(SimTime::ZERO + SimDuration::from_secs(3));
 
@@ -43,10 +43,10 @@ fn main() {
     };
     let t = cluster.now();
     for s in legit.generate(t) {
-        cluster.add_conn(s);
+        cluster.add_conn(s).unwrap();
     }
     cluster.run_until(t + SimDuration::from_secs(1));
-    let legit_sessions = cluster.switch(ServerId(0)).sessions.len();
+    let legit_sessions = cluster.switch(ServerId(0)).unwrap().sessions.len();
     println!("established {legit_sessions} legitimate sessions at the BE");
 
     // Now a 50K-SYN/s flood for 5 seconds.
@@ -61,14 +61,14 @@ fn main() {
     };
     let t = cluster.now();
     for s in flood.generate(t) {
-        cluster.add_conn(s);
+        cluster.add_conn(s).unwrap();
     }
     println!("flooding 50K SYN/s for 5s (250K embryonic sessions offered)\n");
     let mut peak = 0usize;
     for step in 1..=8 {
         let at = t + SimDuration::from_secs(step);
         cluster.run_until(at);
-        let live = cluster.switch(ServerId(0)).sessions.len();
+        let live = cluster.switch(ServerId(0)).unwrap().sessions.len();
         peak = peak.max(live);
         println!(
             "t=+{step}s: {live:>7} live sessions ({:.1} MB of state slabs)",
@@ -76,7 +76,7 @@ fn main() {
         );
     }
 
-    let (created, expired, _) = cluster.switch(ServerId(0)).sessions.counters();
+    let (created, expired, _) = cluster.switch(ServerId(0)).unwrap().sessions.counters();
     println!();
     println!("peak table size {peak} ≈ one second of flood + legit sessions — the",);
     println!("1s SYN aging reclaimed {expired} embryonic entries (of {created} created);");
@@ -84,6 +84,6 @@ fn main() {
     assert!(peak < 80_000, "SYN aging failed to bound the table");
     // After the flood drains, the legitimate sessions are still there
     // (persistent conns idle out only after the 8s established timeout).
-    let live = cluster.switch(ServerId(0)).sessions.len();
+    let live = cluster.switch(ServerId(0)).unwrap().sessions.len();
     println!("live sessions after the flood: {live}");
 }

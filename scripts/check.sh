@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# The full local gate, in the order CI would run it:
+# formatting, lints as errors, then the test suite.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "All checks passed."

@@ -27,29 +27,34 @@
 //!
 //! ## Quickstart
 //!
+//! The [`prelude`] pulls in everything a typical simulation needs:
+//!
 //! ```
-//! use nezha::core::{Cluster, ClusterConfig};
-//! use nezha::core::vm::VmConfig;
-//! use nezha::sim::time::{SimDuration, SimTime};
-//! use nezha::types::{Ipv4Addr, VnicId, VpcId};
-//! use nezha::vswitch::vnic::{Vnic, VnicProfile};
+//! use nezha::prelude::*;
 //!
 //! // A small testbed with one busy vNIC on server 0.
-//! let mut cluster = Cluster::new(ClusterConfig::default());
+//! let cfg = ClusterConfig::builder().auto(false).build();
+//! let mut cluster = Cluster::new(cfg);
 //! let mut vnic = Vnic::new(
 //!     VnicId(1),
 //!     VpcId(1),
 //!     Ipv4Addr::new(10, 7, 0, 1),
 //!     VnicProfile::default(),
-//!     nezha::types::ServerId(0),
+//!     ServerId(0),
 //! );
 //! vnic.allow_inbound_port(9000);
-//! cluster.add_vnic(vnic, nezha::types::ServerId(0), VmConfig::with_vcpus(64));
+//! cluster
+//!     .add_vnic(vnic, ServerId(0), VmConfig::with_vcpus(64))
+//!     .unwrap();
 //!
 //! // Offload it to four idle SmartNICs and let the config propagate.
 //! cluster.trigger_offload(VnicId(1), SimTime::ZERO).unwrap();
 //! cluster.run_until(SimTime::ZERO + SimDuration::from_secs(3));
 //! assert_eq!(cluster.fe_count(VnicId(1)), 4);
+//!
+//! // Every run records telemetry; snapshots are deterministic.
+//! let snap = cluster.metrics().snapshot();
+//! assert_eq!(snap.counter("ctrl.offload_events"), 1);
 //! ```
 
 #![warn(missing_docs)]
@@ -60,3 +65,31 @@ pub use nezha_sim as sim;
 pub use nezha_types as types;
 pub use nezha_vswitch as vswitch;
 pub use nezha_workloads as workloads;
+
+/// The most commonly used names, importable in one line.
+///
+/// Covers building a cluster ([`Cluster`], [`ClusterConfig`],
+/// [`VSwitchConfig`], their builders), populating it ([`Vnic`],
+/// [`VnicProfile`], [`VmConfig`], the workload generators), driving it
+/// ([`SimTime`], [`SimDuration`], [`ConnSpec`]), and reading it back
+/// ([`MetricsRegistry`], [`PacketTrace`], [`NezhaError`]).
+pub mod prelude {
+    pub use nezha_core::cluster::{Cluster, ClusterConfig, ClusterConfigBuilder, LbMode};
+    pub use nezha_core::conn::{ConnKind, ConnSpec};
+    pub use nezha_core::region::Region;
+    pub use nezha_core::vm::VmConfig;
+    pub use nezha_sim::metrics::{MetricsRegistry, MetricsSnapshot};
+    pub use nezha_sim::time::{SimDuration, SimTime};
+    pub use nezha_sim::topology::TopologyConfig;
+    pub use nezha_sim::trace::{PacketTrace, TraceEvent, TraceEventKind, TraceFilter};
+    pub use nezha_types::{
+        FiveTuple, Ipv4Addr, NezhaError, NezhaResult, ServerId, SessionKey, VnicId, VpcId,
+    };
+    pub use nezha_vswitch::config::{VSwitchConfig, VSwitchConfigBuilder};
+    pub use nezha_vswitch::vnic::{Vnic, VnicProfile};
+    pub use nezha_vswitch::vswitch::VSwitch;
+    pub use nezha_workloads::cps::CpsWorkload;
+    pub use nezha_workloads::elephant::ElephantFlow;
+    pub use nezha_workloads::flows::PersistentFlows;
+    pub use nezha_workloads::syn_flood::SynFlood;
+}

@@ -1,4 +1,3 @@
-#![allow(clippy::field_reassign_with_default)]
 //! Determinism guarantees: identical seeds produce identical runs, and
 //! different seeds genuinely differ. Every recorded experiment depends on
 //! this property.
@@ -8,20 +7,21 @@ use nezha::core::conn::{ConnKind, ConnSpec};
 use nezha::core::vm::VmConfig;
 use nezha::sim::time::{SimDuration, SimTime};
 use nezha::sim::topology::TopologyConfig;
+use nezha::sim::trace::TraceEvent;
 use nezha::types::{FiveTuple, Ipv4Addr, ServerId, VnicId, VpcId};
 use nezha::vswitch::vnic::{Vnic, VnicProfile};
 
 fn run_scenario(seed: u64) -> (u64, u64, u64, f64, Vec<ServerId>, u64) {
-    let mut cfg = ClusterConfig::default();
-    cfg.topology = TopologyConfig {
-        servers_per_rack: 12,
-        racks_per_pod: 2,
-        pods: 1,
-        ..TopologyConfig::default()
-    };
-    cfg.controller.auto_offload = false;
-    cfg.controller.auto_scale = false;
-    cfg.seed = seed;
+    let cfg = ClusterConfig::builder()
+        .topology(TopologyConfig {
+            servers_per_rack: 12,
+            racks_per_pod: 2,
+            pods: 1,
+            ..TopologyConfig::default()
+        })
+        .auto(false)
+        .seed(seed)
+        .build();
     let mut c = Cluster::new(cfg);
     let mut vnic = Vnic::new(
         VnicId(1),
@@ -31,7 +31,8 @@ fn run_scenario(seed: u64) -> (u64, u64, u64, f64, Vec<ServerId>, u64) {
         ServerId(0),
     );
     vnic.allow_inbound_port(9000);
-    c.add_vnic(vnic, ServerId(0), VmConfig::with_vcpus(64));
+    c.add_vnic(vnic, ServerId(0), VmConfig::with_vcpus(64))
+        .unwrap();
     c.trigger_offload(VnicId(1), SimTime::ZERO).unwrap();
     c.run_until(SimTime::ZERO + SimDuration::from_secs(3));
     for i in 0..500u32 {
@@ -49,7 +50,8 @@ fn run_scenario(seed: u64) -> (u64, u64, u64, f64, Vec<ServerId>, u64) {
             start: c.now() + SimDuration::from_micros(700 * i as u64),
             payload: 100,
             overlay_encap_src: None,
-        });
+        })
+        .unwrap();
     }
     // Inject a crash mid-run for the failure paths too.
     let victim = c.fe_servers(VnicId(1))[0];
@@ -59,10 +61,10 @@ fn run_scenario(seed: u64) -> (u64, u64, u64, f64, Vec<ServerId>, u64) {
     let mut fes = c.fe_servers(VnicId(1));
     fes.sort_unstable_by_key(|s| s.0);
     (
-        c.stats.completed,
-        c.stats.failed,
-        c.stats.pkts.dropped,
-        c.stats.offload_completion.mean(),
+        c.stats().completed,
+        c.stats().failed,
+        c.stats().pkts.dropped,
+        c.stats().offload_completion.mean(),
         fes,
         c.engine.processed(),
     )
@@ -78,6 +80,119 @@ fn identical_seeds_replay_identically() {
     assert_eq!(a.3.to_bits(), b.3.to_bits(), "completion time");
     assert_eq!(a.4, b.4, "FE set");
     assert_eq!(a.5, b.5, "event count");
+}
+
+/// Same scenario as [`run_scenario`], but returns the full telemetry:
+/// the serialized metrics snapshot and the recorded trace events.
+fn run_telemetry_scenario(seed: u64) -> (String, Vec<TraceEvent>) {
+    let cfg = ClusterConfig::builder()
+        .topology(TopologyConfig {
+            servers_per_rack: 12,
+            racks_per_pod: 2,
+            pods: 1,
+            ..TopologyConfig::default()
+        })
+        .auto(false)
+        .seed(seed)
+        .build();
+    let mut c = Cluster::new(cfg);
+    c.enable_trace(8192);
+    let mut vnic = Vnic::new(
+        VnicId(1),
+        VpcId(1),
+        Ipv4Addr::new(10, 7, 0, 1),
+        VnicProfile::default(),
+        ServerId(0),
+    );
+    vnic.allow_inbound_port(9000);
+    c.add_vnic(vnic, ServerId(0), VmConfig::with_vcpus(64))
+        .unwrap();
+    c.trigger_offload(VnicId(1), SimTime::ZERO).unwrap();
+    c.run_until(SimTime::ZERO + SimDuration::from_secs(3));
+    for i in 0..300u32 {
+        c.add_conn(ConnSpec {
+            vnic: VnicId(1),
+            vpc: VpcId(1),
+            tuple: FiveTuple::tcp(
+                Ipv4Addr::new(10, 7, 2, (i % 200) as u8 + 1),
+                (1024 + i) as u16,
+                Ipv4Addr::new(10, 7, 0, 1),
+                9000,
+            ),
+            peer_server: ServerId(12 + i % 12),
+            kind: ConnKind::Inbound,
+            start: c.now() + SimDuration::from_micros(700 * i as u64),
+            payload: 100,
+            overlay_encap_src: None,
+        })
+        .unwrap();
+    }
+    c.run_until(c.now() + SimDuration::from_secs(6));
+    (c.metrics().snapshot().to_json(), c.trace().events())
+}
+
+#[test]
+fn telemetry_is_deterministic_across_same_seed_runs() {
+    let (json_a, trace_a) = run_telemetry_scenario(42);
+    let (json_b, trace_b) = run_telemetry_scenario(42);
+    // The serialized metrics snapshot is byte-identical ...
+    assert_eq!(json_a, json_b, "metrics snapshots diverged");
+    // ... and the trace replays the exact same event sequence.
+    assert_eq!(trace_a.len(), trace_b.len(), "trace lengths diverged");
+    for (a, b) in trace_a.iter().zip(trace_b.iter()) {
+        assert_eq!(a, b, "trace events diverged");
+    }
+    // The run did real work: counters registered and events recorded.
+    assert!(json_a.contains("\"conn.completed\""));
+    assert!(!trace_a.is_empty(), "trace recorded nothing");
+}
+
+#[test]
+fn snapshot_histogram_percentiles_match_samples() {
+    let cfg = ClusterConfig::builder().auto(false).seed(7).build();
+    let mut c = Cluster::new(cfg);
+    let mut vnic = Vnic::new(
+        VnicId(1),
+        VpcId(1),
+        Ipv4Addr::new(10, 7, 0, 1),
+        VnicProfile::default(),
+        ServerId(0),
+    );
+    vnic.allow_inbound_port(9000);
+    c.add_vnic(vnic, ServerId(0), VmConfig::with_vcpus(64))
+        .unwrap();
+    for i in 0..200u32 {
+        c.add_conn(ConnSpec {
+            vnic: VnicId(1),
+            vpc: VpcId(1),
+            tuple: FiveTuple::tcp(
+                Ipv4Addr::new(10, 7, 2, (i % 200) as u8 + 1),
+                (1024 + i) as u16,
+                Ipv4Addr::new(10, 7, 0, 1),
+                9000,
+            ),
+            peer_server: ServerId(8 + i % 8),
+            kind: ConnKind::Inbound,
+            start: SimTime::ZERO + SimDuration::from_micros(700 * i as u64),
+            payload: 100,
+            overlay_encap_src: None,
+        })
+        .unwrap();
+    }
+    c.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+    // The registry-backed histogram and the legacy Samples view are the
+    // same data: every percentile must agree bit-for-bit.
+    let mut snap_hist = c.metrics().snapshot().histogram("latency.conn");
+    let mut legacy = c.stats().conn_latency;
+    assert!(!snap_hist.is_empty(), "no latency samples recorded");
+    assert_eq!(snap_hist.len(), legacy.len());
+    for p in [0.0, 25.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+        assert_eq!(
+            snap_hist.percentile(p).to_bits(),
+            legacy.percentile(p).to_bits(),
+            "percentile {p} diverged between snapshot and Samples"
+        );
+    }
 }
 
 #[test]

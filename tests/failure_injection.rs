@@ -1,4 +1,3 @@
-#![allow(clippy::field_reassign_with_default)]
 //! Failure-injection scenarios: FE crashes, detection latency, the ≥4-FE
 //! floor, widespread-failure suspension (Appendix C), and the fate of
 //! in-flight traffic.
@@ -16,19 +15,19 @@ const HOME: ServerId = ServerId(0);
 const SERVICE: Ipv4Addr = Ipv4Addr::new(10, 7, 0, 1);
 
 fn cluster() -> Cluster {
-    let mut cfg = ClusterConfig::default();
-    cfg.topology = TopologyConfig {
-        servers_per_rack: 12,
-        racks_per_pod: 2,
-        pods: 1,
-        ..TopologyConfig::default()
-    };
-    cfg.controller.auto_offload = false;
-    cfg.controller.auto_scale = false;
+    let cfg = ClusterConfig::builder()
+        .topology(TopologyConfig {
+            servers_per_rack: 12,
+            racks_per_pod: 2,
+            pods: 1,
+            ..TopologyConfig::default()
+        })
+        .auto(false)
+        .build();
     let mut c = Cluster::new(cfg);
     let mut vnic = Vnic::new(VNIC, VpcId(1), SERVICE, VnicProfile::default(), HOME);
     vnic.allow_inbound_port(9000);
-    c.add_vnic(vnic, HOME, VmConfig::with_vcpus(64));
+    c.add_vnic(vnic, HOME, VmConfig::with_vcpus(64)).unwrap();
     c.trigger_offload(VNIC, SimTime::ZERO).unwrap();
     c.run_until(SimTime::ZERO + SimDuration::from_secs(3));
     c
@@ -51,7 +50,8 @@ fn steady_traffic(c: &mut Cluster, count: u32, spacing: SimDuration) {
             start: t + SimDuration(spacing.nanos() * i as u64),
             payload: 100,
             overlay_encap_src: None,
-        });
+        })
+        .unwrap();
     }
 }
 
@@ -63,7 +63,7 @@ fn detection_and_failover_complete_within_2_5s() {
     c.crash_at(victim, crash_at);
     c.run_until(crash_at + SimDuration::from_millis(2_500));
     // Paper §4.4 / Fig. 14: detection + failover within ~2 s.
-    assert_eq!(c.stats.failover_events, 1, "failover must have completed");
+    assert_eq!(c.stats().failover_events, 1, "failover must have completed");
     let fes = c.fe_servers(VNIC);
     assert!(!fes.contains(&victim));
     assert_eq!(fes.len(), 4, "the 4-FE floor is restored: {fes:?}");
@@ -79,15 +79,15 @@ fn traffic_recovers_after_crash_via_retransmission() {
     let victim = c.fe_servers(VNIC)[0];
     c.crash_at(victim, c.now() + SimDuration::from_secs(2));
     c.run_until(c.now() + SimDuration::from_secs(12));
-    let total = c.stats.completed + c.stats.failed + c.stats.denied;
+    let total = c.stats().completed + c.stats().failed + c.stats().denied;
     assert_eq!(total, 3_000);
     // Losses happened (the surge) ...
-    assert!(c.stats.pkts.dropped > 0);
+    assert!(c.stats().pkts.dropped > 0);
     // ... but retransmission + failover saved nearly everything.
     assert!(
-        c.stats.completed >= 2_980,
+        c.stats().completed >= 2_980,
         "completed only {} of 3000",
-        c.stats.completed
+        c.stats().completed
     );
 }
 
@@ -107,14 +107,14 @@ fn multiple_sequential_crashes_keep_the_pool_alive() {
     c.crash_at(f2, c.now());
     c.run_until(c.now() + SimDuration::from_secs(9));
 
-    assert_eq!(c.stats.failover_events, 2);
+    assert_eq!(c.stats().failover_events, 2);
     let fes = c.fe_servers(VNIC);
     assert_eq!(fes.len(), 4);
     assert!(!fes.contains(&f1) && !fes.contains(&f2));
     assert!(
-        c.stats.completed >= 3_950,
+        c.stats().completed >= 3_950,
         "completed {}",
-        c.stats.completed
+        c.stats().completed
     );
 }
 
@@ -132,9 +132,10 @@ fn widespread_apparent_failure_suspends_auto_removal() {
         c.crash_at(fe, c.now() + SimDuration::from_millis(100));
     }
     c.run_until(c.now() + SimDuration::from_secs(5));
-    assert!(c.stats.monitor_suspensions >= 1, "monitor must suspend");
+    assert!(c.stats().monitor_suspensions >= 1, "monitor must suspend");
     assert_eq!(
-        c.stats.failover_events, 0,
+        c.stats().failover_events,
+        0,
         "automatic removal suspended during widespread failure"
     );
     // The FE set is untouched, pending manual inspection.
@@ -149,7 +150,7 @@ fn crash_of_a_nonmember_server_changes_nothing() {
     assert!(!fes_before.contains(&outsider));
     c.crash_at(outsider, c.now() + SimDuration::from_millis(100));
     c.run_until(c.now() + SimDuration::from_secs(4));
-    assert_eq!(c.stats.failover_events, 0);
+    assert_eq!(c.stats().failover_events, 0);
     let mut a = c.fe_servers(VNIC);
     let mut b = fes_before.clone();
     a.sort_unstable_by_key(|s| s.0);

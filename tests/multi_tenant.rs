@@ -1,4 +1,3 @@
-#![allow(clippy::field_reassign_with_default)]
 //! Multi-tenant scenarios: several vNICs sharing the fabric, mixed
 //! offload states, VPC isolation, and servers that simultaneously serve
 //! their own tenants and host FEs for others — the exact reuse posture
@@ -14,15 +13,15 @@ use nezha::types::{FiveTuple, Ipv4Addr, ServerId, SessionKey, VnicId, VpcId};
 use nezha::vswitch::vnic::{Vnic, VnicProfile};
 
 fn cluster() -> Cluster {
-    let mut cfg = ClusterConfig::default();
-    cfg.topology = TopologyConfig {
-        servers_per_rack: 12,
-        racks_per_pod: 2,
-        pods: 1,
-        ..TopologyConfig::default()
-    };
-    cfg.controller.auto_offload = false;
-    cfg.controller.auto_scale = false;
+    let cfg = ClusterConfig::builder()
+        .topology(TopologyConfig {
+            servers_per_rack: 12,
+            racks_per_pod: 2,
+            pods: 1,
+            ..TopologyConfig::default()
+        })
+        .auto(false)
+        .build();
     Cluster::new(cfg)
 }
 
@@ -31,18 +30,11 @@ fn add_tenant(c: &mut Cluster, id: u32, vpc: u32, home: ServerId) -> (VnicId, Ip
     let addr = Ipv4Addr::new(10, 10 + id as u8, 0, 1);
     let mut vnic = Vnic::new(vnic_id, VpcId(vpc), addr, VnicProfile::default(), home);
     vnic.allow_inbound_port(9000);
-    c.add_vnic(vnic, home, VmConfig::with_vcpus(32));
+    c.add_vnic(vnic, home, VmConfig::with_vcpus(32)).unwrap();
     (vnic_id, addr)
 }
 
-fn conns(
-    c: &mut Cluster,
-    vnic: VnicId,
-    vpc: u32,
-    addr: Ipv4Addr,
-    base: u32,
-    count: u32,
-) {
+fn conns(c: &mut Cluster, vnic: VnicId, vpc: u32, addr: Ipv4Addr, base: u32, count: u32) {
     let t = c.now();
     for i in 0..count {
         c.add_conn(ConnSpec {
@@ -59,7 +51,8 @@ fn conns(
             start: t + SimDuration::from_millis(i as u64),
             payload: 100,
             overlay_encap_src: None,
-        });
+        })
+        .unwrap();
     }
 }
 
@@ -82,18 +75,18 @@ fn mixed_offload_states_coexist() {
     conns(&mut c, d, 3, d_addr, 2000, 100);
     c.run_until(c.now() + SimDuration::from_secs(4));
     assert_eq!(
-        c.stats.completed,
+        c.stats().completed,
         300,
         "failed={} denied={}",
-        c.stats.failed,
-        c.stats.denied
+        c.stats().failed,
+        c.stats().denied
     );
 
     // A's sessions were tracked at its BE; B and D at their own switches
     // (completed connections age out, so check the lifetime counters).
-    assert!(c.switch(ServerId(0)).sessions.counters().0 >= 100);
-    assert!(c.switch(ServerId(1)).sessions.counters().0 >= 100);
-    assert!(c.switch(ServerId(2)).sessions.counters().0 >= 100);
+    assert!(c.switch(ServerId(0)).unwrap().sessions.counters().0 >= 100);
+    assert!(c.switch(ServerId(1)).unwrap().sessions.counters().0 >= 100);
+    assert!(c.switch(ServerId(2)).unwrap().sessions.counters().0 >= 100);
 }
 
 #[test]
@@ -104,9 +97,15 @@ fn same_five_tuple_in_two_vpcs_does_not_collide() {
     let mut c = cluster();
     let shared_addr = Ipv4Addr::new(10, 50, 0, 1);
     for (id, vpc, home) in [(1u32, 1u32, ServerId(0)), (2, 2, ServerId(1))] {
-        let mut vnic = Vnic::new(VnicId(id), VpcId(vpc), shared_addr, VnicProfile::default(), home);
+        let mut vnic = Vnic::new(
+            VnicId(id),
+            VpcId(vpc),
+            shared_addr,
+            VnicProfile::default(),
+            home,
+        );
         vnic.allow_inbound_port(9000);
-        c.add_vnic(vnic, home, VmConfig::with_vcpus(16));
+        c.add_vnic(vnic, home, VmConfig::with_vcpus(16)).unwrap();
     }
     // NOTE: the two vNICs share an overlay address but live in different
     // VPCs; the gateway keys on address alone in this model, so give each
@@ -133,12 +132,12 @@ fn fe_host_serves_its_own_tenant_at_the_same_time() {
     conns(&mut c, hot, 1, hot_addr, 0, 200);
     conns(&mut c, local, 2, local_addr, 3000, 200);
     c.run_until(c.now() + SimDuration::from_secs(4));
-    assert_eq!(c.stats.completed, 400);
-    assert_eq!(c.stats.failed, 0);
+    assert_eq!(c.stats().completed, 400);
+    assert_eq!(c.stats().failed, 0);
 
     // The FE host carried both: its tenant's sessions and the hot vNIC's
     // cached flows.
-    assert!(c.switch(fe_host).sessions.counters().0 >= 200);
+    assert!(c.switch(fe_host).unwrap().sessions.counters().0 >= 200);
     assert!(c.fe_cached_flows(fe_host, hot).unwrap() > 0);
 }
 
@@ -159,7 +158,7 @@ fn two_offloaded_vnics_get_disjoint_bookkeeping() {
     conns(&mut c, a, 1, a_addr, 0, 150);
     conns(&mut c, b, 2, b_addr, 5000, 150);
     c.run_until(c.now() + SimDuration::from_secs(4));
-    assert_eq!(c.stats.completed, 300);
+    assert_eq!(c.stats().completed, 300);
 
     // Per-vNIC FE instances are independent even on shared hosts.
     for fe in &fes_a {
@@ -184,20 +183,22 @@ fn controller_offloads_only_the_heavy_tenant() {
     // Auto mode: two tenants on one switch, one hot and one cold — the
     // §4.2.1 selection policy ("descending order of CPU/memory
     // consumption") must offload only the hot one.
-    let mut cfg = ClusterConfig::default();
-    cfg.topology = TopologyConfig {
-        servers_per_rack: 12,
-        racks_per_pod: 2,
-        pods: 1,
-        ..TopologyConfig::default()
-    };
-    cfg.vswitch.cores = 1;
-    cfg.controller.auto_offload = true;
-    cfg.controller.auto_scale = false;
+    let cfg = ClusterConfig::builder()
+        .topology(TopologyConfig {
+            servers_per_rack: 12,
+            racks_per_pod: 2,
+            pods: 1,
+            ..TopologyConfig::default()
+        })
+        .cores(1)
+        .auto_offload(true)
+        .auto_scale(false)
+        .build();
     let mut c = Cluster::new(cfg);
     let (hot, hot_addr) = add_tenant(&mut c, 1, 1, ServerId(0));
     let (cold, cold_addr) = add_tenant(&mut c, 2, 2, ServerId(0));
     c.switch_mut(ServerId(0))
+        .unwrap()
         .set_util_window(SimDuration::from_millis(500));
 
     // Hot: ~50K CPS (0.85x of the 1-core switch); cold: a trickle.
@@ -217,7 +218,8 @@ fn controller_offloads_only_the_heavy_tenant() {
             start: t0 + SimDuration::from_micros(20 * i as u64),
             payload: 64,
             overlay_encap_src: None,
-        });
+        })
+        .unwrap();
     }
     conns(&mut c, cold, 2, cold_addr, 9000, 20);
     c.run_until(t0 + SimDuration::from_secs(4));

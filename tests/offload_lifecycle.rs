@@ -1,4 +1,3 @@
-#![allow(clippy::field_reassign_with_default)]
 //! End-to-end lifecycle scenarios across the whole stack: offload →
 //! final stage → scale-out → fallback → re-offload, with live traffic
 //! throughout and zero tolerance for lost connections outside injected
@@ -19,19 +18,19 @@ const SERVICE: Ipv4Addr = Ipv4Addr::new(10, 7, 0, 1);
 const PORT: u16 = 9000;
 
 fn cluster() -> Cluster {
-    let mut cfg = ClusterConfig::default();
-    cfg.topology = TopologyConfig {
-        servers_per_rack: 12,
-        racks_per_pod: 2,
-        pods: 1,
-        ..TopologyConfig::default()
-    };
-    cfg.controller.auto_offload = false;
-    cfg.controller.auto_scale = false;
+    let cfg = ClusterConfig::builder()
+        .topology(TopologyConfig {
+            servers_per_rack: 12,
+            racks_per_pod: 2,
+            pods: 1,
+            ..TopologyConfig::default()
+        })
+        .auto(false)
+        .build();
     let mut c = Cluster::new(cfg);
     let mut vnic = Vnic::new(VNIC, VpcId(1), SERVICE, VnicProfile::default(), HOME);
     vnic.allow_inbound_port(PORT);
-    c.add_vnic(vnic, HOME, VmConfig::with_vcpus(64));
+    c.add_vnic(vnic, HOME, VmConfig::with_vcpus(64)).unwrap();
     c
 }
 
@@ -64,7 +63,8 @@ fn full_lifecycle_keeps_every_connection() {
                 n + i,
                 t + SimDuration::from_millis(i as u64),
                 ConnKind::Inbound,
-            ));
+            ))
+            .unwrap();
         }
         n += count;
         c.run_until(c.now() + SimDuration::from_secs(3));
@@ -72,14 +72,14 @@ fn full_lifecycle_keeps_every_connection() {
 
     // 1. Local phase.
     drive(&mut c, 100);
-    assert_eq!(c.stats.completed, 100);
+    assert_eq!(c.stats().completed, 100);
 
     // 2. Offload; traffic continues across the dual-running stage.
     c.trigger_offload(VNIC, c.now()).unwrap();
     drive(&mut c, 200);
     assert_eq!(c.backend(VNIC).unwrap().phase, OffloadPhase::Offloaded);
-    assert_eq!(c.stats.completed, 300);
-    assert_eq!(c.stats.failed, 0);
+    assert_eq!(c.stats().completed, 300);
+    assert_eq!(c.stats().failed, 0);
 
     // 3. Manual scale-out 4 -> 8; continuing flows keep completing even
     //    though the wider pool re-hashes them onto new FEs (a cache miss
@@ -88,37 +88,37 @@ fn full_lifecycle_keeps_every_connection() {
     assert_eq!(added, 4);
     drive(&mut c, 200);
     assert_eq!(c.fe_count(VNIC), 8);
-    assert_eq!(c.stats.completed, 500);
-    assert_eq!(c.stats.failed, 0);
+    assert_eq!(c.stats().completed, 500);
+    assert_eq!(c.stats().failed, 0);
 
     // 4. Fallback to local.
     c.trigger_fallback(VNIC, c.now()).unwrap();
     drive(&mut c, 100);
     assert!(c.backend(VNIC).is_none());
     assert_eq!(c.fe_count(VNIC), 0);
-    assert_eq!(c.stats.completed, 600);
-    assert_eq!(c.stats.failed, 0);
+    assert_eq!(c.stats().completed, 600);
+    assert_eq!(c.stats().failed, 0);
     // The BE's rule tables are back.
-    assert!(c.switch(HOME).vnic(VNIC).is_some());
+    assert!(c.switch(HOME).unwrap().vnic(VNIC).is_some());
 
     // 5. Re-offload works after fallback.
     c.trigger_offload(VNIC, c.now()).unwrap();
     drive(&mut c, 100);
     assert_eq!(c.backend(VNIC).unwrap().phase, OffloadPhase::Offloaded);
-    assert_eq!(c.stats.completed, 700);
-    assert_eq!(c.stats.failed, 0);
-    assert_eq!(c.stats.denied, 0);
+    assert_eq!(c.stats().completed, 700);
+    assert_eq!(c.stats().failed, 0);
+    assert_eq!(c.stats().denied, 0);
 }
 
 #[test]
 fn offload_frees_be_memory_and_fallback_restores_it() {
     let mut c = cluster();
-    let before = c.switch(HOME).mem.used();
+    let before = c.switch(HOME).unwrap().mem.used();
     assert!(before > 0, "tables charged locally");
 
     c.trigger_offload(VNIC, SimTime::ZERO).unwrap();
     c.run_until(SimTime::ZERO + SimDuration::from_secs(3));
-    let offloaded = c.switch(HOME).mem.used();
+    let offloaded = c.switch(HOME).unwrap().mem.used();
     assert!(
         offloaded < before / 100,
         "final stage must free the tables: {offloaded} vs {before}"
@@ -126,7 +126,7 @@ fn offload_frees_be_memory_and_fallback_restores_it() {
     // Each FE carries a full copy.
     for fe in c.fe_servers(VNIC) {
         assert!(
-            c.switch(fe).mem.used() >= before,
+            c.switch(fe).unwrap().mem.used() >= before,
             "FE {fe} lacks the tables"
         );
     }
@@ -134,12 +134,16 @@ fn offload_frees_be_memory_and_fallback_restores_it() {
     c.trigger_fallback(VNIC, c.now()).unwrap();
     c.run_until(c.now() + SimDuration::from_secs(2));
     assert_eq!(
-        c.switch(HOME).mem.used(),
+        c.switch(HOME).unwrap().mem.used(),
         before,
         "fallback restores the footprint"
     );
     for fe in 1..5u32 {
-        assert_eq!(c.switch(ServerId(fe)).mem.used(), 0, "FE memory must drain");
+        assert_eq!(
+            c.switch(ServerId(fe)).unwrap().mem.used(),
+            0,
+            "FE memory must drain"
+        );
     }
 }
 
@@ -156,19 +160,22 @@ fn dual_running_stage_has_no_interruption() {
             i,
             t0 + SimDuration::from_micros(1250 * i as u64),
             ConnKind::Inbound,
-        ));
+        ))
+        .unwrap();
     }
     c.run_until(t0 + SimDuration::from_millis(100));
     c.trigger_offload(VNIC, c.now()).unwrap();
     c.run_until(t0 + SimDuration::from_secs(6));
     assert_eq!(c.backend(VNIC).unwrap().phase, OffloadPhase::Offloaded);
     assert_eq!(
-        c.stats.completed, 2000,
+        c.stats().completed,
+        2000,
         "failed={} denied={}",
-        c.stats.failed, c.stats.denied
+        c.stats().failed,
+        c.stats().denied
     );
     // Activation time was recorded and is within the paper's envelope.
-    let act = c.stats.offload_completion.mean();
+    let act = c.stats().offload_completion.mean();
     assert!((0.3..3.0).contains(&act), "activation took {act}s");
 }
 
@@ -187,13 +194,15 @@ fn outbound_connections_work_under_offload() {
         );
         // Outbound: tuple oriented VM -> peer.
         s.tuple = FiveTuple::tcp(SERVICE, 40_000 + i as u16, Ipv4Addr::new(10, 7, 3, 9), 443);
-        c.add_conn(s);
+        c.add_conn(s).unwrap();
     }
     c.run_until(c.now() + SimDuration::from_secs(3));
     assert_eq!(
-        c.stats.completed, 50,
+        c.stats().completed,
+        50,
         "failed={} denied={}",
-        c.stats.failed, c.stats.denied
+        c.stats().failed,
+        c.stats().denied
     );
 }
 
@@ -211,12 +220,14 @@ fn notify_packets_only_on_policy_bearing_misses() {
             i,
             c.now() + SimDuration::from_millis(i as u64),
             ConnKind::Inbound,
-        ));
+        ))
+        .unwrap();
     }
     c.run_until(c.now() + SimDuration::from_secs(3));
-    assert_eq!(c.stats.completed, 100);
+    assert_eq!(c.stats().completed, 100);
     assert_eq!(
-        c.stats.notifies, 0,
+        c.stats().notifies,
+        0,
         "no stats policy applies to this traffic"
     );
 
@@ -234,14 +245,17 @@ fn notify_packets_only_on_policy_bearing_misses() {
             Ipv4Addr::new(10, 7, 128, 9),
             443,
         );
-        c.add_conn(s);
+        c.add_conn(s).unwrap();
     }
     c.run_until(c.now() + SimDuration::from_secs(3));
-    assert!(c.stats.notifies > 0, "logged prefix must trigger notifies");
     assert!(
-        c.stats.notifies <= 20,
+        c.stats().notifies > 0,
+        "logged prefix must trigger notifies"
+    );
+    assert!(
+        c.stats().notifies <= 20,
         "at most one notify per miss, got {}",
-        c.stats.notifies
+        c.stats().notifies
     );
 }
 
@@ -251,7 +265,7 @@ fn feature_release_by_offloading_to_upgraded_vswitches() {
     // few and offload the vNICs that need the new feature onto them.
     let mut c = cluster();
     for s in [5u32, 6, 7, 8, 9] {
-        c.switch_mut(ServerId(s)).version = 2;
+        c.switch_mut(ServerId(s)).unwrap().version = 2;
     }
     c.trigger_offload_to_version(VNIC, c.now(), Some(2))
         .unwrap();
@@ -259,7 +273,7 @@ fn feature_release_by_offloading_to_upgraded_vswitches() {
     let fes = c.fe_servers(VNIC);
     assert_eq!(fes.len(), 4);
     for fe in &fes {
-        assert_eq!(c.switch(*fe).version, 2, "FE {fe} not upgraded");
+        assert_eq!(c.switch(*fe).unwrap().version, 2, "FE {fe} not upgraded");
     }
     // Traffic flows through the upgraded pool.
     let t = c.now();
@@ -268,10 +282,11 @@ fn feature_release_by_offloading_to_upgraded_vswitches() {
             i,
             t + SimDuration::from_millis(i as u64),
             ConnKind::Inbound,
-        ));
+        ))
+        .unwrap();
     }
     c.run_until(t + SimDuration::from_secs(3));
-    assert_eq!(c.stats.completed, 50);
+    assert_eq!(c.stats().completed, 50);
 }
 
 #[test]
@@ -280,10 +295,10 @@ fn bug_dodging_by_offloading_to_older_vswitches() {
     // switches; pin the vNIC's processing to the old version.
     let mut c = cluster();
     for s in 1..24u32 {
-        c.switch_mut(ServerId(s)).version = 3; // buggy rollout
+        c.switch_mut(ServerId(s)).unwrap().version = 3; // buggy rollout
     }
     for s in [10u32, 11, 12, 13] {
-        c.switch_mut(ServerId(s)).version = 1; // held back
+        c.switch_mut(ServerId(s)).unwrap().version = 1; // held back
     }
     c.trigger_offload_to_version(VNIC, c.now(), Some(1))
         .unwrap();
@@ -291,7 +306,7 @@ fn bug_dodging_by_offloading_to_older_vswitches() {
     let fes = c.fe_servers(VNIC);
     assert_eq!(fes.len(), 4);
     for fe in &fes {
-        assert_eq!(c.switch(*fe).version, 1);
+        assert_eq!(c.switch(*fe).unwrap().version, 1);
     }
 }
 
@@ -312,17 +327,17 @@ fn mirrored_prefixes_generate_copies_under_offload() {
             ConnKind::Outbound,
         );
         s.tuple = FiveTuple::tcp(SERVICE, 42_000 + i as u16, Ipv4Addr::new(10, 7, 3, 9), 443);
-        c.add_conn(s);
+        c.add_conn(s).unwrap();
     }
     c.run_until(c.now() + SimDuration::from_secs(3));
-    assert_eq!(c.stats.completed, 20);
-    assert_eq!(c.stats.mirror_copies, 0);
+    assert_eq!(c.stats().completed, 20);
+    assert_eq!(c.stats().mirror_copies, 0);
 
     // The default profile has no mirror rules; install one on the master
     // copy via a fresh offload cycle with a mirroring vNIC instead.
     let mut c = cluster();
     {
-        let vnic = c.switch_mut(HOME).vnic_mut(VNIC).unwrap();
+        let vnic = c.switch_mut(HOME).unwrap().vnic_mut(VNIC).unwrap();
         vnic.tables
             .mirror
             .insert(nezha::vswitch::tables::mirror::MirrorRule {
@@ -339,12 +354,12 @@ fn mirrored_prefixes_generate_copies_under_offload() {
             ConnKind::Outbound,
         );
         s.tuple = FiveTuple::tcp(SERVICE, 43_000 + i as u16, Ipv4Addr::new(10, 7, 3, 9), 443);
-        c.add_conn(s);
+        c.add_conn(s).unwrap();
     }
     c.run_until(c.now() + SimDuration::from_secs(3));
-    assert_eq!(c.stats.completed, 10);
+    assert_eq!(c.stats().completed, 10);
     // 10 conns x (1 slow + 2 fast) accepted TX packets, RX side unmirrored
     // (mirroring keys on the remote endpoint in both directions).
-    let mirrored = c.switch(HOME).counters().mirrored + c.stats.mirror_copies;
+    let mirrored = c.switch(HOME).unwrap().counters().mirrored + c.stats().mirror_copies;
     assert!(mirrored >= 30, "copies {mirrored}");
 }

@@ -1,4 +1,3 @@
-#![allow(clippy::field_reassign_with_default)]
 //! Load-balancing and elastic-scaling behaviour: hash spreading across
 //! FEs, scale-in prioritizing local traffic, elephant isolation, and the
 //! session-table pressure relief that offloading buys.
@@ -9,6 +8,7 @@ use nezha::core::vm::VmConfig;
 use nezha::sim::time::{SimDuration, SimTime};
 use nezha::sim::topology::TopologyConfig;
 use nezha::types::{FiveTuple, Ipv4Addr, ServerId, SessionKey, VnicId, VpcId};
+use nezha::vswitch::config::VSwitchConfig;
 use nezha::vswitch::vnic::{Vnic, VnicProfile};
 use nezha::workloads::flows::PersistentFlows;
 
@@ -17,19 +17,20 @@ const HOME: ServerId = ServerId(0);
 const SERVICE: Ipv4Addr = Ipv4Addr::new(10, 7, 0, 1);
 
 fn cluster(auto_scale: bool) -> Cluster {
-    let mut cfg = ClusterConfig::default();
-    cfg.topology = TopologyConfig {
-        servers_per_rack: 12,
-        racks_per_pod: 2,
-        pods: 1,
-        ..TopologyConfig::default()
-    };
-    cfg.controller.auto_offload = false;
-    cfg.controller.auto_scale = auto_scale;
+    let cfg = ClusterConfig::builder()
+        .topology(TopologyConfig {
+            servers_per_rack: 12,
+            racks_per_pod: 2,
+            pods: 1,
+            ..TopologyConfig::default()
+        })
+        .auto_offload(false)
+        .auto_scale(auto_scale)
+        .build();
     let mut c = Cluster::new(cfg);
     let mut vnic = Vnic::new(VNIC, VpcId(1), SERVICE, VnicProfile::default(), HOME);
     vnic.allow_inbound_port(9000);
-    c.add_vnic(vnic, HOME, VmConfig::with_vcpus(64));
+    c.add_vnic(vnic, HOME, VmConfig::with_vcpus(64)).unwrap();
     c.trigger_offload(VNIC, SimTime::ZERO).unwrap();
     c.run_until(SimTime::ZERO + SimDuration::from_secs(3));
     c
@@ -58,10 +59,11 @@ fn hash_lb_spreads_flows_roughly_evenly() {
     let mut c = cluster(false);
     let t = c.now();
     for i in 0..400 {
-        c.add_conn(inbound(i, t + SimDuration::from_millis(i as u64)));
+        c.add_conn(inbound(i, t + SimDuration::from_millis(i as u64)))
+            .unwrap();
     }
     c.run_until(t + SimDuration::from_secs(3));
-    assert_eq!(c.stats.completed, 400);
+    assert_eq!(c.stats().completed, 400);
     // Each FE served between 12% and 40% of the sessions (fair-ish for
     // 4-way hashing of 400 flows).
     let mut total_misses = 0u64;
@@ -95,10 +97,11 @@ fn scale_in_prioritizes_local_traffic() {
     // Traffic still flows.
     let t = c.now();
     for i in 0..100 {
-        c.add_conn(inbound(1000 + i, t + SimDuration::from_millis(i as u64)));
+        c.add_conn(inbound(1000 + i, t + SimDuration::from_millis(i as u64)))
+            .unwrap();
     }
     c.run_until(t + SimDuration::from_secs(3));
-    assert_eq!(c.stats.completed, 100);
+    assert_eq!(c.stats().completed, 100);
 }
 
 #[test]
@@ -130,17 +133,17 @@ fn elephant_pinning_isolates_the_flow() {
 fn offloading_multiplies_live_session_capacity() {
     // Squeeze the session budget and show that dropping the 100B cached
     // flows (keeping 64B states) lets strictly more sessions coexist.
-    let mut cfg = ClusterConfig::default();
-    cfg.topology = TopologyConfig {
-        servers_per_rack: 12,
-        racks_per_pod: 2,
-        pods: 1,
-        ..TopologyConfig::default()
-    };
-    cfg.controller.auto_offload = false;
-    cfg.controller.auto_scale = false;
-    // Tables (~6.2MB) + ~1.2MB for sessions.
-    cfg.vswitch.table_memory = 7_400_000;
+    let cfg = ClusterConfig::builder()
+        .topology(TopologyConfig {
+            servers_per_rack: 12,
+            racks_per_pod: 2,
+            pods: 1,
+            ..TopologyConfig::default()
+        })
+        .auto(false)
+        // Tables (~6.2MB) + ~1.2MB for sessions.
+        .vswitch(VSwitchConfig::builder().table_memory(7_400_000).build())
+        .build();
 
     let persistent = |count| PersistentFlows {
         vnic: VNIC,
@@ -156,27 +159,29 @@ fn offloading_multiplies_live_session_capacity() {
     let mut local = Cluster::new(cfg);
     let mut vnic = Vnic::new(VNIC, VpcId(1), SERVICE, VnicProfile::default(), HOME);
     vnic.allow_inbound_port(9000);
-    local.add_vnic(vnic.clone(), HOME, VmConfig::with_vcpus(64));
+    local
+        .add_vnic(vnic.clone(), HOME, VmConfig::with_vcpus(64))
+        .unwrap();
     for s in persistent(12_000).generate(local.now()) {
-        local.add_conn(s);
+        local.add_conn(s).unwrap();
     }
     local.run_until(local.now() + SimDuration::from_secs(4));
-    let local_live = local.switch(HOME).sessions.len();
+    let local_live = local.switch(HOME).unwrap().sessions.len();
     assert!(
-        local.switch(HOME).counters().session_overflows > 0,
+        local.switch(HOME).unwrap().counters().session_overflows > 0,
         "the squeeze must actually bind"
     );
 
     // Offloaded: the BE holds 64B states and the freed table memory.
     let mut off = Cluster::new(cfg);
-    off.add_vnic(vnic, HOME, VmConfig::with_vcpus(64));
+    off.add_vnic(vnic, HOME, VmConfig::with_vcpus(64)).unwrap();
     off.trigger_offload(VNIC, SimTime::ZERO).unwrap();
     off.run_until(SimTime::ZERO + SimDuration::from_secs(3));
     for s in persistent(12_000).generate(off.now()) {
-        off.add_conn(s);
+        off.add_conn(s).unwrap();
     }
     off.run_until(off.now() + SimDuration::from_secs(4));
-    let off_live = off.switch(HOME).sessions.len();
+    let off_live = off.switch(HOME).unwrap().sessions.len();
 
     assert!(
         off_live as f64 > 1.5 * local_live as f64,
@@ -210,7 +215,12 @@ fn pinned_flow_survives_its_dedicated_fe_crashing() {
         start: c.now(),
         payload: 100,
         overlay_encap_src: None,
-    });
+    })
+    .unwrap();
     c.run_until(c.now() + SimDuration::from_secs(4));
-    assert_eq!(c.stats.completed, 1, "pinned flow blackholed after FE loss");
+    assert_eq!(
+        c.stats().completed,
+        1,
+        "pinned flow blackholed after FE loss"
+    );
 }

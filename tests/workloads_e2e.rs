@@ -1,4 +1,3 @@
-#![allow(clippy::field_reassign_with_default)]
 //! Workload-driven end-to-end scenarios: SYN floods vs. aging, persistent
 //! flows vs. session capacity, link blackholes vs. mutual pings, and the
 //! packet-level LB ablation's cache behaviour.
@@ -17,20 +16,20 @@ const HOME: ServerId = ServerId(0);
 const SERVICE: Ipv4Addr = Ipv4Addr::new(10, 7, 0, 1);
 
 fn cluster_with(f: impl FnOnce(&mut ClusterConfig)) -> Cluster {
-    let mut cfg = ClusterConfig::default();
-    cfg.topology = TopologyConfig {
-        servers_per_rack: 12,
-        racks_per_pod: 2,
-        pods: 1,
-        ..TopologyConfig::default()
-    };
-    cfg.controller.auto_offload = false;
-    cfg.controller.auto_scale = false;
+    let mut cfg = ClusterConfig::builder()
+        .topology(TopologyConfig {
+            servers_per_rack: 12,
+            racks_per_pod: 2,
+            pods: 1,
+            ..TopologyConfig::default()
+        })
+        .auto(false)
+        .build();
     f(&mut cfg);
     let mut c = Cluster::new(cfg);
     let mut vnic = Vnic::new(VNIC, VpcId(1), SERVICE, VnicProfile::default(), HOME);
     vnic.allow_inbound_port(9000);
-    c.add_vnic(vnic, HOME, VmConfig::with_vcpus(64));
+    c.add_vnic(vnic, HOME, VmConfig::with_vcpus(64)).unwrap();
     c
 }
 
@@ -51,20 +50,20 @@ fn syn_flood_cannot_pin_be_memory() {
     };
     let t = c.now();
     for s in flood.generate(t) {
-        c.add_conn(s);
+        c.add_conn(s).unwrap();
     }
     let mut peak = 0usize;
     for step in 1..=6 {
         c.run_until(t + SimDuration::from_secs(step));
-        peak = peak.max(c.switch(HOME).sessions.len());
+        peak = peak.max(c.switch(HOME).unwrap().sessions.len());
     }
     // With 1 s SYN aging the table holds at most ~1 s of flood (plus
     // sweep slack), not the full 160K offered.
     assert!(peak < 90_000, "SYN aging failed: peak {peak}");
     // And it fully drains afterwards.
     c.run_until(t + SimDuration::from_secs(8));
-    assert_eq!(c.switch(HOME).sessions.len(), 0);
-    let (_, expired, _) = c.switch(HOME).sessions.counters();
+    assert_eq!(c.switch(HOME).unwrap().sessions.len(), 0);
+    let (_, expired, _) = c.switch(HOME).unwrap().sessions.counters();
     assert!(expired >= 159_000, "expired {expired}");
 }
 
@@ -88,12 +87,12 @@ fn syn_flood_without_short_aging_would_blow_the_table() {
     };
     let t = c.now();
     for s in flood.generate(t) {
-        c.add_conn(s);
+        c.add_conn(s).unwrap();
     }
     let mut peak = 0usize;
     for step in 1..=6 {
         c.run_until(t + SimDuration::from_secs(step));
-        peak = peak.max(c.switch(HOME).sessions.len());
+        peak = peak.max(c.switch(HOME).unwrap().sessions.len());
     }
     assert!(
         peak > 150_000,
@@ -115,15 +114,15 @@ fn persistent_flows_live_exactly_until_idle_aging() {
     };
     let t = c.now();
     for s in flows.generate(t) {
-        c.add_conn(s);
+        c.add_conn(s).unwrap();
     }
     // All opened within ~0.5s; established entries persist...
     c.run_until(t + SimDuration::from_secs(3));
-    assert_eq!(c.stats.completed, 5_000);
-    assert_eq!(c.switch(HOME).sessions.len(), 5_000);
+    assert_eq!(c.stats().completed, 5_000);
+    assert_eq!(c.switch(HOME).unwrap().sessions.len(), 5_000);
     // ... until the 8s idle timeout passes.
     c.run_until(t + SimDuration::from_secs(11));
-    assert_eq!(c.switch(HOME).sessions.len(), 0);
+    assert_eq!(c.switch(HOME).unwrap().sessions.len(), 0);
 }
 
 #[test]
@@ -166,10 +165,10 @@ fn packet_level_lb_duplicates_cached_flows() {
         };
         let t = c.now();
         for s in flows.generate(t) {
-            c.add_conn(s);
+            c.add_conn(s).unwrap();
         }
         c.run_until(t + SimDuration::from_secs(3));
-        assert_eq!(c.stats.completed, 200);
+        assert_eq!(c.stats().completed, 200);
         let cached: usize = c
             .fe_servers(VNIC)
             .iter()

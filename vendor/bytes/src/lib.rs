@@ -1,0 +1,177 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides exactly the surface the Nezha codecs use: the [`BufMut`] write
+//! trait (network byte order for the multi-byte putters, matching the real
+//! crate) and a [`BytesMut`] growable buffer backed by `Vec<u8>`. See
+//! `vendor/README.md` for the shim policy.
+
+use std::ops::{Deref, DerefMut};
+
+/// A trait for buffers that can have bytes appended to them.
+///
+/// Multi-byte integers are written big-endian, as on the wire — identical
+/// to the real `bytes::BufMut` defaults.
+pub trait BufMut {
+    /// Appends a single byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl<T: BufMut + ?Sized> BufMut for &mut T {
+    fn put_u8(&mut self, v: u8) {
+        (**self).put_u8(v);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        (**self).put_slice(src);
+    }
+}
+
+/// A growable byte buffer, API-compatible with the subset of
+/// `bytes::BytesMut` the codecs use.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut { inner: Vec::new() }
+    }
+
+    /// Creates an empty buffer with at least `cap` bytes pre-allocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Current allocation size.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
+    /// Resets the length to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// Reserves room for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.inner.reserve(additional);
+    }
+
+    /// Appends a byte slice.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+
+    /// Grows (zero-padding with `fill`) or shrinks to `new_len` bytes.
+    pub fn resize(&mut self, new_len: usize, fill: u8) {
+        self.inner.resize(new_len, fill);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(inner: Vec<u8>) -> Self {
+        BytesMut { inner }
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Self {
+        b.inner
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.inner.push(v);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn putters_are_big_endian() {
+        let mut b = BytesMut::new();
+        b.put_u8(0xab);
+        b.put_u16(0x1234);
+        b.put_u32(0xdead_beef);
+        assert_eq!(&b[..], &[0xab, 0x12, 0x34, 0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn resize_and_clear() {
+        let mut b = BytesMut::with_capacity(4);
+        b.put_slice(&[1, 2]);
+        b.resize(5, 0);
+        assert_eq!(b.to_vec(), vec![1, 2, 0, 0, 0]);
+        b.clear();
+        assert!(b.is_empty());
+    }
+}

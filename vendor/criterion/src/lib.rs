@@ -1,0 +1,185 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the macro/struct surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, `bench_function`,
+//! `benchmark_group`/`bench_with_input`, `iter`, `iter_with_setup`) with a
+//! deliberately small time-boxed runner: a short calibration pass picks an
+//! iteration count targeting ~20 ms per benchmark, then one measured pass
+//! reports mean ns/iter. No statistics, no plots, no saved baselines.
+//!
+//! Set `NEZHA_BENCH_JSON=1` to emit one JSON line per benchmark
+//! (`{"benchmark": ..., "ns_per_iter": ...}`) in addition to the human
+//! line, matching the snapshot-style output the experiment harness writes.
+//! See `vendor/README.md` for the shim policy.
+
+use std::time::{Duration, Instant};
+
+/// Target wall time for the measured pass of each benchmark.
+const TARGET: Duration = Duration::from_millis(20);
+
+/// Measures closures handed to it by benchmark functions.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    fn calibrated_iters(elapsed: Duration) -> u64 {
+        if elapsed.is_zero() {
+            return 10_000;
+        }
+        (TARGET.as_nanos() / elapsed.as_nanos().max(1)).clamp(1, 10_000_000) as u64
+    }
+
+    /// Times `routine`, called in a loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        let iters = Self::calibrated_iters(t0.elapsed());
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.iters = iters;
+        self.elapsed = t0.elapsed();
+    }
+
+    /// Times `routine` only, re-running `setup` (untimed) before each call.
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let t0 = Instant::now();
+        std::hint::black_box(routine(input));
+        let iters = Self::calibrated_iters(t0.elapsed()).min(1_000);
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            total += t0.elapsed();
+        }
+        self.iters = iters;
+        self.elapsed = total;
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// An id that is just the parameter, under the group's name.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+fn report(id: &str, b: &Bencher) {
+    let ns = b.elapsed.as_nanos() as f64 / b.iters.max(1) as f64;
+    println!("bench {id:<40} {ns:>12.1} ns/iter  ({} iters)", b.iters);
+    if std::env::var_os("NEZHA_BENCH_JSON").is_some_and(|v| v == "1") {
+        println!(
+            "{{\"benchmark\": \"{id}\", \"ns_per_iter\": {ns:.1}, \"iters\": {}}}",
+            b.iters
+        );
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(id, &b);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new();
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.0), &b);
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&format!("{}/{id}", self.name), &b);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Collects benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main`, running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export matching real criterion's convenience re-export.
+pub use std::hint::black_box;

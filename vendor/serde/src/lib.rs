@@ -1,0 +1,17 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config structs purely
+//! as forward-looking markers — nothing serializes through serde today, and
+//! no API takes serde trait bounds. This shim provides the trait names and
+//! re-exports no-op derive macros so those derives keep compiling without
+//! network access. Swap back to the real crates-io `serde` by deleting
+//! `vendor/serde*` and restoring the registry dependency.
+
+/// Marker for types that could be serialized (no-op in the shim).
+pub trait Serialize {}
+
+/// Marker for types that could be deserialized (no-op in the shim).
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

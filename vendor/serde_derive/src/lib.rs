@@ -1,0 +1,19 @@
+//! No-op stand-ins for serde's derive macros.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as a marker
+//! (no code takes `T: Serialize` bounds), so the derives can expand to
+//! nothing. See `vendor/README.md` for the shim policy.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `serde::Serialize` is never used as a bound here.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `serde::Deserialize` is never used as a bound here.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
