@@ -8,7 +8,7 @@
 use nezha_sim::time::SimTime;
 use nezha_types::{ServerId, SessionKey};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Phase of a vNIC's offload lifecycle (§4.2).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -42,7 +42,7 @@ pub struct BackendMeta {
     /// the Table 4 quantity).
     pub activated_at: Option<SimTime>,
     /// Elephant flows pinned to a dedicated FE (§7.5).
-    pinned: HashMap<SessionKey, ServerId>,
+    pinned: BTreeMap<SessionKey, ServerId>,
     /// FEs dedicated to pinned elephants: excluded from the general hash
     /// ring so the elephant "nearly monopolizes the resources of a single
     /// SmartNIC" while other tenant traffic is isolated from it (§7.5).
@@ -58,7 +58,7 @@ impl BackendMeta {
             ready: Vec::new(),
             triggered_at: now,
             activated_at: None,
-            pinned: HashMap::new(),
+            pinned: BTreeMap::new(),
             dedicated: Vec::new(),
         }
     }

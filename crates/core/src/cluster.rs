@@ -26,7 +26,9 @@ use crate::gateway::Gateway;
 use crate::monitor::MonitorState;
 use crate::vm::{VmConfig, VmModel};
 use nezha_sim::engine::Engine;
-use nezha_sim::metrics::{CounterHandle, HistogramHandle, MetricsRegistry, SeriesHandle};
+use nezha_sim::metrics::{
+    CounterHandle, GaugeHandle, HistogramHandle, MetricsRegistry, SeriesHandle,
+};
 use nezha_sim::resources::CpuOutcome;
 use nezha_sim::rng::SimRng;
 use nezha_sim::stats::{Counter, Samples, TimeSeries};
@@ -41,7 +43,7 @@ use nezha_vswitch::config::VSwitchConfig;
 use nezha_vswitch::pipeline::{self, ProcessOutcome};
 use nezha_vswitch::vnic::Vnic;
 use nezha_vswitch::vswitch::VSwitch;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// FE load-balancing granularity (ablation of §3.2.3's design choice).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -413,10 +415,34 @@ pub(crate) struct ClusterTelemetry {
     pub(crate) fallback_events: CounterHandle,
     pub(crate) failover_events: CounterHandle,
     pub(crate) monitor_suspensions: CounterHandle,
+    /// Per-server controller report gauges, indexed by `ServerId.0`.
+    /// Pre-registered at startup: registry lookups are string-keyed and
+    /// must never run mid-simulation (lint rule D5).
+    pub(crate) ctrl_gauges: Vec<ServerCtrlGauges>,
+}
+
+/// The gauges one controller report publishes for one server.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ServerCtrlGauges {
+    pub(crate) cpu_util: GaugeHandle,
+    pub(crate) mem_util: GaugeHandle,
+    pub(crate) local_cycles: GaugeHandle,
+    pub(crate) remote_cycles: GaugeHandle,
 }
 
 impl ClusterTelemetry {
-    fn register(registry: MetricsRegistry) -> Self {
+    fn register(registry: MetricsRegistry, servers: usize) -> Self {
+        let ctrl_gauges = (0..servers)
+            .map(|i| {
+                let labels = [("server", i.to_string())];
+                ServerCtrlGauges {
+                    cpu_util: registry.gauge("ctrl.cpu_util", &labels),
+                    mem_util: registry.gauge("ctrl.mem_util", &labels),
+                    local_cycles: registry.gauge("ctrl.local_cycles", &labels),
+                    remote_cycles: registry.gauge("ctrl.remote_cycles", &labels),
+                }
+            })
+            .collect();
         let c = |name: &str| registry.counter(name, &[]);
         let h = |name: &str| registry.histogram(name, &[]);
         ClusterTelemetry {
@@ -442,6 +468,7 @@ impl ClusterTelemetry {
             fallback_events: c("ctrl.fallback_events"),
             failover_events: c("ctrl.failover_events"),
             monitor_suspensions: c("monitor.suspensions"),
+            ctrl_gauges,
             registry,
         }
     }
@@ -534,15 +561,15 @@ pub struct Cluster {
     pub(crate) alive: Vec<bool>,
     /// The gateway's versioned vNIC-server table.
     pub gateway: Gateway,
-    pub(crate) fes: HashMap<(ServerId, VnicId), FrontEnd>,
-    pub(crate) be_meta: HashMap<VnicId, BackendMeta>,
-    pub(crate) vnic_home: HashMap<VnicId, ServerId>,
-    pub(crate) vnic_addr: HashMap<VnicId, Ipv4Addr>,
+    pub(crate) fes: BTreeMap<(ServerId, VnicId), FrontEnd>,
+    pub(crate) be_meta: BTreeMap<VnicId, BackendMeta>,
+    pub(crate) vnic_home: BTreeMap<VnicId, ServerId>,
+    pub(crate) vnic_addr: BTreeMap<VnicId, Ipv4Addr>,
     /// Controller-side master copy of each vNIC's tables (tenant intent),
     /// used to (re)configure FEs and to re-arm the BE on fallback.
-    pub(crate) master_vnics: HashMap<VnicId, Vnic>,
-    pub(crate) vms: HashMap<VnicId, VmModel>,
-    pub(crate) conns: HashMap<u64, ConnState>,
+    pub(crate) master_vnics: BTreeMap<VnicId, Vnic>,
+    pub(crate) vms: BTreeMap<VnicId, VmModel>,
+    pub(crate) conns: BTreeMap<u64, ConnState>,
     next_conn_id: u64,
     next_probe_id: u64,
     /// Telemetry: shared registry + trace + pre-registered handles.
@@ -555,7 +582,7 @@ pub struct Cluster {
     /// Blackholed directed server pairs (fabric faults between otherwise
     /// healthy servers — the Appendix C.1 scenario the centralized
     /// monitor cannot see).
-    blackholes: std::collections::HashSet<(ServerId, ServerId)>,
+    blackholes: std::collections::BTreeSet<(ServerId, ServerId)>,
     /// Global switch: when false the cluster behaves as the pre-Nezha
     /// baseline (no offloading ever triggers).
     pub nezha_enabled: bool,
@@ -574,7 +601,7 @@ impl Cluster {
     pub fn new(cfg: ClusterConfig) -> Self {
         let topo = Topology::new(cfg.topology);
         let n = topo.total_servers() as usize;
-        let tel = ClusterTelemetry::register(MetricsRegistry::new());
+        let tel = ClusterTelemetry::register(MetricsRegistry::new(), n);
         let switches: Vec<VSwitch> = (0..n)
             .map(|i| {
                 let mut vs = VSwitch::new(ServerId(i as u32), cfg.vswitch);
@@ -594,20 +621,20 @@ impl Cluster {
             switches,
             alive: vec![true; n],
             gateway: Gateway::new(cfg.learning_interval),
-            fes: HashMap::new(),
-            be_meta: HashMap::new(),
-            vnic_home: HashMap::new(),
-            vnic_addr: HashMap::new(),
-            master_vnics: HashMap::new(),
-            vms: HashMap::new(),
-            conns: HashMap::new(),
+            fes: BTreeMap::new(),
+            be_meta: BTreeMap::new(),
+            vnic_home: BTreeMap::new(),
+            vnic_addr: BTreeMap::new(),
+            master_vnics: BTreeMap::new(),
+            vms: BTreeMap::new(),
+            conns: BTreeMap::new(),
             next_conn_id: 1,
             next_probe_id: 1,
             tel,
             controller: ControllerState::new(),
             monitor: MonitorState::new(),
             rng: SimRng::new(cfg.seed),
-            blackholes: std::collections::HashSet::new(),
+            blackholes: std::collections::BTreeSet::new(),
             nezha_enabled: true,
             cfg,
         }
@@ -804,23 +831,15 @@ impl Cluster {
             master.tables.vnic_server.set(addr, server);
         }
         let home_vs = &mut self.switches[home.0 as usize];
-        if home_vs.vnic(vnic).is_some() {
-            home_vs
-                .vnic_mut(vnic)
-                .expect("checked")
-                .tables
-                .vnic_server
-                .set(addr, server);
+        if let Some(home_vnic) = home_vs.vnic_mut(vnic) {
+            home_vnic.tables.vnic_server.set(addr, server);
             if home_vs.sync_vnic_memory(vnic).is_err() {
                 // The learned-mapping cache is full: drop the entry (the
                 // gateway remains authoritative; traffic to this peer
                 // resolves via the gateway/default path instead).
-                home_vs
-                    .vnic_mut(vnic)
-                    .expect("checked")
-                    .tables
-                    .vnic_server
-                    .remove(addr);
+                if let Some(home_vnic) = home_vs.vnic_mut(vnic) {
+                    home_vnic.tables.vnic_server.remove(addr);
+                }
                 let _ = home_vs.sync_vnic_memory(vnic);
             }
         }
@@ -1160,9 +1179,13 @@ impl Cluster {
         }
         if let Some(nsh) = pkt.nezha {
             match nsh.kind {
-                NezhaPayloadKind::TxCarry => self.fe_handle_tx_carry(server, pkt, sent_at, now),
-                NezhaPayloadKind::RxCarry => self.be_handle_rx_carry(server, pkt, sent_at, now),
-                NezhaPayloadKind::Notify => self.be_handle_notify(server, pkt, now),
+                NezhaPayloadKind::TxCarry => {
+                    self.fe_handle_tx_carry(server, nsh, pkt, sent_at, now)
+                }
+                NezhaPayloadKind::RxCarry => {
+                    self.be_handle_rx_carry(server, nsh, pkt, sent_at, now)
+                }
+                NezhaPayloadKind::Notify => self.be_handle_notify(server, nsh, pkt, now),
                 NezhaPayloadKind::HealthProbe | NezhaPayloadKind::HealthReply => {
                     // Health traffic is handled inline by the monitor tick
                     // (replies are modeled as observation of `alive`).
@@ -1247,7 +1270,11 @@ impl Cluster {
             nsh.first_dir = Some(Direction::Tx);
         }
         // Select the FE by flow hash and ship the packet with its state.
-        let meta = self.be_meta.get(&pkt.vnic).expect("active => meta");
+        // `nezha_active_for_tx` above implies the meta exists; degrade to a
+        // loss (never a panic) if that invariant is ever broken.
+        let Some(meta) = self.be_meta.get(&pkt.vnic) else {
+            return self.lose_packet(pkt.trace, now);
+        };
         let h = match self.cfg.lb_mode {
             LbMode::FlowLevel => flow_hash(&pkt.tuple),
             LbMode::PacketLevel => packet_hash(&pkt.tuple, pkt.trace),
@@ -1275,21 +1302,23 @@ impl Cluster {
     fn fe_handle_tx_carry(
         &mut self,
         server: ServerId,
+        nsh: NezhaHeader,
         pkt: Packet,
         sent_at: SimTime,
         now: SimTime,
     ) {
-        let nsh = pkt.nezha.expect("tx carry");
-        let Some(_) = self.fes.get(&(server, pkt.vnic)) else {
+        if !self.fes.contains_key(&(server, pkt.vnic)) {
             self.tel.inc(self.tel.misroutes);
             return self.lose_packet(pkt.trace, now);
-        };
+        }
         self.trace_pkt(now, server, &pkt, TraceEventKind::NshDecap);
         // Split borrows: switch and FE are distinct fields.
         let vs = &mut self.switches[server.0 as usize];
         let mem_model = vs.config().memory;
         let costs = vs.config().costs;
-        let fe = self.fes.get_mut(&(server, pkt.vnic)).expect("checked");
+        let Some(fe) = self.fes.get_mut(&(server, pkt.vnic)) else {
+            return; // membership checked on entry; fes untouched since
+        };
         // A cache miss re-executes the full slow path: "the FE executes
         // the same code as before deploying Nezha" (§5.1) — which is why
         // per-FE CPS capacity matches a local vSwitch's, and Fig. 9's
@@ -1347,10 +1376,9 @@ impl Cluster {
         let vs = &mut self.switches[server.0 as usize];
         let mem_model = vs.config().memory;
         let costs = vs.config().costs;
-        let fe = self
-            .fes
-            .get_mut(&(server, pkt.vnic))
-            .expect("caller checked");
+        let Some(fe) = self.fes.get_mut(&(server, pkt.vnic)) else {
+            return; // caller (handle_arrive) checked membership
+        };
         let slow = fe.vnic.slow_path_cycles(&costs, pkt.wire_len());
         let be = fe.be_location;
         let (pair, miss) = fe.lookup_or_insert(&pkt.tuple, Direction::Rx, &mut vs.mem, &mem_model);
@@ -1396,11 +1424,11 @@ impl Cluster {
     fn be_handle_rx_carry(
         &mut self,
         server: ServerId,
+        nsh: NezhaHeader,
         pkt: Packet,
         sent_at: SimTime,
         now: SimTime,
     ) {
-        let nsh = pkt.nezha.expect("rx carry");
         if self.vnic_home.get(&pkt.vnic) != Some(&server) {
             self.tel.inc(self.tel.misroutes);
             return self.lose_packet(pkt.trace, now);
@@ -1463,8 +1491,7 @@ impl Cluster {
     }
 
     /// Standalone notify packet at the BE (§3.2.2 TX workflow).
-    fn be_handle_notify(&mut self, server: ServerId, pkt: Packet, now: SimTime) {
-        let nsh = pkt.nezha.expect("notify");
+    fn be_handle_notify(&mut self, server: ServerId, nsh: NezhaHeader, pkt: Packet, now: SimTime) {
         let key = SessionKey::of(pkt.vpc, pkt.tuple);
         let vs = &mut self.switches[server.0 as usize];
         let cycles = vs.config().costs.be_per_packet;
@@ -1487,19 +1514,17 @@ impl Cluster {
         sent_at: SimTime,
         now: SimTime,
     ) {
-        let offloaded = self
-            .be_meta
-            .get(&pkt.vnic)
-            .is_some_and(|m| m.phase == OffloadPhase::Offloaded);
-        if !offloaded {
+        let key = SessionKey::of(pkt.vpc, pkt.tuple);
+        let fe = match self.be_meta.get(&pkt.vnic) {
+            Some(meta) if meta.phase == OffloadPhase::Offloaded => {
+                meta.select_fe(&key, flow_hash(&pkt.tuple))
+            }
             // Local / dual-running: the BE still has rules and flows.
-            return self.process_locally(server, pkt, sent_at, now);
-        }
+            _ => return self.process_locally(server, pkt, sent_at, now),
+        };
         // Final stage: tables are gone. Bounce to an FE (costs a parse).
         self.tel.inc(self.tel.stale_bounces);
-        let key = SessionKey::of(pkt.vpc, pkt.tuple);
-        let meta = self.be_meta.get(&pkt.vnic).expect("offloaded");
-        let Some(fe) = meta.select_fe(&key, flow_hash(&pkt.tuple)) else {
+        let Some(fe) = fe else {
             return self.lose_packet(pkt.trace, now);
         };
         let vs = &mut self.switches[server.0 as usize];

@@ -23,7 +23,7 @@ use crate::fe::FrontEnd;
 use nezha_sim::time::{SimDuration, SimTime};
 use nezha_types::{NezhaError, NezhaResult, ServerId, VnicId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Controller thresholds and delays.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -96,11 +96,11 @@ impl Default for ControllerConfig {
 pub struct ControllerState {
     /// Cycles charged for *local* (BE or traditional) work per server
     /// since the last tick.
-    local_cycles: HashMap<ServerId, f64>,
+    local_cycles: BTreeMap<ServerId, f64>,
     /// Cycles charged for *remote* (FE) work per server since last tick.
-    remote_cycles: HashMap<ServerId, f64>,
+    remote_cycles: BTreeMap<ServerId, f64>,
     /// Last scale-out instant per vNIC (cooldown enforcement).
-    last_scale_out: HashMap<VnicId, SimTime>,
+    last_scale_out: BTreeMap<VnicId, SimTime>,
 }
 
 impl ControllerState {
@@ -153,15 +153,14 @@ impl Cluster {
             let util = cpu.max(mem);
             let (local, remote) = self.controller.split(server);
             // Publish the per-server utilization report the decisions
-            // below are based on (registration is idempotent; ticks are
-            // 100 ms apart, far off the packet hot path).
-            {
+            // below are based on. The gauge handles were pre-registered
+            // at startup (D5): no string-keyed registry lookup here.
+            if let Some(g) = self.tel.ctrl_gauges.get(i).copied() {
                 let reg = &self.tel.registry;
-                let labels = [("server", server.raw().to_string())];
-                reg.set(reg.gauge("ctrl.cpu_util", &labels), cpu);
-                reg.set(reg.gauge("ctrl.mem_util", &labels), mem);
-                reg.set(reg.gauge("ctrl.local_cycles", &labels), local);
-                reg.set(reg.gauge("ctrl.remote_cycles", &labels), remote);
+                reg.set(g.cpu_util, cpu);
+                reg.set(g.mem_util, mem);
+                reg.set(g.local_cycles, local);
+                reg.set(g.remote_cycles, remote);
             }
 
             if util > cfg.offload_threshold && cfg.auto_offload && local >= remote {
@@ -389,7 +388,9 @@ impl Cluster {
         }
         self.tel.inc(self.tel.scale_out_events);
         self.controller.last_scale_out.insert(vnic, now);
-        let meta = self.be_meta.get_mut(&vnic).expect("checked");
+        let Some(meta) = self.be_meta.get_mut(&vnic) else {
+            return 0; // meta existence checked at fn entry
+        };
         let mut added = 0;
         for fe in new_fes {
             meta.add_fe(fe);
@@ -499,7 +500,9 @@ impl Cluster {
         self.switches[home.0 as usize]
             .add_vnic(master)
             .map_err(|_| NezhaError::InsufficientMemory { what: "BE tables" })?;
-        let meta = self.be_meta.get_mut(&vnic).expect("checked");
+        let Some(meta) = self.be_meta.get_mut(&vnic) else {
+            return Err(NezhaError::NotOffloaded(vnic));
+        };
         meta.phase = OffloadPhase::FallbackDual;
         self.tel.inc(self.tel.fallback_events);
         // Gateway points back at the BE; once learned, tear the FEs down.
@@ -569,15 +572,18 @@ impl Cluster {
                 let bytes = master.table_memory(&m);
                 if self.switches[fe.0 as usize].mem.alloc(bytes).is_err() {
                     // The candidate filled up while configuring; drop it.
-                    let meta = self.be_meta.get_mut(&vnic).expect("checked");
-                    meta.remove_fe(fe);
+                    if let Some(meta) = self.be_meta.get_mut(&vnic) {
+                        meta.remove_fe(fe);
+                    }
                     return;
                 }
                 let home = self.vnic_home[&vnic];
                 let mut frontend = FrontEnd::new(master.clone(), home);
                 frontend.charged_table_bytes = bytes;
                 self.fes.insert((fe, vnic), frontend);
-                let meta = self.be_meta.get_mut(&vnic).expect("checked");
+                let Some(meta) = self.be_meta.get_mut(&vnic) else {
+                    return; // meta presence checked above
+                };
                 meta.mark_ready(fe);
                 // A straggling push can land after the scheduled gateway
                 // sync; re-sync once the set completes so every ready FE

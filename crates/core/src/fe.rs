@@ -14,7 +14,7 @@ use nezha_types::{Direction, FiveTuple, PreActionPair, ServerId, SessionKey};
 use nezha_vswitch::config::MemoryModel;
 use nezha_vswitch::pipeline;
 use nezha_vswitch::vnic::Vnic;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One FE instance: an offloaded vNIC's tables hosted on a remote server.
 #[derive(Debug)]
@@ -26,7 +26,7 @@ pub struct FrontEnd {
     /// Config", Fig. 7).
     pub be_location: ServerId,
     /// Cached flows regenerated on the fly by rule lookups (Fig. 7).
-    flows: HashMap<SessionKey, PreActionPair>,
+    flows: BTreeMap<SessionKey, PreActionPair>,
     hits: u64,
     misses: u64,
     /// Flows that could not be cached because the host's table memory was
@@ -43,7 +43,7 @@ impl FrontEnd {
         FrontEnd {
             vnic,
             be_location,
-            flows: HashMap::new(),
+            flows: BTreeMap::new(),
             hits: 0,
             misses: 0,
             cache_skips: 0,

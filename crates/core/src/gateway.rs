@@ -16,7 +16,7 @@
 
 use nezha_sim::time::{SimDuration, SimTime};
 use nezha_types::{Ipv4Addr, ServerId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One versioned gateway entry.
 #[derive(Clone, Debug)]
@@ -29,11 +29,11 @@ struct VersionedEntry {
 /// The gateway table.
 #[derive(Clone, Debug)]
 pub struct Gateway {
-    entries: HashMap<Ipv4Addr, VersionedEntry>,
+    entries: BTreeMap<Ipv4Addr, VersionedEntry>,
     /// Exact-flow overrides: `(vNIC address, flow hash) → server`. Used to
     /// steer a pinned elephant flow to its dedicated FE while the general
     /// entry spreads everything else (§7.5).
-    pins: HashMap<(Ipv4Addr, u64), ServerId>,
+    pins: BTreeMap<(Ipv4Addr, u64), ServerId>,
     learning_interval: SimDuration,
 }
 
@@ -42,8 +42,8 @@ impl Gateway {
     /// (the paper's production value is 200 ms).
     pub fn new(learning_interval: SimDuration) -> Self {
         Gateway {
-            entries: HashMap::new(),
-            pins: HashMap::new(),
+            entries: BTreeMap::new(),
+            pins: BTreeMap::new(),
             learning_interval,
         }
     }

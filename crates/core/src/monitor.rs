@@ -17,15 +17,15 @@
 use crate::cluster::{Cluster, Event};
 use nezha_sim::time::SimTime;
 use nezha_types::{ServerId, VnicId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Monitor bookkeeping.
 #[derive(Debug, Default)]
 pub struct MonitorState {
-    missed: HashMap<ServerId, u32>,
+    missed: BTreeMap<ServerId, u32>,
     /// Consecutive failed BE↔FE mutual pings per (BE, FE) pair
     /// (Appendix C.1).
-    mutual_missed: HashMap<(ServerId, ServerId), u32>,
+    mutual_missed: BTreeMap<(ServerId, ServerId), u32>,
     /// True while automatic removal is suspended (Appendix C.2).
     pub suspended: bool,
 }

@@ -1,0 +1,349 @@
+//! A minimal Rust lexer: good enough to token-match the D1–D5 rule
+//! patterns with accurate line numbers, while never being fooled by
+//! comments, string/char literals, or raw strings.
+//!
+//! The workspace builds fully offline (vendored shims only), so `syn` is
+//! not available; this hand-rolled scanner is the whole parsing layer.
+//! It produces a flat token stream — identifiers and the punctuation the
+//! rules care about — plus the `// nezha-lint: allow(...)` directives
+//! found in line comments.
+
+use std::collections::BTreeMap;
+
+/// One lexed token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A single punctuation character (`.`, `:`, `(`, `{`, `!`, …).
+    Punct(char),
+}
+
+impl Tok {
+    /// The identifier text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tok::Ident(s) => Some(s),
+            Tok::Punct(_) => None,
+        }
+    }
+
+    /// True when this token is the given punctuation character.
+    pub fn is(&self, c: char) -> bool {
+        matches!(self, Tok::Punct(p) if *p == c)
+    }
+}
+
+/// A token with the 1-based source line it starts on.
+#[derive(Clone, Debug)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// One `// nezha-lint: allow(<rules>)[: justification]` directive.
+#[derive(Clone, Debug)]
+pub struct AllowDirective {
+    /// Rule ids named in the directive (upper-cased, e.g. `D3`).
+    pub rules: Vec<String>,
+    /// True when a non-empty justification follows the rule list.
+    pub justified: bool,
+}
+
+/// The output of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream, comments and literals stripped.
+    pub toks: Vec<SpannedTok>,
+    /// Allow directives keyed by the line they appear on.
+    pub allows: BTreeMap<u32, Vec<AllowDirective>>,
+}
+
+/// Lexes Rust source into tokens + allow directives.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = b.len();
+
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                // Line comment: scan for an allow directive, then skip.
+                let start = i + 2;
+                let mut j = start;
+                while j < n && b[j] != '\n' {
+                    j += 1;
+                }
+                let body: String = b[start..j].iter().collect();
+                if let Some(d) = parse_allow(&body) {
+                    out.allows.entry(line).or_default().push(d);
+                }
+                i = j;
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                // Block comment, nesting per Rust.
+                let mut depth = 1;
+                i += 2;
+                while i < n && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => i = skip_string(&b, i, &mut line),
+            'r' | 'b' if is_raw_or_byte_string(&b, i) => i = skip_raw_or_byte(&b, i, &mut line),
+            '\'' => i = skip_char_or_lifetime(&b, i, &mut line),
+            _ if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                out.toks.push(SpannedTok {
+                    tok: Tok::Ident(b[start..i].iter().collect()),
+                    line,
+                });
+            }
+            _ if c.is_ascii_digit() => i = skip_number(&b, i),
+            '.' | ':' | '(' | ')' | '{' | '}' | '<' | '>' | '&' | ',' | ';' | '#' | '[' | ']'
+            | '=' | '!' | '|' | '-' => {
+                out.toks.push(SpannedTok {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Parses the body of a line comment into an allow directive, if present.
+/// Accepted form: `nezha-lint: allow(D1, D3)` with an optional trailing
+/// `: <justification>`.
+fn parse_allow(body: &str) -> Option<AllowDirective> {
+    let marker = "nezha-lint:";
+    let at = body.find(marker)?;
+    let rest = body[at + marker.len()..].trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_ascii_uppercase())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return None;
+    }
+    let tail = rest[close + 1..].trim_start();
+    let justified = tail.strip_prefix(':').is_some_and(|j| !j.trim().is_empty());
+    Some(AllowDirective { rules, justified })
+}
+
+fn is_raw_or_byte_string(b: &[char], i: usize) -> bool {
+    // r"..." | r#"..."# | b"..." | br"..." | br#"..."#
+    match b[i] {
+        'r' => matches!(b.get(i + 1), Some('"') | Some('#')),
+        'b' => match b.get(i + 1) {
+            Some('"') => true,
+            Some('r') => matches!(b.get(i + 2), Some('"') | Some('#')),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+fn skip_raw_or_byte(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    let n = b.len();
+    let mut raw = false;
+    if b[i] == 'b' {
+        i += 1;
+    }
+    if i < n && b[i] == 'r' {
+        raw = true;
+        i += 1;
+    }
+    let mut hashes = 0;
+    while i < n && b[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= n || b[i] != '"' {
+        return i; // not actually a string start; resume normally
+    }
+    i += 1;
+    while i < n {
+        if b[i] == '\n' {
+            *line += 1;
+            i += 1;
+        } else if !raw && b[i] == '\\' {
+            i += 2;
+        } else if b[i] == '"' {
+            // A raw string ends at `"` followed by `hashes` hash marks.
+            let mut k = 0;
+            while k < hashes && i + 1 + k < n && b[i + 1 + k] == '#' {
+                k += 1;
+            }
+            if k == hashes {
+                return i + 1 + hashes;
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+fn skip_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    let n = b.len();
+    i += 1;
+    while i < n {
+        match b[i] {
+            '\\' => i += 2,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            '"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Distinguishes `'a'` / `'\n'` (char literals, skipped) from `'a` in
+/// `&'a str` (lifetimes, where only the quote is consumed).
+fn skip_char_or_lifetime(b: &[char], i: usize, line: &mut u32) -> usize {
+    let n = b.len();
+    if i + 1 >= n {
+        return i + 1;
+    }
+    if b[i + 1] == '\\' {
+        // Escaped char literal: find the closing quote.
+        let mut j = i + 2;
+        if j < n {
+            j += 1; // the escaped character itself
+        }
+        // Multi-char escapes (\x41, \u{...}) run until the quote.
+        while j < n && b[j] != '\'' {
+            if b[j] == '\n' {
+                *line += 1;
+            }
+            j += 1;
+        }
+        return j + 1;
+    }
+    if i + 2 < n && b[i + 2] == '\'' {
+        return i + 3; // plain char literal 'x'
+    }
+    i + 1 // lifetime: consume the quote only
+}
+
+fn skip_number(b: &[char], mut i: usize) -> usize {
+    let n = b.len();
+    // Integer part (covers 0x/0b/0o digits and `_` separators).
+    while i < n && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+        i += 1;
+    }
+    // Fraction only when `.` is followed by a digit (so `0..n` and
+    // tuple-index chains are left to the punct lexer).
+    if i + 1 < n && b[i] == '.' && b[i + 1].is_ascii_digit() {
+        i += 1;
+        while i < n && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+            i += 1;
+        }
+        // Exponent sign (`1.5e-9`).
+        if i < n && (b[i] == '+' || b[i] == '-') && b[i - 1].eq_ignore_ascii_case(&'e') {
+            i += 1;
+            while i < n && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .iter()
+            .filter_map(|t| t.tok.ident().map(String::from))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_stripped() {
+        let src = r##"
+            // Instant::now in a comment
+            /* thread_rng in a block /* nested */ still comment */
+            let s = "Instant::now inside a string";
+            let r = r#"thread_rng raw"#;
+            let c = 'x';
+            let real = foo();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"thread_rng".to_string()));
+        assert!(ids.contains(&"real".to_string()));
+        assert!(ids.contains(&"foo".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_source() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x.unwrap() }";
+        let ids = idents(src);
+        assert!(ids.contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_are_accurate() {
+        let src = "a\nb\n\nc";
+        let lexed = lex(src);
+        let lines: Vec<u32> = lexed.toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn allow_directive_with_and_without_reason() {
+        let src = "x // nezha-lint: allow(D3): keys are sorted first\ny // nezha-lint: allow(D1)\n";
+        let lexed = lex(src);
+        let a = &lexed.allows[&1][0];
+        assert_eq!(a.rules, vec!["D3"]);
+        assert!(a.justified);
+        let b = &lexed.allows[&2][0];
+        assert_eq!(b.rules, vec!["D1"]);
+        assert!(!b.justified);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_methods() {
+        let src = "for i in 0..n { let x = 1.5e-9; v.iter() }";
+        let ids = idents(src);
+        assert!(ids.contains(&"iter".to_string()));
+        assert!(ids.contains(&"n".to_string()));
+    }
+}

@@ -1,0 +1,173 @@
+//! `nezha-lint` — a workspace determinism & panic-safety static-analysis
+//! pass for the Nezha reproduction.
+//!
+//! Every paper figure depends on the simulator being bit-deterministic
+//! under a fixed seed. These rules make that a statically enforced
+//! invariant instead of a convention:
+//!
+//! | rule | severity | what it forbids |
+//! |------|----------|-----------------|
+//! | D1   | error    | `Instant::now` / `SystemTime::now` in sim-visible crates |
+//! | D2   | error    | `thread_rng` / `from_entropy` / OS-entropy RNGs outside `nezha-sim::rng` |
+//! | D3   | error    | iteration over `HashMap`/`HashSet` bindings in sim-visible crates |
+//! | D4   | error    | `unwrap`/`expect`/`panic!`/`todo!` in control-plane modules |
+//! | D5   | warning  | `MetricsRegistry` handle acquisition outside a startup path |
+//!
+//! Escape hatch: `// nezha-lint: allow(D3): <justification>` on the
+//! violating line or the line above. The justification is mandatory —
+//! a bare `allow` is itself an error.
+//!
+//! The workspace builds fully offline, so there is no `syn`: the scanner
+//! is a hand-rolled lexer + token-pattern rule engine (see `lexer`,
+//! `rules`).
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{check_file, Severity, Violation};
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into during a workspace scan.
+/// `fixtures` holds intentionally-violating linter test inputs.
+const SKIP_DIRS: [&str; 5] = ["target", "vendor", ".git", "fixtures", "node_modules"];
+
+/// Top-level directories scanned in `--workspace` mode.
+const WORKSPACE_ROOTS: [&str; 4] = ["src", "crates", "tests", "examples"];
+
+/// Collects every lintable `.rs` file under the workspace root, in
+/// deterministic (sorted) order.
+pub fn collect_workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for top in WORKSPACE_ROOTS {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping [`SKIP_DIRS`].
+pub fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default();
+            if SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the given files, reporting paths relative to `root`.
+pub fn scan_files(root: &Path, files: &[PathBuf]) -> io::Result<Vec<Violation>> {
+    let mut all = Vec::new();
+    for f in files {
+        let src = std::fs::read_to_string(f)?;
+        let rel = rel_path(root, f);
+        all.extend(check_file(&rel, &src));
+    }
+    all.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(all)
+}
+
+/// Workspace-relative path with forward slashes (falls back to the full
+/// path when `file` is not under `root`).
+pub fn rel_path(root: &Path, file: &Path) -> String {
+    let p = file.strip_prefix(root).unwrap_or(file);
+    p.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Human-readable diagnostics, one block per violation.
+pub fn render_human(violations: &[Violation]) -> String {
+    let mut s = String::new();
+    for v in violations {
+        s.push_str(&format!(
+            "{}: [{}] {}:{}: {}\n    fix: {}\n",
+            v.severity, v.rule, v.file, v.line, v.message, v.hint
+        ));
+    }
+    s
+}
+
+/// Machine-readable JSON: `{"violations": [...], "errors": N, "warnings": N}`.
+/// Hand-rolled — the lint crate deliberately has zero dependencies.
+pub fn render_json(violations: &[Violation]) -> String {
+    let mut items = Vec::with_capacity(violations.len());
+    for v in violations {
+        items.push(format!(
+            "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"severity\":\"{}\",\
+             \"message\":\"{}\",\"hint\":\"{}\"}}",
+            json_escape(&v.file),
+            v.line,
+            v.rule,
+            v.severity,
+            json_escape(&v.message),
+            json_escape(v.hint)
+        ));
+    }
+    let errors = violations
+        .iter()
+        .filter(|v| v.severity == Severity::Error)
+        .count();
+    let warnings = violations.len() - errors;
+    format!(
+        "{{\"violations\":[{}],\"errors\":{},\"warnings\":{}}}\n",
+        items.join(","),
+        errors,
+        warnings
+    )
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn rel_path_normalises() {
+        let root = Path::new("/w");
+        assert_eq!(
+            rel_path(root, Path::new("/w/crates/core/src/a.rs")),
+            "crates/core/src/a.rs"
+        );
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: a justified allow suppresses the finding. Expect no
+// violations in this file.
+use std::collections::HashMap;
+
+fn snapshot(map: &HashMap<u32, u32>) -> Vec<(u32, u32)> {
+    // nezha-lint: allow(D3): keys are collected then sorted below
+    let mut out: Vec<(u32, u32)> = map.iter().map(|(k, v)| (*k, *v)).collect();
+    out.sort();
+    out
+}

@@ -1,0 +1,7 @@
+// Fixture: an allow without a justification is itself an error. Expect
+// one D4 error on line 6 mentioning the missing justification.
+
+fn force(v: Option<u32>) -> u32 {
+    // nezha-lint: allow(D4)
+    v.unwrap()
+}

@@ -1,0 +1,8 @@
+// Fixture: D1 clean — simulated time only; mentions of Instant::now in
+// comments and strings must not be flagged.
+fn measure(now: u64, started: u64) -> u64 {
+    // A real implementation would call Instant::now() — we don't.
+    let banner = "no Instant::now() here";
+    drop(banner);
+    now - started
+}

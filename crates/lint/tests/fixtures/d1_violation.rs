@@ -1,0 +1,9 @@
+// Fixture: D1 — wall-clock reads. Expect D1 on lines 5 and 6.
+use std::time::{Instant, SystemTime};
+
+fn measure() -> u64 {
+    let t0 = Instant::now();
+    let wall = SystemTime::now();
+    drop(wall);
+    t0.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,8 @@
+// Fixture: D2 clean — seeded RNG construction is fine anywhere.
+
+fn roll(seed: u64) -> u64 {
+    let mut rng = SimRng::new(seed);
+    let derived = SmallRng::seed_from_u64(seed ^ 0xa5a5);
+    drop(derived);
+    rng.next_u64()
+}

@@ -1,0 +1,8 @@
+// Fixture: D2 — OS-entropy RNG construction. Expect D2 on lines 4 and 5.
+
+fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    let seeded_badly = SmallRng::from_entropy();
+    drop(seeded_badly);
+    rng.gen()
+}

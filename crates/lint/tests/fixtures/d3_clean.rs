@@ -1,0 +1,13 @@
+// Fixture: D3 clean — ordered collections may be iterated freely, and
+// point lookups on hash collections are fine.
+use std::collections::{BTreeMap, HashMap};
+
+fn observe(ordered: BTreeMap<u32, u32>, hashed: HashMap<u32, u32>) -> u32 {
+    let mut acc = 0;
+    for (k, v) in &ordered {
+        acc ^= k ^ v;
+    }
+    acc ^= ordered.keys().sum::<u32>();
+    acc ^= hashed.get(&7).copied().unwrap_or(0);
+    acc
+}

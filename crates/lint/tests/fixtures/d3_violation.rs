@@ -1,0 +1,18 @@
+// Fixture: D3 — iteration over hash collections. Expect D3 on lines
+// 10, 11, and 14 (`keys()`, `values()`, and the `for … in &map` loop).
+use std::collections::{HashMap, HashSet};
+
+struct State {
+    flows: HashMap<u64, u64>,
+}
+
+fn observe(map: HashMap<u32, u32>, set: HashSet<u32>, s: &State) -> u32 {
+    let first = map.keys().next().copied().unwrap_or(0);
+    let live: Vec<u32> = set.iter().copied().collect();
+    drop(live);
+    let mut acc = first;
+    for (k, _) in &s.flows {
+        acc ^= *k as u32;
+    }
+    acc
+}

@@ -1,0 +1,15 @@
+// Fixture: D4 clean — typed errors instead of panics, and `#[test]`
+// bodies may assert however they like.
+
+fn lookup(map: &std::collections::BTreeMap<u32, u32>, k: u32) -> Result<u32, String> {
+    map.get(&k)
+        .copied()
+        .ok_or_else(|| format!("unknown key {k}"))
+}
+
+#[test]
+fn test_lookup() {
+    let mut m = std::collections::BTreeMap::new();
+    m.insert(1, 2);
+    assert_eq!(lookup(&m, 1).unwrap(), 2);
+}

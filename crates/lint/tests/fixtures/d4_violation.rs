@@ -1,0 +1,16 @@
+// Fixture: D4 — panics in control-plane code. Expect D4 on lines 5, 8,
+// 10, and 13.
+
+fn lookup(map: &std::collections::BTreeMap<u32, u32>, k: u32) -> u32 {
+    let v = map.get(&k).unwrap();
+    let w = map
+        .get(&(k + 1))
+        .expect("neighbour must exist");
+    if *v > *w {
+        panic!("inverted ordering");
+    }
+    match v {
+        0 => todo!(),
+        n => *n,
+    }
+}

@@ -1,0 +1,18 @@
+// Fixture: D5 clean — handles registered in startup paths and used via
+// the stored handle afterwards.
+
+impl Worker {
+    fn new(reg: &MetricsRegistry) -> Self {
+        Worker {
+            seen: reg.counter("pkt.seen", &[]),
+        }
+    }
+
+    fn attach_metrics(&mut self, reg: &MetricsRegistry) {
+        self.lat = reg.histogram("pkt.latency", &[]);
+    }
+
+    fn on_packet(&mut self, reg: &MetricsRegistry) {
+        reg.inc(self.seen);
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: D5 — metrics handle acquired mid-simulation. Expect D5
+// (warning) on line 6.
+
+impl Worker {
+    fn on_packet(&mut self, reg: &MetricsRegistry) {
+        let h = reg.counter("pkt.seen", &[]);
+        reg.inc(h);
+    }
+}

@@ -17,7 +17,7 @@ use crate::config::{MemoryModel, VSwitchConfig};
 use nezha_sim::resources::{MemoryPool, OutOfMemory};
 use nezha_sim::time::SimTime;
 use nezha_types::{Direction, PreActionPair, SessionKey, SessionState, TcpState};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One bidirectional session entry.
 #[derive(Clone, Debug)]
@@ -49,7 +49,7 @@ impl SessionEntry {
 /// The session table with byte-accounted capacity.
 #[derive(Debug, Default)]
 pub struct SessionTable {
-    entries: HashMap<SessionKey, SessionEntry>,
+    entries: BTreeMap<SessionKey, SessionEntry>,
     created_total: u64,
     expired_total: u64,
     rejected_total: u64,

@@ -7,7 +7,7 @@
 
 use nezha_types::Ipv4Addr;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Outcome of a route lookup.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -23,7 +23,7 @@ pub enum RouteTarget {
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct RouteTable {
     /// Prefix-length → (masked address → target). Probed longest-first.
-    by_len: HashMap<u8, HashMap<u32, RouteTarget>>,
+    by_len: BTreeMap<u8, BTreeMap<u32, RouteTarget>>,
     /// Sorted (desc) list of present prefix lengths, kept in sync.
     lens: Vec<u8>,
     entries: usize,

@@ -13,7 +13,7 @@
 
 use nezha_types::{Ipv4Addr, ServerId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The mapping table: overlay address → hosting server(s).
 ///
@@ -22,7 +22,7 @@ use std::collections::HashMap;
 /// home server.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct VnicServerMap {
-    entries: HashMap<Ipv4Addr, Vec<ServerId>>,
+    entries: BTreeMap<Ipv4Addr, Vec<ServerId>>,
 }
 
 impl VnicServerMap {

@@ -16,7 +16,7 @@ use nezha_sim::resources::{CpuOutcome, CpuServer, MemoryPool, OutOfMemory};
 use nezha_sim::time::SimTime;
 use nezha_sim::trace::{DropReason, PacketTrace, TraceEvent, TraceEventKind};
 use nezha_types::{Decision, Packet, SessionKey, VnicId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Lifetime packet counters of one vSwitch.
 ///
@@ -102,17 +102,17 @@ pub struct VSwitch {
     cpu: CpuServer,
     /// Table memory pool (rule tables + session table share it, §2.2.2).
     pub mem: MemoryPool,
-    vnics: HashMap<VnicId, Vnic>,
+    vnics: BTreeMap<VnicId, Vnic>,
     /// The session table (public: the Nezha BE role manipulates it).
     pub sessions: SessionTable,
     tel: SwitchTelemetry,
     /// Cycles charged per vNIC (for the controller's offload-candidate
     /// ranking, §4.2.1), measured over the CPU's utilization window.
-    vnic_cycles: HashMap<VnicId, f64>,
+    vnic_cycles: BTreeMap<VnicId, f64>,
     /// Exact bytes charged to the pool per vNIC's tables. Table contents
     /// can change after installation (learned vNIC-server entries, rule
     /// pushes); frees must match what was actually charged.
-    vnic_charged: HashMap<VnicId, u64>,
+    vnic_charged: BTreeMap<VnicId, u64>,
 }
 
 impl VSwitch {
@@ -123,11 +123,11 @@ impl VSwitch {
             version: 1,
             cpu: CpuServer::new(cfg.cores, cfg.core_hz, cfg.max_backlog),
             mem: MemoryPool::new(cfg.table_memory),
-            vnics: HashMap::new(),
+            vnics: BTreeMap::new(),
             sessions: SessionTable::new(),
             tel: SwitchTelemetry::register(&MetricsRegistry::new(), id),
-            vnic_cycles: HashMap::new(),
-            vnic_charged: HashMap::new(),
+            vnic_cycles: BTreeMap::new(),
+            vnic_charged: BTreeMap::new(),
             cfg,
         }
     }
@@ -217,7 +217,7 @@ impl VSwitch {
     }
 
     /// Ids of all hosted vNICs, in stable (id) order — iteration order
-    /// must never leak HashMap randomness into control decisions.
+    /// must never leak BTreeMap randomness into control decisions.
     pub fn vnic_ids(&self) -> Vec<VnicId> {
         let mut ids: Vec<VnicId> = self.vnics.keys().copied().collect();
         ids.sort_unstable_by_key(|v| v.0);
@@ -255,7 +255,7 @@ impl VSwitch {
 
     /// Cumulative cycles attributed to each vNIC (the controller ranks
     /// offload candidates by this, descending — §4.2.1).
-    pub fn vnic_cycle_shares(&self) -> &HashMap<VnicId, f64> {
+    pub fn vnic_cycle_shares(&self) -> &BTreeMap<VnicId, f64> {
         &self.vnic_cycles
     }
 

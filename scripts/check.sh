@@ -1,16 +1,37 @@
 #!/usr/bin/env bash
-# The full local gate, in the order CI would run it:
-# formatting, lints as errors, then the test suite.
+# The full local gate, in the order CI would run it: formatting, the
+# nezha-lint determinism/panic-safety pass, lints as errors, then the
+# test suite.
+#
+# Usage: scripts/check.sh [--fast]
+#   --fast   skip the test suite (quick pre-commit run)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+fast=0
+for arg in "$@"; do
+    case "$arg" in
+    --fast) fast=1 ;;
+    *)
+        echo "usage: scripts/check.sh [--fast]" >&2
+        exit 2
+        ;;
+    esac
+done
 
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> nezha-lint --workspace --deny-warnings"
+cargo run -q -p nezha-lint -- --workspace --deny-warnings
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo test -q"
-cargo test -q
-
-echo "All checks passed."
+if [ "$fast" -eq 1 ]; then
+    echo "All checks passed (--fast: test suite skipped)."
+else
+    echo "==> cargo test -q"
+    cargo test -q
+    echo "All checks passed."
+fi
