@@ -5,6 +5,7 @@
 
 pub mod ablations;
 pub mod appendix_b2;
+pub mod chaos;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;
@@ -43,6 +44,7 @@ pub const ALL: &[&str] = &[
     "fig_a1",
     "appendix_b2",
     "ablations",
+    "chaos",
 ];
 
 /// Dispatches one experiment by id. Returns false for unknown ids.
@@ -66,6 +68,7 @@ pub fn dispatch(id: &str) -> bool {
         "fig_a1" => fig_a1::run(),
         "appendix_b2" => appendix_b2::run(),
         "ablations" => ablations::run(),
+        "chaos" => chaos::run(),
         _ => return false,
     }
     true

@@ -26,6 +26,7 @@ use crate::gateway::Gateway;
 use crate::monitor::MonitorState;
 use crate::vm::{VmConfig, VmModel};
 use nezha_sim::engine::Engine;
+use nezha_sim::fault::{FaultKind, FaultPlan, FaultState};
 use nezha_sim::metrics::{
     CounterHandle, GaugeHandle, HistogramHandle, MetricsRegistry, SeriesHandle,
 };
@@ -70,8 +71,15 @@ pub struct ClusterConfig {
     pub learning_interval: SimDuration,
     /// Session aging sweep period.
     pub aging_period: SimDuration,
-    /// Retransmission timeout for lost connection packets.
+    /// *Base* retransmission timeout for lost connection packets. Retry
+    /// `k` waits `retry_timeout · 2^k` — capped at
+    /// [`retry_cap`](ClusterConfig::retry_cap) — with ±25% jitter drawn
+    /// from the seeded sim RNG, so a cluster-wide fault does not
+    /// re-synchronize every retransmission into one thundering herd.
     pub retry_timeout: SimDuration,
+    /// Upper bound on the backed-off retry delay (the exponential growth
+    /// saturates here).
+    pub retry_cap: SimDuration,
     /// Retries before a connection is declared failed.
     pub max_retries: u32,
     /// RNG seed (full determinism).
@@ -97,6 +105,7 @@ impl Default for ClusterConfig {
             learning_interval: SimDuration::from_millis(200),
             aging_period: SimDuration::from_secs(1),
             retry_timeout: SimDuration::from_millis(500),
+            retry_cap: SimDuration::from_secs(2),
             max_retries: 5,
             seed: 0x4e5a_2025,
             lb_mode: LbMode::FlowLevel,
@@ -154,9 +163,18 @@ impl ClusterConfigBuilder {
         self
     }
 
-    /// Retransmission timeout for lost connection packets.
+    /// Base retransmission timeout for lost connection packets; retry
+    /// `k` waits `timeout · 2^k` (capped at
+    /// [`retry_cap`](ClusterConfigBuilder::retry_cap)) with ±25% seeded
+    /// jitter.
     pub fn retry_timeout(mut self, timeout: SimDuration) -> Self {
         self.cfg.retry_timeout = timeout;
+        self
+    }
+
+    /// Cap on the exponentially backed-off retry delay.
+    pub fn retry_cap(mut self, cap: SimDuration) -> Self {
+        self.cfg.retry_cap = cap;
         self
     }
 
@@ -328,6 +346,8 @@ pub enum Event {
         /// The injecting server.
         from: ServerId,
     },
+    /// A scripted fault transition fires (see [`Cluster::apply_fault_plan`]).
+    Fault(FaultKind),
 }
 
 /// Aggregated measurements.
@@ -382,6 +402,16 @@ pub struct ClusterStats {
     pub failover_events: u64,
     /// Monitor false-positive suspensions (Appendix C).
     pub monitor_suspensions: u64,
+    /// Scripted fault transitions applied (chaos injection).
+    pub fault_events: u64,
+    /// Graceful degradations: the FE pool collapsed and the BE fell back
+    /// to local processing from the data plane.
+    pub degraded_events: u64,
+    /// FE pool membership changes caused by failure handling — each one
+    /// re-hashes a slice of the flow space (re-hash churn).
+    pub rehash_churn: u64,
+    /// Crash-to-failover detection latencies (seconds).
+    pub detection_latency: Samples,
 }
 
 /// The cluster's telemetry plumbing: the shared registry, the shared
@@ -415,6 +445,13 @@ pub(crate) struct ClusterTelemetry {
     pub(crate) fallback_events: CounterHandle,
     pub(crate) failover_events: CounterHandle,
     pub(crate) monitor_suspensions: CounterHandle,
+    pub(crate) fault_events: CounterHandle,
+    pub(crate) fault_link_drops: CounterHandle,
+    pub(crate) fault_notify_drops: CounterHandle,
+    pub(crate) fault_inflight_loss: CounterHandle,
+    pub(crate) degraded_events: CounterHandle,
+    pub(crate) rehash_churn: CounterHandle,
+    pub(crate) detection_latency: HistogramHandle,
     /// Per-server controller report gauges, indexed by `ServerId.0`.
     /// Pre-registered at startup: registry lookups are string-keyed and
     /// must never run mid-simulation (lint rule D5).
@@ -468,6 +505,13 @@ impl ClusterTelemetry {
             fallback_events: c("ctrl.fallback_events"),
             failover_events: c("ctrl.failover_events"),
             monitor_suspensions: c("monitor.suspensions"),
+            fault_events: c("fault.events"),
+            fault_link_drops: c("fault.link_drops"),
+            fault_notify_drops: c("fault.notify_drops"),
+            fault_inflight_loss: c("fault.inflight_loss"),
+            degraded_events: c("ctrl.degraded_events"),
+            rehash_churn: c("fault.rehash_churn"),
+            detection_latency: h("fault.detection_latency"),
             ctrl_gauges,
             registry,
         }
@@ -520,6 +564,10 @@ impl ClusterTelemetry {
             fallback_events: v(self.fallback_events),
             failover_events: v(self.failover_events),
             monitor_suspensions: v(self.monitor_suspensions),
+            fault_events: v(self.fault_events),
+            degraded_events: v(self.degraded_events),
+            rehash_churn: v(self.rehash_churn),
+            detection_latency: self.registry.histogram_samples(self.detection_latency),
         }
     }
 }
@@ -546,6 +594,14 @@ fn packet_hash(t: &nezha_types::FiveTuple, trace: u64) -> u64 {
     let mut h = flow_hash(t) ^ trace.wrapping_mul(0x9e37_79b9_7f4a_7c15);
     h ^= h >> 29;
     h
+}
+
+/// The (un-jittered) delay before retry number `retries + 1`:
+/// `base · 2^retries`, saturating at `cap`. The caller applies ±25%
+/// jitter from the seeded sim RNG on top.
+pub fn retry_backoff(base: SimDuration, cap: SimDuration, retries: u32) -> SimDuration {
+    let factor = 1u64 << retries.min(31);
+    SimDuration(base.0.saturating_mul(factor)).min(cap)
 }
 
 /// The packet-level testbed.
@@ -583,6 +639,9 @@ pub struct Cluster {
     /// healthy servers — the Appendix C.1 scenario the centralized
     /// monitor cannot see).
     blackholes: std::collections::BTreeSet<(ServerId, ServerId)>,
+    /// Live scripted fault conditions (chaos injection). Sampled from its
+    /// own forked RNG stream so fault outcomes replay seed-for-seed.
+    pub(crate) faults: FaultState,
     /// Global switch: when false the cluster behaves as the pre-Nezha
     /// baseline (no offloading ever triggers).
     pub nezha_enabled: bool,
@@ -635,6 +694,11 @@ impl Cluster {
             monitor: MonitorState::new(),
             rng: SimRng::new(cfg.seed),
             blackholes: std::collections::BTreeSet::new(),
+            // An independent stream derived from the seed (not forked from
+            // `rng`, so enabling faults never perturbs baseline draws).
+            faults: FaultState::new(SimRng::new(
+                cfg.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xFA17,
+            )),
             nezha_enabled: true,
             cfg,
         }
@@ -942,6 +1006,21 @@ impl Cluster {
         self.engine.schedule_at(at, Event::Crash { server });
     }
 
+    /// Schedules every transition of a scripted [`FaultPlan`] onto the
+    /// event engine. Faults replay on the simulated clock from the
+    /// cluster's seeded fault RNG stream: two runs with the same seed and
+    /// the same plan observe identical fault behavior.
+    pub fn apply_fault_plan(&mut self, plan: FaultPlan) {
+        for ev in plan.into_events() {
+            self.engine.schedule_at(ev.at, Event::Fault(ev.kind));
+        }
+    }
+
+    /// Read access to the live fault conditions.
+    pub fn fault_state(&self) -> &FaultState {
+        &self.faults
+    }
+
     /// Runs the cluster until simulated time `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) {
         while let Some(s) = self.engine.pop_until(deadline) {
@@ -978,9 +1057,44 @@ impl Cluster {
             Event::Config(op) => self.apply_config(op, now),
             Event::Crash { server } => {
                 self.alive[server.0 as usize] = false;
+                self.monitor.crash_pending.insert(server, now);
             }
             Event::StartProbe { pkt, from } => self.start_probe(pkt, from, now),
+            Event::Fault(kind) => self.handle_fault(kind, now),
         }
+    }
+
+    /// Applies one scripted fault transition: cluster-level side effects
+    /// first (liveness flags, vSwitch cycle multipliers), then the
+    /// recorded condition set the per-packet queries are answered from.
+    fn handle_fault(&mut self, kind: FaultKind, now: SimTime) {
+        self.tel.inc(self.tel.fault_events);
+        match &kind {
+            FaultKind::Crash { server } => {
+                if let Some(alive) = self.alive.get_mut(server.0 as usize) {
+                    *alive = false;
+                }
+                self.monitor.crash_pending.insert(*server, now);
+            }
+            FaultKind::Restart { server } => {
+                if let Some(alive) = self.alive.get_mut(server.0 as usize) {
+                    *alive = true;
+                }
+                self.monitor.crash_pending.remove(server);
+            }
+            FaultKind::GraySlow { server, multiplier } => {
+                if let Some(vs) = self.switches.get_mut(server.0 as usize) {
+                    vs.set_cycle_multiplier(*multiplier);
+                }
+            }
+            FaultKind::GrayRecover { server } => {
+                if let Some(vs) = self.switches.get_mut(server.0 as usize) {
+                    vs.set_cycle_multiplier(1.0);
+                }
+            }
+            _ => {}
+        }
+        self.faults.apply(&kind);
     }
 
     // ------------------------------------------------------------------
@@ -1098,17 +1212,26 @@ impl Cluster {
         self.inject_step(conn_id, step, now);
     }
 
-    /// Records a lost conn/probe packet and schedules the retry.
+    /// Records a lost conn/probe packet and schedules the retry with
+    /// exponential backoff (base `retry_timeout`, doubling per retry up
+    /// to `retry_cap`) plus ±25% seeded jitter.
     fn lose_packet(&mut self, trace: u64, now: SimTime) {
         self.tel.series_add(self.tel.loss_series, now, 1.0);
         self.tel.inc(self.tel.pkt_dropped);
+        if self.faults.any_active() {
+            self.tel.inc(self.tel.fault_inflight_loss);
+        }
         if trace & PROBE_BIT != 0 || trace == 0 {
             return; // probes and notify packets (trace 0) are not retried
         }
         let conn = trace >> 4;
         let step = (trace & 0xf) as usize;
+        let retries = self.conns.get(&conn).map_or(0, |c| c.retries);
+        let base = retry_backoff(self.cfg.retry_timeout, self.cfg.retry_cap, retries);
+        let jitter = 0.75 + 0.5 * self.rng.f64();
+        let delay = SimDuration::from_secs_f64(base.as_secs_f64() * jitter);
         self.engine
-            .schedule_in(self.cfg.retry_timeout, Event::RetryStep { conn, step });
+            .schedule_in(delay, Event::RetryStep { conn, step });
     }
 
     /// A policy drop: terminal for the connection, no retry.
@@ -1176,6 +1299,12 @@ impl Cluster {
             if self.link_blackholed(src, dst) {
                 return self.lose_packet(pkt.trace, now);
             }
+            // Scripted link faults: partitions drop deterministically,
+            // (bursty) loss models sample the seeded fault RNG.
+            if self.faults.should_drop(src, dst) {
+                self.tel.inc(self.tel.fault_link_drops);
+                return self.lose_packet(pkt.trace, now);
+            }
         }
         if let Some(nsh) = pkt.nezha {
             match nsh.kind {
@@ -1218,8 +1347,62 @@ impl Cluster {
         })
     }
 
+    /// The graceful-degradation trigger: an offloaded vNIC whose entire
+    /// FE pool is dead. The BE's rule tables are gone and every packet
+    /// hashed to an FE would be lost until the monitor rebuilds the pool
+    /// — which it will not do while suspended (Appendix C.2).
+    fn fe_pool_collapsed(&self, vnic: VnicId) -> bool {
+        self.be_meta.get(&vnic).is_some_and(|m| {
+            m.phase == OffloadPhase::Offloaded
+                && !m.ready_fes().iter().any(|fe| self.alive[fe.0 as usize])
+        })
+    }
+
+    /// Emergency fallback from the data plane when the FE pool collapses:
+    /// re-arm the BE with the master tables and schedule the normal
+    /// fallback teardown. Unlike [`Cluster::trigger_fallback`] this runs
+    /// mid-packet and tolerates the dead pool. Returns false when the
+    /// home vSwitch cannot fit the tables (packets stay lost until the
+    /// management plane recovers).
+    fn degrade_to_local(&mut self, vnic: VnicId, now: SimTime) -> bool {
+        let Some(home) = self.vnic_home.get(&vnic).copied() else {
+            return false;
+        };
+        let Some(master) = self.master_vnics.get(&vnic).cloned() else {
+            return false;
+        };
+        if self.switches[home.0 as usize].vnic(vnic).is_none()
+            && self.switches[home.0 as usize].add_vnic(master).is_err()
+        {
+            return false;
+        }
+        let Some(meta) = self.be_meta.get_mut(&vnic) else {
+            return false;
+        };
+        meta.phase = OffloadPhase::FallbackDual;
+        self.tel.inc(self.tel.degraded_events);
+        let addr = self.vnic_addr[&vnic];
+        let cfg = self.cfg.controller;
+        let gw_at = now + cfg.gateway_update_delay;
+        self.engine.schedule_at(
+            gw_at,
+            Event::Config(ConfigOp::GatewayUpdate {
+                addr,
+                servers: vec![home],
+            }),
+        );
+        self.engine.schedule_at(
+            gw_at + self.gateway.learning_interval() + SimDuration::from_millis(50),
+            Event::Config(ConfigOp::FallbackFinal { vnic }),
+        );
+        true
+    }
+
     /// TX packet from the local VM at its home (BE) vSwitch.
     fn be_handle_tx(&mut self, server: ServerId, pkt: Packet, sent_at: SimTime, now: SimTime) {
+        if self.fe_pool_collapsed(pkt.vnic) {
+            self.degrade_to_local(pkt.vnic, now);
+        }
         if !self.nezha_active_for_tx(pkt.vnic) {
             return self.process_locally(server, pkt, sent_at, now);
         }
@@ -1514,6 +1697,11 @@ impl Cluster {
         sent_at: SimTime,
         now: SimTime,
     ) {
+        // Graceful degradation: with every FE dead, bouncing is futile —
+        // fall back to local processing if the tables fit.
+        if self.fe_pool_collapsed(pkt.vnic) && self.degrade_to_local(pkt.vnic, now) {
+            return self.process_locally(server, pkt, sent_at, now);
+        }
         let key = SessionKey::of(pkt.vpc, pkt.tuple);
         let fe = match self.be_meta.get(&pkt.vnic) {
             Some(meta) if meta.phase == OffloadPhase::Offloaded => {
@@ -1636,6 +1824,12 @@ impl Cluster {
     ) {
         self.tel.inc(self.tel.notifies);
         self.trace_pkt(done, fe_server, pkt, TraceEventKind::Notify);
+        // Scripted notify loss (§3.2.2's channel is best-effort: the BE's
+        // rule-table-involved state converges on a later miss instead).
+        if self.faults.drop_notify() {
+            self.tel.inc(self.tel.fault_notify_drops);
+            return;
+        }
         let be = self.vnic_home[&pkt.vnic];
         let mut nsh = NezhaHeader::bare(NezhaPayloadKind::Notify, pkt.vnic, pkt.vpc);
         nsh.stats_policy = Some(policy);
@@ -1725,6 +1919,50 @@ mod tests {
         let end = SimTime(0) + spacing.times(n as u64) + SimDuration::from_secs(5);
         cluster.run_until(end);
         end
+    }
+
+    #[test]
+    fn retry_backoff_doubles_and_caps() {
+        let base = SimDuration::from_millis(500);
+        let cap = SimDuration::from_secs(2);
+        assert_eq!(retry_backoff(base, cap, 0), SimDuration::from_millis(500));
+        assert_eq!(retry_backoff(base, cap, 1), SimDuration::from_secs(1));
+        assert_eq!(retry_backoff(base, cap, 2), SimDuration::from_secs(2));
+        // Saturates at the cap from then on, even for huge retry counts.
+        assert_eq!(retry_backoff(base, cap, 3), cap);
+        assert_eq!(retry_backoff(base, cap, 63), cap);
+        assert_eq!(retry_backoff(base, cap, u32::MAX), cap);
+    }
+
+    #[test]
+    fn scheduled_retries_back_off_exponentially_with_bounded_jitter() {
+        // Drive lose_packet directly for one registered conn and check the
+        // scheduled RetryStep delays grow like base·2^k (±25%), capped.
+        let mut c = small_cluster(false);
+        let id = c.add_conn(inbound_spec(1, SimTime(0))).unwrap();
+        let base = c.cfg.retry_timeout;
+        let cap = c.cfg.retry_cap;
+        for k in 0..=c.cfg.max_retries {
+            // Isolate the one RetryStep this loss schedules.
+            c.engine.clear();
+            if let Some(conn) = c.conns.get_mut(&id) {
+                conn.retries = k;
+            }
+            let before = c.engine.now();
+            c.lose_packet(id << 4, before);
+            let sched = c
+                .engine
+                .peek_time()
+                .expect("lose_packet schedules a RetryStep");
+            let delay = sched.since(before);
+            let nominal = retry_backoff(base, cap, k);
+            let lo = SimDuration::from_secs_f64(nominal.as_secs_f64() * 0.75);
+            let hi = SimDuration::from_secs_f64(nominal.as_secs_f64() * 1.25);
+            assert!(
+                delay >= lo && delay <= hi,
+                "retry {k}: delay {delay:?} outside [{lo:?}, {hi:?}]"
+            );
+        }
     }
 
     #[test]

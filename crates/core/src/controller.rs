@@ -141,6 +141,14 @@ impl Cluster {
             self.controller.reset();
             return;
         }
+        // Scripted controller outage: reports are lost and no decision is
+        // made until the controller recovers (the data plane keeps
+        // forwarding on its last-pushed configuration — §4.4's argument
+        // that the controller is off the critical path).
+        if self.faults.controller_down() {
+            self.controller.reset();
+            return;
+        }
         let n = self.switches.len();
         let mut to_scale_out: Vec<ServerId> = Vec::new();
         for i in 0..n {
@@ -388,6 +396,9 @@ impl Cluster {
         }
         self.tel.inc(self.tel.scale_out_events);
         self.controller.last_scale_out.insert(vnic, now);
+        // Every added FE re-hashes a slice of the flow space onto a cold
+        // cache — counted as churn for the recovery metrics.
+        self.tel.add(self.tel.rehash_churn, new_fes.len() as u64);
         let Some(meta) = self.be_meta.get_mut(&vnic) else {
             return 0; // meta existence checked at fn entry
         };
@@ -460,6 +471,9 @@ impl Cluster {
         if !meta.remove_fe(fe_server) {
             return;
         }
+        // A removal re-hashes the departed FE's flow slice onto the
+        // survivors (churn, mirrored by the add side in scale-out).
+        self.tel.inc(self.tel.rehash_churn);
         let remaining: Vec<ServerId> = meta.ready_fes().to_vec();
         if let Some(fe) = self.fes.remove(&(fe_server, vnic)) {
             let m = self.cfg.vswitch.memory;

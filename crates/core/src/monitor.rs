@@ -28,6 +28,9 @@ pub struct MonitorState {
     mutual_missed: BTreeMap<(ServerId, ServerId), u32>,
     /// True while automatic removal is suspended (Appendix C.2).
     pub suspended: bool,
+    /// Crash instants not yet detected by the monitor, for the
+    /// crash-to-failover detection-latency metric.
+    pub(crate) crash_pending: BTreeMap<ServerId, SimTime>,
 }
 
 impl MonitorState {
@@ -43,6 +46,12 @@ impl Cluster {
     pub(crate) fn monitor_tick(&mut self, now: SimTime) {
         let cfg = self.cfg.controller;
         self.engine.schedule_in(cfg.ping_period, Event::MonitorTick);
+        // A controller outage silences the health monitor with it: ticks
+        // keep rescheduling but no observation or removal happens, so
+        // detection latency grows by the outage length.
+        if self.faults.controller_down() {
+            return;
+        }
 
         // Only vSwitches hosting FEs are monitored — "since there are only
         // a few VMs requiring offloading, the monitoring targets are
@@ -64,7 +73,11 @@ impl Cluster {
                 let m = self.monitor.missed.entry(s).or_insert(0);
                 *m += 1;
                 apparently_dead += 1;
-                if *m == cfg.ping_misses {
+                // `>=`, not `==`: a server whose threshold crossing was
+                // swallowed by a suspension window must still be failed
+                // over once the suspension lifts. (Duplicate failovers are
+                // harmless — the first removal empties the victim list.)
+                if *m >= cfg.ping_misses {
                     newly_dead.push(s);
                 }
             }
@@ -103,7 +116,8 @@ impl Cluster {
         for (vnic, be, fe) in pairs {
             let reachable = self.alive[be.0 as usize]
                 && self.alive[fe.0 as usize]
-                && !self.link_blackholed(be, fe);
+                && !self.link_blackholed(be, fe)
+                && !self.faults.partitioned(be, fe);
             if reachable {
                 self.monitor.mutual_missed.insert((be, fe), 0);
             } else if self.alive[fe.0 as usize] {
@@ -112,7 +126,7 @@ impl Cluster {
                 // *this* BE's pool only.
                 let miss = self.monitor.mutual_missed.entry((be, fe)).or_insert(0);
                 *miss += 1;
-                if *miss == cfg.ping_misses {
+                if *miss >= cfg.ping_misses {
                     self.remove_fe(vnic, fe, now);
                     let cur = self.be_meta.get(&vnic).map_or(0, |m| m.fe_list.len());
                     if cur < cfg.min_fes {
@@ -122,6 +136,11 @@ impl Cluster {
                 }
             }
         }
+    }
+
+    /// True while automatic removal is suspended (Appendix C.2).
+    pub fn monitor_suspended(&self) -> bool {
+        self.monitor.suspended
     }
 
     /// Removes every FE on a crashed server and restores the ≥`min_fes`
@@ -136,6 +155,10 @@ impl Cluster {
         victims.sort_unstable_by_key(|v| v.0);
         if victims.is_empty() {
             return;
+        }
+        if let Some(crashed_at) = self.monitor.crash_pending.remove(&dead) {
+            self.tel
+                .observe_duration(self.tel.detection_latency, now.since(crashed_at));
         }
         self.tel.inc(self.tel.failover_events);
         for vnic in victims {

@@ -574,6 +574,23 @@ mod tests {
     }
 
     #[test]
+    fn fault_module_is_sim_visible_for_determinism_rules() {
+        // The chaos engine lives in the sim crate, so a wall-clock read or
+        // ambient entropy inside it would silently break seed-for-seed
+        // fault replay — D1/D2 must cover it with no allow-list entry.
+        let clock = "fn f() { let t = Instant::now(); }\n";
+        assert_eq!(
+            rules_found("crates/sim/src/fault.rs", clock),
+            vec![("D1", 1)]
+        );
+        let entropy = "fn f() { let mut r = thread_rng(); }\n";
+        assert_eq!(
+            rules_found("crates/sim/src/fault.rs", entropy),
+            vec![("D2", 1)]
+        );
+    }
+
+    #[test]
     fn justified_allow_suppresses_unjustified_is_error() {
         let good = "fn f() { // nezha-lint: allow(D1): replay tooling needs real time\n\
                     let t = Instant::now(); }\n";

@@ -24,7 +24,11 @@
 //!   snapshotting to deterministic JSON;
 //! * [`trace`] — a bounded, filterable ring buffer of structured per-packet
 //!   events (enqueue, CPU charge, table hit/miss, NSH encap/decap, notify,
-//!   drop-with-reason) on the simulated clock.
+//!   drop-with-reason) on the simulated clock;
+//! * [`fault`] — deterministic fault injection: a scripted [`FaultPlan`]
+//!   of crashes, gray-slow members, (bursty) link loss, partitions,
+//!   controller outages, and notify drops, replayed on the simulated
+//!   clock from a seeded RNG stream.
 //!
 //! The engine is intentionally *generic over the event type*: higher layers
 //! (`nezha-core`, the experiment harnesses) define their own event enums and
@@ -34,6 +38,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod engine;
+pub mod fault;
 pub mod metrics;
 pub mod resources;
 pub mod rng;
@@ -43,6 +48,7 @@ pub mod topology;
 pub mod trace;
 
 pub use engine::{Engine, Scheduled};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultState, GilbertElliott};
 pub use metrics::{
     CounterHandle, GaugeHandle, HistogramHandle, MetricValue, MetricsRegistry, MetricsSnapshot,
     SeriesHandle,

@@ -113,6 +113,10 @@ pub struct VSwitch {
     /// can change after installation (learned vNIC-server entries, rule
     /// pushes); frees must match what was actually charged.
     vnic_charged: BTreeMap<VnicId, u64>,
+    /// Gray-failure knob: every cycle charge is scaled by this factor
+    /// (1.0 when healthy). A degraded SmartNIC burns more cycles for the
+    /// same work — the "slow but not dead" member of Appendix C.
+    cycle_multiplier: f64,
 }
 
 impl VSwitch {
@@ -128,6 +132,7 @@ impl VSwitch {
             tel: SwitchTelemetry::register(&MetricsRegistry::new(), id),
             vnic_cycles: BTreeMap::new(),
             vnic_charged: BTreeMap::new(),
+            cycle_multiplier: 1.0,
             cfg,
         }
     }
@@ -229,8 +234,25 @@ impl VSwitch {
         self.vnics.len()
     }
 
+    /// Sets the gray-failure cycle multiplier (fault injection; 1.0
+    /// restores healthy behavior). Values > 1 inflate every subsequent
+    /// cycle charge, shrinking this switch's effective capacity.
+    pub fn set_cycle_multiplier(&mut self, multiplier: f64) {
+        self.cycle_multiplier = multiplier.max(0.0);
+    }
+
+    /// The current gray-failure cycle multiplier.
+    pub fn cycle_multiplier(&self) -> f64 {
+        self.cycle_multiplier
+    }
+
     /// Charges `cycles` of work at `now`, attributed to `vnic`.
     pub fn charge(&mut self, now: SimTime, vnic: VnicId, cycles: u64) -> CpuOutcome {
+        let cycles = if self.cycle_multiplier == 1.0 {
+            cycles
+        } else {
+            ((cycles as f64) * self.cycle_multiplier).round() as u64
+        };
         let out = self.cpu.offer(now, cycles);
         if !out.is_dropped() {
             *self.vnic_cycles.entry(vnic).or_insert(0.0) += cycles as f64;

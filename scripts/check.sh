@@ -4,7 +4,9 @@
 # test suite.
 #
 # Usage: scripts/check.sh [--fast]
-#   --fast   skip the test suite (quick pre-commit run)
+#   --fast   skip the full test suite (quick pre-commit run); still runs
+#            the reduced chaos smoke scenario so the fault-injection path
+#            is never shipped unexercised
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,9 +31,13 @@ echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 if [ "$fast" -eq 1 ]; then
-    echo "All checks passed (--fast: test suite skipped)."
+    echo "==> cargo test -q --test chaos smoke_   (--fast: reduced chaos scenario)"
+    cargo test -q --test chaos smoke_
+    echo "All checks passed (--fast: full test suite skipped)."
 else
     echo "==> cargo test -q"
     cargo test -q
+    echo "==> cargo test -q --test chaos   (fault-injection suite)"
+    cargo test -q --test chaos
     echo "All checks passed."
 fi
