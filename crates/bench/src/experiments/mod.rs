@@ -18,6 +18,7 @@ pub mod fig4;
 pub mod fig9;
 pub mod fig_a1;
 pub mod harness;
+pub mod profile;
 pub mod table1;
 pub mod table3;
 pub mod table4;
@@ -45,6 +46,7 @@ pub const ALL: &[&str] = &[
     "appendix_b2",
     "ablations",
     "chaos",
+    "profile",
 ];
 
 /// Dispatches one experiment by id. Returns false for unknown ids.
@@ -69,6 +71,7 @@ pub fn dispatch(id: &str) -> bool {
         "appendix_b2" => appendix_b2::run(),
         "ablations" => ablations::run(),
         "chaos" => chaos::run(),
+        "profile" => profile::run(),
         _ => return false,
     }
     true

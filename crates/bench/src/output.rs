@@ -40,6 +40,33 @@ pub fn emit_snapshot(id: &str, snap: &MetricsSnapshot) {
     }
 }
 
+/// Exports the profiler's two artifacts when `NEZHA_PROFILE_DIR=<dir>`
+/// is set: `<dir>/<id>.folded` (collapsed-stack flamegraph input, one
+/// `frame;frame;... cycles` line per call path) and `<dir>/<id>.trace.json`
+/// (Chrome `trace_event` JSON for `chrome://tracing` / Perfetto). Both
+/// render SimTime only, so same-seed runs write byte-identical files.
+/// Write errors are reported on stderr, never fatal.
+pub fn emit_profile(id: &str, prof: &nezha_sim::profile::Profiler) {
+    let Ok(dir) = std::env::var("NEZHA_PROFILE_DIR") else {
+        return;
+    };
+    if dir.is_empty() {
+        return;
+    }
+    for (name, content) in [
+        (format!("{id}.folded"), prof.flamegraph()),
+        (format!("{id}.trace.json"), prof.chrome_trace()),
+    ] {
+        let path = std::path::Path::new(&dir).join(name);
+        if let Err(e) = std::fs::write(&path, content) {
+            eprintln!(
+                "warning: cannot write profile artifact {}: {e}",
+                path.display()
+            );
+        }
+    }
+}
+
 /// Prints an experiment banner.
 pub fn banner(id: &str, title: &str) {
     println!();

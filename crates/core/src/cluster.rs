@@ -30,12 +30,13 @@ use nezha_sim::fault::{FaultKind, FaultPlan, FaultState};
 use nezha_sim::metrics::{
     CounterHandle, GaugeHandle, HistogramHandle, MetricsRegistry, SeriesHandle,
 };
+use nezha_sim::profile::{Profiler, Span, SpanId, StageHandle, StageSet};
 use nezha_sim::resources::CpuOutcome;
 use nezha_sim::rng::SimRng;
 use nezha_sim::stats::{Counter, Samples, TimeSeries};
 use nezha_sim::time::{SimDuration, SimTime};
 use nezha_sim::topology::{Topology, TopologyConfig};
-use nezha_sim::trace::{PacketTrace, TraceEvent, TraceEventKind};
+use nezha_sim::trace::{DropReason, PacketTrace, TraceEvent, TraceEventKind};
 use nezha_types::{
     Direction, Ipv4Addr, NezhaError, NezhaHeader, NezhaPayloadKind, NezhaResult, Packet, ServerId,
     SessionKey, VnicId,
@@ -424,6 +425,12 @@ pub(crate) struct ClusterTelemetry {
     /// The trace ring shared with every vSwitch (disabled until
     /// [`Cluster::enable_trace`]).
     pub(crate) trace: PacketTrace,
+    /// The cycle-attribution profiler shared with every vSwitch (disabled
+    /// until [`Cluster::enable_profile`]).
+    pub(crate) profiler: Profiler,
+    /// Pre-registered span stage handles (lint rule D6: stage lookups are
+    /// string-keyed and must never run mid-simulation).
+    pub(crate) stages: StageSet,
     pub(crate) pkt_ok: CounterHandle,
     pub(crate) pkt_dropped: CounterHandle,
     pub(crate) probe_latency: HistogramHandle,
@@ -482,8 +489,12 @@ impl ClusterTelemetry {
             .collect();
         let c = |name: &str| registry.counter(name, &[]);
         let h = |name: &str| registry.histogram(name, &[]);
+        let profiler = Profiler::new();
+        let stages = StageSet::register(&profiler);
         ClusterTelemetry {
             trace: PacketTrace::disabled(),
+            profiler,
+            stages,
             pkt_ok: c("pkt.ok"),
             pkt_dropped: c("pkt.dropped"),
             probe_latency: h("latency.probe"),
@@ -537,6 +548,73 @@ impl ClusterTelemetry {
         self.registry.series_add(h, at, v);
     }
 
+    /// Records one handler root span (zero cycles, one packet, the wire
+    /// bytes) plus its cycle-bearing leaves, returning the root id so the
+    /// caller can thread it through the next BE↔FE hop. The root parents
+    /// on the packet's carried causal id (`pkt.prof_span`). Zero-cycle
+    /// leaves are skipped — markers that must exist regardless (the NSH
+    /// hop parents) are recorded by the caller directly.
+    fn profile_handler(
+        &self,
+        stage: StageHandle,
+        pkt: &Packet,
+        server: ServerId,
+        start: SimTime,
+        end: SimTime,
+        leaves: &[(StageHandle, u64)],
+    ) -> Option<SpanId> {
+        if !self.profiler.is_enabled() {
+            return None;
+        }
+        let base = Span {
+            stage,
+            parent: SpanId::from_raw(pkt.prof_span),
+            trace: pkt.trace,
+            server,
+            vnic: pkt.vnic,
+            start,
+            end,
+            cycles: 0,
+            bytes: pkt.wire_len() as u64,
+            packets: 1,
+        };
+        let root = self.profiler.record(base);
+        for &(stage, cycles) in leaves {
+            if cycles > 0 {
+                self.profiler.record(Span {
+                    stage,
+                    parent: root,
+                    cycles,
+                    bytes: 0,
+                    packets: 0,
+                    ..base
+                });
+            }
+        }
+        root
+    }
+
+    /// Records the zero-cycle drop marker for a packet the fault engine
+    /// (or a dead peer) discarded, parented under the packet's causal
+    /// span so injected losses show up inside the victim's span tree.
+    fn profile_fault_drop(&self, pkt: &Packet, server: ServerId, at: SimTime) {
+        if !self.profiler.is_enabled() {
+            return;
+        }
+        self.profiler.record(Span {
+            stage: self.stages.fault_drop,
+            parent: SpanId::from_raw(pkt.prof_span),
+            trace: pkt.trace,
+            server,
+            vnic: pkt.vnic,
+            start: at,
+            end: at,
+            cycles: 0,
+            bytes: pkt.wire_len() as u64,
+            packets: 1,
+        });
+    }
+
     /// Assembles the legacy [`ClusterStats`] view from the registry.
     fn stats(&self) -> ClusterStats {
         let v = |h: CounterHandle| self.registry.counter_value(h);
@@ -586,6 +664,38 @@ const SILENT_BIT: u64 = 1 << 62;
 /// FEs.)
 fn flow_hash(t: &nezha_types::FiveTuple) -> u64 {
     t.canonical().stable_hash()
+}
+
+/// The vSwitch cost path an FE lookup took: a flow-cache miss re-executes
+/// the full slow path, a hit is fast-path work.
+fn fe_path(miss: bool) -> nezha_vswitch::PathTaken {
+    if miss {
+        nezha_vswitch::PathTaken::Slow
+    } else {
+        nezha_vswitch::PathTaken::Fast
+    }
+}
+
+/// Builds the profiler leaf list for one FE handler: the NSH carry share
+/// first (decap on the TX side, encap on RX), then the lookup's own
+/// per-stage cost split. Overflow tiers clamp onto the last tier handle.
+fn fe_stage_leaves(
+    st: &StageSet,
+    carry: StageHandle,
+    carry_cycles: u64,
+    c: pipeline::StageCosts,
+) -> Vec<(StageHandle, u64)> {
+    let mut leaves = vec![
+        (carry, carry_cycles),
+        (st.dma, c.dma),
+        (st.parse, c.parse),
+        (st.session_lookup, c.session),
+        (st.slowpath, c.overhead),
+    ];
+    for (i, &t) in c.tiers.iter().enumerate() {
+        leaves.push((st.rule_tiers[i.min(st.rule_tiers.len() - 1)], t));
+    }
+    leaves
 }
 
 /// Mixes a per-packet discriminator into the flow hash for the
@@ -666,6 +776,7 @@ impl Cluster {
                 let mut vs = VSwitch::new(ServerId(i as u32), cfg.vswitch);
                 vs.attach_metrics(&tel.registry);
                 vs.attach_trace(&tel.trace);
+                vs.attach_profiler(&tel.profiler);
                 vs
             })
             .collect();
@@ -745,6 +856,29 @@ impl Cluster {
     /// most-recent events. Pass 0 to disable again.
     pub fn enable_trace(&mut self, capacity: usize) {
         self.tel.trace.set_capacity(capacity);
+    }
+
+    /// The shared cycle-attribution [`Profiler`] (disabled until
+    /// [`Cluster::enable_profile`]).
+    pub fn profiler(&self) -> &Profiler {
+        &self.tel.profiler
+    }
+
+    /// Turns on cycle-attribution profiling: every subsequent CPU charge
+    /// records a causal span tree, keeping at most `span_capacity` full
+    /// span records (aggregate stage/flamegraph totals are unbounded).
+    pub fn enable_profile(&mut self, span_capacity: usize) {
+        self.tel.profiler.enable(span_capacity);
+    }
+
+    /// Total cycles the CPU model has charged across every switch and
+    /// vNIC since construction — the ground truth the profiler's
+    /// per-stage totals must reconcile with.
+    pub fn total_charged_cycles(&self) -> f64 {
+        self.switches
+            .iter()
+            .map(|vs| vs.vnic_cycle_shares().values().sum::<f64>())
+            .sum()
     }
 
     /// The legacy aggregated view, assembled from the metrics registry.
@@ -1293,16 +1427,32 @@ impl Cluster {
 
     fn handle_arrive(&mut self, server: ServerId, pkt: Packet, sent_at: SimTime, now: SimTime) {
         if !self.alive[server.0 as usize] {
+            self.trace_pkt(
+                now,
+                server,
+                &pkt,
+                TraceEventKind::Drop(DropReason::PeerDown),
+            );
+            self.tel.profile_fault_drop(&pkt, server, now);
             return self.lose_packet(pkt.trace, now);
         }
         if let (Some(src), Some(dst)) = (pkt.outer_src, pkt.outer_dst) {
             if self.link_blackholed(src, dst) {
+                self.trace_pkt(
+                    now,
+                    server,
+                    &pkt,
+                    TraceEventKind::Drop(DropReason::PeerDown),
+                );
+                self.tel.profile_fault_drop(&pkt, server, now);
                 return self.lose_packet(pkt.trace, now);
             }
             // Scripted link faults: partitions drop deterministically,
             // (bursty) loss models sample the seeded fault RNG.
             if self.faults.should_drop(src, dst) {
                 self.tel.inc(self.tel.fault_link_drops);
+                self.trace_pkt(now, server, &pkt, TraceEventKind::Drop(DropReason::Fault));
+                self.tel.profile_fault_drop(&pkt, server, now);
                 return self.lose_packet(pkt.trace, now);
             }
         }
@@ -1420,6 +1570,7 @@ impl Cluster {
             CpuOutcome::Dropped => return self.lose_packet(pkt.trace, now),
             CpuOutcome::Done { done_at } => done_at,
         };
+        let charged = vs.scaled_cycles(cycles);
         self.controller.note_local_cycles(server, cycles);
         // State handling: create (state-only) or update, locally.
         if is_first {
@@ -1468,6 +1619,33 @@ impl Cluster {
         let mut out = pkt.with_nezha(nsh);
         out.outer_src = Some(server);
         out.outer_dst = Some(fe);
+        // Span tree: the BE charge is pure session work (the cost model
+        // does not split it further); the zero-cycle encap marker is the
+        // causal parent the FE's span will hang off across the hop.
+        if let Some(root) = self.tel.profile_handler(
+            self.tel.stages.be_tx,
+            &pkt,
+            server,
+            now,
+            done,
+            &[(self.tel.stages.session_update, charged)],
+        ) {
+            let encap = self.tel.profiler.record(Span {
+                stage: self.tel.stages.nsh_encap,
+                parent: Some(root),
+                trace: pkt.trace,
+                server,
+                vnic: pkt.vnic,
+                start: done,
+                end: done,
+                cycles: 0,
+                bytes: 0,
+                packets: 0,
+            });
+            if let Some(encap) = encap {
+                out.prof_span = encap.to_raw();
+            }
+        }
         self.trace_pkt(done, server, &out, TraceEventKind::NshEncap);
         let lat = self.topo.latency(server, fe, out.wire_len());
         self.engine.schedule_at(
@@ -1486,7 +1664,7 @@ impl Cluster {
         &mut self,
         server: ServerId,
         nsh: NezhaHeader,
-        pkt: Packet,
+        mut pkt: Packet,
         sent_at: SimTime,
         now: SimTime,
     ) {
@@ -1518,6 +1696,36 @@ impl Cluster {
             CpuOutcome::Dropped => return self.lose_packet(pkt.trace, now),
             CpuOutcome::Done { done_at } => done_at,
         };
+        // Attribute the FE charge: the `fe_carry` share is NSH decap work,
+        // the remainder follows the lookup path's own cost decomposition.
+        // The root hangs off the BE's encap marker carried in `prof_span`,
+        // and replaces it so the notify (if any) chains off this FE visit.
+        if self.tel.profiler.is_enabled() {
+            let charged = vs.scaled_cycles(cycles);
+            let decap = charged.min(costs.fe_carry);
+            let leaves = fe_stage_leaves(
+                &self.tel.stages,
+                self.tel.stages.nsh_decap,
+                decap,
+                pipeline::stage_costs(
+                    &costs,
+                    &fe.vnic,
+                    pkt.wire_len(),
+                    charged - decap,
+                    fe_path(miss),
+                ),
+            );
+            if let Some(root) = self.tel.profile_handler(
+                self.tel.stages.fe_tx_carry,
+                &pkt,
+                server,
+                now,
+                done,
+                &leaves,
+            ) {
+                pkt.prof_span = root.to_raw();
+            }
+        }
         self.controller.note_remote_cycles(server, cycles);
 
         // Reconstruct the carried state and finalize.
@@ -1575,6 +1783,51 @@ impl Cluster {
             CpuOutcome::Dropped => return self.lose_packet(pkt.trace, now),
             CpuOutcome::Done { done_at } => done_at,
         };
+        // Attribute the FE charge as on the TX side, except the carry
+        // share is encap work here (the FE wraps the packet for the BE).
+        let mut hop_span = 0u64;
+        if self.tel.profiler.is_enabled() {
+            let charged = vs.scaled_cycles(cycles);
+            let encap = charged.min(costs.fe_carry);
+            let leaves = fe_stage_leaves(
+                &self.tel.stages,
+                self.tel.stages.nsh_encap,
+                0,
+                pipeline::stage_costs(
+                    &costs,
+                    &fe.vnic,
+                    pkt.wire_len(),
+                    charged - encap,
+                    fe_path(miss),
+                ),
+            );
+            if let Some(root) = self.tel.profile_handler(
+                self.tel.stages.fe_rx,
+                &pkt,
+                server,
+                now,
+                done,
+                &leaves,
+            ) {
+                // The encap leaf doubles as the causal hop parent the BE
+                // will see — record it explicitly to capture its id.
+                let id = self.tel.profiler.record(Span {
+                    stage: self.tel.stages.nsh_encap,
+                    parent: Some(root),
+                    trace: pkt.trace,
+                    server,
+                    vnic: pkt.vnic,
+                    start: now,
+                    end: done,
+                    cycles: encap,
+                    bytes: 0,
+                    packets: 0,
+                });
+                if let Some(id) = id {
+                    hop_span = id.to_raw();
+                }
+            }
+        }
         self.controller.note_remote_cycles(server, cycles);
 
         let mut nsh = NezhaHeader::bare(NezhaPayloadKind::RxCarry, pkt.vnic, pkt.vpc);
@@ -1590,6 +1843,7 @@ impl Cluster {
         let mut out = out.with_nezha(nsh);
         out.outer_src = Some(server);
         out.outer_dst = Some(be);
+        out.prof_span = hop_span;
         self.trace_pkt(done, server, &out, TraceEventKind::NshEncap);
         let lat = self.topo.latency(server, be, out.wire_len());
         self.engine.schedule_at(
@@ -1635,6 +1889,29 @@ impl Cluster {
             CpuOutcome::Dropped => return self.lose_packet(pkt.trace, now),
             CpuOutcome::Done { done_at } => done_at,
         };
+        // The BE charge is again pure session work; the zero-cycle decap
+        // marker documents the hop in the tree (flamegraphs skip it).
+        if let Some(root) = self.tel.profile_handler(
+            self.tel.stages.be_rx_carry,
+            &pkt,
+            server,
+            now,
+            done,
+            &[(self.tel.stages.session_update, vs.scaled_cycles(cycles))],
+        ) {
+            self.tel.profiler.record(Span {
+                stage: self.tel.stages.nsh_decap,
+                parent: Some(root),
+                trace: pkt.trace,
+                server,
+                vnic: pkt.vnic,
+                start: now,
+                end: now,
+                cycles: 0,
+                bytes: 0,
+                packets: 0,
+            });
+        }
         self.controller.note_local_cycles(server, cycles);
 
         if is_first {
@@ -1678,9 +1955,21 @@ impl Cluster {
         let key = SessionKey::of(pkt.vpc, pkt.tuple);
         let vs = &mut self.switches[server.0 as usize];
         let cycles = vs.config().costs.be_per_packet;
-        if vs.charge(now, pkt.vnic, cycles).is_dropped() {
-            return; // a lost notify is retried implicitly on the next miss
-        }
+        let done = match vs.charge(now, pkt.vnic, cycles) {
+            // A lost notify is retried implicitly on the next miss.
+            CpuOutcome::Dropped => return,
+            CpuOutcome::Done { done_at } => done_at,
+        };
+        // The notify chains off the FE span that emitted it, closing the
+        // BE → FE → BE causal loop for the packet that missed.
+        self.tel.profile_handler(
+            self.tel.stages.be_notify,
+            &pkt,
+            server,
+            now,
+            done,
+            &[(self.tel.stages.notify, vs.scaled_cycles(cycles))],
+        );
         if let Some(entry) = vs.sessions.get_mut(&key) {
             if let Some(p) = nsh.stats_policy {
                 entry.state.stats.policy = p;
@@ -1722,6 +2011,18 @@ impl Cluster {
             CpuOutcome::Done { done_at } => done_at,
         };
         let mut out = pkt;
+        // A stale bounce costs one parse; the FE visit it triggers hangs
+        // off this root via `prof_span`.
+        if let Some(root) = self.tel.profile_handler(
+            self.tel.stages.be_direct_rx,
+            &pkt,
+            server,
+            now,
+            done,
+            &[(self.tel.stages.parse, vs.scaled_cycles(cycles))],
+        ) {
+            out.prof_span = root.to_raw();
+        }
         out.outer_src = Some(server);
         out.outer_dst = Some(fe);
         let lat = self.topo.latency(server, fe, out.wire_len());
@@ -1824,12 +2125,6 @@ impl Cluster {
     ) {
         self.tel.inc(self.tel.notifies);
         self.trace_pkt(done, fe_server, pkt, TraceEventKind::Notify);
-        // Scripted notify loss (§3.2.2's channel is best-effort: the BE's
-        // rule-table-involved state converges on a later miss instead).
-        if self.faults.drop_notify() {
-            self.tel.inc(self.tel.fault_notify_drops);
-            return;
-        }
         let be = self.vnic_home[&pkt.vnic];
         let mut nsh = NezhaHeader::bare(NezhaPayloadKind::Notify, pkt.vnic, pkt.vpc);
         nsh.stats_policy = Some(policy);
@@ -1844,6 +2139,22 @@ impl Cluster {
         .with_nezha(nsh);
         notify.outer_src = Some(fe_server);
         notify.outer_dst = Some(be);
+        // The notify inherits the emitting FE visit's span so the BE-side
+        // processing lands in the same causal tree as the original packet.
+        notify.prof_span = pkt.prof_span;
+        // Scripted notify loss (§3.2.2's channel is best-effort: the BE's
+        // rule-table-involved state converges on a later miss instead).
+        if self.faults.drop_notify() {
+            self.tel.inc(self.tel.fault_notify_drops);
+            self.trace_pkt(
+                done,
+                fe_server,
+                &notify,
+                TraceEventKind::Drop(DropReason::Fault),
+            );
+            self.tel.profile_fault_drop(&notify, fe_server, done);
+            return;
+        }
         let lat = self.topo.latency(fe_server, be, notify.wire_len());
         self.engine.schedule_at(
             done + lat,

@@ -12,6 +12,7 @@
 //! | D3   | error    | iteration over `HashMap`/`HashSet` bindings in sim-visible crates |
 //! | D4   | error    | `unwrap`/`expect`/`panic!`/`todo!` in control-plane modules |
 //! | D5   | warning  | `MetricsRegistry` handle acquisition outside a startup path |
+//! | D6   | warning  | `Profiler` stage-handle interning outside a startup path |
 //!
 //! Escape hatch: `// nezha-lint: allow(D3): <justification>` on the
 //! violating line or the line above. The justification is mandatory —

@@ -1,4 +1,4 @@
-//! The D1–D5 determinism & panic-safety rules.
+//! The D1–D6 determinism & panic-safety rules.
 //!
 //! Each rule is a token-pattern match over the lexed stream with a
 //! path-based scope. Test items (`#[test]` fns, `#[cfg(test)]` mods) are
@@ -36,7 +36,7 @@ pub struct Violation {
     pub file: String,
     /// 1-based line.
     pub line: u32,
-    /// Rule id (`D1`..`D5`).
+    /// Rule id (`D1`..`D6`).
     pub rule: &'static str,
     /// Severity after allow-list processing.
     pub severity: Severity,
@@ -54,6 +54,7 @@ struct Scope {
     d3: bool,
     d4: bool,
     d5: bool,
+    d6: bool,
 }
 
 /// Crates whose code runs inside the simulation and therefore must be
@@ -93,6 +94,9 @@ const ITER_METHODS: [&str; 8] = [
 /// `MetricsRegistry` methods that register (or string-look-up) a handle.
 const REGISTRY_METHODS: [&str; 4] = ["counter", "gauge", "histogram", "series"];
 
+/// `Profiler` methods that intern (string-look-up) a stage handle.
+const STAGE_METHODS: [&str; 1] = ["stage"];
+
 const HINT_D1: &str = "take time from the simulated clock (nezha-sim SimTime / engine now())";
 const HINT_D2: &str = "construct RNGs from the run seed via nezha-sim's SimRng";
 const HINT_D3: &str =
@@ -101,6 +105,9 @@ const HINT_D4: &str = "return a typed NezhaResult error instead of panicking in 
 const HINT_D5: &str =
     "pre-register the handle in new()/register()/attach_metrics() and store it; registry \
      lookups are string-keyed and do not belong on the simulation path";
+const HINT_D6: &str =
+    "intern the StageHandle in new()/register() and store it (e.g. in a StageSet); \
+     `.stage(\"…\")` interns a string and does not belong in a per-packet hot loop";
 
 fn scope_for(path: &str) -> Scope {
     // Fixture files exercise every rule regardless of where they live.
@@ -111,6 +118,7 @@ fn scope_for(path: &str) -> Scope {
             d3: true,
             d4: true,
             d5: true,
+            d6: true,
         };
     }
     let sim_visible = SIM_VISIBLE.iter().any(|p| path.starts_with(p));
@@ -123,6 +131,8 @@ fn scope_for(path: &str) -> Scope {
         d4: sim_visible && CONTROL_PLANE_FILES.contains(&file_name),
         // metrics.rs implements the registry itself.
         d5: sim_visible && path != "crates/sim/src/metrics.rs",
+        // profile.rs implements the profiler itself.
+        d6: sim_visible && path != "crates/sim/src/profile.rs",
     }
 }
 
@@ -300,6 +310,35 @@ pub fn check_file(rel_path: &str, src: &str) -> Vec<Violation> {
                                  startup path"
                             ),
                             HINT_D5,
+                        );
+                    }
+                }
+
+                // D6: profiler stage-handle interning outside a startup path.
+                if scope.d6
+                    && STAGE_METHODS.contains(&id.as_str())
+                    && i >= 1
+                    && tok_is(&toks, i - 1, '.')
+                    && tok_is(&toks, i + 1, '(')
+                {
+                    let in_startup = fn_stack
+                        .last()
+                        .map(|(f, _)| is_startup_fn(f))
+                        .unwrap_or(false);
+                    if !in_startup {
+                        let fname = fn_stack
+                            .last()
+                            .map(|(f, _)| f.as_str())
+                            .unwrap_or("<top level>");
+                        push(
+                            t.line,
+                            "D6",
+                            Severity::Warning,
+                            format!(
+                                "profiler stage handle `.{id}(..)` interned in `{fname}`, \
+                                 not a startup path"
+                            ),
+                            HINT_D6,
                         );
                     }
                 }
@@ -557,6 +596,17 @@ mod tests {
         let bad = "impl T { fn tick(&mut self, reg: &mut R) { reg.counter(NAME).inc(); } }\n";
         assert!(rules_found("crates/core/src/x.rs", ok).is_empty());
         assert_eq!(rules_found("crates/core/src/x.rs", bad), vec![("D5", 1)]);
+    }
+
+    #[test]
+    fn d6_allows_startup_paths_and_exempts_profile_rs() {
+        let ok =
+            "impl T { fn register(&mut self, p: &Profiler) { self.h = p.stage(\"parse\"); } }\n";
+        let bad = "impl T { fn tick(&mut self, p: &Profiler) { let h = p.stage(\"parse\"); } }\n";
+        assert!(rules_found("crates/core/src/x.rs", ok).is_empty());
+        assert_eq!(rules_found("crates/core/src/x.rs", bad), vec![("D6", 1)]);
+        // The profiler's own implementation interns freely.
+        assert!(rules_found("crates/sim/src/profile.rs", bad).is_empty());
     }
 
     #[test]

@@ -85,6 +85,18 @@ fn d5_violation_is_a_warning_unless_denied() {
 }
 
 #[test]
+fn d6_violation_is_a_warning_unless_denied() {
+    let (code, out) = lint_fixture("d6_violation.rs", &[]);
+    assert_eq!(code, 0, "output: {out}");
+    assert!(out.contains("[D6]"), "output: {out}");
+    assert!(out.contains("d6_violation.rs:6"), "output: {out}");
+    assert!(out.contains("1 warning(s)"), "output: {out}");
+
+    let (code, _) = lint_fixture("d6_violation.rs", &["--deny-warnings"]);
+    assert_eq!(code, 1);
+}
+
+#[test]
 fn clean_fixtures_pass() {
     for f in [
         "d1_clean.rs",
@@ -92,6 +104,7 @@ fn clean_fixtures_pass() {
         "d3_clean.rs",
         "d4_clean.rs",
         "d5_clean.rs",
+        "d6_clean.rs",
         "test_code_clean.rs",
         "allow_justified.rs",
     ] {

@@ -1,0 +1,18 @@
+// Fixture: D6 clean — stage handles interned in startup paths and used
+// via the stored StageHandle afterwards.
+
+impl Worker {
+    fn new(prof: &Profiler) -> Self {
+        Worker {
+            parse: prof.stage("parse"),
+        }
+    }
+
+    fn register(&mut self, prof: &Profiler) {
+        self.dma = prof.stage("dma");
+    }
+
+    fn on_packet(&mut self, prof: &Profiler) {
+        prof.record(Span::leaf(self.parse));
+    }
+}

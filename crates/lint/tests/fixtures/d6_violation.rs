@@ -1,0 +1,9 @@
+// Fixture: D6 — profiler stage handle interned mid-simulation. Expect
+// D6 (warning) on line 6.
+
+impl Worker {
+    fn on_packet(&mut self, prof: &Profiler) {
+        let h = prof.stage("parse");
+        prof.record(Span::leaf(h));
+    }
+}

@@ -28,7 +28,10 @@
 //! * [`fault`] — deterministic fault injection: a scripted [`FaultPlan`]
 //!   of crashes, gray-slow members, (bursty) link loss, partitions,
 //!   controller outages, and notify drops, replayed on the simulated
-//!   clock from a seeded RNG stream.
+//!   clock from a seeded RNG stream;
+//! * [`profile`] — cycle-attribution profiler and causal span tracer:
+//!   pre-registered stage handles, spans that link across the BE↔FE hop,
+//!   and deterministic flamegraph / Chrome `trace_event` exporters.
 //!
 //! The engine is intentionally *generic over the event type*: higher layers
 //! (`nezha-core`, the experiment harnesses) define their own event enums and
@@ -40,6 +43,7 @@
 pub mod engine;
 pub mod fault;
 pub mod metrics;
+pub mod profile;
 pub mod resources;
 pub mod rng;
 pub mod stats;
@@ -50,9 +54,10 @@ pub mod trace;
 pub use engine::{Engine, Scheduled};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultState, GilbertElliott};
 pub use metrics::{
-    CounterHandle, GaugeHandle, HistogramHandle, MetricValue, MetricsRegistry, MetricsSnapshot,
-    SeriesHandle,
+    CounterHandle, GaugeHandle, HistogramHandle, MetricValue, MetricsDiff, MetricsRegistry,
+    MetricsSnapshot, SeriesHandle,
 };
+pub use profile::{Profiler, Span, SpanId, SpanRecord, StageHandle, StageSet, StageTotals};
 pub use resources::{CpuOutcome, CpuServer, MemoryPool, UtilizationWindow};
 pub use rng::SimRng;
 pub use stats::{Counter, Samples, TimeSeries};

@@ -411,6 +411,77 @@ impl MetricsSnapshot {
         out.push_str("\n  }\n}\n");
         out
     }
+
+    /// The change from `baseline` to `self`: counter deltas and gauge
+    /// moves, keyed by canonical metric name. Counters absent from the
+    /// baseline diff against zero; only changed entries are kept, so a
+    /// fault-window diff reads as "what this window did" without any
+    /// hand-rolled before/after subtraction at the call site. Histograms
+    /// and series (cumulative sample sets) are not diffed.
+    pub fn diff(&self, baseline: &MetricsSnapshot) -> MetricsDiff {
+        let mut counters = BTreeMap::new();
+        let mut gauges = BTreeMap::new();
+        for (key, value) in &self.entries {
+            match value {
+                MetricValue::Counter(now) => {
+                    let before = match baseline.get(key) {
+                        Some(MetricValue::Counter(v)) => *v,
+                        _ => 0,
+                    };
+                    let delta = now.saturating_sub(before);
+                    if delta != 0 {
+                        counters.insert(key.clone(), delta);
+                    }
+                }
+                MetricValue::Gauge(now) => {
+                    let before = match baseline.get(key) {
+                        Some(MetricValue::Gauge(v)) => *v,
+                        _ => 0.0,
+                    };
+                    if before != *now {
+                        gauges.insert(key.clone(), (before, *now));
+                    }
+                }
+                MetricValue::Histogram(_) | MetricValue::Series(_) => {}
+            }
+        }
+        MetricsDiff { counters, gauges }
+    }
+}
+
+/// What changed between two [`MetricsSnapshot`]s (see
+/// [`MetricsSnapshot::diff`]).
+#[derive(Clone, Debug, Default)]
+pub struct MetricsDiff {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, (f64, f64)>,
+}
+
+impl MetricsDiff {
+    /// How much the counter at `key` grew (0 when unchanged or absent).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// The gauge move `(before, after)` at `key`, when it changed.
+    pub fn gauge_change(&self, key: &str) -> Option<(f64, f64)> {
+        self.gauges.get(key).copied()
+    }
+
+    /// Iterates changed counters `(key, delta)` in sorted key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates changed gauges `(key, (before, after))` in sorted order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, (f64, f64))> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// True when nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty()
+    }
 }
 
 /// JSON string literal with the escapes the key charset can need.
@@ -546,5 +617,30 @@ mod tests {
         let json = reg.snapshot().to_json();
         assert!(json.contains("\"count\": 0}"));
         assert!(!json.contains("\"mean\""));
+    }
+
+    #[test]
+    fn diff_reports_counter_deltas_and_gauge_moves() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("pkt.total", &[]);
+        let g = reg.gauge("util", &[]);
+        let steady = reg.counter("steady", &[]);
+        reg.add(c, 10);
+        reg.inc(steady);
+        reg.set(g, 0.5);
+        let before = reg.snapshot();
+        reg.add(c, 32);
+        reg.set(g, 0.75);
+        let late = reg.counter("late.arrival", &[]);
+        reg.inc(late);
+        let diff = reg.snapshot().diff(&before);
+        assert_eq!(diff.counter("pkt.total"), 32);
+        assert_eq!(diff.counter("steady"), 0, "unchanged counters are absent");
+        assert_eq!(diff.counter("late.arrival"), 1, "new counters diff vs 0");
+        assert_eq!(diff.gauge_change("util"), Some((0.5, 0.75)));
+        assert_eq!(diff.counters().count(), 2);
+        assert!(!diff.is_empty());
+        let none = reg.snapshot().diff(&reg.snapshot());
+        assert!(none.is_empty());
     }
 }

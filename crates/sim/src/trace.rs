@@ -38,6 +38,9 @@ pub enum DropReason {
     PeerDown,
     /// Decode of the wire format failed.
     Malformed,
+    /// Discarded by the fault engine (injected link loss, partition,
+    /// or notify drop) — distinguishes chaos drops from organic ones.
+    Fault,
 }
 
 impl fmt::Display for DropReason {
@@ -50,6 +53,7 @@ impl fmt::Display for DropReason {
             DropReason::Stale => "stale",
             DropReason::PeerDown => "peer-down",
             DropReason::Malformed => "malformed",
+            DropReason::Fault => "fault",
         };
         f.write_str(s)
     }
@@ -348,5 +352,68 @@ mod tests {
     fn drop_reason_display() {
         assert_eq!(DropReason::PolicyDeny.to_string(), "policy-deny");
         assert_eq!(DropReason::Backlog.to_string(), "backlog");
+        assert_eq!(DropReason::Fault.to_string(), "fault");
+    }
+
+    #[test]
+    fn combined_filter_requires_every_field() {
+        let t = PacketTrace::with_capacity(16);
+        t.set_filter(
+            TraceFilter::all()
+                .on_server(ServerId(2))
+                .on_vnic(VnicId(1))
+                .drops(),
+        );
+        // Wrong server, wrong kind, wrong vnic — each fails one clause.
+        t.record(ev(1, 1, 1, TraceEventKind::Drop(DropReason::Fault)));
+        t.record(ev(2, 2, 2, TraceEventKind::Enqueue));
+        let mut other_vnic = ev(3, 3, 2, TraceEventKind::Drop(DropReason::Fault));
+        other_vnic.vnic = VnicId(9);
+        t.record(other_vnic);
+        // Passes all three.
+        t.record(ev(4, 4, 2, TraceEventKind::Drop(DropReason::Backlog)));
+        assert_eq!(t.len(), 1);
+        assert_eq!(
+            t.events()[0].kind,
+            TraceEventKind::Drop(DropReason::Backlog)
+        );
+        // query() applies the same conjunction over a buffered mix.
+        let u = PacketTrace::with_capacity(16);
+        u.record(ev(1, 1, 2, TraceEventKind::Drop(DropReason::Stale)));
+        u.record(ev(2, 2, 2, TraceEventKind::TableHit));
+        u.record(ev(3, 3, 3, TraceEventKind::Drop(DropReason::Stale)));
+        let q = u.query(
+            TraceFilter::all()
+                .on_server(ServerId(2))
+                .on_vnic(VnicId(1))
+                .drops(),
+        );
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].at, SimTime(1));
+    }
+
+    #[test]
+    fn ring_at_exactly_capacity_evicts_nothing() {
+        let t = PacketTrace::with_capacity(4);
+        for i in 0..4 {
+            t.record(ev(i, i, 1, TraceEventKind::Enqueue));
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.evicted(), 0);
+        let times: Vec<u64> = t.events().iter().map(|e| e.at.nanos()).collect();
+        assert_eq!(times, vec![0, 1, 2, 3], "insertion order preserved");
+    }
+
+    #[test]
+    fn ring_at_capacity_plus_one_evicts_exactly_the_oldest() {
+        let t = PacketTrace::with_capacity(4);
+        for i in 0..5 {
+            t.record(ev(i, i, 1, TraceEventKind::Enqueue));
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.evicted(), 1);
+        assert_eq!(t.recorded(), 5);
+        let times: Vec<u64> = t.events().iter().map(|e| e.at.nanos()).collect();
+        assert_eq!(times, vec![1, 2, 3, 4], "oldest event gone, order kept");
     }
 }

@@ -55,6 +55,11 @@ pub struct Packet {
     pub overlay_encap_src: Option<Ipv4Addr>,
     /// Nezha service header, present between BE and FE.
     pub nezha: Option<NezhaHeader>,
+    /// Raw causal span id of the last profiler span recorded for this
+    /// packet (`0` = none). Simulation-only metadata: it lets the
+    /// profiler stitch one packet's spans into a single tree across the
+    /// BE↔FE hop; it occupies no wire bytes and is not serialized.
+    pub prof_span: u64,
 }
 
 impl Packet {
@@ -80,6 +85,7 @@ impl Packet {
             outer_dst: None,
             overlay_encap_src: None,
             nezha: None,
+            prof_span: 0,
         }
     }
 
@@ -105,6 +111,7 @@ impl Packet {
             outer_dst: None,
             overlay_encap_src: None,
             nezha: None,
+            prof_span: 0,
         }
     }
 
@@ -337,6 +344,7 @@ impl Packet {
             outer_dst: Some(ServerId(outer_ip.dst.0 & 0x00ff_ffff)),
             overlay_encap_src: None,
             nezha,
+            prof_span: 0,
         })
     }
 }

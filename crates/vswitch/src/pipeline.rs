@@ -7,6 +7,7 @@
 //! (which has rules/flows but receives state in the packet), and at a
 //! Nezha BE (which has state but receives pre-actions in the packet).
 
+use crate::config::CostModel;
 use crate::vnic::Vnic;
 use nezha_types::{
     Action, Decision, Direction, FiveTuple, Packet, PreAction, PreActionPair, SessionState,
@@ -67,6 +68,82 @@ pub struct ProcessResult {
     /// True when session-table memory was exhausted and the flow is being
     /// processed without caching (a #concurrent-flows overload signal).
     pub session_overflow: bool,
+}
+
+/// Per-stage decomposition of one CPU charge, produced by [`stage_costs`]
+/// for the profiler. Leaf cycles always sum to exactly the charged total.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StageCosts {
+    /// Per-byte DMA + copy share.
+    pub dma: u64,
+    /// Header-parse share.
+    pub parse: u64,
+    /// Session share: flow-cache lookup (fast) or creation (slow).
+    pub session: u64,
+    /// First-packet slow-path overhead share (slow path only).
+    pub overhead: u64,
+    /// Rule-pipeline tiers (slow path only): index 0 is the base pipeline
+    /// + ACL tier, indices 1.. the vNIC's extra per-table costs.
+    pub tiers: Vec<u64>,
+}
+
+impl StageCosts {
+    /// Sum of every leaf share (equals the charged total by construction).
+    pub fn total(&self) -> u64 {
+        self.dma + self.parse + self.session + self.overhead + self.tiers.iter().sum::<u64>()
+    }
+}
+
+/// Splits one charged cycle `total` into per-stage shares following the
+/// cost model's own decomposition.
+///
+/// Shares are assigned by sequential budgeting — each stage takes
+/// `min(model cost, remaining budget)` and the rule tier 0 absorbs the
+/// remainder — so the parts sum to `total` *exactly* even when a vNIC
+/// `lookup_weight` or gray-failure multiplier scaled the charge away from
+/// the nominal model costs. Costs the model does not split (BE state
+/// work, notify processing) are not artificially split here.
+pub fn stage_costs(
+    costs: &CostModel,
+    vnic: &Vnic,
+    bytes: usize,
+    total: u64,
+    path: PathTaken,
+) -> StageCosts {
+    fn take(budget: &mut u64, want: u64) -> u64 {
+        let t = want.min(*budget);
+        *budget -= t;
+        t
+    }
+    let mut budget = total;
+    let dma = take(&mut budget, (costs.per_byte_milli * bytes as u64) / 1000);
+    let parse = take(&mut budget, costs.parse);
+    match path {
+        PathTaken::Fast => StageCosts {
+            dma,
+            parse,
+            session: budget, // cached-flow lookup: the rest of fast_path
+            overhead: 0,
+            tiers: Vec::new(),
+        },
+        PathTaken::Slow => {
+            let session = take(&mut budget, costs.session_create);
+            let overhead = take(&mut budget, costs.first_packet_overhead);
+            let extra = vnic.profile.extra_tables as usize;
+            let mut tiers = vec![0u64; extra + 1];
+            for t in tiers.iter_mut().skip(1) {
+                *t = take(&mut budget, costs.per_extra_table);
+            }
+            tiers[0] = budget; // base pipeline + ACL + any scaling residue
+            StageCosts {
+                dma,
+                parse,
+                session,
+                overhead,
+                tiers,
+            }
+        }
+    }
 }
 
 /// Runs the full rule-table pipeline for the session of `tuple` as seen

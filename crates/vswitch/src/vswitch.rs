@@ -12,6 +12,7 @@ use crate::pipeline::{self, PathTaken, ProcessOutcome, ProcessResult};
 use crate::session::SessionTable;
 use crate::vnic::Vnic;
 use nezha_sim::metrics::{CounterHandle, MetricsRegistry};
+use nezha_sim::profile::{Profiler, Span, SpanId, StageSet};
 use nezha_sim::resources::{CpuOutcome, CpuServer, MemoryPool, OutOfMemory};
 use nezha_sim::time::SimTime;
 use nezha_sim::trace::{DropReason, PacketTrace, TraceEvent, TraceEventKind};
@@ -48,6 +49,8 @@ pub struct VSwitchCounters {
 struct SwitchTelemetry {
     registry: MetricsRegistry,
     trace: PacketTrace,
+    profiler: Profiler,
+    stages: StageSet,
     forwarded: CounterHandle,
     acl_drops: CounterHandle,
     unroutable: CounterHandle,
@@ -61,9 +64,13 @@ impl SwitchTelemetry {
     fn register(registry: &MetricsRegistry, server: nezha_types::ServerId) -> Self {
         let labels = [("server", server.raw().to_string())];
         let c = |name: &str| registry.counter(name, &labels);
+        let profiler = Profiler::new();
+        let stages = StageSet::register(&profiler);
         SwitchTelemetry {
             registry: registry.clone(),
             trace: PacketTrace::disabled(),
+            profiler,
+            stages,
             forwarded: c("vswitch.forwarded"),
             acl_drops: c("vswitch.acl_drops"),
             unroutable: c("vswitch.unroutable"),
@@ -149,8 +156,12 @@ impl VSwitch {
     pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
         let old = self.tel.view();
         let trace = self.tel.trace.clone();
+        let profiler = self.tel.profiler.clone();
+        let stages = self.tel.stages.clone();
         self.tel = SwitchTelemetry::register(registry, self.id);
         self.tel.trace = trace;
+        self.tel.profiler = profiler;
+        self.tel.stages = stages;
         let carry = [
             (self.tel.forwarded, old.forwarded),
             (self.tel.acl_drops, old.acl_drops),
@@ -169,6 +180,19 @@ impl VSwitch {
     /// structured events (enqueue, CPU charge, table hit/miss, drops).
     pub fn attach_trace(&mut self, trace: &PacketTrace) {
         self.tel.trace = trace.clone();
+    }
+
+    /// Attaches a shared [`Profiler`]; while it is enabled, every CPU
+    /// charge in [`VSwitch::process_local`] records a causal span tree
+    /// decomposed per pipeline stage.
+    pub fn attach_profiler(&mut self, profiler: &Profiler) {
+        self.tel.profiler = profiler.clone();
+        self.tel.stages = StageSet::register(profiler);
+    }
+
+    /// The attached profiler (a private disabled one by default).
+    pub fn profiler(&self) -> &Profiler {
+        &self.tel.profiler
     }
 
     /// Lifetime counters, assembled from the metrics registry.
@@ -246,13 +270,21 @@ impl VSwitch {
         self.cycle_multiplier
     }
 
-    /// Charges `cycles` of work at `now`, attributed to `vnic`.
-    pub fn charge(&mut self, now: SimTime, vnic: VnicId, cycles: u64) -> CpuOutcome {
-        let cycles = if self.cycle_multiplier == 1.0 {
+    /// The post-multiplier cycle cost of a nominal charge: exactly what
+    /// [`VSwitch::charge`] bills the CPU and attributes to the vNIC.
+    /// Profiling sites record this value so span totals reconcile with
+    /// [`VSwitch::vnic_cycle_shares`] even under gray-failure scaling.
+    pub fn scaled_cycles(&self, cycles: u64) -> u64 {
+        if self.cycle_multiplier == 1.0 {
             cycles
         } else {
             ((cycles as f64) * self.cycle_multiplier).round() as u64
-        };
+        }
+    }
+
+    /// Charges `cycles` of work at `now`, attributed to `vnic`.
+    pub fn charge(&mut self, now: SimTime, vnic: VnicId, cycles: u64) -> CpuOutcome {
+        let cycles = self.scaled_cycles(cycles);
         let out = self.cpu.offer(now, cycles);
         if !out.is_dropped() {
             *self.vnic_cycles.entry(vnic).or_insert(0.0) += cycles as f64;
@@ -370,6 +402,7 @@ impl VSwitch {
                 CpuOutcome::Done { done_at } => done_at,
             };
             self.trace_event(now, pkt, TraceEventKind::CpuCharge { cycles });
+            self.profile_local(pkt, now, done, cycles, bytes, PathTaken::Fast);
             let entry = self.sessions.get_mut(&key).expect("checked above");
             let pre = *entry
                 .pre_actions
@@ -412,6 +445,7 @@ impl VSwitch {
             CpuOutcome::Done { done_at } => done_at,
         };
         self.trace_event(now, pkt, TraceEventKind::CpuCharge { cycles });
+        self.profile_local(pkt, now, done, cycles, bytes, PathTaken::Slow);
         let vnic = self.vnics.get(&pkt.vnic).expect("checked above");
         let lookup = pipeline::slow_path_lookup(vnic, &pkt.tuple, pkt.dir);
 
@@ -475,6 +509,68 @@ impl VSwitch {
             ProcessOutcome::Forwarded(action)
         };
         self.finish_traced(outcome, PathTaken::Slow, done, created, overflow, pkt)
+    }
+
+    /// Records the span tree for one successful local-pipeline charge:
+    /// a `local` root (linked to any span the packet already carries)
+    /// with per-stage leaves whose cycles sum to exactly what the CPU
+    /// model charged. No-op while the profiler is disabled.
+    fn profile_local(
+        &self,
+        pkt: &Packet,
+        start: SimTime,
+        end: SimTime,
+        nominal_cycles: u64,
+        bytes: usize,
+        path: PathTaken,
+    ) {
+        let prof = &self.tel.profiler;
+        if !prof.is_enabled() {
+            return;
+        }
+        let Some(vnic) = self.vnics.get(&pkt.vnic) else {
+            return;
+        };
+        let st = &self.tel.stages;
+        let total = self.scaled_cycles(nominal_cycles);
+        let base = Span {
+            stage: st.local,
+            parent: SpanId::from_raw(pkt.prof_span),
+            trace: pkt.trace,
+            server: self.id,
+            vnic: pkt.vnic,
+            start,
+            end,
+            cycles: 0,
+            bytes: bytes as u64,
+            packets: 1,
+        };
+        let root = prof.record(base);
+        let c = pipeline::stage_costs(&self.cfg.costs, vnic, bytes, total, path);
+        let leaf = |stage, cycles| Span {
+            stage,
+            parent: root,
+            cycles,
+            bytes: 0,
+            packets: 0,
+            ..base
+        };
+        for (stage, cycles) in [
+            (st.dma, c.dma),
+            (st.parse, c.parse),
+            (st.session_lookup, c.session),
+            (st.slowpath, c.overhead),
+        ] {
+            if cycles > 0 {
+                prof.record(leaf(stage, cycles));
+            }
+        }
+        for (i, &cycles) in c.tiers.iter().enumerate() {
+            if cycles > 0 {
+                let tier = st.rule_tiers[i.min(st.rule_tiers.len() - 1)];
+                prof.record(leaf(tier, cycles));
+            }
+        }
     }
 
     fn finish_traced(

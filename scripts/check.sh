@@ -6,7 +6,8 @@
 # Usage: scripts/check.sh [--fast]
 #   --fast   skip the full test suite (quick pre-commit run); still runs
 #            the reduced chaos smoke scenario so the fault-injection path
-#            is never shipped unexercised
+#            is never shipped unexercised, plus the profiler smoke run
+#            (`experiments profile` self-asserts its cycle reconciliation)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,6 +34,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 if [ "$fast" -eq 1 ]; then
     echo "==> cargo test -q --test chaos smoke_   (--fast: reduced chaos scenario)"
     cargo test -q --test chaos smoke_
+    echo "==> experiments profile   (--fast: profiler smoke, artifacts to target/profile-smoke)"
+    mkdir -p target/profile-smoke
+    NEZHA_PROFILE_DIR=target/profile-smoke cargo run -q --release -p nezha-bench --bin experiments -- profile
     echo "All checks passed (--fast: full test suite skipped)."
 else
     echo "==> cargo test -q"

@@ -72,13 +72,14 @@ pub use nezha_workloads as workloads;
 /// [`VSwitchConfig`], their builders), populating it ([`Vnic`],
 /// [`VnicProfile`], [`VmConfig`], the workload generators), driving it
 /// ([`SimTime`], [`SimDuration`], [`ConnSpec`]), and reading it back
-/// ([`MetricsRegistry`], [`PacketTrace`], [`NezhaError`]).
+/// ([`MetricsRegistry`], [`PacketTrace`], [`Profiler`], [`NezhaError`]).
 pub mod prelude {
     pub use nezha_core::cluster::{Cluster, ClusterConfig, ClusterConfigBuilder, LbMode};
     pub use nezha_core::conn::{ConnKind, ConnSpec};
     pub use nezha_core::region::Region;
     pub use nezha_core::vm::VmConfig;
-    pub use nezha_sim::metrics::{MetricsRegistry, MetricsSnapshot};
+    pub use nezha_sim::metrics::{MetricsDiff, MetricsRegistry, MetricsSnapshot};
+    pub use nezha_sim::profile::{Profiler, Span, SpanId, SpanRecord};
     pub use nezha_sim::time::{SimDuration, SimTime};
     pub use nezha_sim::topology::TopologyConfig;
     pub use nezha_sim::trace::{PacketTrace, TraceEvent, TraceEventKind, TraceFilter};

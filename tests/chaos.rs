@@ -11,6 +11,7 @@ use nezha::core::cluster::{Cluster, ClusterConfig, ClusterStats};
 use nezha::core::conn::{ConnKind, ConnSpec};
 use nezha::core::vm::VmConfig;
 use nezha::sim::fault::{FaultPlan, GilbertElliott};
+use nezha::sim::metrics::MetricsDiff;
 use nezha::sim::time::{SimDuration, SimTime};
 use nezha::sim::topology::TopologyConfig;
 use nezha::types::{FiveTuple, Ipv4Addr, ServerId, VnicId, VpcId};
@@ -89,7 +90,8 @@ fn outbound_traffic(c: &mut Cluster, count: u32, spacing: SimDuration) {
 
 /// Runs one chaos scenario: offload + settle, `n` connections, the plan
 /// built by `mk_plan(&cluster, traffic_start)`, then a long drain.
-/// Returns the deterministic snapshot JSON and the stats view.
+/// Returns the snapshot JSON, the fault-window metrics delta (baseline
+/// taken after settling, before traffic and faults), and the stats view.
 fn run_chaos(
     seed: u64,
     notify_always: bool,
@@ -97,8 +99,9 @@ fn run_chaos(
     outbound: bool,
     drain: SimDuration,
     mk_plan: impl Fn(&Cluster, SimTime) -> FaultPlan,
-) -> (String, ClusterStats) {
+) -> (String, MetricsDiff, ClusterStats) {
     let mut c = chaos_cluster(seed, notify_always);
+    let baseline = c.metrics().snapshot();
     let start = c.now();
     let spacing = SimDuration::from_millis(2);
     if outbound {
@@ -108,11 +111,13 @@ fn run_chaos(
     }
     c.apply_fault_plan(mk_plan(&c, start));
     c.run_until(start + SimDuration(spacing.nanos() * n as u64) + drain);
-    (c.metrics().snapshot().to_json(), c.stats())
+    let end = c.metrics().snapshot();
+    (end.to_json(), end.diff(&baseline), c.stats())
 }
 
 /// Runs the scenario twice with the same seed, asserts the telemetry
-/// snapshots are byte-identical, and returns one of them.
+/// snapshots are byte-identical, and returns the fault-window metrics
+/// delta plus the stats view.
 fn run_deterministic(
     seed: u64,
     notify_always: bool,
@@ -120,31 +125,15 @@ fn run_deterministic(
     outbound: bool,
     drain: SimDuration,
     mk_plan: impl Fn(&Cluster, SimTime) -> FaultPlan,
-) -> (String, ClusterStats) {
-    let (json_a, stats) = run_chaos(seed, notify_always, n, outbound, drain, &mk_plan);
-    let (json_b, _) = run_chaos(seed, notify_always, n, outbound, drain, &mk_plan);
+) -> (MetricsDiff, ClusterStats) {
+    let (json_a, diff, stats) = run_chaos(seed, notify_always, n, outbound, drain, &mk_plan);
+    let (json_b, _, _) = run_chaos(seed, notify_always, n, outbound, drain, &mk_plan);
     assert_eq!(json_a, json_b, "same seed must replay byte-identically");
-    (json_a, stats)
+    (diff, stats)
 }
 
 fn secs(s: u64) -> SimDuration {
     SimDuration::from_secs(s)
-}
-
-/// Pulls a named counter out of the snapshot JSON (format pinned by
-/// `MetricsSnapshot::to_json`).
-fn json_counter(json: &str, name: &str) -> u64 {
-    let needle = format!("\"{name}\": {{\"type\": \"counter\", \"value\": ");
-    let start = json
-        .find(&needle)
-        .unwrap_or_else(|| panic!("counter {name} missing from snapshot"))
-        + needle.len();
-    json[start..]
-        .chars()
-        .take_while(|c| c.is_ascii_digit())
-        .collect::<String>()
-        .parse()
-        .unwrap()
 }
 
 // ---------------------------------------------------------------------
@@ -153,7 +142,7 @@ fn json_counter(json: &str, name: &str) -> u64 {
 
 #[test]
 fn crash_and_restart_recovers_within_bound() {
-    let (json, stats) = run_deterministic(42, false, 1_500, false, secs(10), |c, t0| {
+    let (diff, stats) = run_deterministic(42, false, 1_500, false, secs(10), |c, t0| {
         let victim = c.fe_servers(VNIC)[0];
         FaultPlan::new()
             .crash(t0 + secs(1), victim)
@@ -176,7 +165,12 @@ fn crash_and_restart_recovers_within_bound() {
         "completed only {} of 1500",
         stats.completed
     );
-    assert!(json.contains("\"fault.detection_latency\""));
+    // The windowed delta isolates the fault from the settling phase: the
+    // offload fired *before* the baseline, so it must not appear here,
+    // while both in-window fault events must.
+    assert_eq!(diff.counter("ctrl.offload_events"), 0);
+    assert_eq!(diff.counter("fault.events"), 2);
+    assert!(diff.counter("ctrl.failover_events") >= 1);
 }
 
 // ---------------------------------------------------------------------
@@ -213,7 +207,7 @@ fn gray_slow_fe_degrades_then_recovers() {
 
 #[test]
 fn bursty_link_loss_is_absorbed_by_retries() {
-    let (json, stats) = run_deterministic(44, false, 1_500, false, secs(10), |c, t0| {
+    let (diff, stats) = run_deterministic(44, false, 1_500, false, secs(10), |c, t0| {
         let victim = c.fe_servers(VNIC)[0];
         let model = GilbertElliott {
             p_enter: 0.1,
@@ -228,7 +222,7 @@ fn bursty_link_loss_is_absorbed_by_retries() {
     assert_eq!(stats.fault_events, 2);
     // The channel actually dropped packets on the BE↔FE path ...
     assert!(
-        json_counter(&json, "fault.link_drops") > 0,
+        diff.counter("fault.link_drops") > 0,
         "bursty channel never dropped"
     );
     // ... and no failover fired (both endpoints stayed healthy).
@@ -309,17 +303,21 @@ fn controller_outage_delays_crash_detection() {
 fn notify_loss_degrades_no_connections() {
     // Outbound traffic: the first packet of each flow is a TX-side FE
     // cache miss, which (with `notify_always`) emits a notify packet.
-    let (json, stats) = run_deterministic(47, true, 800, true, secs(8), |_, t0| {
+    let (diff, stats) = run_deterministic(47, true, 800, true, secs(8), |_, t0| {
         FaultPlan::new()
             .notify_drop(t0, 1.0)
             .notify_drop_stop(t0 + secs(30))
     });
     assert_eq!(stats.fault_events, 1, "stop lies beyond the run window");
-    // Notifies were generated (notify_always) and every one was dropped …
-    assert!(stats.notifies > 0, "no notify traffic generated");
+    // Notifies were generated (notify_always) and every one was dropped —
+    // both counted within the fault window, so the deltas must agree.
+    assert!(
+        diff.counter("nsh.notifies") > 0,
+        "no notify traffic generated"
+    );
     assert_eq!(
-        json_counter(&json, "fault.notify_drops"),
-        stats.notifies,
+        diff.counter("fault.notify_drops"),
+        diff.counter("nsh.notifies"),
         "loss=1.0 must drop every notify"
     );
     // … yet the notify channel is best-effort by design (§3.2.2): no

@@ -341,6 +341,7 @@ mod seeded {
             outer_dst: Some(ServerId(rng.range(0, 1 << 24) as u32)),
             overlay_encap_src: None,
             nezha: Some(nsh),
+            prof_span: 0,
         }
     }
 

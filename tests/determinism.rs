@@ -293,6 +293,95 @@ fn chaos_snapshots_are_seed_identical_and_seed_sensitive() {
     );
 }
 
+/// The `experiments profile` scenario in miniature: offloaded vNIC,
+/// profiler on, mixed inbound/outbound traffic with `notify_always` so
+/// the BE→FE→BE notify chain is exercised. Returns the two artifacts the
+/// subcommand exports: the collapsed-stack flamegraph text and the
+/// Chrome `trace_event` JSON.
+fn run_profile_scenario(seed: u64) -> (String, String) {
+    let cfg = ClusterConfig::builder()
+        .topology(TopologyConfig {
+            servers_per_rack: 12,
+            racks_per_pod: 2,
+            pods: 1,
+            ..TopologyConfig::default()
+        })
+        .auto(false)
+        .notify_always(true)
+        .seed(seed)
+        .build();
+    let mut c = Cluster::new(cfg);
+    let mut vnic = Vnic::new(
+        VnicId(1),
+        VpcId(1),
+        Ipv4Addr::new(10, 7, 0, 1),
+        VnicProfile::default(),
+        ServerId(0),
+    );
+    vnic.allow_inbound_port(9000);
+    c.add_vnic(vnic, ServerId(0), VmConfig::with_vcpus(64))
+        .unwrap();
+    c.trigger_offload(VnicId(1), SimTime::ZERO).unwrap();
+    c.run_until(SimTime::ZERO + SimDuration::from_secs(3));
+    c.enable_profile(1 << 16);
+    for i in 0..200u32 {
+        let outbound = i % 5 == 0;
+        let tuple = if outbound {
+            FiveTuple::tcp(
+                Ipv4Addr::new(10, 7, 0, 1),
+                (30_000 + i) as u16,
+                Ipv4Addr::new(10, 7, 3, (i % 200) as u8 + 1),
+                4433,
+            )
+        } else {
+            FiveTuple::tcp(
+                Ipv4Addr::new(10, 7, 2, (i % 200) as u8 + 1),
+                (1024 + i) as u16,
+                Ipv4Addr::new(10, 7, 0, 1),
+                9000,
+            )
+        };
+        c.add_conn(ConnSpec {
+            vnic: VnicId(1),
+            vpc: VpcId(1),
+            tuple,
+            peer_server: ServerId(12 + i % 12),
+            kind: if outbound {
+                ConnKind::Outbound
+            } else {
+                ConnKind::Inbound
+            },
+            start: c.now() + SimDuration::from_micros(700 * i as u64),
+            payload: 100,
+            overlay_encap_src: None,
+        })
+        .unwrap();
+    }
+    c.run_until(c.now() + SimDuration::from_secs(6));
+    (c.profiler().flamegraph(), c.profiler().chrome_trace())
+}
+
+#[test]
+fn profile_artifacts_are_seed_identical_and_seed_sensitive() {
+    // The two files `experiments profile` writes are golden artifacts:
+    // same seed → byte-identical (SimTime only, deterministic ordering),
+    // different seed → genuinely different.
+    let (fg_a1, ct_a1) = run_profile_scenario(42);
+    let (fg_a2, ct_a2) = run_profile_scenario(42);
+    assert_eq!(fg_a1, fg_a2, "flamegraph must replay byte-identically");
+    assert_eq!(ct_a1, ct_a2, "chrome trace must replay byte-identically");
+    // The run profiled real work, including the cross-server chains.
+    assert!(fg_a1.contains("be_tx;nsh_encap;fe_tx_carry"));
+    assert!(fg_a1.contains("fe_rx;nsh_encap;be_rx_carry"));
+    assert!(ct_a1.contains("\"traceEvents\""));
+
+    let (fg_b, ct_b) = run_profile_scenario(43);
+    assert!(
+        fg_a1 != fg_b || ct_a1 != ct_b,
+        "different seeds produced byte-identical profile artifacts"
+    );
+}
+
 #[test]
 fn different_seeds_differ_somewhere() {
     let a = run_scenario(1);
