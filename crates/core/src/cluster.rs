@@ -1,718 +1,46 @@
-//! The packet-level testbed: servers, the Nezha data plane, connection
-//! driving, and failure injection, all on the deterministic event engine.
+//! The packet-level testbed: cluster construction, public accessors, and
+//! scripted fault application, all on the deterministic event engine.
 //!
-//! Every packet in the cluster takes the real code path of its current
-//! architecture:
+//! The cluster's moving parts live in sibling modules:
 //!
-//! * **local** — the traditional Fig. 1 pipeline on the home vSwitch;
-//! * **Nezha TX** — BE state handling + NSH `TxCarry` encapsulation, one
-//!   fabric hop to a hash-selected FE, FE rule/flow lookup, finalization
-//!   and forwarding (§3.2.1 red flow);
-//! * **Nezha RX** — gateway-resolved arrival at an FE, rule/flow lookup,
-//!   NSH `RxCarry` with piggybacked pre-actions, one hop to the BE,
-//!   state update + finalization + VM delivery (§3.2.1 blue flow);
-//! * **notify packets** — FE→BE rule-table-involved state updates
-//!   (§3.2.2), generated only on cache misses whose lookup result differs
-//!   from the packet-carried state.
+//! * [`crate::config`] — [`ClusterConfig`] + builder and the delayed
+//!   [`ConfigOp`] pushes;
+//! * [`crate::telemetry`] — the shared registry/trace/profiler bundle and
+//!   the aggregated [`ClusterStats`] view;
+//! * `crate::datapath` — the per-packet handlers (BE/FE roles, NSH demux,
+//!   the `HandlerCtx` plumbing every handler works through);
+//! * `crate::driver` — connection scripts, retries and probes.
 //!
 //! The controller (`controller.rs`) and health monitor (`monitor.rs`)
 //! extend this struct with the management plane.
 
-use crate::be::{BackendMeta, OffloadPhase};
+use crate::be::BackendMeta;
 use crate::conn::{ConnKind, ConnSpec, ConnState, ConnStatus};
-use crate::controller::{ControllerConfig, ControllerState};
+use crate::controller::ControllerState;
 use crate::fe::FrontEnd;
 use crate::gateway::Gateway;
 use crate::monitor::MonitorState;
+use crate::telemetry::ClusterTelemetry;
 use crate::vm::{VmConfig, VmModel};
 use nezha_sim::engine::Engine;
 use nezha_sim::fault::{FaultKind, FaultPlan, FaultState};
-use nezha_sim::metrics::{
-    CounterHandle, GaugeHandle, HistogramHandle, MetricsRegistry, SeriesHandle,
-};
-use nezha_sim::profile::{Profiler, Span, SpanId, StageHandle, StageSet};
-use nezha_sim::resources::CpuOutcome;
+use nezha_sim::metrics::MetricsRegistry;
+use nezha_sim::profile::Profiler;
 use nezha_sim::rng::SimRng;
-use nezha_sim::stats::{Counter, Samples, TimeSeries};
-use nezha_sim::time::{SimDuration, SimTime};
-use nezha_sim::topology::{Topology, TopologyConfig};
-use nezha_sim::trace::{DropReason, PacketTrace, TraceEvent, TraceEventKind};
-use nezha_types::{
-    Direction, Ipv4Addr, NezhaError, NezhaHeader, NezhaPayloadKind, NezhaResult, Packet, ServerId,
-    SessionKey, VnicId,
-};
-use nezha_vswitch::config::VSwitchConfig;
-use nezha_vswitch::pipeline::{self, ProcessOutcome};
+use nezha_sim::time::SimTime;
+use nezha_sim::topology::Topology;
+use nezha_sim::trace::PacketTrace;
+use nezha_types::{Ipv4Addr, NezhaError, NezhaResult, Packet, ServerId, SessionKey, VnicId};
 use nezha_vswitch::vnic::Vnic;
 use nezha_vswitch::vswitch::VSwitch;
 use std::collections::BTreeMap;
 
-/// FE load-balancing granularity (ablation of §3.2.3's design choice).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum LbMode {
-    /// Nezha's choice: `Hash(5-tuple)` per flow — cache friendly, one
-    /// rule lookup and one cached flow per session.
-    FlowLevel,
-    /// The rejected alternative: per-packet spreading — better short-term
-    /// balance, but duplicated lookups and duplicated cached flows on
-    /// every FE a session's packets touch.
-    PacketLevel,
-}
+pub use crate::config::{ClusterConfig, ClusterConfigBuilder, ConfigOp, LbMode};
+pub use crate::datapath::dispatch::Event;
+pub use crate::driver::retry_backoff;
+pub use crate::telemetry::ClusterStats;
 
-/// Cluster-wide configuration.
-#[derive(Clone, Copy, Debug)]
-pub struct ClusterConfig {
-    /// Fabric shape.
-    pub topology: TopologyConfig,
-    /// Per-server vSwitch configuration.
-    pub vswitch: VSwitchConfig,
-    /// Controller thresholds and delays.
-    pub controller: ControllerConfig,
-    /// vSwitch gateway-learning interval (200 ms in production, §4.2.1).
-    pub learning_interval: SimDuration,
-    /// Session aging sweep period.
-    pub aging_period: SimDuration,
-    /// *Base* retransmission timeout for lost connection packets. Retry
-    /// `k` waits `retry_timeout · 2^k` — capped at
-    /// [`retry_cap`](ClusterConfig::retry_cap) — with ±25% jitter drawn
-    /// from the seeded sim RNG, so a cluster-wide fault does not
-    /// re-synchronize every retransmission into one thundering herd.
-    pub retry_timeout: SimDuration,
-    /// Upper bound on the backed-off retry delay (the exponential growth
-    /// saturates here).
-    pub retry_cap: SimDuration,
-    /// Retries before a connection is declared failed.
-    pub max_retries: u32,
-    /// RNG seed (full determinism).
-    pub seed: u64,
-    /// FE selection granularity (ablation; Nezha uses flow-level).
-    pub lb_mode: LbMode,
-    /// Ablation: send a notify packet on *every* FE cache miss instead of
-    /// only when the looked-up rule-table-involved state differs from the
-    /// carried state (§3.2.2's suppression).
-    pub notify_always: bool,
-    /// Ablation: skip the dual-running stage — the BE deletes its rule
-    /// tables as soon as the FEs are configured, before peers have
-    /// learned the new mapping (§4.2.1 explains why this hurts).
-    pub skip_dual_running: bool,
-}
-
-impl Default for ClusterConfig {
-    fn default() -> Self {
-        ClusterConfig {
-            topology: TopologyConfig::default(),
-            vswitch: VSwitchConfig::default(),
-            controller: ControllerConfig::default(),
-            learning_interval: SimDuration::from_millis(200),
-            aging_period: SimDuration::from_secs(1),
-            retry_timeout: SimDuration::from_millis(500),
-            retry_cap: SimDuration::from_secs(2),
-            max_retries: 5,
-            seed: 0x4e5a_2025,
-            lb_mode: LbMode::FlowLevel,
-            notify_always: false,
-            skip_dual_running: false,
-        }
-    }
-}
-
-/// Fluent builder for [`ClusterConfig`], starting from the defaults.
-///
-/// ```
-/// use nezha_core::cluster::ClusterConfig;
-///
-/// let cfg = ClusterConfig::builder()
-///     .seed(7)
-///     .auto(true)
-///     .build();
-/// assert_eq!(cfg.seed, 7);
-/// assert!(cfg.controller.auto_offload);
-/// ```
-#[derive(Clone, Copy, Debug, Default)]
-pub struct ClusterConfigBuilder {
-    cfg: ClusterConfig,
-}
-
-impl ClusterConfigBuilder {
-    /// Fabric shape.
-    pub fn topology(mut self, topology: TopologyConfig) -> Self {
-        self.cfg.topology = topology;
-        self
-    }
-
-    /// Per-server vSwitch configuration.
-    pub fn vswitch(mut self, vswitch: VSwitchConfig) -> Self {
-        self.cfg.vswitch = vswitch;
-        self
-    }
-
-    /// Controller thresholds and delays.
-    pub fn controller(mut self, controller: ControllerConfig) -> Self {
-        self.cfg.controller = controller;
-        self
-    }
-
-    /// vSwitch gateway-learning interval.
-    pub fn learning_interval(mut self, interval: SimDuration) -> Self {
-        self.cfg.learning_interval = interval;
-        self
-    }
-
-    /// Session aging sweep period.
-    pub fn aging_period(mut self, period: SimDuration) -> Self {
-        self.cfg.aging_period = period;
-        self
-    }
-
-    /// Base retransmission timeout for lost connection packets; retry
-    /// `k` waits `timeout · 2^k` (capped at
-    /// [`retry_cap`](ClusterConfigBuilder::retry_cap)) with ±25% seeded
-    /// jitter.
-    pub fn retry_timeout(mut self, timeout: SimDuration) -> Self {
-        self.cfg.retry_timeout = timeout;
-        self
-    }
-
-    /// Cap on the exponentially backed-off retry delay.
-    pub fn retry_cap(mut self, cap: SimDuration) -> Self {
-        self.cfg.retry_cap = cap;
-        self
-    }
-
-    /// Retries before a connection is declared failed.
-    pub fn max_retries(mut self, retries: u32) -> Self {
-        self.cfg.max_retries = retries;
-        self
-    }
-
-    /// RNG seed (full determinism).
-    pub fn seed(mut self, seed: u64) -> Self {
-        self.cfg.seed = seed;
-        self
-    }
-
-    /// FE selection granularity (Nezha uses flow-level).
-    pub fn lb_mode(mut self, mode: LbMode) -> Self {
-        self.cfg.lb_mode = mode;
-        self
-    }
-
-    /// Ablation: notify on every FE cache miss.
-    pub fn notify_always(mut self, always: bool) -> Self {
-        self.cfg.notify_always = always;
-        self
-    }
-
-    /// Ablation: skip the dual-running stage.
-    pub fn skip_dual_running(mut self, skip: bool) -> Self {
-        self.cfg.skip_dual_running = skip;
-        self
-    }
-
-    /// Convenience: vSwitch core count (the most-tuned knob in tests).
-    pub fn cores(mut self, cores: u32) -> Self {
-        self.cfg.vswitch.cores = cores;
-        self
-    }
-
-    /// Convenience: enables/disables both automatic offload and scaling.
-    pub fn auto(mut self, auto: bool) -> Self {
-        self.cfg.controller.auto_offload = auto;
-        self.cfg.controller.auto_scale = auto;
-        self
-    }
-
-    /// Convenience: automatic offload only (leaves auto-scaling as-is).
-    pub fn auto_offload(mut self, auto: bool) -> Self {
-        self.cfg.controller.auto_offload = auto;
-        self
-    }
-
-    /// Convenience: automatic FE scaling only (leaves auto-offload as-is).
-    pub fn auto_scale(mut self, auto: bool) -> Self {
-        self.cfg.controller.auto_scale = auto;
-        self
-    }
-
-    /// Finishes the builder.
-    pub fn build(self) -> ClusterConfig {
-        self.cfg
-    }
-}
-
-impl ClusterConfig {
-    /// Starts a fluent [`ClusterConfigBuilder`] from the defaults.
-    pub fn builder() -> ClusterConfigBuilder {
-        ClusterConfigBuilder::default()
-    }
-}
-
-/// Delayed configuration operations (the controller's pushes take effect
-/// asynchronously, which is what creates the dual-running stage).
-#[derive(Clone, Debug)]
-pub enum ConfigOp {
-    /// An FE finished installing the vNIC's rule tables.
-    FeConfigured {
-        /// The offloaded vNIC.
-        vnic: VnicId,
-        /// The FE's server.
-        fe: ServerId,
-    },
-    /// The gateway's vNIC-server entry is replaced (learning then begins).
-    GatewayUpdate {
-        /// The vNIC's overlay address.
-        addr: Ipv4Addr,
-        /// New hosting set.
-        servers: Vec<ServerId>,
-    },
-    /// Re-derive the gateway entry for an offloaded vNIC from the FEs
-    /// that are actually ready at apply time (a config push may have
-    /// failed on a full candidate in the meantime).
-    GatewaySyncFes {
-        /// The offloaded vNIC.
-        vnic: VnicId,
-    },
-    /// All senders have learned the FE mapping: offload is *active*.
-    CheckActivation {
-        /// The offloaded vNIC.
-        vnic: VnicId,
-    },
-    /// BE enters the final stage: drop rule tables and cached flows.
-    BeFinalStage {
-        /// The offloaded vNIC.
-        vnic: VnicId,
-    },
-    /// Fallback completes: remove all FEs, return to local processing.
-    FallbackFinal {
-        /// The vNIC falling back.
-        vnic: VnicId,
-    },
-    /// VM live migration (§7.2): repoint the BE location on all FEs.
-    BeLocationUpdate {
-        /// The migrated vNIC.
-        vnic: VnicId,
-        /// The new home server.
-        new_home: ServerId,
-    },
-}
-
-/// Events driving the cluster.
-#[derive(Clone, Debug)]
-pub enum Event {
-    /// A packet arrives at a server's vSwitch.
-    Arrive {
-        /// Receiving server.
-        server: ServerId,
-        /// The packet.
-        pkt: Packet,
-        /// When the packet's current network journey began (for latency).
-        sent_at: SimTime,
-    },
-    /// Start a registered connection.
-    StartConn {
-        /// Connection id.
-        conn: u64,
-    },
-    /// A step's packet reached its terminal point; inject the next step.
-    AdvanceConn {
-        /// Connection id.
-        conn: u64,
-        /// The step that completed.
-        from_step: usize,
-    },
-    /// Retransmit a lost step.
-    RetryStep {
-        /// Connection id.
-        conn: u64,
-        /// The step to retry.
-        step: usize,
-    },
-    /// Periodic controller tick (utilization reports + decisions).
-    ControllerTick,
-    /// Periodic health-monitor tick (ping polling).
-    MonitorTick,
-    /// Periodic session-aging sweep.
-    AgingTick,
-    /// A delayed configuration push takes effect.
-    Config(ConfigOp),
-    /// Hard-crash a server's SmartNIC.
-    Crash {
-        /// The crashing server.
-        server: ServerId,
-    },
-    /// Begin a standalone probe packet's journey from `from`.
-    StartProbe {
-        /// The probe packet (RX-oriented, trace has the probe bit set).
-        pkt: Packet,
-        /// The injecting server.
-        from: ServerId,
-    },
-    /// A scripted fault transition fires (see [`Cluster::apply_fault_plan`]).
-    Fault(FaultKind),
-}
-
-/// Aggregated measurements.
-///
-/// Since the telemetry redesign this is an owned *view* assembled on
-/// demand from the cluster's [`MetricsRegistry`] by [`Cluster::stats`];
-/// field names are unchanged so `c.stats.X` call sites only became
-/// `c.stats().X`. Experiments should prefer reading the registry snapshot
-/// directly (`c.metrics().snapshot()`).
-#[derive(Clone, Debug)]
-pub struct ClusterStats {
-    /// Connection-packet delivery counter (ok vs lost).
-    pub pkts: Counter,
-    /// End-to-end latency of probe packets (seconds).
-    pub probe_latency: Samples,
-    /// Completed connection latencies (seconds).
-    pub conn_latency: Samples,
-    /// Completed connections per time bin (CPS series).
-    pub cps_series: TimeSeries,
-    /// Lost packets per time bin.
-    pub loss_series: TimeSeries,
-    /// Injected packets per time bin.
-    pub total_series: TimeSeries,
-    /// Offload activation completion times (seconds; Table 4).
-    pub offload_completion: Samples,
-    /// Connections completed / denied / failed.
-    pub completed: u64,
-    /// Connections denied by policy.
-    pub denied: u64,
-    /// Connections failed after retries.
-    pub failed: u64,
-    /// Notify packets generated (§3.2.2).
-    pub notifies: u64,
-    /// Mirror copies emitted toward collectors (advanced tables, §2.2.2).
-    /// Under Nezha the FE emits TX-direction copies and the BE emits
-    /// RX-direction ones (each holds the packet at finalization time).
-    pub mirror_copies: u64,
-    /// RX packets that reached the BE after the final stage and had to be
-    /// bounced to an FE (stale vNIC-server mappings).
-    pub stale_bounces: u64,
-    /// Packets that arrived somewhere that could not process them.
-    pub misroutes: u64,
-    /// Controller event counters.
-    pub offload_events: u64,
-    /// Scale-out operations performed.
-    pub scale_out_events: u64,
-    /// Scale-in operations performed.
-    pub scale_in_events: u64,
-    /// Fallback operations performed.
-    pub fallback_events: u64,
-    /// Failovers completed.
-    pub failover_events: u64,
-    /// Monitor false-positive suspensions (Appendix C).
-    pub monitor_suspensions: u64,
-    /// Scripted fault transitions applied (chaos injection).
-    pub fault_events: u64,
-    /// Graceful degradations: the FE pool collapsed and the BE fell back
-    /// to local processing from the data plane.
-    pub degraded_events: u64,
-    /// FE pool membership changes caused by failure handling — each one
-    /// re-hashes a slice of the flow space (re-hash churn).
-    pub rehash_churn: u64,
-    /// Crash-to-failover detection latencies (seconds).
-    pub detection_latency: Samples,
-}
-
-/// The cluster's telemetry plumbing: the shared registry, the shared
-/// packet-trace ring, and the pre-registered handles every hot-path
-/// increment goes through. Registered once in [`Cluster::new`].
-#[derive(Debug, Clone)]
-pub(crate) struct ClusterTelemetry {
-    /// The registry shared by the engine, every vSwitch, and the cluster.
-    pub(crate) registry: MetricsRegistry,
-    /// The trace ring shared with every vSwitch (disabled until
-    /// [`Cluster::enable_trace`]).
-    pub(crate) trace: PacketTrace,
-    /// The cycle-attribution profiler shared with every vSwitch (disabled
-    /// until [`Cluster::enable_profile`]).
-    pub(crate) profiler: Profiler,
-    /// Pre-registered span stage handles (lint rule D6: stage lookups are
-    /// string-keyed and must never run mid-simulation).
-    pub(crate) stages: StageSet,
-    pub(crate) pkt_ok: CounterHandle,
-    pub(crate) pkt_dropped: CounterHandle,
-    pub(crate) probe_latency: HistogramHandle,
-    pub(crate) conn_latency: HistogramHandle,
-    pub(crate) cps_series: SeriesHandle,
-    pub(crate) loss_series: SeriesHandle,
-    pub(crate) total_series: SeriesHandle,
-    pub(crate) offload_completion: HistogramHandle,
-    pub(crate) completed: CounterHandle,
-    pub(crate) denied: CounterHandle,
-    pub(crate) failed: CounterHandle,
-    pub(crate) notifies: CounterHandle,
-    pub(crate) mirror_copies: CounterHandle,
-    pub(crate) stale_bounces: CounterHandle,
-    pub(crate) misroutes: CounterHandle,
-    pub(crate) offload_events: CounterHandle,
-    pub(crate) scale_out_events: CounterHandle,
-    pub(crate) scale_in_events: CounterHandle,
-    pub(crate) fallback_events: CounterHandle,
-    pub(crate) failover_events: CounterHandle,
-    pub(crate) monitor_suspensions: CounterHandle,
-    pub(crate) fault_events: CounterHandle,
-    pub(crate) fault_link_drops: CounterHandle,
-    pub(crate) fault_notify_drops: CounterHandle,
-    pub(crate) fault_inflight_loss: CounterHandle,
-    pub(crate) degraded_events: CounterHandle,
-    pub(crate) rehash_churn: CounterHandle,
-    pub(crate) detection_latency: HistogramHandle,
-    /// Per-server controller report gauges, indexed by `ServerId.0`.
-    /// Pre-registered at startup: registry lookups are string-keyed and
-    /// must never run mid-simulation (lint rule D5).
-    pub(crate) ctrl_gauges: Vec<ServerCtrlGauges>,
-}
-
-/// The gauges one controller report publishes for one server.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct ServerCtrlGauges {
-    pub(crate) cpu_util: GaugeHandle,
-    pub(crate) mem_util: GaugeHandle,
-    pub(crate) local_cycles: GaugeHandle,
-    pub(crate) remote_cycles: GaugeHandle,
-}
-
-impl ClusterTelemetry {
-    fn register(registry: MetricsRegistry, servers: usize) -> Self {
-        let ctrl_gauges = (0..servers)
-            .map(|i| {
-                let labels = [("server", i.to_string())];
-                ServerCtrlGauges {
-                    cpu_util: registry.gauge("ctrl.cpu_util", &labels),
-                    mem_util: registry.gauge("ctrl.mem_util", &labels),
-                    local_cycles: registry.gauge("ctrl.local_cycles", &labels),
-                    remote_cycles: registry.gauge("ctrl.remote_cycles", &labels),
-                }
-            })
-            .collect();
-        let c = |name: &str| registry.counter(name, &[]);
-        let h = |name: &str| registry.histogram(name, &[]);
-        let profiler = Profiler::new();
-        let stages = StageSet::register(&profiler);
-        ClusterTelemetry {
-            trace: PacketTrace::disabled(),
-            profiler,
-            stages,
-            pkt_ok: c("pkt.ok"),
-            pkt_dropped: c("pkt.dropped"),
-            probe_latency: h("latency.probe"),
-            conn_latency: h("latency.conn"),
-            cps_series: registry.series("conn.cps", &[], SimDuration::from_millis(50)),
-            loss_series: registry.series("pkt.loss", &[], SimDuration::from_millis(100)),
-            total_series: registry.series("pkt.total", &[], SimDuration::from_millis(100)),
-            offload_completion: h("offload.completion"),
-            completed: c("conn.completed"),
-            denied: c("conn.denied"),
-            failed: c("conn.failed"),
-            notifies: c("nsh.notifies"),
-            mirror_copies: c("pkt.mirror_copies"),
-            stale_bounces: c("pkt.stale_bounces"),
-            misroutes: c("pkt.misroutes"),
-            offload_events: c("ctrl.offload_events"),
-            scale_out_events: c("ctrl.scale_out_events"),
-            scale_in_events: c("ctrl.scale_in_events"),
-            fallback_events: c("ctrl.fallback_events"),
-            failover_events: c("ctrl.failover_events"),
-            monitor_suspensions: c("monitor.suspensions"),
-            fault_events: c("fault.events"),
-            fault_link_drops: c("fault.link_drops"),
-            fault_notify_drops: c("fault.notify_drops"),
-            fault_inflight_loss: c("fault.inflight_loss"),
-            degraded_events: c("ctrl.degraded_events"),
-            rehash_churn: c("fault.rehash_churn"),
-            detection_latency: h("fault.detection_latency"),
-            ctrl_gauges,
-            registry,
-        }
-    }
-
-    /// Counter increment (hot path: one borrow + one index).
-    pub(crate) fn inc(&self, h: CounterHandle) {
-        self.registry.inc(h);
-    }
-
-    /// Counter increment by `n`.
-    pub(crate) fn add(&self, h: CounterHandle, n: u64) {
-        self.registry.add(h, n);
-    }
-
-    /// Duration observation in seconds.
-    pub(crate) fn observe_duration(&self, h: HistogramHandle, d: SimDuration) {
-        self.registry.observe_duration(h, d);
-    }
-
-    /// Series bin accumulation.
-    pub(crate) fn series_add(&self, h: SeriesHandle, at: SimTime, v: f64) {
-        self.registry.series_add(h, at, v);
-    }
-
-    /// Records one handler root span (zero cycles, one packet, the wire
-    /// bytes) plus its cycle-bearing leaves, returning the root id so the
-    /// caller can thread it through the next BE↔FE hop. The root parents
-    /// on the packet's carried causal id (`pkt.prof_span`). Zero-cycle
-    /// leaves are skipped — markers that must exist regardless (the NSH
-    /// hop parents) are recorded by the caller directly.
-    fn profile_handler(
-        &self,
-        stage: StageHandle,
-        pkt: &Packet,
-        server: ServerId,
-        start: SimTime,
-        end: SimTime,
-        leaves: &[(StageHandle, u64)],
-    ) -> Option<SpanId> {
-        if !self.profiler.is_enabled() {
-            return None;
-        }
-        let base = Span {
-            stage,
-            parent: SpanId::from_raw(pkt.prof_span),
-            trace: pkt.trace,
-            server,
-            vnic: pkt.vnic,
-            start,
-            end,
-            cycles: 0,
-            bytes: pkt.wire_len() as u64,
-            packets: 1,
-        };
-        let root = self.profiler.record(base);
-        for &(stage, cycles) in leaves {
-            if cycles > 0 {
-                self.profiler.record(Span {
-                    stage,
-                    parent: root,
-                    cycles,
-                    bytes: 0,
-                    packets: 0,
-                    ..base
-                });
-            }
-        }
-        root
-    }
-
-    /// Records the zero-cycle drop marker for a packet the fault engine
-    /// (or a dead peer) discarded, parented under the packet's causal
-    /// span so injected losses show up inside the victim's span tree.
-    fn profile_fault_drop(&self, pkt: &Packet, server: ServerId, at: SimTime) {
-        if !self.profiler.is_enabled() {
-            return;
-        }
-        self.profiler.record(Span {
-            stage: self.stages.fault_drop,
-            parent: SpanId::from_raw(pkt.prof_span),
-            trace: pkt.trace,
-            server,
-            vnic: pkt.vnic,
-            start: at,
-            end: at,
-            cycles: 0,
-            bytes: pkt.wire_len() as u64,
-            packets: 1,
-        });
-    }
-
-    /// Assembles the legacy [`ClusterStats`] view from the registry.
-    fn stats(&self) -> ClusterStats {
-        let v = |h: CounterHandle| self.registry.counter_value(h);
-        ClusterStats {
-            pkts: Counter {
-                ok: v(self.pkt_ok),
-                dropped: v(self.pkt_dropped),
-            },
-            probe_latency: self.registry.histogram_samples(self.probe_latency),
-            conn_latency: self.registry.histogram_samples(self.conn_latency),
-            cps_series: self.registry.series_data(self.cps_series),
-            loss_series: self.registry.series_data(self.loss_series),
-            total_series: self.registry.series_data(self.total_series),
-            offload_completion: self.registry.histogram_samples(self.offload_completion),
-            completed: v(self.completed),
-            denied: v(self.denied),
-            failed: v(self.failed),
-            notifies: v(self.notifies),
-            mirror_copies: v(self.mirror_copies),
-            stale_bounces: v(self.stale_bounces),
-            misroutes: v(self.misroutes),
-            offload_events: v(self.offload_events),
-            scale_out_events: v(self.scale_out_events),
-            scale_in_events: v(self.scale_in_events),
-            fallback_events: v(self.fallback_events),
-            failover_events: v(self.failover_events),
-            monitor_suspensions: v(self.monitor_suspensions),
-            fault_events: v(self.fault_events),
-            degraded_events: v(self.degraded_events),
-            rehash_churn: v(self.rehash_churn),
-            detection_latency: self.registry.histogram_samples(self.detection_latency),
-        }
-    }
-}
-
-const PROBE_BIT: u64 = 1 << 63;
-/// Probe packets with this bit traverse the full data plane but are not
-/// recorded in the latency samples (bulk/background streams).
-const SILENT_BIT: u64 = 1 << 62;
-
-/// The flow hash used for FE selection: `Hash(5-tuple)` over the session's
-/// canonical orientation, so both directions of a session select the same
-/// FE and each session performs exactly one rule lookup and caches one
-/// flow entry. (Nezha does not *need* this — state lives at the BE either
-/// way, §3.2.3 — but collocating directions avoids duplicate lookups and
-/// duplicate cached flows, and is what makes Fig. 9's CPS knee sit at 4
-/// FEs.)
-fn flow_hash(t: &nezha_types::FiveTuple) -> u64 {
-    t.canonical().stable_hash()
-}
-
-/// The vSwitch cost path an FE lookup took: a flow-cache miss re-executes
-/// the full slow path, a hit is fast-path work.
-fn fe_path(miss: bool) -> nezha_vswitch::PathTaken {
-    if miss {
-        nezha_vswitch::PathTaken::Slow
-    } else {
-        nezha_vswitch::PathTaken::Fast
-    }
-}
-
-/// Builds the profiler leaf list for one FE handler: the NSH carry share
-/// first (decap on the TX side, encap on RX), then the lookup's own
-/// per-stage cost split. Overflow tiers clamp onto the last tier handle.
-fn fe_stage_leaves(
-    st: &StageSet,
-    carry: StageHandle,
-    carry_cycles: u64,
-    c: pipeline::StageCosts,
-) -> Vec<(StageHandle, u64)> {
-    let mut leaves = vec![
-        (carry, carry_cycles),
-        (st.dma, c.dma),
-        (st.parse, c.parse),
-        (st.session_lookup, c.session),
-        (st.slowpath, c.overhead),
-    ];
-    for (i, &t) in c.tiers.iter().enumerate() {
-        leaves.push((st.rule_tiers[i.min(st.rule_tiers.len() - 1)], t));
-    }
-    leaves
-}
-
-/// Mixes a per-packet discriminator into the flow hash for the
-/// packet-level LB ablation.
-fn packet_hash(t: &nezha_types::FiveTuple, trace: u64) -> u64 {
-    let mut h = flow_hash(t) ^ trace.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    h ^= h >> 29;
-    h
-}
-
-/// The (un-jittered) delay before retry number `retries + 1`:
-/// `base · 2^retries`, saturating at `cap`. The caller applies ±25%
-/// jitter from the seeded sim RNG on top.
-pub fn retry_backoff(base: SimDuration, cap: SimDuration, retries: u32) -> SimDuration {
-    let factor = 1u64 << retries.min(31);
-    SimDuration(base.0.saturating_mul(factor)).min(cap)
-}
+use crate::driver::{PROBE_BIT, SILENT_BIT};
 
 /// The packet-level testbed.
 #[derive(Debug)]
@@ -758,14 +86,6 @@ pub struct Cluster {
 }
 
 impl Cluster {
-    /// The FE-selection hash for one packet under the configured LB mode.
-    fn select_hash(&self, t: &nezha_types::FiveTuple, trace: u64) -> u64 {
-        match self.cfg.lb_mode {
-            LbMode::FlowLevel => flow_hash(t),
-            LbMode::PacketLevel => packet_hash(t, trace),
-        }
-    }
-
     /// Builds a cluster and schedules the periodic management ticks.
     pub fn new(cfg: ClusterConfig) -> Self {
         let topo = Topology::new(cfg.topology);
@@ -884,19 +204,6 @@ impl Cluster {
     /// The legacy aggregated view, assembled from the metrics registry.
     pub fn stats(&self) -> ClusterStats {
         self.tel.stats()
-    }
-
-    /// Records one cluster-level trace event for `pkt` at `server`.
-    fn trace_pkt(&self, at: SimTime, server: ServerId, pkt: &Packet, kind: TraceEventKind) {
-        if self.tel.trace.is_enabled() {
-            self.tel.trace.record(TraceEvent {
-                at,
-                trace_id: pkt.trace,
-                server,
-                vnic: pkt.vnic,
-                kind,
-            });
-        }
     }
 
     /// Immutable access to a server's vSwitch.
@@ -1163,45 +470,10 @@ impl Cluster {
         }
     }
 
-    // ------------------------------------------------------------------
-    // Event dispatch.
-    // ------------------------------------------------------------------
-
-    fn handle(&mut self, ev: Event, now: SimTime) {
-        match ev {
-            Event::Arrive {
-                server,
-                pkt,
-                sent_at,
-            } => self.handle_arrive(server, pkt, sent_at, now),
-            Event::StartConn { conn } => self.inject_step(conn, 0, now),
-            Event::AdvanceConn { conn, from_step } => self.advance_conn(conn, from_step, now),
-            Event::RetryStep { conn, step } => self.retry_step(conn, step, now),
-            Event::ControllerTick => self.controller_tick(now),
-            Event::MonitorTick => self.monitor_tick(now),
-            Event::AgingTick => {
-                for i in 0..self.switches.len() {
-                    if self.alive[i] {
-                        self.switches[i].expire_sessions(now);
-                    }
-                }
-                self.engine
-                    .schedule_in(self.cfg.aging_period, Event::AgingTick);
-            }
-            Event::Config(op) => self.apply_config(op, now),
-            Event::Crash { server } => {
-                self.alive[server.0 as usize] = false;
-                self.monitor.crash_pending.insert(server, now);
-            }
-            Event::StartProbe { pkt, from } => self.start_probe(pkt, from, now),
-            Event::Fault(kind) => self.handle_fault(kind, now),
-        }
-    }
-
     /// Applies one scripted fault transition: cluster-level side effects
     /// first (liveness flags, vSwitch cycle multipliers), then the
     /// recorded condition set the per-packet queries are answered from.
-    fn handle_fault(&mut self, kind: FaultKind, now: SimTime) {
+    pub(crate) fn handle_fault(&mut self, kind: FaultKind, now: SimTime) {
         self.tel.inc(self.tel.fault_events);
         match &kind {
             FaultKind::Crash { server } => {
@@ -1229,1430 +501,5 @@ impl Cluster {
             _ => {}
         }
         self.faults.apply(&kind);
-    }
-
-    // ------------------------------------------------------------------
-    // Connection driving.
-    // ------------------------------------------------------------------
-
-    fn inject_step(&mut self, conn_id: u64, step_idx: usize, now: SimTime) {
-        let Some(conn) = self.conns.get(&conn_id) else {
-            return;
-        };
-        if conn.status != ConnStatus::InFlight || conn.pos != step_idx {
-            return;
-        }
-        let spec = conn.spec;
-        let script = spec.kind.script();
-        let step = script[step_idx];
-        let tuple = spec.step_tuple(step.dir);
-        let payload = if step.has_payload { spec.payload } else { 0 };
-        let trace = (conn_id << 4) | step_idx as u64;
-        let mut pkt = match step.dir {
-            Direction::Tx => {
-                Packet::tx_data(trace, spec.vpc, spec.vnic, tuple, step.flags, payload)
-            }
-            Direction::Rx => {
-                Packet::rx_data(trace, spec.vpc, spec.vnic, tuple, step.flags, payload)
-            }
-        };
-        self.tel.series_add(self.tel.total_series, now, 1.0);
-        match step.dir {
-            Direction::Tx => {
-                // VM-originated: the kernel pays its share of the
-                // connection's cycles to build and send the segment, then
-                // the packet appears at the home vSwitch.
-                let Some(vm) = self.vms.get_mut(&spec.vnic) else {
-                    return self.lose_packet(trace, now);
-                };
-                let Some(sent) = vm.deliver_packet(now) else {
-                    return self.lose_packet(trace, now);
-                };
-                let home = self.vnic_home[&spec.vnic];
-                self.engine.schedule_at(
-                    sent,
-                    Event::Arrive {
-                        server: home,
-                        pkt,
-                        sent_at: sent,
-                    },
-                );
-            }
-            Direction::Rx => {
-                pkt.overlay_encap_src = spec.overlay_encap_src;
-                // Peer-originated: resolve the vNIC's current location via
-                // the (possibly stale) gateway-learned mapping.
-                let addr = self.vnic_addr[&spec.vnic];
-                let h = self.select_hash(&tuple, trace);
-                let dst = self.gateway.select(addr, spec.peer_server, h, now);
-                match dst {
-                    Some(dst) => {
-                        pkt.outer_src = Some(spec.peer_server);
-                        pkt.outer_dst = Some(dst);
-                        let lat = self.topo.latency(spec.peer_server, dst, pkt.wire_len());
-                        self.engine.schedule_at(
-                            now + lat,
-                            Event::Arrive {
-                                server: dst,
-                                pkt,
-                                sent_at: now,
-                            },
-                        );
-                    }
-                    None => self.lose_packet(trace, now),
-                }
-            }
-        }
-    }
-
-    fn advance_conn(&mut self, conn_id: u64, from_step: usize, now: SimTime) {
-        let Some(conn) = self.conns.get_mut(&conn_id) else {
-            return;
-        };
-        if conn.status != ConnStatus::InFlight || conn.pos != from_step {
-            return; // duplicate / stale completion
-        }
-        conn.pos += 1;
-        conn.retries = 0;
-        self.tel.inc(self.tel.pkt_ok);
-        if conn.pos == conn.spec.kind.script().len() {
-            conn.status = ConnStatus::Completed;
-            let latency = now.since(conn.started_at);
-            self.tel.inc(self.tel.completed);
-            self.tel.observe_duration(self.tel.conn_latency, latency);
-            self.tel.series_add(self.tel.cps_series, now, 1.0);
-            if let Some(vm) = self.vms.get_mut(&conn.spec.vnic) {
-                vm.conn_completed();
-            }
-        } else {
-            let next = conn.pos;
-            self.inject_step(conn_id, next, now);
-        }
-    }
-
-    fn retry_step(&mut self, conn_id: u64, step: usize, now: SimTime) {
-        let Some(conn) = self.conns.get_mut(&conn_id) else {
-            return;
-        };
-        if conn.status != ConnStatus::InFlight || conn.pos != step {
-            return;
-        }
-        conn.retries += 1;
-        if conn.retries > self.cfg.max_retries {
-            conn.status = ConnStatus::Failed;
-            self.tel.inc(self.tel.failed);
-            return;
-        }
-        self.inject_step(conn_id, step, now);
-    }
-
-    /// Records a lost conn/probe packet and schedules the retry with
-    /// exponential backoff (base `retry_timeout`, doubling per retry up
-    /// to `retry_cap`) plus ±25% seeded jitter.
-    fn lose_packet(&mut self, trace: u64, now: SimTime) {
-        self.tel.series_add(self.tel.loss_series, now, 1.0);
-        self.tel.inc(self.tel.pkt_dropped);
-        if self.faults.any_active() {
-            self.tel.inc(self.tel.fault_inflight_loss);
-        }
-        if trace & PROBE_BIT != 0 || trace == 0 {
-            return; // probes and notify packets (trace 0) are not retried
-        }
-        let conn = trace >> 4;
-        let step = (trace & 0xf) as usize;
-        let retries = self.conns.get(&conn).map_or(0, |c| c.retries);
-        let base = retry_backoff(self.cfg.retry_timeout, self.cfg.retry_cap, retries);
-        let jitter = 0.75 + 0.5 * self.rng.f64();
-        let delay = SimDuration::from_secs_f64(base.as_secs_f64() * jitter);
-        self.engine
-            .schedule_in(delay, Event::RetryStep { conn, step });
-    }
-
-    /// A policy drop: terminal for the connection, no retry.
-    fn deny_conn(&mut self, trace: u64) {
-        if trace & PROBE_BIT != 0 {
-            return;
-        }
-        if let Some(conn) = self.conns.get_mut(&(trace >> 4)) {
-            if conn.status == ConnStatus::InFlight {
-                conn.status = ConnStatus::Denied;
-                self.tel.inc(self.tel.denied);
-            }
-        }
-    }
-
-    /// A step's packet reached its terminal point.
-    fn complete_step(&mut self, trace: u64, sent_at: SimTime, at: SimTime) {
-        if trace & PROBE_BIT != 0 {
-            if trace & SILENT_BIT == 0 {
-                self.tel
-                    .observe_duration(self.tel.probe_latency, at.since(sent_at));
-            }
-            return;
-        }
-        let conn = trace >> 4;
-        let step = (trace & 0xf) as usize;
-        self.engine.schedule_at(
-            at,
-            Event::AdvanceConn {
-                conn,
-                from_step: step,
-            },
-        );
-    }
-
-    fn start_probe(&mut self, mut pkt: Packet, from: ServerId, now: SimTime) {
-        let addr = self.vnic_addr[&pkt.vnic];
-        match self.gateway.select(addr, from, flow_hash(&pkt.tuple), now) {
-            Some(dst) => {
-                pkt.outer_src = Some(from);
-                pkt.outer_dst = Some(dst);
-                let lat = self.topo.latency(from, dst, pkt.wire_len());
-                self.engine.schedule_at(
-                    now + lat,
-                    Event::Arrive {
-                        server: dst,
-                        pkt,
-                        sent_at: now,
-                    },
-                );
-            }
-            None => self.lose_packet(pkt.trace, now),
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Data plane.
-    // ------------------------------------------------------------------
-
-    fn handle_arrive(&mut self, server: ServerId, pkt: Packet, sent_at: SimTime, now: SimTime) {
-        if !self.alive[server.0 as usize] {
-            self.trace_pkt(
-                now,
-                server,
-                &pkt,
-                TraceEventKind::Drop(DropReason::PeerDown),
-            );
-            self.tel.profile_fault_drop(&pkt, server, now);
-            return self.lose_packet(pkt.trace, now);
-        }
-        if let (Some(src), Some(dst)) = (pkt.outer_src, pkt.outer_dst) {
-            if self.link_blackholed(src, dst) {
-                self.trace_pkt(
-                    now,
-                    server,
-                    &pkt,
-                    TraceEventKind::Drop(DropReason::PeerDown),
-                );
-                self.tel.profile_fault_drop(&pkt, server, now);
-                return self.lose_packet(pkt.trace, now);
-            }
-            // Scripted link faults: partitions drop deterministically,
-            // (bursty) loss models sample the seeded fault RNG.
-            if self.faults.should_drop(src, dst) {
-                self.tel.inc(self.tel.fault_link_drops);
-                self.trace_pkt(now, server, &pkt, TraceEventKind::Drop(DropReason::Fault));
-                self.tel.profile_fault_drop(&pkt, server, now);
-                return self.lose_packet(pkt.trace, now);
-            }
-        }
-        if let Some(nsh) = pkt.nezha {
-            match nsh.kind {
-                NezhaPayloadKind::TxCarry => {
-                    self.fe_handle_tx_carry(server, nsh, pkt, sent_at, now)
-                }
-                NezhaPayloadKind::RxCarry => {
-                    self.be_handle_rx_carry(server, nsh, pkt, sent_at, now)
-                }
-                NezhaPayloadKind::Notify => self.be_handle_notify(server, nsh, pkt, now),
-                NezhaPayloadKind::HealthProbe | NezhaPayloadKind::HealthReply => {
-                    // Health traffic is handled inline by the monitor tick
-                    // (replies are modeled as observation of `alive`).
-                }
-            }
-            return;
-        }
-        // Plain packet.
-        let is_home = self.vnic_home.get(&pkt.vnic) == Some(&server);
-        if is_home {
-            match pkt.dir {
-                Direction::Tx => self.be_handle_tx(server, pkt, sent_at, now),
-                Direction::Rx => self.be_handle_direct_rx(server, pkt, sent_at, now),
-            }
-        } else if self.fes.contains_key(&(server, pkt.vnic)) && pkt.dir == Direction::Rx {
-            self.fe_handle_rx(server, pkt, sent_at, now);
-        } else {
-            // Stale mapping pointed at a server that is neither home nor a
-            // configured FE (e.g. an FE that was just scaled in).
-            self.tel.inc(self.tel.misroutes);
-            self.lose_packet(pkt.trace, now);
-        }
-    }
-
-    /// Does this vNIC currently steer TX traffic through FEs?
-    fn nezha_active_for_tx(&self, vnic: VnicId) -> bool {
-        self.be_meta.get(&vnic).is_some_and(|m| {
-            matches!(m.phase, OffloadPhase::OffloadDual | OffloadPhase::Offloaded)
-                && !m.ready_fes().is_empty()
-        })
-    }
-
-    /// The graceful-degradation trigger: an offloaded vNIC whose entire
-    /// FE pool is dead. The BE's rule tables are gone and every packet
-    /// hashed to an FE would be lost until the monitor rebuilds the pool
-    /// — which it will not do while suspended (Appendix C.2).
-    fn fe_pool_collapsed(&self, vnic: VnicId) -> bool {
-        self.be_meta.get(&vnic).is_some_and(|m| {
-            m.phase == OffloadPhase::Offloaded
-                && !m.ready_fes().iter().any(|fe| self.alive[fe.0 as usize])
-        })
-    }
-
-    /// Emergency fallback from the data plane when the FE pool collapses:
-    /// re-arm the BE with the master tables and schedule the normal
-    /// fallback teardown. Unlike [`Cluster::trigger_fallback`] this runs
-    /// mid-packet and tolerates the dead pool. Returns false when the
-    /// home vSwitch cannot fit the tables (packets stay lost until the
-    /// management plane recovers).
-    fn degrade_to_local(&mut self, vnic: VnicId, now: SimTime) -> bool {
-        let Some(home) = self.vnic_home.get(&vnic).copied() else {
-            return false;
-        };
-        let Some(master) = self.master_vnics.get(&vnic).cloned() else {
-            return false;
-        };
-        if self.switches[home.0 as usize].vnic(vnic).is_none()
-            && self.switches[home.0 as usize].add_vnic(master).is_err()
-        {
-            return false;
-        }
-        let Some(meta) = self.be_meta.get_mut(&vnic) else {
-            return false;
-        };
-        meta.phase = OffloadPhase::FallbackDual;
-        self.tel.inc(self.tel.degraded_events);
-        let addr = self.vnic_addr[&vnic];
-        let cfg = self.cfg.controller;
-        let gw_at = now + cfg.gateway_update_delay;
-        self.engine.schedule_at(
-            gw_at,
-            Event::Config(ConfigOp::GatewayUpdate {
-                addr,
-                servers: vec![home],
-            }),
-        );
-        self.engine.schedule_at(
-            gw_at + self.gateway.learning_interval() + SimDuration::from_millis(50),
-            Event::Config(ConfigOp::FallbackFinal { vnic }),
-        );
-        true
-    }
-
-    /// TX packet from the local VM at its home (BE) vSwitch.
-    fn be_handle_tx(&mut self, server: ServerId, pkt: Packet, sent_at: SimTime, now: SimTime) {
-        if self.fe_pool_collapsed(pkt.vnic) {
-            self.degrade_to_local(pkt.vnic, now);
-        }
-        if !self.nezha_active_for_tx(pkt.vnic) {
-            return self.process_locally(server, pkt, sent_at, now);
-        }
-        let key = SessionKey::of(pkt.vpc, pkt.tuple);
-        let vs = &mut self.switches[server.0 as usize];
-        let costs = vs.config().costs;
-        let mem_model = vs.config().memory;
-        let is_first = vs.sessions.get(&key).is_none();
-        let cycles = if is_first {
-            costs.be_first_packet
-        } else {
-            costs.be_per_packet
-        };
-        let done = match vs.charge(now, pkt.vnic, cycles) {
-            CpuOutcome::Dropped => return self.lose_packet(pkt.trace, now),
-            CpuOutcome::Done { done_at } => done_at,
-        };
-        let charged = vs.scaled_cycles(cycles);
-        self.controller.note_local_cycles(server, cycles);
-        // State handling: create (state-only) or update, locally.
-        if is_first {
-            let mem_ok = vs
-                .sessions
-                .establish(
-                    key,
-                    pkt.vnic,
-                    Direction::Tx,
-                    None,
-                    now,
-                    &mut vs.mem,
-                    &mem_model,
-                )
-                .is_ok();
-            if !mem_ok {
-                // State memory exhausted: the flow is processed but its
-                // stateful guarantees degrade (counted as overflow).
-            }
-        }
-        let mut nsh = NezhaHeader::bare(NezhaPayloadKind::TxCarry, pkt.vnic, pkt.vpc);
-        if let Some(entry) = vs.sessions.get_mut(&key) {
-            pipeline::update_state(None, &mut entry.state, &pkt);
-            entry.last_seen = now;
-            nsh.first_dir = entry.state.first_dir;
-            nsh.decap_addr = entry.state.decap.map(|d| d.overlay_src);
-            if entry.state.stats.policy != 0 {
-                nsh.stats_policy = Some(entry.state.stats.policy);
-            }
-        } else {
-            nsh.first_dir = Some(Direction::Tx);
-        }
-        // Select the FE by flow hash and ship the packet with its state.
-        // `nezha_active_for_tx` above implies the meta exists; degrade to a
-        // loss (never a panic) if that invariant is ever broken.
-        let Some(meta) = self.be_meta.get(&pkt.vnic) else {
-            return self.lose_packet(pkt.trace, now);
-        };
-        let h = match self.cfg.lb_mode {
-            LbMode::FlowLevel => flow_hash(&pkt.tuple),
-            LbMode::PacketLevel => packet_hash(&pkt.tuple, pkt.trace),
-        };
-        let Some(fe) = meta.select_fe(&key, h) else {
-            return self.lose_packet(pkt.trace, now);
-        };
-        let mut out = pkt.with_nezha(nsh);
-        out.outer_src = Some(server);
-        out.outer_dst = Some(fe);
-        // Span tree: the BE charge is pure session work (the cost model
-        // does not split it further); the zero-cycle encap marker is the
-        // causal parent the FE's span will hang off across the hop.
-        if let Some(root) = self.tel.profile_handler(
-            self.tel.stages.be_tx,
-            &pkt,
-            server,
-            now,
-            done,
-            &[(self.tel.stages.session_update, charged)],
-        ) {
-            let encap = self.tel.profiler.record(Span {
-                stage: self.tel.stages.nsh_encap,
-                parent: Some(root),
-                trace: pkt.trace,
-                server,
-                vnic: pkt.vnic,
-                start: done,
-                end: done,
-                cycles: 0,
-                bytes: 0,
-                packets: 0,
-            });
-            if let Some(encap) = encap {
-                out.prof_span = encap.to_raw();
-            }
-        }
-        self.trace_pkt(done, server, &out, TraceEventKind::NshEncap);
-        let lat = self.topo.latency(server, fe, out.wire_len());
-        self.engine.schedule_at(
-            done + lat,
-            Event::Arrive {
-                server: fe,
-                pkt: out,
-                sent_at,
-            },
-        );
-    }
-
-    /// TX-carried packet arriving at an FE: look up pre-actions, finalize
-    /// with the carried state, and forward to the destination.
-    fn fe_handle_tx_carry(
-        &mut self,
-        server: ServerId,
-        nsh: NezhaHeader,
-        mut pkt: Packet,
-        sent_at: SimTime,
-        now: SimTime,
-    ) {
-        if !self.fes.contains_key(&(server, pkt.vnic)) {
-            self.tel.inc(self.tel.misroutes);
-            return self.lose_packet(pkt.trace, now);
-        }
-        self.trace_pkt(now, server, &pkt, TraceEventKind::NshDecap);
-        // Split borrows: switch and FE are distinct fields.
-        let vs = &mut self.switches[server.0 as usize];
-        let mem_model = vs.config().memory;
-        let costs = vs.config().costs;
-        let Some(fe) = self.fes.get_mut(&(server, pkt.vnic)) else {
-            return; // membership checked on entry; fes untouched since
-        };
-        // A cache miss re-executes the full slow path: "the FE executes
-        // the same code as before deploying Nezha" (§5.1) — which is why
-        // per-FE CPS capacity matches a local vSwitch's, and Fig. 9's
-        // gain curve needs ~4 FEs to saturate the VM.
-        let slow = fe.vnic.slow_path_cycles(&costs, pkt.wire_len());
-        let (pair, miss) = fe.lookup_or_insert(&pkt.tuple, Direction::Tx, &mut vs.mem, &mem_model);
-        let cycles = costs.fe_carry
-            + if miss {
-                slow
-            } else {
-                costs.fast_path_cycles(pkt.wire_len())
-            };
-        let done = match vs.charge(now, pkt.vnic, cycles) {
-            CpuOutcome::Dropped => return self.lose_packet(pkt.trace, now),
-            CpuOutcome::Done { done_at } => done_at,
-        };
-        // Attribute the FE charge: the `fe_carry` share is NSH decap work,
-        // the remainder follows the lookup path's own cost decomposition.
-        // The root hangs off the BE's encap marker carried in `prof_span`,
-        // and replaces it so the notify (if any) chains off this FE visit.
-        if self.tel.profiler.is_enabled() {
-            let charged = vs.scaled_cycles(cycles);
-            let decap = charged.min(costs.fe_carry);
-            let leaves = fe_stage_leaves(
-                &self.tel.stages,
-                self.tel.stages.nsh_decap,
-                decap,
-                pipeline::stage_costs(
-                    &costs,
-                    &fe.vnic,
-                    pkt.wire_len(),
-                    charged - decap,
-                    fe_path(miss),
-                ),
-            );
-            if let Some(root) = self.tel.profile_handler(
-                self.tel.stages.fe_tx_carry,
-                &pkt,
-                server,
-                now,
-                done,
-                &leaves,
-            ) {
-                pkt.prof_span = root.to_raw();
-            }
-        }
-        self.controller.note_remote_cycles(server, cycles);
-
-        // Reconstruct the carried state and finalize.
-        let mut carried = nezha_types::SessionState {
-            first_dir: nsh.first_dir,
-            ..Default::default()
-        };
-        if let Some(a) = nsh.decap_addr {
-            carried.decap = Some(nezha_types::StatefulDecapState { overlay_src: a });
-        }
-        if let Some(p) = nsh.stats_policy {
-            carried.stats.policy = p;
-        }
-        let inner = pkt.strip_nezha();
-        let action = pipeline::finalize_with_state(&pair.tx, &carried, &inner);
-        if action.verdict == nezha_types::Decision::Drop {
-            return self.deny_conn(pkt.trace);
-        }
-        self.tel.add(
-            self.tel.mirror_copies,
-            pipeline::mirror_copies(&action) as u64,
-        );
-
-        // Notify packets: rule-table-involved state discovered at the FE
-        // that differs from what the packet carried (§3.2.2).
-        let state_differs =
-            pair.tx.stats_policy != 0 && nsh.stats_policy != Some(pair.tx.stats_policy);
-        if miss && (state_differs || self.cfg.notify_always) {
-            self.send_notify(server, &pkt, pair.tx.stats_policy, done, now);
-        }
-
-        // Forward toward the destination (peer endpoint).
-        self.forward_to_peer(server, inner, action, sent_at, done);
-    }
-
-    /// RX packet arriving at an FE from the fabric: look up pre-actions,
-    /// piggyback them (plus state-initialization info), send to the BE.
-    fn fe_handle_rx(&mut self, server: ServerId, pkt: Packet, sent_at: SimTime, now: SimTime) {
-        let vs = &mut self.switches[server.0 as usize];
-        let mem_model = vs.config().memory;
-        let costs = vs.config().costs;
-        let Some(fe) = self.fes.get_mut(&(server, pkt.vnic)) else {
-            return; // caller (handle_arrive) checked membership
-        };
-        let slow = fe.vnic.slow_path_cycles(&costs, pkt.wire_len());
-        let be = fe.be_location;
-        let (pair, miss) = fe.lookup_or_insert(&pkt.tuple, Direction::Rx, &mut vs.mem, &mem_model);
-        let cycles = costs.fe_carry
-            + if miss {
-                slow
-            } else {
-                costs.fast_path_cycles(pkt.wire_len())
-            };
-        let done = match vs.charge(now, pkt.vnic, cycles) {
-            CpuOutcome::Dropped => return self.lose_packet(pkt.trace, now),
-            CpuOutcome::Done { done_at } => done_at,
-        };
-        // Attribute the FE charge as on the TX side, except the carry
-        // share is encap work here (the FE wraps the packet for the BE).
-        let mut hop_span = 0u64;
-        if self.tel.profiler.is_enabled() {
-            let charged = vs.scaled_cycles(cycles);
-            let encap = charged.min(costs.fe_carry);
-            let leaves = fe_stage_leaves(
-                &self.tel.stages,
-                self.tel.stages.nsh_encap,
-                0,
-                pipeline::stage_costs(
-                    &costs,
-                    &fe.vnic,
-                    pkt.wire_len(),
-                    charged - encap,
-                    fe_path(miss),
-                ),
-            );
-            if let Some(root) = self.tel.profile_handler(
-                self.tel.stages.fe_rx,
-                &pkt,
-                server,
-                now,
-                done,
-                &leaves,
-            ) {
-                // The encap leaf doubles as the causal hop parent the BE
-                // will see — record it explicitly to capture its id.
-                let id = self.tel.profiler.record(Span {
-                    stage: self.tel.stages.nsh_encap,
-                    parent: Some(root),
-                    trace: pkt.trace,
-                    server,
-                    vnic: pkt.vnic,
-                    start: now,
-                    end: done,
-                    cycles: encap,
-                    bytes: 0,
-                    packets: 0,
-                });
-                if let Some(id) = id {
-                    hop_span = id.to_raw();
-                }
-            }
-        }
-        self.controller.note_remote_cycles(server, cycles);
-
-        let mut nsh = NezhaHeader::bare(NezhaPayloadKind::RxCarry, pkt.vnic, pkt.vpc);
-        nsh.pre_actions = Some(pair);
-        // Information the BE needs for state init that FE processing
-        // destroys: the overlay encap source (stateful decap, §3.2.2).
-        nsh.decap_addr = pkt.overlay_encap_src;
-        if pair.rx.stats_policy != 0 {
-            nsh.stats_policy = Some(pair.rx.stats_policy);
-        }
-        let mut out = pkt;
-        out.overlay_encap_src = None; // FE rewrites the outer header
-        let mut out = out.with_nezha(nsh);
-        out.outer_src = Some(server);
-        out.outer_dst = Some(be);
-        out.prof_span = hop_span;
-        self.trace_pkt(done, server, &out, TraceEventKind::NshEncap);
-        let lat = self.topo.latency(server, be, out.wire_len());
-        self.engine.schedule_at(
-            done + lat,
-            Event::Arrive {
-                server: be,
-                pkt: out,
-                sent_at,
-            },
-        );
-    }
-
-    /// RX-carried packet arriving at the BE: update local state with the
-    /// piggybacked pre-actions and deliver to the VM.
-    fn be_handle_rx_carry(
-        &mut self,
-        server: ServerId,
-        nsh: NezhaHeader,
-        pkt: Packet,
-        sent_at: SimTime,
-        now: SimTime,
-    ) {
-        if self.vnic_home.get(&pkt.vnic) != Some(&server) {
-            self.tel.inc(self.tel.misroutes);
-            return self.lose_packet(pkt.trace, now);
-        }
-        let Some(pair) = nsh.pre_actions else {
-            self.tel.inc(self.tel.misroutes);
-            return self.lose_packet(pkt.trace, now);
-        };
-        self.trace_pkt(now, server, &pkt, TraceEventKind::NshDecap);
-        let key = SessionKey::of(pkt.vpc, pkt.tuple);
-        let vs = &mut self.switches[server.0 as usize];
-        let mem_model = vs.config().memory;
-        let costs = vs.config().costs;
-        let is_first = vs.sessions.get(&key).is_none();
-        let cycles = if is_first {
-            costs.be_first_packet
-        } else {
-            costs.be_per_packet
-        };
-        let done = match vs.charge(now, pkt.vnic, cycles) {
-            CpuOutcome::Dropped => return self.lose_packet(pkt.trace, now),
-            CpuOutcome::Done { done_at } => done_at,
-        };
-        // The BE charge is again pure session work; the zero-cycle decap
-        // marker documents the hop in the tree (flamegraphs skip it).
-        if let Some(root) = self.tel.profile_handler(
-            self.tel.stages.be_rx_carry,
-            &pkt,
-            server,
-            now,
-            done,
-            &[(self.tel.stages.session_update, vs.scaled_cycles(cycles))],
-        ) {
-            self.tel.profiler.record(Span {
-                stage: self.tel.stages.nsh_decap,
-                parent: Some(root),
-                trace: pkt.trace,
-                server,
-                vnic: pkt.vnic,
-                start: now,
-                end: now,
-                cycles: 0,
-                bytes: 0,
-                packets: 0,
-            });
-        }
-        self.controller.note_local_cycles(server, cycles);
-
-        if is_first {
-            let _ = vs.sessions.establish(
-                key,
-                pkt.vnic,
-                Direction::Rx,
-                None,
-                now,
-                &mut vs.mem,
-                &mem_model,
-            );
-        }
-        // Restore the info the FE carried for state initialization.
-        let mut inner = pkt.strip_nezha();
-        inner.overlay_encap_src = nsh.decap_addr;
-        let action = if let Some(entry) = vs.sessions.get_mut(&key) {
-            entry.last_seen = now;
-            // Adopt rule-table-involved state piggybacked in the header
-            // without verification (§3.2.2 RX workflow).
-            if let Some(p) = nsh.stats_policy {
-                entry.state.stats.policy = p;
-            }
-            pipeline::process_pkt(&pair.rx, &mut entry.state, &inner)
-        } else {
-            let mut scratch = nezha_types::SessionState::default();
-            pipeline::process_pkt(&pair.rx, &mut scratch, &inner)
-        };
-        if action.verdict == nezha_types::Decision::Drop {
-            return self.deny_conn(pkt.trace);
-        }
-        self.tel.add(
-            self.tel.mirror_copies,
-            pipeline::mirror_copies(&action) as u64,
-        );
-        self.deliver_to_vm(pkt.vnic, pkt.trace, sent_at, done, now);
-    }
-
-    /// Standalone notify packet at the BE (§3.2.2 TX workflow).
-    fn be_handle_notify(&mut self, server: ServerId, nsh: NezhaHeader, pkt: Packet, now: SimTime) {
-        let key = SessionKey::of(pkt.vpc, pkt.tuple);
-        let vs = &mut self.switches[server.0 as usize];
-        let cycles = vs.config().costs.be_per_packet;
-        let done = match vs.charge(now, pkt.vnic, cycles) {
-            // A lost notify is retried implicitly on the next miss.
-            CpuOutcome::Dropped => return,
-            CpuOutcome::Done { done_at } => done_at,
-        };
-        // The notify chains off the FE span that emitted it, closing the
-        // BE → FE → BE causal loop for the packet that missed.
-        self.tel.profile_handler(
-            self.tel.stages.be_notify,
-            &pkt,
-            server,
-            now,
-            done,
-            &[(self.tel.stages.notify, vs.scaled_cycles(cycles))],
-        );
-        if let Some(entry) = vs.sessions.get_mut(&key) {
-            if let Some(p) = nsh.stats_policy {
-                entry.state.stats.policy = p;
-            }
-        }
-    }
-
-    /// RX packet arriving directly at the BE (sender's mapping is stale or
-    /// the vNIC is simply not offloaded).
-    fn be_handle_direct_rx(
-        &mut self,
-        server: ServerId,
-        pkt: Packet,
-        sent_at: SimTime,
-        now: SimTime,
-    ) {
-        // Graceful degradation: with every FE dead, bouncing is futile —
-        // fall back to local processing if the tables fit.
-        if self.fe_pool_collapsed(pkt.vnic) && self.degrade_to_local(pkt.vnic, now) {
-            return self.process_locally(server, pkt, sent_at, now);
-        }
-        let key = SessionKey::of(pkt.vpc, pkt.tuple);
-        let fe = match self.be_meta.get(&pkt.vnic) {
-            Some(meta) if meta.phase == OffloadPhase::Offloaded => {
-                meta.select_fe(&key, flow_hash(&pkt.tuple))
-            }
-            // Local / dual-running: the BE still has rules and flows.
-            _ => return self.process_locally(server, pkt, sent_at, now),
-        };
-        // Final stage: tables are gone. Bounce to an FE (costs a parse).
-        self.tel.inc(self.tel.stale_bounces);
-        let Some(fe) = fe else {
-            return self.lose_packet(pkt.trace, now);
-        };
-        let vs = &mut self.switches[server.0 as usize];
-        let cycles = vs.config().costs.parse;
-        let done = match vs.charge(now, pkt.vnic, cycles) {
-            CpuOutcome::Dropped => return self.lose_packet(pkt.trace, now),
-            CpuOutcome::Done { done_at } => done_at,
-        };
-        let mut out = pkt;
-        // A stale bounce costs one parse; the FE visit it triggers hangs
-        // off this root via `prof_span`.
-        if let Some(root) = self.tel.profile_handler(
-            self.tel.stages.be_direct_rx,
-            &pkt,
-            server,
-            now,
-            done,
-            &[(self.tel.stages.parse, vs.scaled_cycles(cycles))],
-        ) {
-            out.prof_span = root.to_raw();
-        }
-        out.outer_src = Some(server);
-        out.outer_dst = Some(fe);
-        let lat = self.topo.latency(server, fe, out.wire_len());
-        self.engine.schedule_at(
-            done + lat,
-            Event::Arrive {
-                server: fe,
-                pkt: out,
-                sent_at,
-            },
-        );
-    }
-
-    /// Traditional processing at the home vSwitch.
-    fn process_locally(&mut self, server: ServerId, pkt: Packet, sent_at: SimTime, now: SimTime) {
-        let vs = &mut self.switches[server.0 as usize];
-        let slow_cycles = vs
-            .vnic(pkt.vnic)
-            .map(|v| v.slow_path_cycles(&vs.config().costs, pkt.wire_len()));
-        let r = vs.process_local(&pkt, now);
-        let cycles_hint = match r.path {
-            nezha_vswitch::PathTaken::Fast => vs.config().costs.fast_path_cycles(pkt.wire_len()),
-            nezha_vswitch::PathTaken::Slow => slow_cycles
-                .unwrap_or_else(|| vs.config().costs.slow_path_cycles(pkt.wire_len(), 0, 0)),
-        };
-        self.controller.note_local_cycles(server, cycles_hint);
-        match r.outcome {
-            ProcessOutcome::Forwarded(action) => {
-                self.tel.add(
-                    self.tel.mirror_copies,
-                    pipeline::mirror_copies(&action) as u64,
-                );
-                match pkt.dir {
-                    Direction::Tx => self.forward_to_peer(server, pkt, action, sent_at, r.done_at),
-                    Direction::Rx => {
-                        self.deliver_to_vm(pkt.vnic, pkt.trace, sent_at, r.done_at, now)
-                    }
-                }
-            }
-            ProcessOutcome::AclDrop | ProcessOutcome::Unroutable | ProcessOutcome::RateLimited => {
-                self.deny_conn(pkt.trace)
-            }
-            ProcessOutcome::CpuOverload => self.lose_packet(pkt.trace, now),
-        }
-    }
-
-    /// Final TX forwarding toward the peer endpoint: the conn/probe's
-    /// packet has cleared the Nezha/local pipeline.
-    fn forward_to_peer(
-        &mut self,
-        from: ServerId,
-        pkt: Packet,
-        action: nezha_types::Action,
-        sent_at: SimTime,
-        done: SimTime,
-    ) {
-        // Resolve where the peer lives: the action's next hop when the
-        // tables knew it, else the conn spec (gateway egress).
-        let peer = action.next_hop.or_else(|| {
-            self.conns
-                .get(&(pkt.trace >> 4))
-                .map(|c| c.spec.peer_server)
-        });
-        let Some(peer) = peer else {
-            // No destination (pure probe toward gateway): terminal here.
-            self.complete_step(pkt.trace, sent_at, done);
-            return;
-        };
-        let lat = self.topo.latency(from, peer, pkt.wire_len());
-        // The peer endpoint consumes the packet without vSwitch charging
-        // (the peer side is assumed unloaded, §6.1 testbed setup).
-        self.complete_step(pkt.trace, sent_at, done + lat);
-    }
-
-    /// Final RX delivery into the VM kernel.
-    fn deliver_to_vm(
-        &mut self,
-        vnic: VnicId,
-        trace: u64,
-        sent_at: SimTime,
-        done: SimTime,
-        now: SimTime,
-    ) {
-        let Some(vm) = self.vms.get_mut(&vnic) else {
-            return self.complete_step(trace, sent_at, done);
-        };
-        match vm.deliver_packet(done) {
-            Some(kernel_done) => self.complete_step(trace, sent_at, kernel_done),
-            None => self.lose_packet(trace, now),
-        }
-    }
-
-    fn send_notify(
-        &mut self,
-        fe_server: ServerId,
-        pkt: &Packet,
-        policy: u8,
-        done: SimTime,
-        _now: SimTime,
-    ) {
-        self.tel.inc(self.tel.notifies);
-        self.trace_pkt(done, fe_server, pkt, TraceEventKind::Notify);
-        let be = self.vnic_home[&pkt.vnic];
-        let mut nsh = NezhaHeader::bare(NezhaPayloadKind::Notify, pkt.vnic, pkt.vpc);
-        nsh.stats_policy = Some(policy);
-        let mut notify = Packet::tx_data(
-            0,
-            pkt.vpc,
-            pkt.vnic,
-            pkt.tuple,
-            nezha_types::TcpFlags::empty(),
-            0,
-        )
-        .with_nezha(nsh);
-        notify.outer_src = Some(fe_server);
-        notify.outer_dst = Some(be);
-        // The notify inherits the emitting FE visit's span so the BE-side
-        // processing lands in the same causal tree as the original packet.
-        notify.prof_span = pkt.prof_span;
-        // Scripted notify loss (§3.2.2's channel is best-effort: the BE's
-        // rule-table-involved state converges on a later miss instead).
-        if self.faults.drop_notify() {
-            self.tel.inc(self.tel.fault_notify_drops);
-            self.trace_pkt(
-                done,
-                fe_server,
-                &notify,
-                TraceEventKind::Drop(DropReason::Fault),
-            );
-            self.tel.profile_fault_drop(&notify, fe_server, done);
-            return;
-        }
-        let lat = self.topo.latency(fe_server, be, notify.wire_len());
-        self.engine.schedule_at(
-            done + lat,
-            Event::Arrive {
-                server: be,
-                pkt: notify,
-                sent_at: done,
-            },
-        );
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::vm::VmConfig;
-    use nezha_types::{FiveTuple, VpcId};
-    use nezha_vswitch::vnic::VnicProfile;
-
-    const HOME: ServerId = ServerId(0);
-    const VNIC: VnicId = VnicId(1);
-    const SVC_PORT: u16 = 9000;
-
-    fn small_cluster(auto: bool) -> Cluster {
-        let cfg = ClusterConfig::builder()
-            .topology(TopologyConfig {
-                servers_per_rack: 8,
-                racks_per_pod: 2,
-                pods: 1,
-                ..TopologyConfig::default()
-            })
-            .auto(auto)
-            .build();
-        let mut cluster = Cluster::new(cfg);
-        let mut vnic = Vnic::new(
-            VNIC,
-            VpcId(1),
-            Ipv4Addr::new(10, 7, 0, 1),
-            VnicProfile::default(),
-            HOME,
-        );
-        vnic.allow_inbound_port(SVC_PORT);
-        cluster
-            .add_vnic(vnic, HOME, VmConfig::with_vcpus(64))
-            .unwrap();
-        cluster
-    }
-
-    fn inbound_spec(n: u16, at: SimTime) -> crate::conn::ConnSpec {
-        crate::conn::ConnSpec {
-            vnic: VNIC,
-            vpc: VpcId(1),
-            tuple: FiveTuple::tcp(
-                Ipv4Addr::new(10, 7, 1, (n % 200) as u8 + 1),
-                10_000 + n,
-                Ipv4Addr::new(10, 7, 0, 1),
-                SVC_PORT,
-            ),
-            peer_server: ServerId(8 + (n % 8) as u32), // other rack
-            kind: crate::conn::ConnKind::Inbound,
-            start: at,
-            payload: 128,
-            overlay_encap_src: None,
-        }
-    }
-
-    fn run_conns(cluster: &mut Cluster, n: u16, spacing: SimDuration) -> SimTime {
-        for i in 0..n {
-            cluster
-                .add_conn(inbound_spec(i, SimTime(0) + spacing.times(i as u64)))
-                .unwrap();
-        }
-        let end = SimTime(0) + spacing.times(n as u64) + SimDuration::from_secs(5);
-        cluster.run_until(end);
-        end
-    }
-
-    #[test]
-    fn retry_backoff_doubles_and_caps() {
-        let base = SimDuration::from_millis(500);
-        let cap = SimDuration::from_secs(2);
-        assert_eq!(retry_backoff(base, cap, 0), SimDuration::from_millis(500));
-        assert_eq!(retry_backoff(base, cap, 1), SimDuration::from_secs(1));
-        assert_eq!(retry_backoff(base, cap, 2), SimDuration::from_secs(2));
-        // Saturates at the cap from then on, even for huge retry counts.
-        assert_eq!(retry_backoff(base, cap, 3), cap);
-        assert_eq!(retry_backoff(base, cap, 63), cap);
-        assert_eq!(retry_backoff(base, cap, u32::MAX), cap);
-    }
-
-    #[test]
-    fn scheduled_retries_back_off_exponentially_with_bounded_jitter() {
-        // Drive lose_packet directly for one registered conn and check the
-        // scheduled RetryStep delays grow like base·2^k (±25%), capped.
-        let mut c = small_cluster(false);
-        let id = c.add_conn(inbound_spec(1, SimTime(0))).unwrap();
-        let base = c.cfg.retry_timeout;
-        let cap = c.cfg.retry_cap;
-        for k in 0..=c.cfg.max_retries {
-            // Isolate the one RetryStep this loss schedules.
-            c.engine.clear();
-            if let Some(conn) = c.conns.get_mut(&id) {
-                conn.retries = k;
-            }
-            let before = c.engine.now();
-            c.lose_packet(id << 4, before);
-            let sched = c
-                .engine
-                .peek_time()
-                .expect("lose_packet schedules a RetryStep");
-            let delay = sched.since(before);
-            let nominal = retry_backoff(base, cap, k);
-            let lo = SimDuration::from_secs_f64(nominal.as_secs_f64() * 0.75);
-            let hi = SimDuration::from_secs_f64(nominal.as_secs_f64() * 1.25);
-            assert!(
-                delay >= lo && delay <= hi,
-                "retry {k}: delay {delay:?} outside [{lo:?}, {hi:?}]"
-            );
-        }
-    }
-
-    #[test]
-    fn local_baseline_completes_connections() {
-        let mut c = small_cluster(false);
-        run_conns(&mut c, 50, SimDuration::from_millis(2));
-        assert_eq!(
-            c.stats().completed,
-            50,
-            "failed={} denied={}",
-            c.stats().failed,
-            c.stats().denied
-        );
-        assert_eq!(c.stats().failed, 0);
-        assert_eq!(c.stats().denied, 0);
-        // Sessions were tracked and later aged out.
-        let (created, _, _) = c.switch(HOME).unwrap().sessions.counters();
-        assert_eq!(created, 50);
-    }
-
-    #[test]
-    fn control_plane_errors_are_typed() {
-        let mut c = small_cluster(false);
-        let ghost = VnicId(99);
-        assert_eq!(
-            c.trigger_offload(ghost, SimTime(0)),
-            Err(NezhaError::UnknownVnic(ghost))
-        );
-        assert_eq!(
-            c.add_conn(crate::conn::ConnSpec {
-                vnic: ghost,
-                ..inbound_spec(1, SimTime(0))
-            }),
-            Err(NezhaError::UnknownVnic(ghost))
-        );
-        let key = SessionKey::of(VpcId(1), inbound_spec(1, SimTime(0)).tuple);
-        assert_eq!(
-            c.pin_flow(ghost, key, ServerId(1)),
-            Err(NezhaError::NotOffloaded(ghost))
-        );
-        assert_eq!(
-            c.switch(ServerId(9_999)).err(),
-            Some(NezhaError::UnknownServer(ServerId(9_999)))
-        );
-        c.trigger_offload(VNIC, SimTime(0)).unwrap();
-        assert_eq!(
-            c.trigger_offload(VNIC, SimTime(0)),
-            Err(NezhaError::AlreadyOffloaded(VNIC))
-        );
-        // Fallback before the offload reaches its final stage is refused.
-        assert_eq!(
-            c.trigger_fallback(VNIC, c.now()),
-            Err(NezhaError::OffloadInProgress(VNIC))
-        );
-        c.run_until(SimTime(0) + SimDuration::from_secs(3));
-        // Pinning to a server that hosts no FE for the vNIC is refused.
-        let not_fe = ServerId(15);
-        assert!(!c.fe_servers(VNIC).contains(&not_fe));
-        assert_eq!(
-            c.pin_flow(VNIC, key, not_fe),
-            Err(NezhaError::NotAnFe {
-                vnic: VNIC,
-                fe: not_fe
-            })
-        );
-    }
-
-    #[test]
-    fn unsolicited_port_is_denied_statefully() {
-        let mut c = small_cluster(false);
-        let mut spec = inbound_spec(1, SimTime(0));
-        spec.tuple.dst_port = 47_123; // no accept rule, stateful default
-        c.add_conn(spec).unwrap();
-        c.run_until(SimTime(0) + SimDuration::from_secs(5));
-        assert_eq!(c.stats().denied, 1);
-        assert_eq!(c.stats().completed, 0);
-    }
-
-    #[test]
-    fn manual_offload_reaches_final_stage_without_loss() {
-        let mut c = small_cluster(false);
-        // Warm traffic before the offload.
-        for i in 0..40 {
-            c.add_conn(inbound_spec(
-                i,
-                SimTime(0) + SimDuration::from_millis(5 * i as u64),
-            ))
-            .unwrap();
-        }
-        c.run_until(SimTime(0) + SimDuration::from_millis(100));
-        c.trigger_offload(VNIC, c.now()).unwrap();
-        // Traffic continues through the transition.
-        for i in 40..120 {
-            c.add_conn(inbound_spec(
-                i,
-                c.now() + SimDuration::from_millis(5 * (i - 40) as u64),
-            ))
-            .unwrap();
-        }
-        c.run_until(c.now() + SimDuration::from_secs(8));
-        let meta = c.backend(VNIC).expect("offloaded");
-        assert_eq!(meta.phase, OffloadPhase::Offloaded);
-        assert_eq!(meta.fe_list.len(), 4);
-        assert!(meta.activated_at.is_some());
-        assert_eq!(
-            c.stats().completed,
-            120,
-            "failed={} denied={} misroutes={}",
-            c.stats().failed,
-            c.stats().denied,
-            c.stats().misroutes
-        );
-        assert_eq!(c.stats().failed, 0);
-        // Completion time recorded, in Table 4's ballpark.
-        let mean = c.stats().offload_completion.mean();
-        assert!((0.3..3.0).contains(&mean), "completion {mean}s");
-        // FEs actually processed traffic.
-        let fe_hits: u64 = c
-            .fe_servers(VNIC)
-            .iter()
-            .map(|s| c.fes[&(*s, VNIC)].counters().0)
-            .sum();
-        assert!(fe_hits > 0, "FEs never saw traffic");
-        // BE rule tables are gone; home switch no longer hosts the vNIC.
-        assert!(c.switch(HOME).unwrap().vnic(VNIC).is_none());
-    }
-
-    #[test]
-    fn offloaded_traffic_spreads_across_fes() {
-        let mut c = small_cluster(false);
-        c.trigger_offload(VNIC, SimTime(0)).unwrap();
-        c.run_until(SimTime(0) + SimDuration::from_secs(3));
-        for i in 0..200 {
-            c.add_conn(inbound_spec(
-                i,
-                c.now() + SimDuration::from_millis(i as u64),
-            ))
-            .unwrap();
-        }
-        c.run_until(c.now() + SimDuration::from_secs(6));
-        assert_eq!(c.stats().completed, 200);
-        // Every FE served some flows (hash spreading, §3.2.3).
-        for s in c.fe_servers(VNIC) {
-            let (hits, misses, _) = c.fes[&(s, VNIC)].counters();
-            assert!(hits + misses > 0, "FE on {s} idle");
-        }
-        // Notifies were generated for stats-policy flows only on misses.
-        assert!(c.stats().notifies <= c.stats().completed * 2);
-    }
-
-    #[test]
-    fn fe_crash_fails_over_within_seconds() {
-        let mut c = small_cluster(false);
-        c.trigger_offload(VNIC, SimTime(0)).unwrap();
-        c.run_until(SimTime(0) + SimDuration::from_secs(3));
-        let victim = c.fe_servers(VNIC)[0];
-        let crash_at = c.now() + SimDuration::from_secs(1);
-        c.crash_at(victim, crash_at);
-        // Continuous traffic across the crash.
-        for i in 0..600 {
-            c.add_conn(inbound_spec(
-                i,
-                c.now() + SimDuration::from_millis(10 * i as u64),
-            ))
-            .unwrap();
-        }
-        c.run_until(c.now() + SimDuration::from_secs(12));
-        assert!(c.stats().failover_events >= 1);
-        // The pool is restored to the 4-FE floor on live servers.
-        let fes = c.fe_servers(VNIC);
-        assert_eq!(fes.len(), 4, "pool {fes:?}");
-        assert!(!fes.contains(&victim));
-        // Losses were transient: the vast majority of conns completed.
-        let total = c.stats().completed + c.stats().failed + c.stats().denied;
-        assert_eq!(total, 600);
-        assert!(
-            c.stats().completed >= 590,
-            "completed {}",
-            c.stats().completed
-        );
-        // Loss was confined to around the crash instant (Fig. 14 shape).
-        assert!(c.stats().pkts.dropped > 0, "crash must cost some packets");
-    }
-
-    #[test]
-    fn fallback_returns_to_local_processing() {
-        let mut c = small_cluster(false);
-        c.trigger_offload(VNIC, SimTime(0)).unwrap();
-        c.run_until(SimTime(0) + SimDuration::from_secs(3));
-        assert_eq!(c.backend(VNIC).unwrap().phase, OffloadPhase::Offloaded);
-        c.trigger_fallback(VNIC, c.now()).unwrap();
-        c.run_until(c.now() + SimDuration::from_secs(3));
-        assert!(c.backend(VNIC).is_none(), "fallback must clear BE meta");
-        assert_eq!(c.fe_count(VNIC), 0);
-        assert!(
-            c.switch(HOME).unwrap().vnic(VNIC).is_some(),
-            "tables restored"
-        );
-        // Traffic flows locally again.
-        for i in 0..30 {
-            c.add_conn(inbound_spec(
-                i,
-                c.now() + SimDuration::from_millis(2 * i as u64),
-            ))
-            .unwrap();
-        }
-        c.run_until(c.now() + SimDuration::from_secs(5));
-        assert_eq!(c.stats().completed, 30);
-        assert_eq!(c.stats().failed, 0);
-    }
-
-    #[test]
-    fn probe_latency_gains_one_hop_after_offload() {
-        let mut c = small_cluster(false);
-        let tuple = FiveTuple::tcp(
-            Ipv4Addr::new(10, 7, 1, 9),
-            12345,
-            Ipv4Addr::new(10, 7, 0, 1),
-            SVC_PORT,
-        );
-        // Local probe.
-        c.inject_probe_rx(VNIC, tuple, 64, ServerId(9), SimTime(0))
-            .unwrap();
-        c.run_until(SimTime(0) + SimDuration::from_millis(100));
-        assert_eq!(c.stats().probe_latency.len(), 1);
-        let local = c.stats().probe_latency.raw()[0];
-
-        // Offloaded probe (new session, same path shape plus FE detour).
-        c.trigger_offload(VNIC, c.now()).unwrap();
-        c.run_until(c.now() + SimDuration::from_secs(3));
-        let tuple2 = FiveTuple::tcp(
-            Ipv4Addr::new(10, 7, 1, 10),
-            12346,
-            Ipv4Addr::new(10, 7, 0, 1),
-            SVC_PORT,
-        );
-        c.inject_probe_rx(VNIC, tuple2, 64, ServerId(9), c.now())
-            .unwrap();
-        c.run_until(c.now() + SimDuration::from_millis(100));
-        assert_eq!(c.stats().probe_latency.len(), 2);
-        let offloaded = c.stats().probe_latency.raw()[1];
-        let extra = offloaded - local;
-        // Fig. 12: the detour adds a few tens of microseconds at most.
-        assert!(extra > 0.0, "offloaded {offloaded} <= local {local}");
-        assert!(extra < 100e-6, "extra hop {}us", extra * 1e6);
-    }
-
-    #[test]
-    fn auto_offload_triggers_under_sustained_overload() {
-        let mut c = small_cluster(true);
-        // Shrink the home switch to one core and a short measurement
-        // window so ~50K offered CPS (about 0.85x its capacity) crosses
-        // the 70% threshold within the test's horizon.
-        {
-            let vs = c.switch_mut(HOME).unwrap();
-            *vs = {
-                let mut cfg = ClusterConfig::default().vswitch;
-                cfg.cores = 1;
-                let mut fresh = VSwitch::new(HOME, cfg);
-                fresh.set_util_window(SimDuration::from_millis(500));
-                let mut vnic = Vnic::new(
-                    VNIC,
-                    VpcId(1),
-                    Ipv4Addr::new(10, 7, 0, 1),
-                    VnicProfile::default(),
-                    HOME,
-                );
-                vnic.allow_inbound_port(SVC_PORT);
-                fresh.add_vnic(vnic).unwrap();
-                fresh
-            };
-        }
-        for i in 0..30_000u32 {
-            let spec = crate::conn::ConnSpec {
-                vnic: VNIC,
-                vpc: VpcId(1),
-                tuple: FiveTuple::tcp(
-                    Ipv4Addr::new(10, 7, (1 + i / 250) as u8, (i % 250) as u8 + 1),
-                    (10_000 + i % 50_000) as u16,
-                    Ipv4Addr::new(10, 7, 0, 1),
-                    SVC_PORT,
-                ),
-                peer_server: ServerId(8 + (i % 8)),
-                kind: crate::conn::ConnKind::Inbound,
-                start: SimTime(0) + SimDuration::from_micros(20 * i as u64),
-                payload: 64,
-                overlay_encap_src: None,
-            };
-            c.add_conn(spec).unwrap();
-        }
-        c.run_until(SimTime(0) + SimDuration::from_secs(4));
-        assert!(c.stats().offload_events >= 1, "controller never offloaded");
-        assert_eq!(
-            c.backend(VNIC).map(|m| m.phase),
-            Some(OffloadPhase::Offloaded)
-        );
-        // After offload the BE runs cool again.
-        let be_util = c.switch(HOME).unwrap().cpu_utilization(c.now());
-        assert!(be_util < 0.5, "BE still hot: {be_util}");
-    }
-
-    #[test]
-    fn stateful_decap_survives_the_split() {
-        let mut c = small_cluster(false);
-        // A second vNIC acting as an LB real server with stateful decap.
-        let profile = VnicProfile {
-            stateful_decap: true,
-            ..VnicProfile::default()
-        };
-        let mut vnic = Vnic::new(
-            VnicId(2),
-            VpcId(1),
-            Ipv4Addr::new(10, 8, 0, 1),
-            profile,
-            ServerId(1),
-        );
-        vnic.allow_inbound_port(8080);
-        c.add_vnic(vnic, ServerId(1), VmConfig::with_vcpus(16))
-            .unwrap();
-        c.trigger_offload(VnicId(2), SimTime(0)).unwrap();
-        c.run_until(SimTime(0) + SimDuration::from_secs(3));
-
-        let spec = crate::conn::ConnSpec {
-            vnic: VnicId(2),
-            vpc: VpcId(1),
-            tuple: FiveTuple::tcp(
-                Ipv4Addr::new(203, 0, 113, 7), // client behind the LB
-                40_000,
-                Ipv4Addr::new(10, 8, 0, 1),
-                8080,
-            ),
-            peer_server: ServerId(9),
-            kind: crate::conn::ConnKind::Inbound,
-            start: c.now(),
-            payload: 256,
-            overlay_encap_src: Some(Ipv4Addr::new(100, 64, 0, 5)), // LB VIP
-        };
-        c.add_conn(spec).unwrap();
-        // Inspect the session before the aging sweep reclaims the closed
-        // connection.
-        c.run_until(c.now() + SimDuration::from_millis(400));
-        assert_eq!(c.stats().completed, 1);
-        // The BE recorded the LB address from the FE-carried info.
-        let key = SessionKey::of(VpcId(1), spec.tuple);
-        let entry = c
-            .switch(ServerId(1))
-            .unwrap()
-            .sessions
-            .get(&key)
-            .expect("session");
-        assert_eq!(
-            entry.state.decap.map(|d| d.overlay_src),
-            Some(Ipv4Addr::new(100, 64, 0, 5))
-        );
-        // The entry is state-only at the BE (flows live at the FEs).
-        assert!(entry.pre_actions.is_none());
-    }
-
-    #[test]
-    fn live_migration_via_be_location_update() {
-        let mut c = small_cluster(false);
-        c.trigger_offload(VNIC, SimTime(0)).unwrap();
-        c.run_until(SimTime(0) + SimDuration::from_secs(3));
-        // Migrate the VM/BE to server 7 (not an FE; the initial pool is
-        // the four lowest-utilization rack peers).
-        let new_home = ServerId(7);
-        assert!(!c.fe_servers(VNIC).contains(&new_home));
-        // Move state to the new home (migration copies it with the VM).
-        c.engine.schedule_in(
-            SimDuration::from_micros(800),
-            Event::Config(ConfigOp::BeLocationUpdate {
-                vnic: VNIC,
-                new_home,
-            }),
-        );
-        c.run_until(c.now() + SimDuration::from_millis(10));
-        assert_eq!(c.vnic_home[&VNIC], new_home);
-        for s in c.fe_servers(VNIC) {
-            assert_eq!(c.fes[&(s, VNIC)].be_location, new_home);
-        }
     }
 }

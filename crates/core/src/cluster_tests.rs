@@ -1,0 +1,542 @@
+//! Integration-style tests of the packet-level testbed (kept out of
+//! `cluster.rs` so the construction/accessor module stays small).
+
+use crate::be::OffloadPhase;
+use crate::cluster::{retry_backoff, Cluster, ClusterConfig, ConfigOp, Event};
+use crate::vm::VmConfig;
+use nezha_sim::time::{SimDuration, SimTime};
+use nezha_sim::topology::TopologyConfig;
+use nezha_types::{FiveTuple, Ipv4Addr, NezhaError, ServerId, SessionKey, VnicId, VpcId};
+use nezha_vswitch::vnic::{Vnic, VnicProfile};
+use nezha_vswitch::vswitch::VSwitch;
+
+const HOME: ServerId = ServerId(0);
+const VNIC: VnicId = VnicId(1);
+const SVC_PORT: u16 = 9000;
+
+fn small_cluster(auto: bool) -> Cluster {
+    let cfg = ClusterConfig::builder()
+        .topology(TopologyConfig {
+            servers_per_rack: 8,
+            racks_per_pod: 2,
+            pods: 1,
+            ..TopologyConfig::default()
+        })
+        .auto(auto)
+        .build();
+    let mut cluster = Cluster::new(cfg);
+    let mut vnic = Vnic::new(
+        VNIC,
+        VpcId(1),
+        Ipv4Addr::new(10, 7, 0, 1),
+        VnicProfile::default(),
+        HOME,
+    );
+    vnic.allow_inbound_port(SVC_PORT);
+    cluster
+        .add_vnic(vnic, HOME, VmConfig::with_vcpus(64))
+        .unwrap();
+    cluster
+}
+
+fn inbound_spec(n: u16, at: SimTime) -> crate::conn::ConnSpec {
+    crate::conn::ConnSpec {
+        vnic: VNIC,
+        vpc: VpcId(1),
+        tuple: FiveTuple::tcp(
+            Ipv4Addr::new(10, 7, 1, (n % 200) as u8 + 1),
+            10_000 + n,
+            Ipv4Addr::new(10, 7, 0, 1),
+            SVC_PORT,
+        ),
+        peer_server: ServerId(8 + (n % 8) as u32), // other rack
+        kind: crate::conn::ConnKind::Inbound,
+        start: at,
+        payload: 128,
+        overlay_encap_src: None,
+    }
+}
+
+fn run_conns(cluster: &mut Cluster, n: u16, spacing: SimDuration) -> SimTime {
+    for i in 0..n {
+        cluster
+            .add_conn(inbound_spec(i, SimTime(0) + spacing.times(i as u64)))
+            .unwrap();
+    }
+    let end = SimTime(0) + spacing.times(n as u64) + SimDuration::from_secs(5);
+    cluster.run_until(end);
+    end
+}
+
+#[test]
+fn retry_backoff_doubles_and_caps() {
+    let base = SimDuration::from_millis(500);
+    let cap = SimDuration::from_secs(2);
+    assert_eq!(retry_backoff(base, cap, 0), SimDuration::from_millis(500));
+    assert_eq!(retry_backoff(base, cap, 1), SimDuration::from_secs(1));
+    assert_eq!(retry_backoff(base, cap, 2), SimDuration::from_secs(2));
+    // Saturates at the cap from then on, even for huge retry counts.
+    assert_eq!(retry_backoff(base, cap, 3), cap);
+    assert_eq!(retry_backoff(base, cap, 63), cap);
+    assert_eq!(retry_backoff(base, cap, u32::MAX), cap);
+}
+
+#[test]
+fn scheduled_retries_back_off_exponentially_with_bounded_jitter() {
+    // Drive lose_packet directly for one registered conn and check the
+    // scheduled RetryStep delays grow like base·2^k (±25%), capped.
+    let mut c = small_cluster(false);
+    let id = c.add_conn(inbound_spec(1, SimTime(0))).unwrap();
+    let base = c.cfg.retry_timeout;
+    let cap = c.cfg.retry_cap;
+    for k in 0..=c.cfg.max_retries {
+        // Isolate the one RetryStep this loss schedules.
+        c.engine.clear();
+        if let Some(conn) = c.conns.get_mut(&id) {
+            conn.retries = k;
+        }
+        let before = c.engine.now();
+        c.lose_packet(id << 4, before);
+        let sched = c
+            .engine
+            .peek_time()
+            .expect("lose_packet schedules a RetryStep");
+        let delay = sched.since(before);
+        let nominal = retry_backoff(base, cap, k);
+        let lo = SimDuration::from_secs_f64(nominal.as_secs_f64() * 0.75);
+        let hi = SimDuration::from_secs_f64(nominal.as_secs_f64() * 1.25);
+        assert!(
+            delay >= lo && delay <= hi,
+            "retry {k}: delay {delay:?} outside [{lo:?}, {hi:?}]"
+        );
+    }
+}
+
+#[test]
+fn local_baseline_completes_connections() {
+    let mut c = small_cluster(false);
+    run_conns(&mut c, 50, SimDuration::from_millis(2));
+    assert_eq!(
+        c.stats().completed,
+        50,
+        "failed={} denied={}",
+        c.stats().failed,
+        c.stats().denied
+    );
+    assert_eq!(c.stats().failed, 0);
+    assert_eq!(c.stats().denied, 0);
+    // Sessions were tracked and later aged out.
+    let (created, _, _) = c.switch(HOME).unwrap().sessions.counters();
+    assert_eq!(created, 50);
+}
+
+#[test]
+fn control_plane_errors_are_typed() {
+    let mut c = small_cluster(false);
+    let ghost = VnicId(99);
+    assert_eq!(
+        c.trigger_offload(ghost, SimTime(0)),
+        Err(NezhaError::UnknownVnic(ghost))
+    );
+    assert_eq!(
+        c.add_conn(crate::conn::ConnSpec {
+            vnic: ghost,
+            ..inbound_spec(1, SimTime(0))
+        }),
+        Err(NezhaError::UnknownVnic(ghost))
+    );
+    let key = SessionKey::of(VpcId(1), inbound_spec(1, SimTime(0)).tuple);
+    assert_eq!(
+        c.pin_flow(ghost, key, ServerId(1)),
+        Err(NezhaError::NotOffloaded(ghost))
+    );
+    assert_eq!(
+        c.switch(ServerId(9_999)).err(),
+        Some(NezhaError::UnknownServer(ServerId(9_999)))
+    );
+    c.trigger_offload(VNIC, SimTime(0)).unwrap();
+    assert_eq!(
+        c.trigger_offload(VNIC, SimTime(0)),
+        Err(NezhaError::AlreadyOffloaded(VNIC))
+    );
+    // Fallback before the offload reaches its final stage is refused.
+    assert_eq!(
+        c.trigger_fallback(VNIC, c.now()),
+        Err(NezhaError::OffloadInProgress(VNIC))
+    );
+    c.run_until(SimTime(0) + SimDuration::from_secs(3));
+    // Pinning to a server that hosts no FE for the vNIC is refused.
+    let not_fe = ServerId(15);
+    assert!(!c.fe_servers(VNIC).contains(&not_fe));
+    assert_eq!(
+        c.pin_flow(VNIC, key, not_fe),
+        Err(NezhaError::NotAnFe {
+            vnic: VNIC,
+            fe: not_fe
+        })
+    );
+}
+
+#[test]
+fn unsolicited_port_is_denied_statefully() {
+    let mut c = small_cluster(false);
+    let mut spec = inbound_spec(1, SimTime(0));
+    spec.tuple.dst_port = 47_123; // no accept rule, stateful default
+    c.add_conn(spec).unwrap();
+    c.run_until(SimTime(0) + SimDuration::from_secs(5));
+    assert_eq!(c.stats().denied, 1);
+    assert_eq!(c.stats().completed, 0);
+}
+
+#[test]
+fn manual_offload_reaches_final_stage_without_loss() {
+    let mut c = small_cluster(false);
+    // Warm traffic before the offload.
+    for i in 0..40 {
+        c.add_conn(inbound_spec(
+            i,
+            SimTime(0) + SimDuration::from_millis(5 * i as u64),
+        ))
+        .unwrap();
+    }
+    c.run_until(SimTime(0) + SimDuration::from_millis(100));
+    c.trigger_offload(VNIC, c.now()).unwrap();
+    // Traffic continues through the transition.
+    for i in 40..120 {
+        c.add_conn(inbound_spec(
+            i,
+            c.now() + SimDuration::from_millis(5 * (i - 40) as u64),
+        ))
+        .unwrap();
+    }
+    c.run_until(c.now() + SimDuration::from_secs(8));
+    let meta = c.backend(VNIC).expect("offloaded");
+    assert_eq!(meta.phase, OffloadPhase::Offloaded);
+    assert_eq!(meta.fe_list.len(), 4);
+    assert!(meta.activated_at.is_some());
+    assert_eq!(
+        c.stats().completed,
+        120,
+        "failed={} denied={} misroutes={}",
+        c.stats().failed,
+        c.stats().denied,
+        c.stats().misroutes
+    );
+    assert_eq!(c.stats().failed, 0);
+    // Completion time recorded, in Table 4's ballpark.
+    let mean = c.stats().offload_completion.mean();
+    assert!((0.3..3.0).contains(&mean), "completion {mean}s");
+    // FEs actually processed traffic.
+    let fe_hits: u64 = c
+        .fe_servers(VNIC)
+        .iter()
+        .map(|s| c.fes[&(*s, VNIC)].counters().0)
+        .sum();
+    assert!(fe_hits > 0, "FEs never saw traffic");
+    // BE rule tables are gone; home switch no longer hosts the vNIC.
+    assert!(c.switch(HOME).unwrap().vnic(VNIC).is_none());
+}
+
+#[test]
+fn offloaded_traffic_spreads_across_fes() {
+    let mut c = small_cluster(false);
+    c.trigger_offload(VNIC, SimTime(0)).unwrap();
+    c.run_until(SimTime(0) + SimDuration::from_secs(3));
+    for i in 0..200 {
+        c.add_conn(inbound_spec(
+            i,
+            c.now() + SimDuration::from_millis(i as u64),
+        ))
+        .unwrap();
+    }
+    c.run_until(c.now() + SimDuration::from_secs(6));
+    assert_eq!(c.stats().completed, 200);
+    // Every FE served some flows (hash spreading, §3.2.3).
+    for s in c.fe_servers(VNIC) {
+        let (hits, misses, _) = c.fes[&(s, VNIC)].counters();
+        assert!(hits + misses > 0, "FE on {s} idle");
+    }
+    // Notifies were generated for stats-policy flows only on misses.
+    assert!(c.stats().notifies <= c.stats().completed * 2);
+}
+
+#[test]
+fn fe_crash_fails_over_within_seconds() {
+    let mut c = small_cluster(false);
+    c.trigger_offload(VNIC, SimTime(0)).unwrap();
+    c.run_until(SimTime(0) + SimDuration::from_secs(3));
+    let victim = c.fe_servers(VNIC)[0];
+    let crash_at = c.now() + SimDuration::from_secs(1);
+    c.crash_at(victim, crash_at);
+    // Continuous traffic across the crash.
+    for i in 0..600 {
+        c.add_conn(inbound_spec(
+            i,
+            c.now() + SimDuration::from_millis(10 * i as u64),
+        ))
+        .unwrap();
+    }
+    c.run_until(c.now() + SimDuration::from_secs(12));
+    assert!(c.stats().failover_events >= 1);
+    // The pool is restored to the 4-FE floor on live servers.
+    let fes = c.fe_servers(VNIC);
+    assert_eq!(fes.len(), 4, "pool {fes:?}");
+    assert!(!fes.contains(&victim));
+    // Losses were transient: the vast majority of conns completed.
+    let total = c.stats().completed + c.stats().failed + c.stats().denied;
+    assert_eq!(total, 600);
+    assert!(
+        c.stats().completed >= 590,
+        "completed {}",
+        c.stats().completed
+    );
+    // Loss was confined to around the crash instant (Fig. 14 shape).
+    assert!(c.stats().pkts.dropped > 0, "crash must cost some packets");
+}
+
+#[test]
+fn fallback_returns_to_local_processing() {
+    let mut c = small_cluster(false);
+    c.trigger_offload(VNIC, SimTime(0)).unwrap();
+    c.run_until(SimTime(0) + SimDuration::from_secs(3));
+    assert_eq!(c.backend(VNIC).unwrap().phase, OffloadPhase::Offloaded);
+    c.trigger_fallback(VNIC, c.now()).unwrap();
+    c.run_until(c.now() + SimDuration::from_secs(3));
+    assert!(c.backend(VNIC).is_none(), "fallback must clear BE meta");
+    assert_eq!(c.fe_count(VNIC), 0);
+    assert!(
+        c.switch(HOME).unwrap().vnic(VNIC).is_some(),
+        "tables restored"
+    );
+    // Traffic flows locally again.
+    for i in 0..30 {
+        c.add_conn(inbound_spec(
+            i,
+            c.now() + SimDuration::from_millis(2 * i as u64),
+        ))
+        .unwrap();
+    }
+    c.run_until(c.now() + SimDuration::from_secs(5));
+    assert_eq!(c.stats().completed, 30);
+    assert_eq!(c.stats().failed, 0);
+}
+
+#[test]
+fn probe_latency_gains_one_hop_after_offload() {
+    let mut c = small_cluster(false);
+    let tuple = FiveTuple::tcp(
+        Ipv4Addr::new(10, 7, 1, 9),
+        12345,
+        Ipv4Addr::new(10, 7, 0, 1),
+        SVC_PORT,
+    );
+    // Local probe.
+    c.inject_probe_rx(VNIC, tuple, 64, ServerId(9), SimTime(0))
+        .unwrap();
+    c.run_until(SimTime(0) + SimDuration::from_millis(100));
+    assert_eq!(c.stats().probe_latency.len(), 1);
+    let local = c.stats().probe_latency.raw()[0];
+
+    // Offloaded probe (new session, same path shape plus FE detour).
+    c.trigger_offload(VNIC, c.now()).unwrap();
+    c.run_until(c.now() + SimDuration::from_secs(3));
+    let tuple2 = FiveTuple::tcp(
+        Ipv4Addr::new(10, 7, 1, 10),
+        12346,
+        Ipv4Addr::new(10, 7, 0, 1),
+        SVC_PORT,
+    );
+    c.inject_probe_rx(VNIC, tuple2, 64, ServerId(9), c.now())
+        .unwrap();
+    c.run_until(c.now() + SimDuration::from_millis(100));
+    assert_eq!(c.stats().probe_latency.len(), 2);
+    let offloaded = c.stats().probe_latency.raw()[1];
+    let extra = offloaded - local;
+    // Fig. 12: the detour adds a few tens of microseconds at most.
+    assert!(extra > 0.0, "offloaded {offloaded} <= local {local}");
+    assert!(extra < 100e-6, "extra hop {}us", extra * 1e6);
+}
+
+#[test]
+fn auto_offload_triggers_under_sustained_overload() {
+    let mut c = small_cluster(true);
+    // Shrink the home switch to one core and a short measurement
+    // window so ~50K offered CPS (about 0.85x its capacity) crosses
+    // the 70% threshold within the test's horizon.
+    {
+        let vs = c.switch_mut(HOME).unwrap();
+        *vs = {
+            let mut cfg = ClusterConfig::default().vswitch;
+            cfg.cores = 1;
+            let mut fresh = VSwitch::new(HOME, cfg);
+            fresh.set_util_window(SimDuration::from_millis(500));
+            let mut vnic = Vnic::new(
+                VNIC,
+                VpcId(1),
+                Ipv4Addr::new(10, 7, 0, 1),
+                VnicProfile::default(),
+                HOME,
+            );
+            vnic.allow_inbound_port(SVC_PORT);
+            fresh.add_vnic(vnic).unwrap();
+            fresh
+        };
+    }
+    for i in 0..30_000u32 {
+        let spec = crate::conn::ConnSpec {
+            vnic: VNIC,
+            vpc: VpcId(1),
+            tuple: FiveTuple::tcp(
+                Ipv4Addr::new(10, 7, (1 + i / 250) as u8, (i % 250) as u8 + 1),
+                (10_000 + i % 50_000) as u16,
+                Ipv4Addr::new(10, 7, 0, 1),
+                SVC_PORT,
+            ),
+            peer_server: ServerId(8 + (i % 8)),
+            kind: crate::conn::ConnKind::Inbound,
+            start: SimTime(0) + SimDuration::from_micros(20 * i as u64),
+            payload: 64,
+            overlay_encap_src: None,
+        };
+        c.add_conn(spec).unwrap();
+    }
+    c.run_until(SimTime(0) + SimDuration::from_secs(4));
+    assert!(c.stats().offload_events >= 1, "controller never offloaded");
+    assert_eq!(
+        c.backend(VNIC).map(|m| m.phase),
+        Some(OffloadPhase::Offloaded)
+    );
+    // After offload the BE runs cool again.
+    let be_util = c.switch(HOME).unwrap().cpu_utilization(c.now());
+    assert!(be_util < 0.5, "BE still hot: {be_util}");
+}
+
+#[test]
+fn stateful_decap_survives_the_split() {
+    let mut c = small_cluster(false);
+    // A second vNIC acting as an LB real server with stateful decap.
+    let profile = VnicProfile {
+        stateful_decap: true,
+        ..VnicProfile::default()
+    };
+    let mut vnic = Vnic::new(
+        VnicId(2),
+        VpcId(1),
+        Ipv4Addr::new(10, 8, 0, 1),
+        profile,
+        ServerId(1),
+    );
+    vnic.allow_inbound_port(8080);
+    c.add_vnic(vnic, ServerId(1), VmConfig::with_vcpus(16))
+        .unwrap();
+    c.trigger_offload(VnicId(2), SimTime(0)).unwrap();
+    c.run_until(SimTime(0) + SimDuration::from_secs(3));
+
+    let spec = crate::conn::ConnSpec {
+        vnic: VnicId(2),
+        vpc: VpcId(1),
+        tuple: FiveTuple::tcp(
+            Ipv4Addr::new(203, 0, 113, 7), // client behind the LB
+            40_000,
+            Ipv4Addr::new(10, 8, 0, 1),
+            8080,
+        ),
+        peer_server: ServerId(9),
+        kind: crate::conn::ConnKind::Inbound,
+        start: c.now(),
+        payload: 256,
+        overlay_encap_src: Some(Ipv4Addr::new(100, 64, 0, 5)), // LB VIP
+    };
+    c.add_conn(spec).unwrap();
+    // Inspect the session before the aging sweep reclaims the closed
+    // connection.
+    c.run_until(c.now() + SimDuration::from_millis(400));
+    assert_eq!(c.stats().completed, 1);
+    // The BE recorded the LB address from the FE-carried info.
+    let key = SessionKey::of(VpcId(1), spec.tuple);
+    let entry = c
+        .switch(ServerId(1))
+        .unwrap()
+        .sessions
+        .get(&key)
+        .expect("session");
+    assert_eq!(
+        entry.state.decap.map(|d| d.overlay_src),
+        Some(Ipv4Addr::new(100, 64, 0, 5))
+    );
+    // The entry is state-only at the BE (flows live at the FEs).
+    assert!(entry.pre_actions.is_none());
+}
+
+#[test]
+fn live_migration_via_be_location_update() {
+    let mut c = small_cluster(false);
+    c.trigger_offload(VNIC, SimTime(0)).unwrap();
+    c.run_until(SimTime(0) + SimDuration::from_secs(3));
+    // Migrate the VM/BE to server 7 (not an FE; the initial pool is
+    // the four lowest-utilization rack peers).
+    let new_home = ServerId(7);
+    assert!(!c.fe_servers(VNIC).contains(&new_home));
+    // Move state to the new home (migration copies it with the VM).
+    c.engine.schedule_in(
+        SimDuration::from_micros(800),
+        Event::Config(ConfigOp::BeLocationUpdate {
+            vnic: VNIC,
+            new_home,
+        }),
+    );
+    c.run_until(c.now() + SimDuration::from_millis(10));
+    assert_eq!(c.vnic_home[&VNIC], new_home);
+    for s in c.fe_servers(VNIC) {
+        assert_eq!(c.fes[&(s, VNIC)].be_location, new_home);
+    }
+}
+
+/// Regression for the silent-membership assumption the refactor removed:
+/// an RX packet landing on a server that is neither the vNIC's home nor a
+/// configured FE (the pool scaled in / the FE was torn down while packets
+/// were in flight) must be counted as a misroute — never processed
+/// against missing FE state, never a panic.
+#[test]
+fn rx_at_server_removed_from_fe_pool_is_a_counted_misroute() {
+    let mut c = small_cluster(false);
+    c.trigger_offload(VNIC, SimTime(0)).unwrap();
+    c.run_until(SimTime(0) + SimDuration::from_secs(3));
+    let fes = c.fe_servers(VNIC);
+    assert!(!fes.is_empty());
+    let removed = fes[0];
+    // Tear the FE down out from under the data plane (what a scale-in
+    // config push does), then aim an RX packet straight at it the way a
+    // stale gateway mapping would.
+    c.fes.remove(&(removed, VNIC));
+    let before = c.stats().misroutes;
+    let tuple = FiveTuple::tcp(
+        Ipv4Addr::new(10, 7, 1, 77),
+        23_456,
+        Ipv4Addr::new(10, 7, 0, 1),
+        SVC_PORT,
+    );
+    let pkt = nezha_types::Packet::rx_data(
+        (1u64 << 63) | 7_777, // probe bit: no conn bookkeeping needed
+        VpcId(1),
+        VNIC,
+        tuple,
+        nezha_types::TcpFlags::ACK,
+        64,
+    );
+    let at = c.now();
+    c.engine.schedule_at(
+        at,
+        Event::Arrive {
+            server: removed,
+            pkt,
+            sent_at: at,
+        },
+    );
+    c.run_until(at + SimDuration::from_millis(10));
+    assert_eq!(
+        c.stats().misroutes,
+        before + 1,
+        "RX at an ex-FE must be counted as a misroute"
+    );
+}

@@ -1,0 +1,216 @@
+//! Connection driving: step injection, retry scheduling with seeded
+//! exponential backoff, terminal accounting (complete / deny / lose),
+//! and standalone probe packets.
+//!
+//! This is the layer *around* the datapath: it turns [`ConnSpec`]
+//! scripts into `Event::Arrive` packets and consumes the terminal
+//! callbacks the datapath handlers fire through `HandlerCtx`.
+
+use crate::cluster::Cluster;
+use crate::conn::ConnStatus;
+use crate::datapath::dispatch::{flow_hash, Event};
+use nezha_sim::time::{SimDuration, SimTime};
+use nezha_types::{Direction, Packet, ServerId};
+
+/// Trace-id bit marking standalone probe packets: they traverse the full
+/// data plane but never belong to a connection (and are not retried).
+pub(crate) const PROBE_BIT: u64 = 1 << 63;
+/// Probe packets with this bit traverse the full data plane but are not
+/// recorded in the latency samples (bulk/background streams).
+pub(crate) const SILENT_BIT: u64 = 1 << 62;
+
+/// The (un-jittered) delay before retry number `retries + 1`:
+/// `base · 2^retries`, saturating at `cap`. The caller applies ±25%
+/// jitter from the seeded sim RNG on top.
+pub fn retry_backoff(base: SimDuration, cap: SimDuration, retries: u32) -> SimDuration {
+    let factor = 1u64 << retries.min(31);
+    SimDuration(base.0.saturating_mul(factor)).min(cap)
+}
+
+impl Cluster {
+    pub(crate) fn inject_step(&mut self, conn_id: u64, step_idx: usize, now: SimTime) {
+        let Some(conn) = self.conns.get(&conn_id) else {
+            return;
+        };
+        if conn.status != ConnStatus::InFlight || conn.pos != step_idx {
+            return;
+        }
+        let spec = conn.spec;
+        let script = spec.kind.script();
+        let step = script[step_idx];
+        let tuple = spec.step_tuple(step.dir);
+        let payload = if step.has_payload { spec.payload } else { 0 };
+        let trace = (conn_id << 4) | step_idx as u64;
+        let mut pkt = match step.dir {
+            Direction::Tx => {
+                Packet::tx_data(trace, spec.vpc, spec.vnic, tuple, step.flags, payload)
+            }
+            Direction::Rx => {
+                Packet::rx_data(trace, spec.vpc, spec.vnic, tuple, step.flags, payload)
+            }
+        };
+        self.tel.series_add(self.tel.total_series, now, 1.0);
+        match step.dir {
+            Direction::Tx => {
+                // VM-originated: the kernel pays its share of the
+                // connection's cycles to build and send the segment, then
+                // the packet appears at the home vSwitch.
+                let Some(vm) = self.vms.get_mut(&spec.vnic) else {
+                    return self.lose_packet(trace, now);
+                };
+                let Some(sent) = vm.deliver_packet(now) else {
+                    return self.lose_packet(trace, now);
+                };
+                let home = self.vnic_home[&spec.vnic];
+                self.engine.schedule_at(
+                    sent,
+                    Event::Arrive {
+                        server: home,
+                        pkt,
+                        sent_at: sent,
+                    },
+                );
+            }
+            Direction::Rx => {
+                pkt.overlay_encap_src = spec.overlay_encap_src;
+                // Peer-originated: resolve the vNIC's current location via
+                // the (possibly stale) gateway-learned mapping.
+                let addr = self.vnic_addr[&spec.vnic];
+                let h = self.select_hash(&tuple, trace);
+                let dst = self.gateway.select(addr, spec.peer_server, h, now);
+                match dst {
+                    Some(dst) => {
+                        pkt.outer_src = Some(spec.peer_server);
+                        pkt.outer_dst = Some(dst);
+                        let lat = self.topo.latency(spec.peer_server, dst, pkt.wire_len());
+                        self.engine.schedule_at(
+                            now + lat,
+                            Event::Arrive {
+                                server: dst,
+                                pkt,
+                                sent_at: now,
+                            },
+                        );
+                    }
+                    None => self.lose_packet(trace, now),
+                }
+            }
+        }
+    }
+
+    pub(crate) fn advance_conn(&mut self, conn_id: u64, from_step: usize, now: SimTime) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
+        if conn.status != ConnStatus::InFlight || conn.pos != from_step {
+            return; // duplicate / stale completion
+        }
+        conn.pos += 1;
+        conn.retries = 0;
+        self.tel.inc(self.tel.pkt_ok);
+        if conn.pos == conn.spec.kind.script().len() {
+            conn.status = ConnStatus::Completed;
+            let latency = now.since(conn.started_at);
+            self.tel.inc(self.tel.completed);
+            self.tel.observe_duration(self.tel.conn_latency, latency);
+            self.tel.series_add(self.tel.cps_series, now, 1.0);
+            if let Some(vm) = self.vms.get_mut(&conn.spec.vnic) {
+                vm.conn_completed();
+            }
+        } else {
+            let next = conn.pos;
+            self.inject_step(conn_id, next, now);
+        }
+    }
+
+    pub(crate) fn retry_step(&mut self, conn_id: u64, step: usize, now: SimTime) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
+        if conn.status != ConnStatus::InFlight || conn.pos != step {
+            return;
+        }
+        conn.retries += 1;
+        if conn.retries > self.cfg.max_retries {
+            conn.status = ConnStatus::Failed;
+            self.tel.inc(self.tel.failed);
+            return;
+        }
+        self.inject_step(conn_id, step, now);
+    }
+
+    /// Records a lost conn/probe packet and schedules the retry with
+    /// exponential backoff (base `retry_timeout`, doubling per retry up
+    /// to `retry_cap`) plus ±25% seeded jitter.
+    pub(crate) fn lose_packet(&mut self, trace: u64, now: SimTime) {
+        self.tel.series_add(self.tel.loss_series, now, 1.0);
+        self.tel.inc(self.tel.pkt_dropped);
+        if self.faults.any_active() {
+            self.tel.inc(self.tel.fault_inflight_loss);
+        }
+        if trace & PROBE_BIT != 0 || trace == 0 {
+            return; // probes and notify packets (trace 0) are not retried
+        }
+        let conn = trace >> 4;
+        let step = (trace & 0xf) as usize;
+        let retries = self.conns.get(&conn).map_or(0, |c| c.retries);
+        let base = retry_backoff(self.cfg.retry_timeout, self.cfg.retry_cap, retries);
+        let jitter = 0.75 + 0.5 * self.rng.f64();
+        let delay = SimDuration::from_secs_f64(base.as_secs_f64() * jitter);
+        self.engine
+            .schedule_in(delay, Event::RetryStep { conn, step });
+    }
+
+    /// A policy drop: terminal for the connection, no retry.
+    pub(crate) fn deny_conn(&mut self, trace: u64) {
+        if trace & PROBE_BIT != 0 {
+            return;
+        }
+        if let Some(conn) = self.conns.get_mut(&(trace >> 4)) {
+            if conn.status == ConnStatus::InFlight {
+                conn.status = ConnStatus::Denied;
+                self.tel.inc(self.tel.denied);
+            }
+        }
+    }
+
+    /// A step's packet reached its terminal point.
+    pub(crate) fn complete_step(&mut self, trace: u64, sent_at: SimTime, at: SimTime) {
+        if trace & PROBE_BIT != 0 {
+            if trace & SILENT_BIT == 0 {
+                self.tel
+                    .observe_duration(self.tel.probe_latency, at.since(sent_at));
+            }
+            return;
+        }
+        let conn = trace >> 4;
+        let step = (trace & 0xf) as usize;
+        self.engine.schedule_at(
+            at,
+            Event::AdvanceConn {
+                conn,
+                from_step: step,
+            },
+        );
+    }
+
+    pub(crate) fn start_probe(&mut self, mut pkt: Packet, from: ServerId, now: SimTime) {
+        let addr = self.vnic_addr[&pkt.vnic];
+        match self.gateway.select(addr, from, flow_hash(&pkt.tuple), now) {
+            Some(dst) => {
+                pkt.outer_src = Some(from);
+                pkt.outer_dst = Some(dst);
+                let lat = self.topo.latency(from, dst, pkt.wire_len());
+                self.engine.schedule_at(
+                    now + lat,
+                    Event::Arrive {
+                        server: dst,
+                        pkt,
+                        sent_at: now,
+                    },
+                );
+            }
+            None => self.lose_packet(pkt.trace, now),
+        }
+    }
+}

@@ -25,7 +25,13 @@
 //!   backend (state only) roles;
 //! * [`vm`] — the VM kernel model whose saturation produces Fig. 10;
 //! * [`conn`] — TCP_CRR-style connection scripts driven through the fabric;
-//! * [`cluster`] — the event-driven world tying everything together;
+//! * [`cluster`] — the event-driven world tying everything together:
+//!   construction and accessors live here, while the per-packet BE/FE
+//!   handlers live in the private `datapath` module (`dispatch` demux,
+//!   `be`/`fe` handlers, and the `HandlerCtx` cross-cutting layer —
+//!   lint rule D7 keeps telemetry access behind it), configuration in
+//!   [`config`], instrument registration in [`telemetry`], and
+//!   connection-script driving in the private `driver` module;
 //! * [`controller`] — offload/fallback/scale-out/scale-in per Fig. 8;
 //! * [`monitor`] — ping-polling crash detection and ≤2 s failover;
 //! * [`migration`] — the VM live-migration cost model (Fig. A1);
@@ -38,19 +44,27 @@
 pub mod bdf;
 pub mod be;
 pub mod cluster;
+#[cfg(test)]
+mod cluster_tests;
+pub mod config;
 pub mod conn;
 pub mod controller;
+mod datapath;
+mod driver;
 pub mod fe;
 pub mod gateway;
 pub mod migration;
 pub mod monitor;
 pub mod region;
+pub mod telemetry;
 pub mod vm;
 
 pub use be::{BackendMeta, OffloadPhase};
 pub use cluster::{Cluster, ClusterConfig, Event, LbMode};
+pub use config::{ClusterConfigBuilder, ConfigOp};
 pub use conn::{ConnKind, ConnSpec};
 pub use controller::ControllerConfig;
 pub use fe::FrontEnd;
 pub use gateway::Gateway;
+pub use telemetry::ClusterStats;
 pub use vm::VmModel;

@@ -13,6 +13,7 @@
 //! | D4   | error    | `unwrap`/`expect`/`panic!`/`todo!` in control-plane modules |
 //! | D5   | warning  | `MetricsRegistry` handle acquisition outside a startup path |
 //! | D6   | warning  | `Profiler` stage-handle interning outside a startup path |
+//! | D7   | error    | direct telemetry/trace/profiler access in datapath handlers (must go through `HandlerCtx`) |
 //!
 //! Escape hatch: `// nezha-lint: allow(D3): <justification>` on the
 //! violating line or the line above. The justification is mandatory —

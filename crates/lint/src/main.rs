@@ -13,7 +13,7 @@ use std::process::ExitCode;
 use nezha_lint::{collect_workspace_files, render_human, render_json, scan_files, walk, Severity};
 
 const USAGE: &str = "\
-nezha-lint: workspace determinism & panic-safety checks (rules D1-D5)
+nezha-lint: workspace determinism, panic-safety & layering checks (rules D1-D7)
 
 USAGE:
     nezha-lint --workspace [OPTIONS]
@@ -23,7 +23,7 @@ OPTIONS:
     --workspace        lint every .rs file in the workspace (src/, crates/,
                        tests/, examples/; vendor/, target/ and fixtures skipped)
     --json             machine-readable JSON on stdout
-    --deny-warnings    treat warnings (D5) as failures
+    --deny-warnings    treat warnings (D5/D6) as failures
     --root DIR         workspace root for relative paths / --workspace
                        (default: the repo containing this crate)
     -h, --help         this text

@@ -1,4 +1,4 @@
-//! The D1–D6 determinism & panic-safety rules.
+//! The D1–D7 determinism, panic-safety & layering rules.
 //!
 //! Each rule is a token-pattern match over the lexed stream with a
 //! path-based scope. Test items (`#[test]` fns, `#[cfg(test)]` mods) are
@@ -36,7 +36,7 @@ pub struct Violation {
     pub file: String,
     /// 1-based line.
     pub line: u32,
-    /// Rule id (`D1`..`D6`).
+    /// Rule id (`D1`..`D7`).
     pub rule: &'static str,
     /// Severity after allow-list processing.
     pub severity: Severity,
@@ -55,6 +55,7 @@ struct Scope {
     d4: bool,
     d5: bool,
     d6: bool,
+    d7: bool,
 }
 
 /// Crates whose code runs inside the simulation and therefore must be
@@ -76,6 +77,26 @@ const CONTROL_PLANE_FILES: [&str; 5] = [
     "monitor.rs",
     "gateway.rs",
     "migration.rs",
+];
+
+/// Exact paths carved out of the old `cluster.rs` monolith that inherit
+/// its D4 (no-panic) obligation. Listed by full path so that same-named
+/// files in other crates (e.g. `crates/vswitch/src/config.rs`) keep
+/// their existing scope.
+const CONTROL_PLANE_PATHS: [&str; 3] = [
+    "crates/core/src/config.rs",
+    "crates/core/src/telemetry.rs",
+    "crates/core/src/driver.rs",
+];
+
+/// Cross-cutting accessors that datapath handlers must reach through
+/// `HandlerCtx` instead of calling directly (rule D7).
+const D7_METHODS: [&str; 5] = [
+    "metrics",
+    "profiler",
+    "trace_pkt",
+    "profile_handler",
+    "profile_fault_drop",
 ];
 
 /// Methods whose call on a `HashMap`/`HashSet` binding observes the
@@ -108,6 +129,9 @@ const HINT_D5: &str =
 const HINT_D6: &str =
     "intern the StageHandle in new()/register() and store it (e.g. in a StageSet); \
      `.stage(\"…\")` interns a string and does not belong in a per-packet hot loop";
+const HINT_D7: &str = "route metrics/trace/profiler/fault access through the HandlerCtx methods \
+     (ctx.span/ctx.trace/ctx.charge/ctx.drop_pkt/…); the plumbing lives in \
+     crates/core/src/datapath/ctx.rs";
 
 fn scope_for(path: &str) -> Scope {
     // Fixture files exercise every rule regardless of where they live.
@@ -119,20 +143,27 @@ fn scope_for(path: &str) -> Scope {
             d4: true,
             d5: true,
             d6: true,
+            d7: true,
         };
     }
     let sim_visible = SIM_VISIBLE.iter().any(|p| path.starts_with(p));
     let file_name = path.rsplit('/').next().unwrap_or(path);
+    let datapath = path.starts_with("crates/core/src/datapath/");
     Scope {
         d1: sim_visible || path.starts_with("crates/bench/src/"),
         // `nezha-sim::rng` is the one sanctioned home for entropy plumbing.
         d2: path != "crates/sim/src/rng.rs",
         d3: sim_visible,
-        d4: sim_visible && CONTROL_PLANE_FILES.contains(&file_name),
+        d4: sim_visible
+            && (CONTROL_PLANE_FILES.contains(&file_name)
+                || CONTROL_PLANE_PATHS.contains(&path)
+                || datapath),
         // metrics.rs implements the registry itself.
         d5: sim_visible && path != "crates/sim/src/metrics.rs",
         // profile.rs implements the profiler itself.
         d6: sim_visible && path != "crates/sim/src/profile.rs",
+        // ctx.rs *is* the sanctioned plumbing layer.
+        d7: datapath && !path.ends_with("ctx.rs"),
     }
 }
 
@@ -339,6 +370,35 @@ pub fn check_file(rel_path: &str, src: &str) -> Vec<Violation> {
                                  not a startup path"
                             ),
                             HINT_D6,
+                        );
+                    }
+                }
+
+                // D7: datapath handlers bypassing HandlerCtx to reach the
+                // telemetry plumbing directly.
+                if scope.d7 {
+                    if id == "tel" && i >= 1 && tok_is(&toks, i - 1, '.') {
+                        push(
+                            t.line,
+                            "D7",
+                            Severity::Error,
+                            "direct `.tel` telemetry access in a datapath handler".to_string(),
+                            HINT_D7,
+                        );
+                    }
+                    if D7_METHODS.contains(&id.as_str())
+                        && i >= 1
+                        && tok_is(&toks, i - 1, '.')
+                        && tok_is(&toks, i + 1, '(')
+                    {
+                        push(
+                            t.line,
+                            "D7",
+                            Severity::Error,
+                            format!(
+                                "direct `.{id}(..)` call bypasses HandlerCtx in a datapath handler"
+                            ),
+                            HINT_D7,
                         );
                     }
                 }
@@ -607,6 +667,48 @@ mod tests {
         assert_eq!(rules_found("crates/core/src/x.rs", bad), vec![("D6", 1)]);
         // The profiler's own implementation interns freely.
         assert!(rules_found("crates/sim/src/profile.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn d7_flags_datapath_handlers_but_not_ctx_or_cluster() {
+        let tel = "fn f(ctx: &mut HandlerCtx) { ctx.cl.tel.inc(ctx.cl.tel.misroutes); }\n";
+        assert_eq!(
+            rules_found("crates/core/src/datapath/be.rs", tel),
+            vec![("D7", 1), ("D7", 1)]
+        );
+        let call = "fn f(cl: &Cluster, pkt: &Packet) { cl.trace_pkt(now, s, pkt, kind); }\n";
+        assert_eq!(
+            rules_found("crates/core/src/datapath/fe.rs", call),
+            vec![("D7", 1)]
+        );
+        // The plumbing layer itself and code outside datapath/ are exempt.
+        assert!(rules_found("crates/core/src/datapath/ctx.rs", tel).is_empty());
+        assert!(rules_found("crates/core/src/cluster.rs", tel).is_empty());
+    }
+
+    #[test]
+    fn d7_does_not_flag_sanctioned_ctx_usage() {
+        let src = "fn f(ctx: &mut HandlerCtx, pkt: &Packet) {\n\
+                       if !ctx.gate(pkt) { return; }\n\
+                       ctx.trace(ctx.now, pkt, TraceEventKind::NshDecap);\n\
+                       if ctx.profiler_enabled() { let st = ctx.stages(); }\n\
+                   }\n";
+        assert!(rules_found("crates/core/src/datapath/dispatch.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d4_covers_datapath_and_split_out_control_plane_paths() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        for path in [
+            "crates/core/src/datapath/dispatch.rs",
+            "crates/core/src/config.rs",
+            "crates/core/src/telemetry.rs",
+            "crates/core/src/driver.rs",
+        ] {
+            assert_eq!(rules_found(path, src), vec![("D4", 1)], "{path}");
+        }
+        // Same-named files in other crates keep their old (exempt) scope.
+        assert!(rules_found("crates/vswitch/src/config.rs", src).is_empty());
     }
 
     #[test]

@@ -97,6 +97,20 @@ fn d6_violation_is_a_warning_unless_denied() {
 }
 
 #[test]
+fn d7_violation_reports_direct_telemetry_access() {
+    let (code, out) = lint_fixture("d7_violation.rs", &[]);
+    assert_eq!(code, 1, "output: {out}");
+    assert!(out.contains("[D7]"), "output: {out}");
+    for line in [7, 8, 11] {
+        assert!(
+            out.contains(&format!("d7_violation.rs:{line}")),
+            "output: {out}"
+        );
+    }
+    assert!(out.contains("5 error(s)"), "output: {out}");
+}
+
+#[test]
 fn clean_fixtures_pass() {
     for f in [
         "d1_clean.rs",
@@ -105,6 +119,7 @@ fn clean_fixtures_pass() {
         "d4_clean.rs",
         "d5_clean.rs",
         "d6_clean.rs",
+        "d7_clean.rs",
         "test_code_clean.rs",
         "allow_justified.rs",
     ] {

@@ -1,0 +1,18 @@
+// Fixture: D7 clean — a datapath handler that reaches every
+// cross-cutting concern (charging, tracing, profiling, accounting)
+// through the HandlerCtx methods.
+
+fn be_handle_tx(ctx: &mut HandlerCtx, pkt: &Packet) {
+    if !ctx.gate(pkt) {
+        return;
+    }
+    let Some(charge) = ctx.charge(pkt, 100) else {
+        return;
+    };
+    ctx.trace(charge.done, pkt, TraceEventKind::NshEncap);
+    if ctx.profiler_enabled() {
+        let st = ctx.stages();
+        ctx.span(st.be_tx, pkt, ctx.now, charge.done, &[]);
+    }
+    ctx.note_local_cycles(100);
+}

@@ -1,0 +1,13 @@
+// Fixture: D7 — datapath handlers reaching the telemetry plumbing
+// directly instead of through HandlerCtx. Expect D7 (error) twice on
+// line 7, twice on line 8, and once on line 11.
+
+impl Cluster {
+    fn be_handle_tx(&mut self, ctx: &mut HandlerCtx, pkt: &Packet) {
+        self.tel.inc(self.tel.misroutes);
+        self.tel.profile_fault_drop(pkt, ctx.server, ctx.now);
+    }
+    fn fe_handle_rx(cl: &Cluster, pkt: &Packet) {
+        cl.trace_pkt(cl.now(), ServerId(0), pkt, TraceEventKind::Notify);
+    }
+}

@@ -25,6 +25,9 @@ done
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> scripts/file_size_guard.sh"
+./scripts/file_size_guard.sh
+
 echo "==> nezha-lint --workspace --deny-warnings"
 cargo run -q -p nezha-lint -- --workspace --deny-warnings
 

@@ -75,9 +75,12 @@ pub use nezha_workloads as workloads;
 /// ([`MetricsRegistry`], [`PacketTrace`], [`Profiler`], [`NezhaError`]).
 pub mod prelude {
     pub use nezha_core::cluster::{Cluster, ClusterConfig, ClusterConfigBuilder, LbMode};
+    pub use nezha_core::config::ConfigOp;
     pub use nezha_core::conn::{ConnKind, ConnSpec};
     pub use nezha_core::region::Region;
+    pub use nezha_core::telemetry::ClusterStats;
     pub use nezha_core::vm::VmConfig;
+    pub use nezha_core::Event;
     pub use nezha_sim::metrics::{MetricsDiff, MetricsRegistry, MetricsSnapshot};
     pub use nezha_sim::profile::{Profiler, Span, SpanId, SpanRecord};
     pub use nezha_sim::time::{SimDuration, SimTime};
