@@ -4,8 +4,8 @@
 use bytes::BytesMut;
 use criterion::{criterion_group, criterion_main, Criterion};
 use nezha_types::{
-    Direction, Ipv4Addr, NezhaHeader, NezhaPayloadKind, PreAction, PreActionPair, ServerId, VnicId,
-    VpcId,
+    Direction, Ipv4Addr, NezhaHeader, NezhaPayloadKind, NshView, PreAction, PreActionPair,
+    ServerId, VnicId, VpcId,
 };
 use std::hint::black_box;
 
@@ -47,6 +47,26 @@ fn bench_nsh(c: &mut Criterion) {
             bare.encode(&mut buf);
             black_box(buf.len())
         });
+    });
+
+    // Zero-copy twins: same header, no allocation / no owned materialization.
+    // The deltas against the pairs above are the point of this bench.
+    c.bench_function("nsh_encode_into_full", |b| {
+        let mut arr = [0u8; NezhaHeader::MAX_WIRE_LEN];
+        b.iter(|| black_box(h.encode_into(&mut arr)));
+    });
+
+    c.bench_function("nsh_view_demux_full", |b| {
+        // The FE/BE demux path: validate once, read kind + vnic + vpc,
+        // never decode the 32-byte pre-action block.
+        b.iter(|| {
+            let v = NshView::parse(&wire).unwrap();
+            black_box((v.kind(), v.vnic(), v.vpc()))
+        })
+    });
+
+    c.bench_function("nsh_view_to_owned_full", |b| {
+        b.iter(|| black_box(NshView::parse(&wire).unwrap().to_owned()))
     });
 }
 

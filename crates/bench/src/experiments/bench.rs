@@ -1,0 +1,311 @@
+//! `bench` — the macro-benchmark: raw simulator speed on the packet
+//! datapath.
+//!
+//! Unlike every other experiment (which reproduces a paper figure), this
+//! one measures the *simulator itself*: how many engine events per
+//! wall-second the datapath sustains, how much simulated time one
+//! wall-second buys, and the process's peak RSS. Two configs:
+//!
+//! * `testbed` — the full-scale §6.1 testbed (4-core vSwitches, 4 FEs),
+//!   one busy vNIC under a steady TCP_CRR load;
+//! * `region`  — a 128-server, 4-pod fabric with four busy vNICs
+//!   offloaded simultaneously (the scale direction of ROADMAP item 2).
+//!
+//! The deterministic section of each report (event counts, simulated
+//! seconds, completions) is a pure function of the seed — it doubles as
+//! an end-to-end behavior checksum, so the regression gate
+//! (`scripts/bench_gate.sh`) can diff it byte-for-byte while applying
+//! only a tolerance threshold to the wall-clock section.
+
+use crate::experiments::harness::{self, Harness, TestbedOpts};
+use crate::experiments::Experiment;
+use crate::output::*;
+use nezha_core::cluster::{Cluster, ClusterConfig};
+use nezha_core::controller::ControllerConfig;
+use nezha_core::vm::VmConfig;
+use nezha_sim::report::{reports_json, BenchReport};
+use nezha_sim::time::SimDuration;
+use nezha_sim::topology::TopologyConfig;
+use nezha_types::{Ipv4Addr, ServerId, VnicId, VpcId};
+use nezha_vswitch::vnic::{Vnic, VnicProfile};
+use nezha_workloads::cps::CpsWorkload;
+
+/// Offered TCP_CRR rate on the testbed config (comfortably below the
+/// 4-FE capability so the run exercises the happy path, not collapse).
+const TESTBED_RATE: f64 = 120_000.0;
+/// Load duration on the testbed config (plus a 2 s drain).
+const TESTBED_SECS: u64 = 2;
+
+/// Per-vNIC offered rate on the region config (scaled vSwitches).
+const REGION_RATE: f64 = 18_000.0;
+/// Load duration on the region config (plus a 2 s drain).
+const REGION_SECS: u64 = 1;
+/// Busy vNICs on the region config.
+const REGION_VNICS: u32 = 4;
+
+/// The registry entry.
+pub struct Bench {
+    configs: Vec<String>,
+    out: Option<String>,
+    phase: String,
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Bench {
+            configs: vec!["testbed".into(), "region".into()],
+            out: std::env::var("NEZHA_BENCH_OUT")
+                .ok()
+                .filter(|s| !s.is_empty()),
+            phase: "current".into(),
+        }
+    }
+}
+
+impl Experiment for Bench {
+    fn name(&self) -> &'static str {
+        "bench"
+    }
+
+    fn configure(&mut self, args: &[String]) -> Result<(), String> {
+        for a in args {
+            if let Some(cfg) = a.strip_prefix("--config=") {
+                match cfg {
+                    "testbed" | "region" => self.configs = vec![cfg.to_string()],
+                    "all" => self.configs = vec!["testbed".into(), "region".into()],
+                    other => return Err(format!("bench: unknown --config={other}")),
+                }
+            } else if let Some(path) = a.strip_prefix("--out=") {
+                self.out = Some(path.to_string());
+            } else if let Some(phase) = a.strip_prefix("--phase=") {
+                self.phase = phase.to_string();
+            } else {
+                return Err(format!(
+                    "bench: unknown argument {a} (expected --config=testbed|region|all, \
+                     --out=PATH, --phase=NAME)"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn run(&mut self, _harness: &mut Harness) -> BenchReport {
+        banner("bench", "Macro-benchmark: raw datapath speed");
+        let widths = [10usize, 12, 12, 12, 12, 10];
+        header(
+            &[
+                "config",
+                "events",
+                "events/s",
+                "sim-s/wall-s",
+                "peak RSS",
+                "completed",
+            ],
+            &widths,
+        );
+        let mut reports = Vec::new();
+        let mut summary = BenchReport::new("bench").config("phase", &self.phase);
+        for cfg in &self.configs {
+            let r = run_config(cfg).expect("known config");
+            row(
+                &[
+                    cfg.clone(),
+                    eng(r.get("events_processed").unwrap_or(0.0)),
+                    eng(r.get("events_per_wall_sec").unwrap_or(0.0)),
+                    format!("{:.2}", r.get("sim_sec_per_wall_sec").unwrap_or(0.0)),
+                    eng(r.get("peak_rss_bytes").unwrap_or(0.0)),
+                    eng(r.get("conns_completed").unwrap_or(0.0)),
+                ],
+                &widths,
+            );
+            summary = summary
+                .metric(
+                    format!("{cfg}.events_processed"),
+                    r.get("events_processed").unwrap_or(0.0),
+                    "events",
+                )
+                .timing(
+                    format!("{cfg}.events_per_wall_sec"),
+                    r.get("events_per_wall_sec").unwrap_or(0.0),
+                    "1/s",
+                );
+            emit_report(&r);
+            reports.push(r);
+        }
+        println!();
+        if let Some(path) = &self.out {
+            let doc = reports_json(&self.phase, &reports);
+            match std::fs::write(path, doc) {
+                Ok(()) => println!("  wrote {path} (phase: {})", self.phase),
+                Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+            }
+        }
+        summary
+    }
+}
+
+/// Runs one named config. Returns `None` for an unknown name.
+pub fn run_config(name: &str) -> Option<BenchReport> {
+    match name {
+        "testbed" => Some(bench_testbed()),
+        "region" => Some(bench_region()),
+        _ => None,
+    }
+}
+
+/// Measures one loaded cluster: drives `load_secs + 2 s` of simulation,
+/// reading the engine's event counter around the run and the wall clock
+/// strictly outside the simulated section.
+fn measure(id: &str, mut cluster: Cluster, conns: u64, load_secs: u64) -> BenchReport {
+    let t0 = cluster.now();
+    let deadline = t0 + SimDuration::from_secs(load_secs + 2);
+    let events_before = cluster.engine.processed();
+    // Wall-clock instrumentation of the simulator's own speed: the reads
+    // bracket the run and never feed back into simulated behavior.
+    // nezha-lint: allow(D1): measuring simulator wall speed, not sim-visible time
+    let wall_start = std::time::Instant::now();
+    cluster.run_until(deadline);
+    let wall = wall_start.elapsed().as_secs_f64();
+    let events = (cluster.engine.processed() - events_before) as f64;
+    let sim_secs = cluster.now().since(t0).as_secs_f64();
+    let stats = cluster.stats();
+    BenchReport::new(id)
+        .config("seed", cluster.cfg.seed)
+        .config("load_secs", load_secs)
+        .metric("events_processed", events, "events")
+        .metric("sim_seconds", sim_secs, "s")
+        .metric("conns_offered", conns as f64, "conns")
+        .metric("conns_completed", stats.completed as f64, "conns")
+        .metric("pkts_dropped", stats.pkts.dropped as f64, "pkts")
+        .timing("wall_seconds", wall, "s")
+        .timing("events_per_wall_sec", events / wall.max(1e-9), "1/s")
+        .timing("sim_sec_per_wall_sec", sim_secs / wall.max(1e-9), "s/s")
+        .timing("peak_rss_bytes", peak_rss_bytes() as f64, "bytes")
+}
+
+/// The testbed config: full-scale §6.1 testbed, one busy vNIC, 4 FEs.
+fn bench_testbed() -> BenchReport {
+    let opts = TestbedOpts::default();
+    let mut cluster = harness::testbed(opts);
+    harness::offload_and_settle(&mut cluster);
+    let start = cluster.now();
+    let wl = CpsWorkload::tcp_crr(
+        harness::VNIC,
+        harness::VPC,
+        harness::SERVICE_ADDR,
+        harness::SERVICE_PORT,
+        harness::client_servers(),
+        TESTBED_RATE,
+        SimDuration::from_secs(TESTBED_SECS),
+    );
+    let mut rng = nezha_sim::rng::SimRng::new(cluster.cfg.seed ^ 0xbe7c);
+    let mut conns = 0u64;
+    for s in wl.generate(start, &mut rng) {
+        cluster.add_conn(s).unwrap();
+        conns += 1;
+    }
+    measure("bench.testbed", cluster, conns, TESTBED_SECS)
+}
+
+/// The region config: 128 servers, four busy vNICs offloaded at once.
+fn bench_region() -> BenchReport {
+    let cfg = ClusterConfig::builder()
+        .topology(TopologyConfig {
+            servers_per_rack: 16,
+            racks_per_pod: 2,
+            pods: 4,
+            ..TopologyConfig::default()
+        })
+        .cores(1)
+        .controller(ControllerConfig {
+            initial_fes: 4,
+            min_fes: 4,
+            ..ControllerConfig::default()
+        })
+        .seed(0x4e5a_0006)
+        .build();
+    let mut cluster = Cluster::new(cfg);
+    let mut vnics = Vec::new();
+    for i in 0..REGION_VNICS {
+        let id = VnicId(i + 1);
+        let addr = Ipv4Addr::new(10, 7, 0, (i + 1) as u8);
+        let home = ServerId(i);
+        let mut vnic = Vnic::new(id, VpcId(1), addr, VnicProfile::default(), home);
+        vnic.allow_inbound_port(9000);
+        cluster
+            .add_vnic(
+                vnic,
+                home,
+                VmConfig {
+                    vcpus: 64,
+                    per_core_cps: 13_425.0,
+                    ..VmConfig::default()
+                },
+            )
+            .unwrap();
+        vnics.push((id, addr));
+    }
+    for (id, _) in &vnics {
+        cluster.trigger_offload(*id, cluster.now()).unwrap();
+    }
+    let t = cluster.now();
+    cluster.run_until(t + SimDuration::from_secs(3));
+    let start = cluster.now();
+    let clients: Vec<ServerId> = (64..72).map(ServerId).collect();
+    let mut conns = 0u64;
+    for (i, (id, addr)) in vnics.iter().enumerate() {
+        let wl = CpsWorkload::tcp_crr(
+            *id,
+            VpcId(1),
+            *addr,
+            9000,
+            clients.clone(),
+            REGION_RATE,
+            SimDuration::from_secs(REGION_SECS),
+        );
+        let mut rng = nezha_sim::rng::SimRng::new(cluster.cfg.seed ^ (i as u64 + 1));
+        for s in wl.generate(start, &mut rng) {
+            cluster.add_conn(s).unwrap();
+            conns += 1;
+        }
+    }
+    measure("bench.region", cluster, conns, REGION_SECS)
+}
+
+/// The process's peak resident set (`VmHWM`), in bytes; 0 when
+/// `/proc/self/status` is unavailable (non-Linux hosts).
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_config_is_none() {
+        assert!(run_config("nope").is_none());
+    }
+
+    #[test]
+    fn peak_rss_reads_on_linux() {
+        // On Linux this must be nonzero; elsewhere the fallback is 0.
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(peak_rss_bytes() > 0);
+        }
+    }
+}

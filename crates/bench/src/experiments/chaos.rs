@@ -7,10 +7,12 @@
 //! failover count, and crash-to-failover detection latency are compared
 //! against the paper's ~2 s recovery envelope.
 
-use crate::experiments::harness::{self, TestbedOpts};
+use crate::experiments::harness::{self, Harness, TestbedOpts};
+use crate::experiments::Experiment;
 use crate::output::*;
 use nezha_core::cluster::Cluster;
 use nezha_sim::fault::{FaultPlan, GilbertElliott};
+use nezha_sim::report::BenchReport;
 use nezha_sim::time::{SimDuration, SimTime};
 use nezha_workloads::cps::CpsWorkload;
 
@@ -93,8 +95,22 @@ fn scenario(id: &str, mk_plan: impl Fn(&Cluster, SimTime) -> FaultPlan) -> Outco
     outcome
 }
 
-/// Runs the experiment.
-pub fn run() {
+/// The registry entry: scripted-fault recovery sweep.
+pub struct Chaos;
+
+impl Experiment for Chaos {
+    fn name(&self) -> &'static str {
+        "chaos"
+    }
+
+    fn run(&mut self, _harness: &mut Harness) -> BenchReport {
+        run_report()
+    }
+}
+
+/// Runs every fault scenario, printing the recovery table and returning
+/// the per-fault outcomes as a typed report.
+pub fn run_report() -> BenchReport {
     banner(
         "Chaos",
         "Recovery under scripted fault classes (Fig. 14, App. C)",
@@ -188,4 +204,22 @@ pub fn run() {
         outage.detection.unwrap_or(0.0) > crash.detection.unwrap_or(f64::MAX),
         "controller outage must delay detection"
     );
+
+    let mut report = BenchReport::new("chaos").config("testbed", "scaled");
+    for (name, o) in [
+        ("crash", &crash),
+        ("gray_slow", &gray),
+        ("bursty_loss", &bursty),
+        ("partition", &partition),
+        ("ctrl_outage", &outage),
+        ("collapse", &collapse),
+    ] {
+        report = report
+            .metric(format!("{name}.completed"), o.completed as f64, "conns")
+            .metric(format!("{name}.failovers"), o.failovers as f64, "events")
+            .metric(format!("{name}.surge_len"), o.surge_len, "s")
+            .metric(format!("{name}.peak_loss"), o.peak_loss, "fraction")
+            .metric(format!("{name}.degraded"), o.degraded as f64, "events");
+    }
+    report
 }

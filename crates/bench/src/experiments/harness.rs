@@ -18,6 +18,39 @@ use nezha_types::{Ipv4Addr, ServerId, VnicId, VpcId};
 use nezha_vswitch::vnic::{Vnic, VnicProfile};
 use nezha_workloads::cps::CpsWorkload;
 
+/// Shared per-dispatch context handed to every [`crate::experiments::Experiment`].
+///
+/// Holds the testbed options an experiment should build clusters from
+/// (CLI configuration mutates these before `run`), so experiments share
+/// one way of constructing the §6.1 testbed instead of each hard-wiring
+/// its own.
+#[derive(Clone, Copy, Debug)]
+pub struct Harness {
+    /// Options for [`Harness::testbed`]; defaults to the quarter-scale
+    /// testbed most experiments use.
+    pub opts: TestbedOpts,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness::new()
+    }
+}
+
+impl Harness {
+    /// A harness with the scaled-testbed defaults.
+    pub fn new() -> Self {
+        Harness {
+            opts: TestbedOpts::scaled(),
+        }
+    }
+
+    /// Builds the standard testbed from the current options.
+    pub fn testbed(&self) -> Cluster {
+        testbed(self.opts)
+    }
+}
+
 /// The vNIC under test in every packet-level experiment.
 pub const VNIC: VnicId = VnicId(1);
 /// Its home server.

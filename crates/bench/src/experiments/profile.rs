@@ -7,10 +7,12 @@
 //! within 0.1%), shows one packet's BE → FE → BE causal chain, and
 //! exports the flamegraph / Chrome-trace artifacts (`NEZHA_PROFILE_DIR`).
 
-use crate::experiments::harness::{self, TestbedOpts};
+use crate::experiments::harness::{self, Harness, TestbedOpts};
+use crate::experiments::Experiment;
 use crate::output::*;
 use nezha_core::conn::{ConnKind, ConnSpec};
 use nezha_sim::profile::Profiler;
+use nezha_sim::report::BenchReport;
 use nezha_sim::time::SimDuration;
 use nezha_types::{FiveTuple, Ipv4Addr};
 
@@ -68,10 +70,24 @@ pub fn run_profiled(opts: TestbedOpts) -> (Profiler, f64) {
     (cluster.profiler().clone(), charged)
 }
 
-/// Runs the experiment.
-pub fn run() {
+/// The registry entry: cycle attribution with causal span tracing.
+pub struct Profile;
+
+impl Experiment for Profile {
+    fn name(&self) -> &'static str {
+        "profile"
+    }
+
+    fn run(&mut self, harness: &mut Harness) -> BenchReport {
+        run_report(harness.opts)
+    }
+}
+
+/// Runs the experiment, printing the tables and returning the typed
+/// report (per-stage cycles and the reconciliation outcome).
+pub fn run_report(opts: TestbedOpts) -> BenchReport {
     banner("profile", "Cycle attribution and causal BE↔FE span tracing");
-    let (prof, charged) = run_profiled(TestbedOpts::scaled());
+    let (prof, charged) = run_profiled(opts);
     let attributed = prof.total_cycles() as f64;
 
     println!(
@@ -139,5 +155,12 @@ pub fn run() {
     println!("  (chrome://tracing / Perfetto)");
 
     emit_profile("profile", &prof);
-    emit_snapshot("profile", &reg.snapshot());
+    BenchReport::new("profile")
+        .config("testbed", "scaled")
+        .config("offered_cps", RATE)
+        .metric("charged_cycles", charged, "cycles")
+        .metric("attributed_cycles", attributed, "cycles")
+        .metric("reconciliation_drift", drift, "fraction")
+        .metric("span_records", prof.spans().len() as f64, "spans")
+        .with_snapshot(reg.snapshot())
 }

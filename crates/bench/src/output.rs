@@ -11,7 +11,33 @@
 //!   the Criterion benches use for their JSON lines).
 
 use nezha_sim::metrics::MetricsSnapshot;
+use nezha_sim::report::BenchReport;
 use std::io::Write;
+
+/// Exports one experiment's typed [`BenchReport`] — the single exit
+/// point the dispatcher funnels every experiment through.
+///
+/// * When the report carries a metrics snapshot, the legacy one-line
+///   snapshot export runs unchanged (same bytes, same
+///   `NEZHA_SNAPSHOT_DIR` / `NEZHA_BENCH_JSON` switches) — golden
+///   fixtures that pin those lines stay valid.
+/// * `NEZHA_REPORT_DIR=<dir>` additionally writes the typed report as
+///   `<dir>/<id>.report.json` (schema-versioned, timing segregated).
+///
+/// Write errors are reported on stderr, never fatal.
+pub fn emit_report(report: &BenchReport) {
+    if let Some(snap) = &report.snapshot {
+        emit_snapshot(&report.id, snap);
+    }
+    if let Ok(dir) = std::env::var("NEZHA_REPORT_DIR") {
+        if !dir.is_empty() {
+            let path = std::path::Path::new(&dir).join(format!("{}.report.json", report.id));
+            if let Err(e) = std::fs::write(&path, report.to_json()) {
+                eprintln!("warning: cannot write report {}: {e}", path.display());
+            }
+        }
+    }
+}
 
 /// Renders one snapshot as the canonical JSON line:
 /// `{"id": "<id>", "metrics": { ... }}`. Deterministic — the metric map

@@ -1,0 +1,116 @@
+//! The timing-segregation contract of [`BenchReport`]: two same-seed
+//! runs must agree **byte-for-byte** on the deterministic payload even
+//! though their wall-clock sections differ — that is what lets
+//! `scripts/bench_gate.sh` diff the payload exactly while applying only
+//! a tolerance threshold to speed.
+
+use nezha_core::cluster::{Cluster, ClusterConfig};
+use nezha_core::conn::{ConnKind, ConnSpec};
+use nezha_core::vm::VmConfig;
+use nezha_sim::report::{reports_json, BenchReport, BENCH_SCHEMA_VERSION};
+use nezha_sim::time::{SimDuration, SimTime};
+use nezha_sim::topology::TopologyConfig;
+use nezha_types::{FiveTuple, Ipv4Addr, ServerId, VnicId, VpcId};
+use nezha_vswitch::vnic::{Vnic, VnicProfile};
+
+/// A scaled-down copy of the `bench` experiment's measurement shape:
+/// drive a seeded cluster, then fold its counters into a report whose
+/// deterministic section is a pure function of the seed and whose timing
+/// section carries genuine wall-clock observations.
+fn mini_bench(seed: u64) -> BenchReport {
+    let cfg = ClusterConfig::builder()
+        .topology(TopologyConfig {
+            servers_per_rack: 8,
+            racks_per_pod: 2,
+            pods: 1,
+            ..TopologyConfig::default()
+        })
+        .auto(false)
+        .seed(seed)
+        .build();
+    let mut c = Cluster::new(cfg);
+    let mut vnic = Vnic::new(
+        VnicId(1),
+        VpcId(1),
+        Ipv4Addr::new(10, 7, 0, 1),
+        VnicProfile::default(),
+        ServerId(0),
+    );
+    vnic.allow_inbound_port(9000);
+    c.add_vnic(vnic, ServerId(0), VmConfig::with_vcpus(64))
+        .unwrap();
+    c.trigger_offload(VnicId(1), SimTime::ZERO).unwrap();
+    c.run_until(SimTime::ZERO + SimDuration::from_secs(2));
+    for i in 0..120u32 {
+        c.add_conn(ConnSpec {
+            vnic: VnicId(1),
+            vpc: VpcId(1),
+            tuple: FiveTuple::tcp(
+                Ipv4Addr::new(10, 7, 2, (i % 100) as u8 + 1),
+                (2048 + i) as u16,
+                Ipv4Addr::new(10, 7, 0, 1),
+                9000,
+            ),
+            peer_server: ServerId(8 + i % 8),
+            kind: ConnKind::Inbound,
+            start: c.now() + SimDuration::from_micros(500 * i as u64),
+            payload: 100,
+            overlay_encap_src: None,
+        })
+        .unwrap();
+    }
+    // nezha-lint: allow(D1): measuring test wall speed, never sim-visible
+    let wall_start = std::time::Instant::now();
+    c.run_until(c.now() + SimDuration::from_secs(2));
+    let wall = wall_start.elapsed().as_secs_f64();
+    let stats = c.stats();
+    BenchReport::new("bench.mini")
+        .config("seed", seed)
+        .metric("events_processed", c.engine.processed() as f64, "events")
+        .metric("conns_completed", stats.completed as f64, "conns")
+        .metric("pkts_dropped", stats.pkts.dropped as f64, "pkts")
+        .timing("wall_seconds", wall, "s")
+        .timing(
+            "events_per_wall_sec",
+            c.engine.processed() as f64 / wall.max(1e-9),
+            "1/s",
+        )
+}
+
+#[test]
+fn same_seed_reports_identical_modulo_timing() {
+    let a = mini_bench(0x4e5a_2026);
+    let b = mini_bench(0x4e5a_2026);
+    // The deterministic payload is byte-identical across runs...
+    assert_eq!(a.deterministic_json(), b.deterministic_json());
+    // ...and is genuinely non-trivial.
+    assert!(a.get("events_processed").unwrap() > 0.0);
+    assert!(a.get("conns_completed").unwrap() > 0.0);
+    // Wall-clock observations live only in the timing section: stripping
+    // it must erase every difference two runs can legitimately have.
+    assert_eq!(a.timing_samples().len(), 2);
+    assert!(a
+        .deterministic_samples()
+        .iter()
+        .all(|s| !s.name.contains("wall")));
+}
+
+#[test]
+fn different_seed_changes_deterministic_payload() {
+    let a = mini_bench(0x4e5a_2026);
+    let b = mini_bench(0x4e5a_2027);
+    assert_ne!(
+        a.deterministic_json(),
+        b.deterministic_json(),
+        "different seeds must not collide on the behavior checksum"
+    );
+}
+
+#[test]
+fn reports_json_is_schema_versioned() {
+    let doc = reports_json("pre-optimization", &[mini_bench(1)]);
+    assert!(doc.contains(&format!("\"schema_version\": {BENCH_SCHEMA_VERSION}")));
+    assert!(doc.contains("\"phase\": \"pre-optimization\""));
+    assert!(doc.contains("\"deterministic\": {"));
+    assert!(doc.contains("\"timing\": {"));
+}

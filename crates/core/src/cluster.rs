@@ -22,6 +22,7 @@ use crate::gateway::Gateway;
 use crate::monitor::MonitorState;
 use crate::telemetry::ClusterTelemetry;
 use crate::vm::{VmConfig, VmModel};
+use nezha_sim::dense::DenseMap;
 use nezha_sim::engine::Engine;
 use nezha_sim::fault::{FaultKind, FaultPlan, FaultState};
 use nezha_sim::metrics::MetricsRegistry;
@@ -33,7 +34,6 @@ use nezha_sim::trace::PacketTrace;
 use nezha_types::{Ipv4Addr, NezhaError, NezhaResult, Packet, ServerId, SessionKey, VnicId};
 use nezha_vswitch::vnic::Vnic;
 use nezha_vswitch::vswitch::VSwitch;
-use std::collections::BTreeMap;
 
 pub use crate::config::{ClusterConfig, ClusterConfigBuilder, ConfigOp, LbMode};
 pub use crate::datapath::dispatch::Event;
@@ -55,16 +55,32 @@ pub struct Cluster {
     pub(crate) alive: Vec<bool>,
     /// The gateway's versioned vNIC-server table.
     pub gateway: Gateway,
-    pub(crate) fes: BTreeMap<(ServerId, VnicId), FrontEnd>,
-    pub(crate) be_meta: BTreeMap<VnicId, BackendMeta>,
-    pub(crate) vnic_home: BTreeMap<VnicId, ServerId>,
-    pub(crate) vnic_addr: BTreeMap<VnicId, Ipv4Addr>,
+    /// FE instances keyed by `(host, vnic)`. Dense-hashed: the per-packet
+    /// FE-binding claim is an O(1) probe. Every iteration site either
+    /// aggregates or sorts explicitly (monitor targets, failover victims),
+    /// so map order is never behavior-visible.
+    pub(crate) fes: DenseMap<(ServerId, VnicId), FrontEnd>,
+    /// Per-vNIC lookup tables, all dense-hashed: each is probed on the
+    /// per-packet path (home resolution, VM delivery, BE metadata) and
+    /// none is iterated order-visibly — the one iteration site (the
+    /// monitor's mutual-ping pairs over `be_meta`) sorts explicitly.
+    pub(crate) be_meta: DenseMap<VnicId, BackendMeta>,
+    pub(crate) vnic_home: DenseMap<VnicId, ServerId>,
+    pub(crate) vnic_addr: DenseMap<VnicId, Ipv4Addr>,
     /// Controller-side master copy of each vNIC's tables (tenant intent),
     /// used to (re)configure FEs and to re-arm the BE on fallback.
-    pub(crate) master_vnics: BTreeMap<VnicId, Vnic>,
-    pub(crate) vms: BTreeMap<VnicId, VmModel>,
-    pub(crate) conns: BTreeMap<u64, ConnState>,
-    next_conn_id: u64,
+    pub(crate) master_vnics: DenseMap<VnicId, Vnic>,
+    pub(crate) vms: DenseMap<VnicId, VmModel>,
+    /// Connection states, indexed by `id - 1`: ids are handed out
+    /// sequentially from 1 and never reclaimed, so the dense Vec replaces
+    /// the former ordered map — the per-packet conn lookups on the
+    /// datapath become direct indexing.
+    pub(crate) conns: Vec<ConnState>,
+    /// In-flight packets parked between schedule and arrival, addressed
+    /// by the `u32` id inside [`Event::Arrive`] / [`Event::StartProbe`].
+    /// Slot reuse is LIFO and ids are a pure function of the schedule
+    /// call sequence, so replay stays seed-deterministic.
+    pub(crate) pkt_slab: nezha_sim::dense::Slab<Packet>,
     next_probe_id: u64,
     /// Telemetry: shared registry + trace + pre-registered handles.
     pub(crate) tel: ClusterTelemetry,
@@ -111,14 +127,14 @@ impl Cluster {
             switches,
             alive: vec![true; n],
             gateway: Gateway::new(cfg.learning_interval),
-            fes: BTreeMap::new(),
-            be_meta: BTreeMap::new(),
-            vnic_home: BTreeMap::new(),
-            vnic_addr: BTreeMap::new(),
-            master_vnics: BTreeMap::new(),
-            vms: BTreeMap::new(),
-            conns: BTreeMap::new(),
-            next_conn_id: 1,
+            fes: DenseMap::new(),
+            be_meta: DenseMap::new(),
+            vnic_home: DenseMap::new(),
+            vnic_addr: DenseMap::new(),
+            master_vnics: DenseMap::new(),
+            vms: DenseMap::new(),
+            conns: Vec::new(),
+            pkt_slab: nezha_sim::dense::Slab::new(),
             next_probe_id: 1,
             tel,
             controller: ControllerState::new(),
@@ -157,6 +173,26 @@ impl Cluster {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.engine.now()
+    }
+
+    /// Parks `pkt` in the packet slab and schedules its arrival at
+    /// `server` — the heap entry carries the slab id, not the packet.
+    pub(crate) fn schedule_arrive(
+        &mut self,
+        at: SimTime,
+        server: ServerId,
+        pkt: Packet,
+        sent_at: SimTime,
+    ) {
+        let pkt = self.pkt_slab.insert(pkt);
+        self.engine.schedule_at(
+            at,
+            Event::Arrive {
+                server,
+                pkt,
+                sent_at,
+            },
+        );
     }
 
     /// The cluster's shared [`MetricsRegistry`] — engine, every vSwitch,
@@ -368,8 +404,7 @@ impl Cluster {
     /// Errors with [`NezhaError::UnknownVnic`] when `spec.vnic` was never
     /// [added](Cluster::add_vnic).
     pub fn add_conn(&mut self, spec: ConnSpec) -> NezhaResult<u64> {
-        let id = self.next_conn_id;
-        self.next_conn_id += 1;
+        let id = self.conns.len() as u64 + 1;
         let peer_addr = match spec.kind {
             ConnKind::Inbound | ConnKind::PersistentInbound | ConnKind::SynOnly => {
                 spec.tuple.src_ip
@@ -377,19 +412,30 @@ impl Cluster {
             ConnKind::Outbound => spec.tuple.dst_ip,
         };
         self.map_peer(spec.vnic, peer_addr, spec.peer_server)?;
-        self.conns.insert(
-            id,
-            ConnState {
-                spec,
-                pos: 0,
-                retries: 0,
-                started_at: spec.start,
-                status: ConnStatus::InFlight,
-            },
-        );
+        self.conns.push(ConnState {
+            spec,
+            pos: 0,
+            retries: 0,
+            started_at: spec.start,
+            status: ConnStatus::InFlight,
+        });
         self.engine
             .schedule_at(spec.start, Event::StartConn { conn: id });
         Ok(id)
+    }
+
+    /// The state of connection `id` (ids start at 1; 0 and probe traces
+    /// resolve to `None`).
+    pub(crate) fn conn(&self, id: u64) -> Option<&ConnState> {
+        self.conns.get(usize::try_from(id.checked_sub(1)?).ok()?)
+    }
+
+    /// Mutable access to connection `id` (the datapath uses split field
+    /// borrows instead; tests drive connections through this).
+    #[cfg(test)]
+    pub(crate) fn conn_mut(&mut self, id: u64) -> Option<&mut ConnState> {
+        self.conns
+            .get_mut(usize::try_from(id.checked_sub(1)?).ok()?)
     }
 
     /// Injects a standalone probe packet (latency measurement, Fig. 12).
@@ -437,6 +483,7 @@ impl Cluster {
         let id = PROBE_BIT | if silent { SILENT_BIT } else { 0 } | self.next_probe_id;
         self.next_probe_id += 1;
         let pkt = Packet::rx_data(id, vpc, vnic, tuple, nezha_types::TcpFlags::ACK, payload);
+        let pkt = self.pkt_slab.insert(pkt);
         self.engine.schedule_at(at, Event::StartProbe { pkt, from });
         Ok(())
     }
@@ -463,10 +510,23 @@ impl Cluster {
     }
 
     /// Runs the cluster until simulated time `deadline`.
+    ///
+    /// Dispatch is batched: each engine round drains every event due at
+    /// the earliest pending instant, then handles them in sequence order
+    /// — identical delivery order to one-at-a-time popping (see
+    /// [`Engine::pop_batch_until`]), with one heap peek per instant
+    /// instead of one per event.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(s) = self.engine.pop_until(deadline) {
-            let at = s.at;
-            self.handle(s.event, at);
+        let mut batch = Vec::new();
+        loop {
+            self.engine.pop_batch_until(deadline, &mut batch);
+            if batch.is_empty() {
+                return;
+            }
+            for s in batch.drain(..) {
+                let at = s.at;
+                self.handle(s.event, at);
+            }
         }
     }
 

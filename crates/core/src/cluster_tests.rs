@@ -92,7 +92,7 @@ fn scheduled_retries_back_off_exponentially_with_bounded_jitter() {
     for k in 0..=c.cfg.max_retries {
         // Isolate the one RetryStep this loss schedules.
         c.engine.clear();
-        if let Some(conn) = c.conns.get_mut(&id) {
+        if let Some(conn) = c.conn_mut(id) {
             conn.retries = k;
         }
         let before = c.engine.now();
@@ -230,7 +230,7 @@ fn manual_offload_reaches_final_stage_without_loss() {
     let fe_hits: u64 = c
         .fe_servers(VNIC)
         .iter()
-        .map(|s| c.fes[&(*s, VNIC)].counters().0)
+        .map(|s| c.fes.get(&(*s, VNIC)).unwrap().counters().0)
         .sum();
     assert!(fe_hits > 0, "FEs never saw traffic");
     // BE rule tables are gone; home switch no longer hosts the vNIC.
@@ -253,7 +253,7 @@ fn offloaded_traffic_spreads_across_fes() {
     assert_eq!(c.stats().completed, 200);
     // Every FE served some flows (hash spreading, §3.2.3).
     for s in c.fe_servers(VNIC) {
-        let (hits, misses, _) = c.fes[&(s, VNIC)].counters();
+        let (hits, misses, _) = c.fes.get(&(s, VNIC)).unwrap().counters();
         assert!(hits + misses > 0, "FE on {s} idle");
     }
     // Notifies were generated for stats-policy flows only on misses.
@@ -488,7 +488,7 @@ fn live_migration_via_be_location_update() {
     c.run_until(c.now() + SimDuration::from_millis(10));
     assert_eq!(c.vnic_home[&VNIC], new_home);
     for s in c.fe_servers(VNIC) {
-        assert_eq!(c.fes[&(s, VNIC)].be_location, new_home);
+        assert_eq!(c.fes.get(&(s, VNIC)).unwrap().be_location, new_home);
     }
 }
 
@@ -525,14 +525,7 @@ fn rx_at_server_removed_from_fe_pool_is_a_counted_misroute() {
         64,
     );
     let at = c.now();
-    c.engine.schedule_at(
-        at,
-        Event::Arrive {
-            server: removed,
-            pkt,
-            sent_at: at,
-        },
-    );
+    c.schedule_arrive(at, removed, pkt, at);
     c.run_until(at + SimDuration::from_millis(10));
     assert_eq!(
         c.stats().misroutes,

@@ -156,14 +156,7 @@ pub(crate) fn be_handle_tx(ctx: &mut HandlerCtx<'_>, pkt: Packet, sent_at: SimTi
     }
     ctx.trace(done, &out, TraceEventKind::NshEncap);
     let lat = ctx.cl.topo.latency(server, fe, out.wire_len());
-    ctx.cl.engine.schedule_at(
-        done + lat,
-        Event::Arrive {
-            server: fe,
-            pkt: out,
-            sent_at,
-        },
-    );
+    ctx.cl.schedule_arrive(done + lat, fe, out, sent_at);
 }
 
 /// RX-carried packet arriving at the BE: update local state with the
@@ -317,12 +310,5 @@ pub(crate) fn be_handle_direct_rx(ctx: &mut HandlerCtx<'_>, pkt: Packet, sent_at
     out.outer_src = Some(server);
     out.outer_dst = Some(fe);
     let lat = ctx.cl.topo.latency(server, fe, out.wire_len());
-    ctx.cl.engine.schedule_at(
-        done + lat,
-        Event::Arrive {
-            server: fe,
-            pkt: out,
-            sent_at,
-        },
-    );
+    ctx.cl.schedule_arrive(done + lat, fe, out, sent_at);
 }

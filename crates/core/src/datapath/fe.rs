@@ -64,15 +64,15 @@ pub(crate) fn fe_handle_tx_carry(
     let Some(fe) = cl.fes.get_mut(&(server, pkt.vnic)) else {
         return; // membership checked on entry; fes untouched since
     };
+    let (pair, miss) = fe.lookup_or_insert(&pkt.tuple, Direction::Tx, &mut vs.mem, &mem_model);
     // A cache miss re-executes the full slow path: "the FE executes
     // the same code as before deploying Nezha" (§5.1) — which is why
     // per-FE CPS capacity matches a local vSwitch's, and Fig. 9's
-    // gain curve needs ~4 FEs to saturate the VM.
-    let slow = fe.vnic.slow_path_cycles(&costs, pkt.wire_len());
-    let (pair, miss) = fe.lookup_or_insert(&pkt.tuple, Direction::Tx, &mut vs.mem, &mem_model);
+    // gain curve needs ~4 FEs to saturate the VM. Priced only on the
+    // miss branch: the slow-path formula costs an `ln` per call.
     let cycles = costs.fe_carry
         + if miss {
-            slow
+            fe.vnic.slow_path_cycles(&costs, pkt.wire_len())
         } else {
             costs.fast_path_cycles(pkt.wire_len())
         };
@@ -157,11 +157,10 @@ pub(crate) fn fe_handle_rx(
         // it rather than silently dropping on the floor.
         return ctx.misroute(&pkt);
     };
-    let slow = fe.vnic.slow_path_cycles(&costs, pkt.wire_len());
     let (pair, miss) = fe.lookup_or_insert(&pkt.tuple, Direction::Rx, &mut vs.mem, &mem_model);
     let cycles = costs.fe_carry
         + if miss {
-            slow
+            fe.vnic.slow_path_cycles(&costs, pkt.wire_len())
         } else {
             costs.fast_path_cycles(pkt.wire_len())
         };
@@ -217,14 +216,7 @@ pub(crate) fn fe_handle_rx(
     out.prof_span = hop_span;
     ctx.trace(done, &out, TraceEventKind::NshEncap);
     let lat = ctx.cl.topo.latency(server, be, out.wire_len());
-    ctx.cl.engine.schedule_at(
-        done + lat,
-        crate::datapath::dispatch::Event::Arrive {
-            server: be,
-            pkt: out,
-            sent_at,
-        },
-    );
+    ctx.cl.schedule_arrive(done + lat, be, out, sent_at);
 }
 
 /// Emits one FE→BE notify packet for a missed flow (§3.2.2).
@@ -257,12 +249,5 @@ pub(crate) fn send_notify(ctx: &mut HandlerCtx<'_>, pkt: &Packet, policy: u8, do
         return;
     }
     let lat = ctx.cl.topo.latency(fe_server, be, notify.wire_len());
-    ctx.cl.engine.schedule_at(
-        done + lat,
-        crate::datapath::dispatch::Event::Arrive {
-            server: be,
-            pkt: notify,
-            sent_at: done,
-        },
-    );
+    ctx.cl.schedule_arrive(done + lat, be, notify, done);
 }

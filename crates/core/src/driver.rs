@@ -29,7 +29,7 @@ pub fn retry_backoff(base: SimDuration, cap: SimDuration, retries: u32) -> SimDu
 
 impl Cluster {
     pub(crate) fn inject_step(&mut self, conn_id: u64, step_idx: usize, now: SimTime) {
-        let Some(conn) = self.conns.get(&conn_id) else {
+        let Some(conn) = self.conn(conn_id) else {
             return;
         };
         if conn.status != ConnStatus::InFlight || conn.pos != step_idx {
@@ -62,14 +62,7 @@ impl Cluster {
                     return self.lose_packet(trace, now);
                 };
                 let home = self.vnic_home[&spec.vnic];
-                self.engine.schedule_at(
-                    sent,
-                    Event::Arrive {
-                        server: home,
-                        pkt,
-                        sent_at: sent,
-                    },
-                );
+                self.schedule_arrive(sent, home, pkt, sent);
             }
             Direction::Rx => {
                 pkt.overlay_encap_src = spec.overlay_encap_src;
@@ -83,14 +76,7 @@ impl Cluster {
                         pkt.outer_src = Some(spec.peer_server);
                         pkt.outer_dst = Some(dst);
                         let lat = self.topo.latency(spec.peer_server, dst, pkt.wire_len());
-                        self.engine.schedule_at(
-                            now + lat,
-                            Event::Arrive {
-                                server: dst,
-                                pkt,
-                                sent_at: now,
-                            },
-                        );
+                        self.schedule_arrive(now + lat, dst, pkt, now);
                     }
                     None => self.lose_packet(trace, now),
                 }
@@ -99,7 +85,12 @@ impl Cluster {
     }
 
     pub(crate) fn advance_conn(&mut self, conn_id: u64, from_step: usize, now: SimTime) {
-        let Some(conn) = self.conns.get_mut(&conn_id) else {
+        // Field-level indexing (not the `conn_mut` helper) keeps the
+        // borrow split so the telemetry calls below stay legal.
+        let Some(conn) = conn_id
+            .checked_sub(1)
+            .and_then(|i| self.conns.get_mut(i as usize))
+        else {
             return;
         };
         if conn.status != ConnStatus::InFlight || conn.pos != from_step {
@@ -124,7 +115,10 @@ impl Cluster {
     }
 
     pub(crate) fn retry_step(&mut self, conn_id: u64, step: usize, now: SimTime) {
-        let Some(conn) = self.conns.get_mut(&conn_id) else {
+        let Some(conn) = conn_id
+            .checked_sub(1)
+            .and_then(|i| self.conns.get_mut(i as usize))
+        else {
             return;
         };
         if conn.status != ConnStatus::InFlight || conn.pos != step {
@@ -153,7 +147,7 @@ impl Cluster {
         }
         let conn = trace >> 4;
         let step = (trace & 0xf) as usize;
-        let retries = self.conns.get(&conn).map_or(0, |c| c.retries);
+        let retries = self.conn(conn).map_or(0, |c| c.retries);
         let base = retry_backoff(self.cfg.retry_timeout, self.cfg.retry_cap, retries);
         let jitter = 0.75 + 0.5 * self.rng.f64();
         let delay = SimDuration::from_secs_f64(base.as_secs_f64() * jitter);
@@ -166,7 +160,10 @@ impl Cluster {
         if trace & PROBE_BIT != 0 {
             return;
         }
-        if let Some(conn) = self.conns.get_mut(&(trace >> 4)) {
+        if let Some(conn) = (trace >> 4)
+            .checked_sub(1)
+            .and_then(|i| self.conns.get_mut(i as usize))
+        {
             if conn.status == ConnStatus::InFlight {
                 conn.status = ConnStatus::Denied;
                 self.tel.inc(self.tel.denied);
@@ -201,14 +198,7 @@ impl Cluster {
                 pkt.outer_src = Some(from);
                 pkt.outer_dst = Some(dst);
                 let lat = self.topo.latency(from, dst, pkt.wire_len());
-                self.engine.schedule_at(
-                    now + lat,
-                    Event::Arrive {
-                        server: dst,
-                        pkt,
-                        sent_at: now,
-                    },
-                );
+                self.schedule_arrive(now + lat, dst, pkt, now);
             }
             None => self.lose_packet(pkt.trace, now),
         }

@@ -9,12 +9,12 @@
 //! state loss, and a post-scaling cache miss costs only one re-executed
 //! rule lookup ("slightly more than 10 microseconds").
 
+use nezha_sim::dense::{DenseMap, Interner};
 use nezha_sim::resources::MemoryPool;
 use nezha_types::{Direction, FiveTuple, PreActionPair, ServerId, SessionKey};
 use nezha_vswitch::config::MemoryModel;
 use nezha_vswitch::pipeline;
 use nezha_vswitch::vnic::Vnic;
-use std::collections::BTreeMap;
 
 /// One FE instance: an offloaded vNIC's tables hosted on a remote server.
 #[derive(Debug)]
@@ -26,7 +26,16 @@ pub struct FrontEnd {
     /// Config", Fig. 7).
     pub be_location: ServerId,
     /// Cached flows regenerated on the fly by rule lookups (Fig. 7).
-    flows: BTreeMap<SessionKey, PreActionPair>,
+    /// Dense-hashed: the per-packet hit path is one O(1) probe, and the
+    /// only iteration (invalidate-all) is aggregate, so lookup order is
+    /// never behavior-visible. Entries store a 4-byte interned id rather
+    /// than the 64-byte pair itself: flows over the same rule tables
+    /// collapse onto a few hundred distinct pre-action values, so the
+    /// probe array stays a quarter the size and the resolve table is
+    /// cache-resident.
+    flows: DenseMap<SessionKey, u32>,
+    /// Distinct pre-action values behind the flow entries' interned ids.
+    pairs: Interner<PreActionPair>,
     hits: u64,
     misses: u64,
     /// Flows that could not be cached because the host's table memory was
@@ -43,7 +52,8 @@ impl FrontEnd {
         FrontEnd {
             vnic,
             be_location,
-            flows: BTreeMap::new(),
+            flows: DenseMap::new(),
+            pairs: Interner::new(),
             hits: 0,
             misses: 0,
             cache_skips: 0,
@@ -85,14 +95,15 @@ impl FrontEnd {
         m: &MemoryModel,
     ) -> (PreActionPair, bool) {
         let key = SessionKey::of(self.vnic.vpc, *tuple);
-        if let Some(pair) = self.flows.get(&key) {
+        if let Some(&id) = self.flows.get(&key) {
             self.hits += 1;
-            return (*pair, false);
+            return (*self.pairs.resolve(id), false);
         }
         self.misses += 1;
         let pair = pipeline::slow_path_lookup(&self.vnic, tuple, pkt_dir).pair;
         if pool.alloc(m.flow_entry).is_ok() {
-            self.flows.insert(key, pair);
+            let id = self.pairs.intern(pair);
+            self.flows.insert(key, id);
         } else {
             self.cache_skips += 1;
         }

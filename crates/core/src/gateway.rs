@@ -14,9 +14,9 @@
 //! keep arriving at the old location, which must still be able to process
 //! them (§4.2.1).
 
+use nezha_sim::dense::DenseMap;
 use nezha_sim::time::{SimDuration, SimTime};
 use nezha_types::{Ipv4Addr, ServerId};
-use std::collections::BTreeMap;
 
 /// One versioned gateway entry.
 #[derive(Clone, Debug)]
@@ -29,11 +29,14 @@ struct VersionedEntry {
 /// The gateway table.
 #[derive(Clone, Debug)]
 pub struct Gateway {
-    entries: BTreeMap<Ipv4Addr, VersionedEntry>,
+    /// Dense-hashed: `select` probes this (and `pins`) once per RX
+    /// packet; neither map is ever iterated order-visibly (`unpin_*`
+    /// retains are pure filters).
+    entries: DenseMap<Ipv4Addr, VersionedEntry>,
     /// Exact-flow overrides: `(vNIC address, flow hash) → server`. Used to
     /// steer a pinned elephant flow to its dedicated FE while the general
     /// entry spreads everything else (§7.5).
-    pins: BTreeMap<(Ipv4Addr, u64), ServerId>,
+    pins: DenseMap<(Ipv4Addr, u64), ServerId>,
     learning_interval: SimDuration,
 }
 
@@ -42,8 +45,8 @@ impl Gateway {
     /// (the paper's production value is 200 ms).
     pub fn new(learning_interval: SimDuration) -> Self {
         Gateway {
-            entries: BTreeMap::new(),
-            pins: BTreeMap::new(),
+            entries: DenseMap::new(),
+            pins: DenseMap::new(),
             learning_interval,
         }
     }

@@ -1,0 +1,760 @@
+//! Interned dense indices: the hot-path replacements for per-packet
+//! `BTreeMap` lookups.
+//!
+//! Two structures, both fully deterministic:
+//!
+//! * [`Slab`] — an arena of `u32`-addressed slots with a LIFO free list.
+//!   Used to park large payloads (packets) outside the event queue so a
+//!   queued event is a handful of bytes instead of a 200-byte copy on
+//!   every heap sift.
+//! * [`DenseMap`] — a hash-indexed map whose entries live in one dense,
+//!   insertion-ordered `Vec`. Lookups probe a private open-addressing
+//!   table keyed by a **fixed** multiply-xor hash (no per-process
+//!   randomization, unlike `std::collections::HashMap`); iteration walks
+//!   the dense vector, never the hash table.
+//!
+//! ## Determinism argument (lint rule D3)
+//!
+//! D3's contract is that determinism requires ordered *iteration*, not
+//! ordered *lookup*: a lookup by key returns the same value whatever the
+//! bucket layout, so hash-distributing the index is free. Iteration
+//! order here is a pure function of the insert/remove call sequence
+//! (insertion order, with `swap_remove` backfill on removal) — same
+//! seed, same calls, same order, every run, on every platform. What the
+//! map does **not** provide is key-sorted order; call sites whose output
+//! is order-visible must sort explicitly (see `DESIGN.md`).
+
+use std::hash::{Hash, Hasher};
+
+/// A deterministic, fixed-key `fx`-style hasher: multiply-xor over the
+/// written words. Quality is ample for the short keys used on the
+/// datapath (ids, 5-tuples) and hashing is a few cycles — the point of
+/// replacing the `BTreeMap`'s pointer-chasing comparisons.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher64 {
+    state: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher64 {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher64 {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Final avalanche so low bits depend on every input word (the
+        // index table masks to low bits).
+        let mut h = self.state;
+        h ^= h >> 32;
+        h = h.wrapping_mul(0xd6e8_feb8_6659_fd93);
+        h ^= h >> 32;
+        h
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(v as u64);
+    }
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.mix(v as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+}
+
+/// Hashes one key with the fixed-seed [`FxHasher64`].
+#[inline]
+pub fn fx_hash<K: Hash + ?Sized>(key: &K) -> u64 {
+    let mut h = FxHasher64::default();
+    key.hash(&mut h);
+    h.finish()
+}
+
+const EMPTY: u32 = u32::MAX;
+const TOMBSTONE: u32 = u32::MAX - 1;
+
+/// A hash-indexed map with dense, insertion-ordered storage.
+///
+/// * `get`/`insert`/`remove` are O(1) expected via open addressing;
+/// * `iter` walks entries in deterministic (insertion, with removal
+///   backfill) order — never the hash table;
+/// * at most `u32::MAX - 2` entries.
+#[derive(Clone, Debug)]
+pub struct DenseMap<K, V> {
+    /// Dense keys, parallel to `values`. Kept in a separate array so a
+    /// probe's key comparison walks a tight key-only stride — with a
+    /// value-heavy map (e.g. a session table) the values would otherwise
+    /// drag a full entry line into cache per compared key.
+    keys: Vec<K>,
+    values: Vec<V>,
+    index: Vec<u32>,
+    tombstones: usize,
+}
+
+impl<K: Hash + Eq, V> std::ops::Index<&K> for DenseMap<K, V> {
+    type Output = V;
+
+    /// Panics when `key` is absent, like the standard maps.
+    fn index(&self, key: &K) -> &V {
+        self.get(key).expect("no entry found for key")
+    }
+}
+
+impl<K, V> Default for DenseMap<K, V> {
+    fn default() -> Self {
+        DenseMap {
+            keys: Vec::new(),
+            values: Vec::new(),
+            index: Vec::new(),
+            tombstones: 0,
+        }
+    }
+}
+
+impl<K: Hash + Eq, V> DenseMap<K, V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        DenseMap::default()
+    }
+
+    /// An empty map with room for `cap` entries before any rehash.
+    pub fn with_capacity(cap: usize) -> Self {
+        let mut m = DenseMap {
+            keys: Vec::with_capacity(cap),
+            values: Vec::with_capacity(cap),
+            index: Vec::new(),
+            tombstones: 0,
+        };
+        m.rebuild_index((cap * 2).next_power_of_two().max(8));
+        m
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when no entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    #[inline]
+    fn mask(&self) -> usize {
+        self.index.len() - 1
+    }
+
+    /// Finds the index-table slot for `key`: `Ok(slot)` when present,
+    /// `Err(first_free_slot)` when absent.
+    #[inline]
+    fn probe(&self, key: &K) -> Result<usize, usize> {
+        debug_assert!(!self.index.is_empty());
+        let mask = self.mask();
+        let mut slot = (fx_hash(key) as usize) & mask;
+        let mut first_free = None;
+        loop {
+            match self.index[slot] {
+                EMPTY => return Err(first_free.unwrap_or(slot)),
+                TOMBSTONE => {
+                    first_free.get_or_insert(slot);
+                }
+                i => {
+                    if self.keys[i as usize] == *key {
+                        return Ok(slot);
+                    }
+                }
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    fn rebuild_index(&mut self, size: usize) {
+        debug_assert!(size.is_power_of_two() && size > self.keys.len());
+        self.index.clear();
+        self.index.resize(size, EMPTY);
+        self.tombstones = 0;
+        let mask = size - 1;
+        for (i, k) in self.keys.iter().enumerate() {
+            let mut slot = (fx_hash(k) as usize) & mask;
+            while self.index[slot] != EMPTY {
+                slot = (slot + 1) & mask;
+            }
+            self.index[slot] = i as u32;
+        }
+    }
+
+    /// Grows/cleans the index when load (live + tombstones) passes 7/8.
+    fn maybe_grow(&mut self) {
+        if self.index.is_empty() {
+            self.rebuild_index(8);
+        } else if (self.keys.len() + self.tombstones) * 8 >= self.index.len() * 7 {
+            let target = (self.keys.len() * 2).next_power_of_two().max(8);
+            self.rebuild_index(target.max(self.index.len()));
+        }
+    }
+
+    /// Looks up a key.
+    #[inline]
+    pub fn get(&self, key: &K) -> Option<&V> {
+        if self.keys.is_empty() {
+            return None;
+        }
+        self.probe(key)
+            .ok()
+            .map(|slot| &self.values[self.index[slot] as usize])
+    }
+
+    /// Mutable lookup.
+    #[inline]
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        if self.keys.is_empty() {
+            return None;
+        }
+        match self.probe(key) {
+            Ok(slot) => {
+                let i = self.index[slot] as usize;
+                Some(&mut self.values[i])
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// True when `key` is present.
+    #[inline]
+    pub fn contains_key(&self, key: &K) -> bool {
+        !self.keys.is_empty() && self.probe(key).is_ok()
+    }
+
+    /// Inserts, returning the previous value for `key` if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        self.maybe_grow();
+        match self.probe(&key) {
+            Ok(slot) => {
+                let i = self.index[slot] as usize;
+                Some(std::mem::replace(&mut self.values[i], value))
+            }
+            Err(free) => {
+                assert!(self.keys.len() < (TOMBSTONE as usize), "DenseMap full");
+                if self.index[free] == TOMBSTONE {
+                    self.tombstones -= 1;
+                }
+                self.index[free] = self.keys.len() as u32;
+                self.keys.push(key);
+                self.values.push(value);
+                None
+            }
+        }
+    }
+
+    /// Removes `key`, backfilling the dense storage from the last entry
+    /// (`swap_remove`) so storage stays gap-free. Iteration order after
+    /// a removal is therefore not insertion order, but it remains a pure
+    /// function of the call sequence — deterministic across runs.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        if self.keys.is_empty() {
+            return None;
+        }
+        let slot = self.probe(key).ok()?;
+        let dense = self.index[slot] as usize;
+        self.index[slot] = TOMBSTONE;
+        self.tombstones += 1;
+        self.keys.swap_remove(dense);
+        let v = self.values.swap_remove(dense);
+        if dense < self.keys.len() {
+            // The former last entry moved into `dense`; walk its probe
+            // chain for the slot still holding its old dense index.
+            let moved_old = self.keys.len() as u32;
+            let mask = self.mask();
+            let mut slot = (fx_hash(&self.keys[dense]) as usize) & mask;
+            while self.index[slot] != moved_old {
+                slot = (slot + 1) & mask;
+            }
+            self.index[slot] = dense as u32;
+        }
+        Some(v)
+    }
+
+    /// Keeps only entries for which `f` returns true, preserving the
+    /// relative order of survivors; the index is rebuilt afterwards.
+    pub fn retain(&mut self, mut f: impl FnMut(&K, &mut V) -> bool) {
+        let mut w = 0;
+        for r in 0..self.keys.len() {
+            if f(&self.keys[r], &mut self.values[r]) {
+                self.keys.swap(w, r);
+                self.values.swap(w, r);
+                w += 1;
+            }
+        }
+        self.keys.truncate(w);
+        self.values.truncate(w);
+        let size = self.index.len().max(8);
+        self.rebuild_index(size);
+    }
+
+    /// Drops all entries, keeping allocations.
+    pub fn clear(&mut self) {
+        self.keys.clear();
+        self.values.clear();
+        for s in &mut self.index {
+            *s = EMPTY;
+        }
+        self.tombstones = 0;
+    }
+
+    /// Iterates `(key, value)` in dense-storage order (deterministic;
+    /// not key-sorted — see the module docs).
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.keys.iter().zip(self.values.iter())
+    }
+
+    /// Mutable iteration in dense-storage order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&K, &mut V)> {
+        self.keys.iter().zip(self.values.iter_mut())
+    }
+
+    /// Iterates values in dense-storage order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.values.iter()
+    }
+
+    /// Mutable value iteration in dense-storage order.
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut V> {
+        self.values.iter_mut()
+    }
+
+    /// Iterates keys in dense-storage order.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.keys.iter()
+    }
+}
+
+/// An open-addressing map storing key/value pairs *inline* in the hash
+/// table — one expected cache line per lookup, versus two for
+/// [`DenseMap`] (slot array, then dense storage).
+///
+/// The trade: there is **no iteration at all** (and no removal), which is
+/// what makes it trivially safe under lint rule D3 — a map that cannot be
+/// iterated cannot leak hash order into behavior. Use it for large
+/// lookup-only caches on the per-packet path (e.g. the FE flow cache);
+/// use `DenseMap` whenever entries must be walked or removed.
+#[derive(Clone, Debug)]
+pub struct FlatMap<K, V> {
+    slots: Vec<Option<(K, V)>>,
+    len: usize,
+}
+
+impl<K, V> Default for FlatMap<K, V> {
+    fn default() -> Self {
+        FlatMap {
+            slots: Vec::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<K: Hash + Eq, V> FlatMap<K, V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        FlatMap::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Looks up a key.
+    #[inline]
+    pub fn get(&self, key: &K) -> Option<&V> {
+        if self.len == 0 {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut slot = (fx_hash(key) as usize) & mask;
+        loop {
+            match &self.slots[slot] {
+                None => return None,
+                Some((k, v)) if k == key => return Some(v),
+                Some(_) => slot = (slot + 1) & mask,
+            }
+        }
+    }
+
+    /// Inserts, returning the previous value for `key` if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        if self.len * 8 >= self.slots.len() * 7 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut slot = (fx_hash(&key) as usize) & mask;
+        loop {
+            match &mut self.slots[slot] {
+                s @ None => {
+                    *s = Some((key, value));
+                    self.len += 1;
+                    return None;
+                }
+                Some((k, v)) if *k == key => {
+                    return Some(std::mem::replace(v, value));
+                }
+                Some(_) => slot = (slot + 1) & mask,
+            }
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_size = (self.slots.len() * 2).max(8);
+        let old = std::mem::take(&mut self.slots);
+        self.slots.resize_with(new_size, || None);
+        let mask = new_size - 1;
+        for e in old.into_iter().flatten() {
+            let mut slot = (fx_hash(&e.0) as usize) & mask;
+            while self.slots[slot].is_some() {
+                slot = (slot + 1) & mask;
+            }
+            self.slots[slot] = Some(e);
+        }
+    }
+
+    /// Drops all entries, keeping the allocation.
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+        self.len = 0;
+    }
+}
+
+/// A `u32`-addressed arena with a LIFO free list.
+///
+/// `insert` returns a stable id; `take` moves the value out and recycles
+/// the id. Ids are recycled most-recently-freed first, so the id
+/// sequence — like everything else here — is a pure function of the
+/// call sequence.
+#[derive(Clone, Debug, Default)]
+pub struct Slab<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<u32>,
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// An empty slab with capacity for `cap` values before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        Slab {
+            slots: Vec::with_capacity(cap),
+            free: Vec::new(),
+        }
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// True when no slots are occupied.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Parks a value, returning its id.
+    #[inline]
+    pub fn insert(&mut self, value: T) -> u32 {
+        match self.free.pop() {
+            Some(id) => {
+                debug_assert!(self.slots[id as usize].is_none());
+                self.slots[id as usize] = Some(value);
+                id
+            }
+            None => {
+                let id = u32::try_from(self.slots.len()).expect("slab overflow");
+                self.slots.push(Some(value));
+                id
+            }
+        }
+    }
+
+    /// Moves the value at `id` out, recycling the slot.
+    ///
+    /// Panics when `id` is vacant — a vacant take means an event was
+    /// duplicated or double-freed, which must never happen.
+    #[inline]
+    pub fn take(&mut self, id: u32) -> T {
+        let v = self.slots[id as usize].take().expect("vacant slab slot");
+        self.free.push(id);
+        v
+    }
+
+    /// Borrows the value at `id`, if occupied.
+    pub fn get(&self, id: u32) -> Option<&T> {
+        self.slots.get(id as usize).and_then(|s| s.as_ref())
+    }
+
+    /// Mutably borrows the value at `id`, if occupied.
+    pub fn get_mut(&mut self, id: u32) -> Option<&mut T> {
+        self.slots.get_mut(id as usize).and_then(|s| s.as_mut())
+    }
+
+    /// Drops every value and recyclable id.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+    }
+}
+
+/// A value interner: deduplicates equal values into a dense, append-only
+/// table and hands out `u32` ids.
+///
+/// Hot-path consumers store the 4-byte id instead of the value itself —
+/// a cached-flow table whose entries embed a 64-byte pre-action pair
+/// shrinks to a quarter of its footprint when the distinct values number
+/// in the hundreds, which is what keeps big per-packet lookup tables
+/// cache-resident. Ids are assigned in first-intern order, so like
+/// everything else in this module the id sequence is a pure function of
+/// the call sequence, and `resolve` is a bare slice index.
+#[derive(Clone, Debug)]
+pub struct Interner<T> {
+    values: Vec<T>,
+    ids: DenseMap<T, u32>,
+}
+
+impl<T: Hash + Eq> Default for Interner<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Hash + Eq> Interner<T> {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Interner {
+            values: Vec::new(),
+            ids: DenseMap::new(),
+        }
+    }
+
+    /// Number of distinct values interned.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl<T: Hash + Eq + Copy> Interner<T> {
+    /// Returns the id for `value`, assigning the next dense id on first
+    /// sight.
+    pub fn intern(&mut self, value: T) -> u32 {
+        if let Some(&id) = self.ids.get(&value) {
+            return id;
+        }
+        let id = u32::try_from(self.values.len()).expect("interner overflow");
+        self.values.push(value);
+        self.ids.insert(value, id);
+        id
+    }
+
+    /// The value behind `id`.
+    ///
+    /// Panics when `id` was not produced by this interner.
+    #[inline]
+    pub fn resolve(&self, id: u32) -> &T {
+        &self.values[id as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut m = DenseMap::new();
+        assert_eq!(m.insert("a", 1), None);
+        assert_eq!(m.insert("b", 2), None);
+        assert_eq!(m.insert("a", 10), Some(1));
+        assert_eq!(m.get(&"a"), Some(&10));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.remove(&"a"), Some(10));
+        assert_eq!(m.remove(&"a"), None);
+        assert_eq!(m.get(&"a"), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn tracks_btreemap_through_mixed_ops() {
+        // Deterministic pseudo-random op mix, mirrored into a BTreeMap.
+        let mut dense: DenseMap<u64, u64> = DenseMap::new();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut x: u64 = 0x1234_5678;
+        for i in 0..10_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = (x >> 33) % 512;
+            match x % 3 {
+                0 | 1 => {
+                    assert_eq!(dense.insert(key, i), model.insert(key, i));
+                }
+                _ => {
+                    assert_eq!(dense.remove(&key), model.remove(&key));
+                }
+            }
+            assert_eq!(dense.len(), model.len());
+        }
+        for (k, v) in model.iter() {
+            assert_eq!(dense.get(k), Some(v));
+        }
+        let mut seen: Vec<u64> = dense.keys().copied().collect();
+        seen.sort_unstable();
+        let expect: Vec<u64> = model.keys().copied().collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn iteration_is_insertion_ordered_without_removals() {
+        let mut m = DenseMap::new();
+        for k in [5u32, 3, 9, 1, 7] {
+            m.insert(k, k * 10);
+        }
+        let keys: Vec<u32> = m.keys().copied().collect();
+        assert_eq!(keys, vec![5, 3, 9, 1, 7]);
+    }
+
+    #[test]
+    fn iteration_order_is_reproducible() {
+        let build = || {
+            let mut m = DenseMap::new();
+            for k in 0u64..200 {
+                m.insert(k * 7 % 101, k);
+            }
+            for k in 0u64..50 {
+                m.remove(&(k * 13 % 101));
+            }
+            m.keys().copied().collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn retain_preserves_survivor_order() {
+        let mut m = DenseMap::new();
+        for k in 0u32..100 {
+            m.insert(k, k);
+        }
+        m.retain(|k, _| k % 3 == 0);
+        let keys: Vec<u32> = m.keys().copied().collect();
+        let expect: Vec<u32> = (0..100).filter(|k| k % 3 == 0).collect();
+        assert_eq!(keys, expect);
+        assert_eq!(m.get(&33), Some(&33));
+        assert_eq!(m.get(&34), None);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut m = DenseMap::new();
+        m.insert(1u8, 1);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.get(&1), None);
+        m.insert(1u8, 2);
+        assert_eq!(m.get(&1), Some(&2));
+    }
+
+    #[test]
+    fn flat_map_tracks_btreemap_through_inserts() {
+        let mut flat: FlatMap<u64, u64> = FlatMap::new();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut x: u64 = 0x9e37_79b9;
+        for i in 0..10_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = (x >> 33) % 512;
+            assert_eq!(flat.insert(key, i), model.insert(key, i));
+            assert_eq!(flat.len(), model.len());
+        }
+        for (k, v) in model.iter() {
+            assert_eq!(flat.get(k), Some(v));
+        }
+        assert_eq!(flat.get(&u64::MAX), None);
+        flat.clear();
+        assert!(flat.is_empty());
+        assert_eq!(flat.get(&1), None);
+        flat.insert(1, 7);
+        assert_eq!(flat.get(&1), Some(&7));
+    }
+
+    #[test]
+    fn fx_hash_is_stable_across_calls() {
+        let k = (7u64, 9u32);
+        assert_eq!(fx_hash(&k), fx_hash(&k));
+        assert_ne!(fx_hash(&(1u64, 2u32)), fx_hash(&(2u64, 1u32)));
+    }
+
+    #[test]
+    fn slab_recycles_lifo() {
+        let mut s = Slab::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(s.take(a), "a");
+        // Most-recently-freed id is reused first.
+        assert_eq!(s.insert("c"), a);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(b), Some(&"b"));
+        assert_eq!(s.take(b), "b");
+        assert_eq!(s.take(a), "c");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "vacant slab slot")]
+    fn slab_vacant_take_panics() {
+        let mut s: Slab<u8> = Slab::new();
+        let id = s.insert(1);
+        s.take(id);
+        s.take(id);
+    }
+}

@@ -6,10 +6,10 @@
 //! a run is a pure function of its inputs — a property every experiment
 //! harness and regression test in this repository relies on.
 
+use crate::dense::Slab;
 use crate::metrics::{CounterHandle, MetricsRegistry};
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::fmt;
 
 /// An event with its due time and stable tie-break sequence.
@@ -17,22 +17,31 @@ use std::fmt;
 pub struct Scheduled<E> {
     /// When the event fires.
     pub at: SimTime,
-    seq: u64,
     /// The user event payload.
     pub event: E,
 }
 
-impl<E> PartialEq for Scheduled<E> {
+/// The queue entry: 24 bytes of `(at, seq, slab id)`. The event payload
+/// itself parks in the engine's slab, so every sort swap and run shift
+/// moves three words instead of a whole event.
+#[derive(Clone, Copy, Debug)]
+struct HeapKey {
+    at: SimTime,
+    seq: u64,
+    id: u32,
+}
+
+impl PartialEq for HeapKey {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl<E> Eq for Scheduled<E> {}
+impl Eq for HeapKey {}
 
-impl<E> Ord for Scheduled<E> {
+impl Ord for HeapKey {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so earliest time (then lowest
-        // sequence number) pops first.
+        // Inverted so that an ascending sort puts the earliest time (then
+        // lowest sequence number) last, where `Vec::pop` is O(1).
         other
             .at
             .cmp(&self.at)
@@ -40,7 +49,7 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
-impl<E> PartialOrd for Scheduled<E> {
+impl PartialOrd for HeapKey {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
@@ -71,10 +80,54 @@ impl<E> PartialOrd for Scheduled<E> {
 pub struct Engine<E> {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Scheduled<E>>,
+    /// Every pending key with `at < horizon`, sorted descending by
+    /// `(at, seq)` so the earliest key sits at the back: a pop is
+    /// `Vec::pop`, and a whole bucket is ordered by one cache-friendly
+    /// unstable sort at promotion time instead of per-key heap sifts.
+    /// Sub-bucket-latency keys scheduled after the promotion are merged
+    /// in by binary-search insertion — the run only ever spans one 20 µs
+    /// bucket (tens of keys), so the shift is a short L1 `memmove`,
+    /// cheaper and branch-friendlier than a heap sift.
+    run: Vec<HeapKey>,
+    /// The far-future bucket ladder: `buckets[i]` holds keys due in
+    /// `[(bucket_base + i) * BUCKET_NS, (bucket_base + i + 1) * BUCKET_NS)`,
+    /// unordered. A far event costs one O(1) bucket push at schedule time
+    /// and its share of one bulk sort when its whole bucket promotes —
+    /// never a per-key sift.
+    buckets: std::collections::VecDeque<Vec<HeapKey>>,
+    /// Absolute bucket index of `buckets[0]`. The run/ladder boundary
+    /// (`horizon`) is `bucket_base * BUCKET_NS`.
+    bucket_base: u64,
+    /// Total keys across `buckets`.
+    staged_len: usize,
+    /// Events scheduled *at* the instant most recently drained by
+    /// [`Engine::pop_batch_until`]. The batch pop removed every queued
+    /// entry at that instant, and any later same-instant schedule gets a
+    /// strictly larger sequence number, so FIFO order here *is* `(at,
+    /// seq)` order — these events skip the run and the parked slab
+    /// entirely. Completion-style events (fire "now") are a quarter of a
+    /// packet workload, so this path matters.
+    immediate: std::collections::VecDeque<E>,
+    /// The instant whose batch was most recently drained; the only due
+    /// time `immediate` events can have.
+    draining_at: Option<SimTime>,
+    /// Retired bucket allocations, reused for new buckets so steady-state
+    /// scheduling never touches the allocator (capacity is invisible to
+    /// behavior; only contents are).
+    spare: Vec<Vec<HeapKey>>,
+    /// Pending event payloads, addressed by the heap keys' slab ids.
+    parked: Slab<E>,
     processed: u64,
     telemetry: Option<EngineTelemetry>,
 }
+
+/// Width of one far-future bucket: 20 µs of simulated time — a hair above
+/// the fabric's common-case one-way latency, so most packet arrivals land
+/// one or two buckets out (an O(1) push) instead of in the sorted run.
+/// The clock can never pass the horizon without draining the run (only
+/// pops advance it), so the run holds at most one promoted bucket plus
+/// the in-flight events scheduled since: tens of keys, L1-resident.
+const BUCKET_NS: u64 = 20_000;
 
 /// Pre-registered handles the engine updates when metrics are attached.
 #[derive(Clone, Debug)]
@@ -96,7 +149,14 @@ impl<E> Engine<E> {
         Engine {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            run: Vec::new(),
+            buckets: std::collections::VecDeque::new(),
+            bucket_base: 0,
+            staged_len: 0,
+            immediate: std::collections::VecDeque::new(),
+            draining_at: None,
+            spare: Vec::new(),
+            parked: Slab::new(),
             processed: 0,
             telemetry: None,
         }
@@ -128,7 +188,46 @@ impl<E> Engine<E> {
 
     /// Number of events still pending.
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        self.run.len() + self.staged_len + self.immediate.len()
+    }
+
+    /// The run/ladder boundary: keys due strictly before this live in
+    /// `run`.
+    #[inline]
+    fn horizon_ns(&self) -> u64 {
+        self.bucket_base.saturating_mul(BUCKET_NS)
+    }
+
+    /// Ensures the global earliest pending event (if any) is resident in
+    /// the run by promoting the next nonempty bucket when the run has
+    /// gone dry. The clock only advances by popping, so `now` can never
+    /// pass the horizon — a nonempty run always owns the global minimum
+    /// and promotion is exactly one bucket at a time: one unstable sort,
+    /// then every pop is O(1).
+    fn refill(&mut self) {
+        if !self.run.is_empty() {
+            return;
+        }
+        while let Some(front) = self.buckets.front_mut() {
+            if front.is_empty() {
+                self.buckets.pop_front();
+                self.bucket_base += 1;
+                continue;
+            }
+            let mut keys = std::mem::take(front);
+            self.buckets.pop_front();
+            self.bucket_base += 1;
+            self.staged_len -= keys.len();
+            // `HeapKey`'s Ord is inverted (max-heap order), so an
+            // ascending sort under it is descending `(at, seq)` — the
+            // earliest key ends up at the back, where `Vec::pop` is O(1).
+            keys.sort_unstable();
+            let retired = std::mem::replace(&mut self.run, keys);
+            if retired.capacity() > 0 && self.spare.len() < 32 {
+                self.spare.push(retired);
+            }
+            return;
+        }
     }
 
     /// Schedules `event` at absolute time `at`. Times before `now` are
@@ -140,7 +239,30 @@ impl<E> Engine<E> {
         if let Some(tel) = &self.telemetry {
             tel.registry.inc(tel.scheduled);
         }
-        self.queue.push(Scheduled { at, seq, event });
+        if self.draining_at == Some(at) {
+            // `at == now` and the batch pop already emptied the heap of
+            // this instant, so FIFO order is exactly `(at, seq)` order.
+            self.immediate.push_back(event);
+            return;
+        }
+        let id = self.parked.insert(event);
+        let key = HeapKey { at, seq, id };
+        if at.0 < self.horizon_ns() {
+            // Below the horizon: merge into the (descending-sorted) run.
+            // `seq` is unique, so the search always misses and yields the
+            // insertion point that keeps `(at, seq)` order.
+            let pos = self.run.binary_search(&key).unwrap_err();
+            self.run.insert(pos, key);
+        } else {
+            let idx = (at.0 / BUCKET_NS - self.bucket_base) as usize;
+            if idx >= self.buckets.len() {
+                let spare = &mut self.spare;
+                self.buckets
+                    .resize_with(idx + 1, || spare.pop().unwrap_or_default());
+            }
+            self.buckets[idx].push(key);
+            self.staged_len += 1;
+        }
     }
 
     /// Schedules `event` after `delay` from the current time.
@@ -149,15 +271,50 @@ impl<E> Engine<E> {
     }
 
     /// Pops the next event, advancing the clock to its due time.
+    ///
+    /// Tracks the instant being drained in `draining_at` so that
+    /// [`Engine::schedule_at`] can route same-instant schedules to the
+    /// O(1) `immediate` lane. Delivery order at one instant is still
+    /// exactly `(at, seq)`: run entries at the draining instant all
+    /// pre-date anything in `immediate` (a key can only enter the run
+    /// *before* its instant starts draining — later same-instant
+    /// schedules are diverted to `immediate` with larger `seq`), so the
+    /// run goes first and `immediate` follows in FIFO (= `seq`) order.
     pub fn pop(&mut self) -> Option<Scheduled<E>> {
-        let s = self.queue.pop()?;
-        debug_assert!(s.at >= self.now, "event queue went backwards");
-        self.now = s.at;
+        if let Some(&k) = self.run.last() {
+            if self.draining_at == Some(k.at) {
+                self.run.pop();
+                self.processed += 1;
+                if let Some(tel) = &self.telemetry {
+                    tel.registry.inc(tel.processed);
+                }
+                return Some(Scheduled {
+                    at: k.at,
+                    event: self.parked.take(k.id),
+                });
+            }
+        }
+        if let Some(event) = self.immediate.pop_front() {
+            let at = self.draining_at.expect("immediate implies draining_at");
+            self.processed += 1;
+            if let Some(tel) = &self.telemetry {
+                tel.registry.inc(tel.processed);
+            }
+            return Some(Scheduled { at, event });
+        }
+        self.refill();
+        let k = self.run.pop()?;
+        debug_assert!(k.at >= self.now, "event queue went backwards");
+        self.now = k.at;
+        self.draining_at = Some(k.at);
         self.processed += 1;
         if let Some(tel) = &self.telemetry {
             tel.registry.inc(tel.processed);
         }
-        Some(s)
+        Some(Scheduled {
+            at: k.at,
+            event: self.parked.take(k.id),
+        })
     }
 
     /// Pops the next event only if it is due at or before `deadline`.
@@ -165,23 +322,99 @@ impl<E> Engine<E> {
     /// Used by harnesses that interleave simulation with periodic sampling:
     /// the clock advances to `deadline` when the queue has nothing earlier.
     pub fn pop_until(&mut self, deadline: SimTime) -> Option<Scheduled<E>> {
-        match self.queue.peek() {
-            Some(s) if s.at <= deadline => self.pop(),
-            _ => {
-                self.now = self.now.max(deadline);
-                None
+        self.refill();
+        // Earliest pending instant: `immediate` (when present) lives at
+        // `draining_at == now`, which no run key can precede.
+        let due = if !self.immediate.is_empty() {
+            self.draining_at.expect("immediate implies draining_at")
+        } else if let Some(k) = self.run.last() {
+            k.at
+        } else {
+            self.now = self.now.max(deadline);
+            return None;
+        };
+        if due <= deadline {
+            self.pop()
+        } else {
+            self.now = self.now.max(deadline);
+            None
+        }
+    }
+
+    /// Pops *every* event due at the earliest pending instant `<= deadline`
+    /// into `batch` (cleared first), advancing the clock to that instant.
+    /// Advances the clock to `deadline` and leaves `batch` empty when
+    /// nothing is due.
+    ///
+    /// Delivery order is unchanged from popping one at a time: the batch
+    /// is the same-timestamp prefix of the queue in sequence order, and
+    /// any event a batch member schedules — even at the very same instant
+    /// — receives a strictly larger sequence number, so it sorts after
+    /// every batch member and fires on a later call. Callers amortize one
+    /// peek per *batch* instead of one per event.
+    pub fn pop_batch_until(&mut self, deadline: SimTime, batch: &mut Vec<Scheduled<E>>) {
+        batch.clear();
+        self.refill();
+        let due = if !self.immediate.is_empty() {
+            self.draining_at.expect("immediate implies draining_at")
+        } else if let Some(k) = self.run.last() {
+            k.at
+        } else {
+            self.now = self.now.max(deadline);
+            return;
+        };
+        if due > deadline {
+            self.now = self.now.max(deadline);
+            return;
+        }
+        // Run entries at `due` pre-date (= smaller `seq` than) anything
+        // in `immediate` — see `pop` — so they drain first.
+        while let Some(&k) = self.run.last() {
+            if k.at != due {
+                break;
             }
+            self.run.pop();
+            batch.push(Scheduled {
+                at: k.at,
+                event: self.parked.take(k.id),
+            });
+        }
+        batch.extend(
+            self.immediate
+                .drain(..)
+                .map(|event| Scheduled { at: due, event }),
+        );
+        self.now = due;
+        self.draining_at = Some(due);
+        let n = batch.len() as u64;
+        self.processed += n;
+        if let Some(tel) = &self.telemetry {
+            tel.registry.add(tel.processed, n);
         }
     }
 
     /// Due time of the next pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.queue.peek().map(|s| s.at)
+        if !self.immediate.is_empty() {
+            return self.draining_at;
+        }
+        if let Some(k) = self.run.last() {
+            return Some(k.at);
+        }
+        self.buckets
+            .iter()
+            .find(|b| !b.is_empty())
+            .map(|b| b.iter().map(|k| k.at).min().expect("nonempty"))
     }
 
     /// Drops all pending events (used when tearing down a scenario).
     pub fn clear(&mut self) {
-        self.queue.clear();
+        self.run.clear();
+        self.buckets.clear();
+        self.staged_len = 0;
+        self.immediate.clear();
+        self.draining_at = None;
+        self.parked = Slab::new();
     }
 }
 
@@ -189,7 +422,7 @@ impl<E> fmt::Debug for Engine<E> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Engine")
             .field("now", &self.now)
-            .field("pending", &self.queue.len())
+            .field("pending", &self.pending())
             .field("processed", &self.processed)
             .finish()
     }

@@ -40,10 +40,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod dense;
 pub mod engine;
 pub mod fault;
 pub mod metrics;
 pub mod profile;
+pub mod report;
 pub mod resources;
 pub mod rng;
 pub mod stats;
@@ -51,6 +53,7 @@ pub mod time;
 pub mod topology;
 pub mod trace;
 
+pub use dense::{DenseMap, Slab};
 pub use engine::{Engine, Scheduled};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultState, GilbertElliott};
 pub use metrics::{
@@ -58,6 +61,7 @@ pub use metrics::{
     MetricsSnapshot, SeriesHandle,
 };
 pub use profile::{Profiler, Span, SpanId, SpanRecord, StageHandle, StageSet, StageTotals};
+pub use report::{BenchReport, Sample, BENCH_SCHEMA_VERSION};
 pub use resources::{CpuOutcome, CpuServer, MemoryPool, UtilizationWindow};
 pub use rng::SimRng;
 pub use stats::{Counter, Samples, TimeSeries};

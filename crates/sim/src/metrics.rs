@@ -485,7 +485,7 @@ impl MetricsDiff {
 }
 
 /// JSON string literal with the escapes the key charset can need.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -504,7 +504,7 @@ fn json_str(s: &str) -> String {
 
 /// Deterministic shortest-round-trip float formatting; JSON has no
 /// infinities or NaN, so those clamp to null.
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         let s = format!("{v:?}");
         s

@@ -233,6 +233,15 @@ impl Profiler {
         let mut inner = self.inner.borrow_mut();
         inner.enabled = true;
         inner.capacity = span_capacity;
+        // Pre-size the ring so steady-state recording never grows the
+        // allocation mid-measurement (a realloc pause inside the measured
+        // region would skew the very spans being recorded). Huge
+        // capacities (effectively "unbounded") are not paid for eagerly.
+        const EAGER_PREALLOC_MAX: usize = 1 << 20;
+        if span_capacity <= EAGER_PREALLOC_MAX {
+            let additional = span_capacity.saturating_sub(inner.spans.len());
+            inner.spans.reserve_exact(additional);
+        }
     }
 
     /// Stops recording (registered stages and collected data remain).

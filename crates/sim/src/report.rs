@@ -1,0 +1,258 @@
+//! Typed, schema-versioned benchmark reports.
+//!
+//! Every experiment ends by producing a [`BenchReport`]: a named bundle
+//! of [`Sample`]s split into two sections with different determinism
+//! contracts:
+//!
+//! * **deterministic** — pure functions of the seed (event counts,
+//!   simulated durations, completion totals). Two same-seed runs must
+//!   produce byte-identical deterministic sections; regression gates and
+//!   golden diffs compare only this part.
+//! * **timing** — wall-clock observations (events per wall-second, peak
+//!   RSS). These vary run-to-run and machine-to-machine and are
+//!   explicitly segregated so a `BENCH_*.json` diff never mixes the two.
+//!
+//! The JSON rendering is deterministic given the report contents: fields
+//! print in insertion order, floats use shortest-round-trip formatting,
+//! and the schema carries an explicit version so downstream tooling
+//! (`scripts/bench_gate.sh`) can refuse reports it does not understand.
+
+use crate::metrics::{json_f64, json_str, MetricsSnapshot};
+use std::fmt::Write as _;
+
+/// Version of the JSON layout emitted by [`BenchReport::to_json`].
+/// Bump when the shape (not the set of sample names) changes.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// One measured quantity.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Sample name, unique within its section (e.g. `events_processed`).
+    pub name: String,
+    /// The measured value.
+    pub value: f64,
+    /// Unit string (e.g. `"events"`, `"s"`, `"bytes"`, `"1/s"`).
+    pub unit: String,
+}
+
+impl Sample {
+    /// Creates a sample.
+    pub fn new(name: impl Into<String>, value: f64, unit: impl Into<String>) -> Self {
+        Sample {
+            name: name.into(),
+            value,
+            unit: unit.into(),
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{}: {{\"value\": {}, \"unit\": {}}}",
+            json_str(&self.name),
+            json_f64(self.value),
+            json_str(&self.unit)
+        )
+    }
+}
+
+/// A typed experiment report: id + config echo + segregated samples.
+///
+/// Built fluently:
+///
+/// ```
+/// use nezha_sim::report::BenchReport;
+///
+/// let r = BenchReport::new("bench.testbed")
+///     .config("cores", 4)
+///     .metric("events_processed", 123456.0, "events")
+///     .timing("events_per_wall_sec", 2.5e6, "1/s");
+/// assert_eq!(r.get("events_processed"), Some(123456.0));
+/// assert!(r.deterministic_json() == r.clone().deterministic_json());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct BenchReport {
+    /// Report id (experiment id, optionally `.`-qualified by config).
+    pub id: String,
+    config: Vec<(String, String)>,
+    deterministic: Vec<Sample>,
+    timing: Vec<Sample>,
+    /// Optional raw metrics snapshot attached by experiments that also
+    /// export the legacy one-line snapshot format.
+    pub snapshot: Option<MetricsSnapshot>,
+}
+
+impl BenchReport {
+    /// Starts an empty report.
+    pub fn new(id: impl Into<String>) -> Self {
+        BenchReport {
+            id: id.into(),
+            ..BenchReport::default()
+        }
+    }
+
+    /// Echoes one configuration knob (part of the deterministic payload).
+    pub fn config(mut self, key: impl Into<String>, value: impl ToString) -> Self {
+        self.config.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// Adds a deterministic sample (a pure function of the seed).
+    pub fn metric(mut self, name: impl Into<String>, value: f64, unit: impl Into<String>) -> Self {
+        self.deterministic.push(Sample::new(name, value, unit));
+        self
+    }
+
+    /// Adds a wall-clock sample (machine- and run-dependent).
+    pub fn timing(mut self, name: impl Into<String>, value: f64, unit: impl Into<String>) -> Self {
+        self.timing.push(Sample::new(name, value, unit));
+        self
+    }
+
+    /// Attaches the experiment's metrics snapshot (for the legacy
+    /// one-line snapshot export alongside the typed report).
+    pub fn with_snapshot(mut self, snap: MetricsSnapshot) -> Self {
+        self.snapshot = Some(snap);
+        self
+    }
+
+    /// Looks a sample up by name, deterministic section first.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.deterministic
+            .iter()
+            .chain(self.timing.iter())
+            .find(|s| s.name == name)
+            .map(|s| s.value)
+    }
+
+    /// The deterministic samples, in insertion order.
+    pub fn deterministic_samples(&self) -> &[Sample] {
+        &self.deterministic
+    }
+
+    /// The timing samples, in insertion order.
+    pub fn timing_samples(&self) -> &[Sample] {
+        &self.timing
+    }
+
+    /// The echoed configuration, in insertion order.
+    pub fn config_entries(&self) -> &[(String, String)] {
+        &self.config
+    }
+
+    fn render(&self, include_timing: bool) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n  \"schema_version\": {},\n  \"id\": {},\n  \"config\": {{",
+            BENCH_SCHEMA_VERSION,
+            json_str(&self.id)
+        );
+        for (i, (k, v)) in self.config.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {}: {}", json_str(k), json_str(v));
+        }
+        out.push_str("\n  },\n  \"deterministic\": {");
+        for (i, s) in self.deterministic.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {}", s.json());
+        }
+        out.push_str("\n  }");
+        if include_timing {
+            out.push_str(",\n  \"timing\": {");
+            for (i, s) in self.timing.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\n    {}", s.json());
+            }
+            out.push_str("\n  }");
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Full JSON: deterministic payload plus the segregated timing block.
+    pub fn to_json(&self) -> String {
+        self.render(true)
+    }
+
+    /// JSON of the deterministic payload only — what same-seed runs must
+    /// reproduce byte-for-byte and what regression gates diff.
+    pub fn deterministic_json(&self) -> String {
+        self.render(false)
+    }
+}
+
+/// Renders several reports as one schema-versioned JSON document — the
+/// shape of the checked-in `BENCH_*.json` trajectory files.
+pub fn reports_json(phase: &str, reports: &[BenchReport]) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n\"schema_version\": {},\n\"phase\": {},\n\"reports\": [\n",
+        BENCH_SCHEMA_VERSION,
+        json_str(phase)
+    );
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(r.to_json().trim_end());
+    }
+    out.push_str("\n]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> BenchReport {
+        BenchReport::new("bench.testbed")
+            .config("cores", 4)
+            .config("seed", 0x4e5a)
+            .metric("events_processed", 1_234_567.0, "events")
+            .metric("sim_seconds", 2.5, "s")
+            .timing("wall_seconds", 0.731, "s")
+            .timing("events_per_wall_sec", 1.69e6, "1/s")
+    }
+
+    #[test]
+    fn lookup_spans_both_sections() {
+        let r = sample_report();
+        assert_eq!(r.get("sim_seconds"), Some(2.5));
+        assert_eq!(r.get("wall_seconds"), Some(0.731));
+        assert_eq!(r.get("missing"), None);
+    }
+
+    #[test]
+    fn deterministic_json_excludes_timing() {
+        let r = sample_report();
+        let d = r.deterministic_json();
+        assert!(d.contains("\"events_processed\""));
+        assert!(!d.contains("\"timing\""));
+        assert!(!d.contains("wall_seconds"));
+        let full = r.to_json();
+        assert!(full.contains("\"timing\""));
+        assert!(full.contains("wall_seconds"));
+    }
+
+    #[test]
+    fn same_content_renders_identically() {
+        assert_eq!(sample_report().to_json(), sample_report().to_json());
+    }
+
+    #[test]
+    fn schema_version_is_stamped() {
+        assert!(sample_report()
+            .to_json()
+            .starts_with("{\n  \"schema_version\": 1,"));
+        let doc = reports_json("pre-optimization", &[sample_report()]);
+        assert!(doc.contains("\"phase\": \"pre-optimization\""));
+        assert!(doc.contains("\"reports\": ["));
+    }
+}

@@ -36,7 +36,7 @@ impl Decision {
 /// rule tables: the preliminary verdict, routing/rewrite outputs, QoS class
 /// and statistics policy, plus flags for the stateful NFs that must combine
 /// this with session state before the verdict is final.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
 pub struct PreAction {
     /// Preliminary verdict from the ACL table. For a *stateful* ACL this is
     /// not final: the BE may override it using the first-packet direction.
@@ -99,7 +99,7 @@ impl PreAction {
 /// Both directions' pre-actions, as stored in one bidirectional cached-flow
 /// entry ("VPC ID, 5-tuple, pre-actions / 5-tuple(R), pre-actions" in the
 /// paper's Fig. 1) and as piggybacked FE→BE on the RX path.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
 pub struct PreActionPair {
     /// Pre-action for egress (TX) packets.
     pub tx: PreAction,

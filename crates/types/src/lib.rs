@@ -34,7 +34,7 @@ pub use error::{CodecError, CodecResult, NezhaError, NezhaResult};
 pub use five_tuple::{FiveTuple, IpProtocol};
 pub use flow::{Direction, FlowKey, SessionKey};
 pub use headers::{EthernetHeader, Ipv4Header, TcpFlags, TcpHeader, UdpHeader, VxlanHeader};
-pub use nsh::{NezhaHeader, NezhaPayloadKind};
+pub use nsh::{NezhaHeader, NezhaPayloadKind, NshView};
 pub use packet::{Packet, PacketKind};
 pub use state::{SessionState, StatefulDecapState, StatsState};
 pub use tcp_fsm::{TcpEvent, TcpState};

@@ -111,6 +111,11 @@ impl NezhaHeader {
     pub const FIXED_LEN: usize = 13;
     /// Encoded size of one [`PreAction`].
     pub const PRE_ACTION_LEN: usize = 16;
+    /// Largest possible encoding (every optional field present) — the
+    /// right size for a stack scratch buffer with [`encode_into`].
+    ///
+    /// [`encode_into`]: NezhaHeader::encode_into
+    pub const MAX_WIRE_LEN: usize = Self::FIXED_LEN + 4 + 1 + 2 * Self::PRE_ACTION_LEN;
 
     /// A bare header of the given kind with no optional fields.
     pub const fn bare(kind: NezhaPayloadKind, vnic: VnicId, vpc: VpcId) -> Self {
@@ -176,12 +181,86 @@ impl NezhaHeader {
         }
     }
 
+    /// Serializes the header into a caller-provided slice without any
+    /// allocation or `BufMut` indirection, returning the bytes written.
+    ///
+    /// `buf` must hold at least [`wire_len`](NezhaHeader::wire_len) bytes;
+    /// a `[u8; NezhaHeader::MAX_WIRE_LEN]` on the stack always fits.
+    pub fn encode_into(&self, buf: &mut [u8]) -> usize {
+        buf[0..2].copy_from_slice(&NEZHA_MAGIC.to_be_bytes());
+        buf[2] = NEZHA_VERSION;
+        buf[3] = self.kind as u8;
+        buf[4..8].copy_from_slice(&self.vnic.0.to_be_bytes());
+        buf[8..12].copy_from_slice(&self.vpc.0.to_be_bytes());
+        let mut flags = 0u8;
+        if let Some(d) = self.first_dir {
+            flags |= F_HAS_FIRST_DIR;
+            if d == Direction::Tx {
+                flags |= F_FIRST_DIR_TX;
+            }
+        }
+        if self.decap_addr.is_some() {
+            flags |= F_HAS_DECAP;
+        }
+        if self.stats_policy.is_some() {
+            flags |= F_HAS_STATS_POLICY;
+        }
+        if self.pre_actions.is_some() {
+            flags |= F_HAS_PRE_ACTIONS;
+        }
+        buf[12] = flags;
+        let mut off = Self::FIXED_LEN;
+        if let Some(a) = self.decap_addr {
+            buf[off..off + 4].copy_from_slice(&a.octets());
+            off += 4;
+        }
+        if let Some(p) = self.stats_policy {
+            buf[off] = p;
+            off += 1;
+        }
+        if let Some(pp) = &self.pre_actions {
+            off += encode_pre_action_into(&pp.tx, &mut buf[off..]);
+            off += encode_pre_action_into(&pp.rx, &mut buf[off..]);
+        }
+        off
+    }
+
     /// Parses and validates a header, returning it and the bytes consumed.
     pub fn decode(data: &[u8]) -> CodecResult<(Self, usize)> {
-        if data.len() < Self::FIXED_LEN {
+        let view = NshView::parse(data)?;
+        let consumed = view.wire_len();
+        Ok((view.to_owned(), consumed))
+    }
+}
+
+/// A zero-copy, borrowed view of an encoded Nezha service header.
+///
+/// [`parse`](NshView::parse) validates the frame **once** — magic,
+/// version, kind, and that every flagged optional field is in bounds —
+/// and stores only the borrowed bytes plus field offsets. Accessors then
+/// read straight out of the wire bytes with no further checks and no
+/// owned [`NezhaHeader`] materialized; callers that need just the
+/// demux fields (kind / vNIC / VPC) never pay for decoding pre-actions.
+#[derive(Clone, Copy, Debug)]
+pub struct NshView<'a> {
+    data: &'a [u8],
+    flags: u8,
+    /// Offset of the decap address (meaningful only when flagged).
+    decap_off: usize,
+    /// Offset of the stats policy (meaningful only when flagged).
+    stats_off: usize,
+    /// Offset of the pre-action pair (meaningful only when flagged).
+    pre_off: usize,
+    len: usize,
+}
+
+impl<'a> NshView<'a> {
+    /// Validates `data` as a Nezha header and returns a borrowed view.
+    pub fn parse(data: &'a [u8]) -> CodecResult<NshView<'a>> {
+        if data.len() < NezhaHeader::FIXED_LEN {
             return Err(CodecError::Truncated {
                 what: "nezha",
-                need: Self::FIXED_LEN,
+                need: NezhaHeader::FIXED_LEN,
                 have: data.len(),
             });
         }
@@ -200,85 +279,135 @@ impl NezhaHeader {
                 value: data[2] as u64,
             });
         }
-        let kind = NezhaPayloadKind::from_u8(data[3]).ok_or(CodecError::BadField {
-            what: "nezha",
-            field: "kind",
-            value: data[3] as u64,
-        })?;
-        let vnic = VnicId(u32::from_be_bytes([data[4], data[5], data[6], data[7]]));
-        let vpc = VpcId(u32::from_be_bytes([data[8], data[9], data[10], data[11]]));
+        if NezhaPayloadKind::from_u8(data[3]).is_none() {
+            return Err(CodecError::BadField {
+                what: "nezha",
+                field: "kind",
+                value: data[3] as u64,
+            });
+        }
         let flags = data[12];
-        let mut off = Self::FIXED_LEN;
+        let mut off = NezhaHeader::FIXED_LEN;
+        let decap_off = off;
+        if flags & F_HAS_DECAP != 0 {
+            off += 4;
+        }
+        let stats_off = off;
+        if flags & F_HAS_STATS_POLICY != 0 {
+            off += 1;
+        }
+        let pre_off = off;
+        if flags & F_HAS_PRE_ACTIONS != 0 {
+            off += 2 * NezhaHeader::PRE_ACTION_LEN;
+        }
+        if data.len() < off {
+            return Err(CodecError::Truncated {
+                what: "nezha",
+                need: off,
+                have: data.len(),
+            });
+        }
+        Ok(NshView {
+            data,
+            flags,
+            decap_off,
+            stats_off,
+            pre_off,
+            len: off,
+        })
+    }
 
-        let first_dir = if flags & F_HAS_FIRST_DIR != 0 {
-            Some(if flags & F_FIRST_DIR_TX != 0 {
+    /// Bytes this header occupies on the wire.
+    #[inline]
+    pub fn wire_len(&self) -> usize {
+        self.len
+    }
+
+    /// Packet role.
+    #[inline]
+    pub fn kind(&self) -> NezhaPayloadKind {
+        // Validated by `parse`.
+        NezhaPayloadKind::from_u8(self.data[3]).expect("kind validated at parse")
+    }
+
+    /// vNIC id.
+    #[inline]
+    pub fn vnic(&self) -> VnicId {
+        let d = self.data;
+        VnicId(u32::from_be_bytes([d[4], d[5], d[6], d[7]]))
+    }
+
+    /// Tenant VPC.
+    #[inline]
+    pub fn vpc(&self) -> VpcId {
+        let d = self.data;
+        VpcId(u32::from_be_bytes([d[8], d[9], d[10], d[11]]))
+    }
+
+    /// Carried first-packet direction, when present.
+    #[inline]
+    pub fn first_dir(&self) -> Option<Direction> {
+        if self.flags & F_HAS_FIRST_DIR != 0 {
+            Some(if self.flags & F_FIRST_DIR_TX != 0 {
                 Direction::Tx
             } else {
                 Direction::Rx
             })
         } else {
             None
-        };
+        }
+    }
 
-        let decap_addr = if flags & F_HAS_DECAP != 0 {
-            if data.len() < off + 4 {
-                return Err(CodecError::Truncated {
-                    what: "nezha",
-                    need: off + 4,
-                    have: data.len(),
-                });
-            }
-            let a = Ipv4Addr::from_octets([data[off], data[off + 1], data[off + 2], data[off + 3]]);
-            off += 4;
-            Some(a)
+    /// Carried stateful-decap address, when present.
+    #[inline]
+    pub fn decap_addr(&self) -> Option<Ipv4Addr> {
+        if self.flags & F_HAS_DECAP != 0 {
+            let d = &self.data[self.decap_off..];
+            Some(Ipv4Addr::from_octets([d[0], d[1], d[2], d[3]]))
         } else {
             None
-        };
+        }
+    }
 
-        let stats_policy = if flags & F_HAS_STATS_POLICY != 0 {
-            if data.len() < off + 1 {
-                return Err(CodecError::Truncated {
-                    what: "nezha",
-                    need: off + 1,
-                    have: data.len(),
-                });
-            }
-            let p = data[off];
-            off += 1;
-            Some(p)
+    /// Carried statistics policy, when present.
+    #[inline]
+    pub fn stats_policy(&self) -> Option<u8> {
+        if self.flags & F_HAS_STATS_POLICY != 0 {
+            Some(self.data[self.stats_off])
         } else {
             None
-        };
+        }
+    }
 
-        let pre_actions = if flags & F_HAS_PRE_ACTIONS != 0 {
-            if data.len() < off + 2 * Self::PRE_ACTION_LEN {
-                return Err(CodecError::Truncated {
-                    what: "nezha",
-                    need: off + 2 * Self::PRE_ACTION_LEN,
-                    have: data.len(),
-                });
-            }
-            let tx = decode_pre_action(&data[off..off + Self::PRE_ACTION_LEN])?;
-            off += Self::PRE_ACTION_LEN;
-            let rx = decode_pre_action(&data[off..off + Self::PRE_ACTION_LEN])?;
-            off += Self::PRE_ACTION_LEN;
+    /// Decodes the carried pre-action pair, when present. This is the one
+    /// accessor that does per-field work; it runs only when asked.
+    pub fn pre_actions(&self) -> Option<PreActionPair> {
+        if self.flags & F_HAS_PRE_ACTIONS != 0 {
+            let off = self.pre_off;
+            let tx = decode_pre_action(&self.data[off..off + NezhaHeader::PRE_ACTION_LEN])
+                .expect("bounds validated at parse");
+            let rx = decode_pre_action(
+                &self.data
+                    [off + NezhaHeader::PRE_ACTION_LEN..off + 2 * NezhaHeader::PRE_ACTION_LEN],
+            )
+            .expect("bounds validated at parse");
             Some(PreActionPair { tx, rx })
         } else {
             None
-        };
+        }
+    }
 
-        Ok((
-            NezhaHeader {
-                kind,
-                vnic,
-                vpc,
-                first_dir,
-                decap_addr,
-                stats_policy,
-                pre_actions,
-            },
-            off,
-        ))
+    /// Materializes an owned [`NezhaHeader`] from the view.
+    pub fn to_owned(&self) -> NezhaHeader {
+        NezhaHeader {
+            kind: self.kind(),
+            vnic: self.vnic(),
+            vpc: self.vpc(),
+            first_dir: self.first_dir(),
+            decap_addr: self.decap_addr(),
+            stats_policy: self.stats_policy(),
+            pre_actions: self.pre_actions(),
+        }
     }
 }
 
@@ -317,6 +446,37 @@ fn encode_pre_action<B: BufMut>(p: &PreAction, buf: &mut B) {
     buf.put_u8(p.stats_policy);
     buf.put_u32(p.mirror_to.map_or(0, |a| a.0));
     buf.put_u8(0); // pad to 16
+}
+
+/// Slice-target twin of [`encode_pre_action`]; returns bytes written.
+fn encode_pre_action_into(p: &PreAction, buf: &mut [u8]) -> usize {
+    let mut flags = 0u8;
+    if p.verdict.is_accept() {
+        flags |= PA_ACCEPT;
+    }
+    if p.stateful_acl {
+        flags |= PA_STATEFUL_ACL;
+    }
+    if p.next_hop.is_some() {
+        flags |= PA_HAS_NEXT_HOP;
+    }
+    if p.nat_rewrite.is_some() {
+        flags |= PA_HAS_NAT;
+    }
+    if p.stateful_decap {
+        flags |= PA_STATEFUL_DECAP;
+    }
+    if p.mirror_to.is_some() {
+        flags |= PA_HAS_MIRROR;
+    }
+    buf[0] = flags;
+    buf[1..5].copy_from_slice(&p.next_hop.map_or(0, |s| s.0).to_be_bytes());
+    buf[5..9].copy_from_slice(&p.nat_rewrite.map_or(0, |a| a.0).to_be_bytes());
+    buf[9] = p.qos_class;
+    buf[10] = p.stats_policy;
+    buf[11..15].copy_from_slice(&p.mirror_to.map_or(0, |a| a.0).to_be_bytes());
+    buf[15] = 0; // pad to 16
+    NezhaHeader::PRE_ACTION_LEN
 }
 
 fn decode_pre_action(data: &[u8]) -> CodecResult<PreAction> {
@@ -453,6 +613,54 @@ mod tests {
             NezhaHeader::decode(cut),
             Err(CodecError::Truncated { what: "nezha", .. })
         ));
+    }
+
+    #[test]
+    fn encode_into_matches_bufmut_encode() {
+        for h in [
+            full_header(),
+            NezhaHeader::bare(NezhaPayloadKind::Notify, VnicId(9), VpcId(3)),
+        ] {
+            let mut buf = BytesMut::new();
+            h.encode(&mut buf);
+            let mut arr = [0u8; NezhaHeader::MAX_WIRE_LEN];
+            let n = h.encode_into(&mut arr);
+            assert_eq!(n, h.wire_len());
+            assert_eq!(&arr[..n], &buf[..], "byte-identical encodings");
+        }
+    }
+
+    #[test]
+    fn view_accessors_match_owned_decode() {
+        let h = full_header();
+        let mut arr = [0u8; NezhaHeader::MAX_WIRE_LEN];
+        let n = h.encode_into(&mut arr);
+        let v = NshView::parse(&arr[..n]).unwrap();
+        assert_eq!(v.wire_len(), n);
+        assert_eq!(v.kind(), h.kind);
+        assert_eq!(v.vnic(), h.vnic);
+        assert_eq!(v.vpc(), h.vpc);
+        assert_eq!(v.first_dir(), h.first_dir);
+        assert_eq!(v.decap_addr(), h.decap_addr);
+        assert_eq!(v.stats_policy(), h.stats_policy);
+        assert_eq!(v.pre_actions(), h.pre_actions);
+        assert_eq!(v.to_owned(), h);
+    }
+
+    #[test]
+    fn view_rejects_truncated_flagged_fields() {
+        let h = full_header();
+        let mut arr = [0u8; NezhaHeader::MAX_WIRE_LEN];
+        let n = h.encode_into(&mut arr);
+        // Every length short of the full frame must fail closed, never
+        // expose out-of-bounds accessors.
+        for cut in NezhaHeader::FIXED_LEN..n {
+            assert!(
+                NshView::parse(&arr[..cut]).is_err(),
+                "cut at {cut} must be rejected"
+            );
+        }
+        assert!(NshView::parse(&arr[..n]).is_ok());
     }
 
     #[test]

@@ -14,10 +14,10 @@
 //! flood cannot pin BE memory; closed sessions are reclaimed on sweep.
 
 use crate::config::{MemoryModel, VSwitchConfig};
+use nezha_sim::dense::DenseMap;
 use nezha_sim::resources::{MemoryPool, OutOfMemory};
 use nezha_sim::time::SimTime;
 use nezha_types::{Direction, PreActionPair, SessionKey, SessionState, TcpState};
-use std::collections::BTreeMap;
 
 /// One bidirectional session entry.
 #[derive(Clone, Debug)]
@@ -47,9 +47,16 @@ impl SessionEntry {
 }
 
 /// The session table with byte-accounted capacity.
+///
+/// Backed by a [`DenseMap`]: per-packet lookups are O(1) hash probes
+/// instead of ordered-tree walks. Lookup order is never visible;
+/// iteration (aging sweeps, flow invalidation) is aggregate-only, so
+/// the map's deterministic insertion order — a pure function of the
+/// call sequence — preserves byte-identical same-seed runs (lint rule
+/// D3's contract constrains iteration, not lookup).
 #[derive(Debug, Default)]
 pub struct SessionTable {
-    entries: BTreeMap<SessionKey, SessionEntry>,
+    entries: DenseMap<SessionKey, SessionEntry>,
     created_total: u64,
     expired_total: u64,
     rejected_total: u64,

@@ -15,6 +15,25 @@ use nezha_types::{Ipv4Addr, ServerId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
+/// Hosting set for one overlay address. Almost every entry points at a
+/// single server (only offloaded vNICs fan out to FE lists), and `set`
+/// runs once per learned peer connection, so the single-server case is
+/// kept inline to avoid a heap allocation per call.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+enum Hosting {
+    One(ServerId),
+    Many(Vec<ServerId>),
+}
+
+impl Hosting {
+    fn as_slice(&self) -> &[ServerId] {
+        match self {
+            Hosting::One(s) => std::slice::from_ref(s),
+            Hosting::Many(v) => v,
+        }
+    }
+}
+
 /// The mapping table: overlay address → hosting server(s).
 ///
 /// Under Nezha an offloaded vNIC maps to *several* servers (its FEs); the
@@ -22,7 +41,7 @@ use std::collections::BTreeMap;
 /// home server.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct VnicServerMap {
-    entries: BTreeMap<Ipv4Addr, Vec<ServerId>>,
+    entries: BTreeMap<Ipv4Addr, Hosting>,
 }
 
 impl VnicServerMap {
@@ -31,9 +50,17 @@ impl VnicServerMap {
         VnicServerMap::default()
     }
 
-    /// Points `addr` at a single hosting server.
+    /// Points `addr` at a single hosting server. Re-learning an unchanged
+    /// mapping is a no-op write — bulk workloads re-add connections to the
+    /// same few peers constantly.
     pub fn set(&mut self, addr: Ipv4Addr, server: ServerId) {
-        self.entries.insert(addr, vec![server]);
+        match self.entries.get_mut(&addr) {
+            Some(Hosting::One(s)) if *s == server => {}
+            Some(h) => *h = Hosting::One(server),
+            None => {
+                self.entries.insert(addr, Hosting::One(server));
+            }
+        }
     }
 
     /// Points `addr` at a set of servers (the FEs of an offloaded vNIC).
@@ -43,7 +70,7 @@ impl VnicServerMap {
             !servers.is_empty(),
             "a vNIC must map to at least one server"
         );
-        self.entries.insert(addr, servers);
+        self.entries.insert(addr, Hosting::Many(servers));
     }
 
     /// Removes the mapping for `addr`.
@@ -53,7 +80,7 @@ impl VnicServerMap {
 
     /// The servers hosting `addr`, empty when unknown.
     pub fn lookup(&self, addr: Ipv4Addr) -> &[ServerId] {
-        self.entries.get(&addr).map_or(&[], Vec::as_slice)
+        self.entries.get(&addr).map_or(&[], Hosting::as_slice)
     }
 
     /// Selects one hosting server for a flow with the given stable hash

@@ -11,6 +11,7 @@ use crate::config::VSwitchConfig;
 use crate::pipeline::{self, PathTaken, ProcessOutcome, ProcessResult};
 use crate::session::SessionTable;
 use crate::vnic::Vnic;
+use nezha_sim::dense::DenseMap;
 use nezha_sim::metrics::{CounterHandle, MetricsRegistry};
 use nezha_sim::profile::{Profiler, Span, SpanId, StageSet};
 use nezha_sim::resources::{CpuOutcome, CpuServer, MemoryPool, OutOfMemory};
@@ -109,7 +110,9 @@ pub struct VSwitch {
     cpu: CpuServer,
     /// Table memory pool (rule tables + session table share it, §2.2.2).
     pub mem: MemoryPool,
-    vnics: BTreeMap<VnicId, Vnic>,
+    /// Dense-hashed: probed (twice) per processed packet. Iteration is
+    /// only via [`VSwitch::vnic_ids`], which sorts.
+    vnics: DenseMap<VnicId, Vnic>,
     /// The session table (public: the Nezha BE role manipulates it).
     pub sessions: SessionTable,
     tel: SwitchTelemetry,
@@ -119,7 +122,7 @@ pub struct VSwitch {
     /// Exact bytes charged to the pool per vNIC's tables. Table contents
     /// can change after installation (learned vNIC-server entries, rule
     /// pushes); frees must match what was actually charged.
-    vnic_charged: BTreeMap<VnicId, u64>,
+    vnic_charged: DenseMap<VnicId, u64>,
     /// Gray-failure knob: every cycle charge is scaled by this factor
     /// (1.0 when healthy). A degraded SmartNIC burns more cycles for the
     /// same work — the "slow but not dead" member of Appendix C.
@@ -134,11 +137,11 @@ impl VSwitch {
             version: 1,
             cpu: CpuServer::new(cfg.cores, cfg.core_hz, cfg.max_backlog),
             mem: MemoryPool::new(cfg.table_memory),
-            vnics: BTreeMap::new(),
+            vnics: DenseMap::new(),
             sessions: SessionTable::new(),
             tel: SwitchTelemetry::register(&MetricsRegistry::new(), id),
             vnic_cycles: BTreeMap::new(),
-            vnic_charged: BTreeMap::new(),
+            vnic_charged: DenseMap::new(),
             cycle_multiplier: 1.0,
             cfg,
         }
@@ -367,7 +370,7 @@ impl VSwitch {
         let key = SessionKey::of(pkt.vpc, pkt.tuple);
         let bytes = pkt.wire_len();
 
-        let Some(vnic) = self.vnics.get(&pkt.vnic) else {
+        if !self.vnics.contains_key(&pkt.vnic) {
             return self.finish_traced(
                 ProcessOutcome::Unroutable,
                 PathTaken::Slow,
@@ -376,8 +379,7 @@ impl VSwitch {
                 false,
                 pkt,
             );
-        };
-        let slow_cycles = vnic.slow_path_cycles(&costs, bytes);
+        }
 
         // Fast path: session hit with cached pre-actions.
         let have_cached = self
@@ -428,9 +430,15 @@ impl VSwitch {
             return self.finish_traced(outcome, PathTaken::Fast, done, false, false, pkt);
         }
 
-        // Slow path: full lookup (+ session establishment).
+        // Slow path: full lookup (+ session establishment). Priced here
+        // rather than up front so fast-path packets skip the slow-path
+        // formula's `ln`.
         self.trace_event(now, pkt, TraceEventKind::TableMiss);
-        let cycles = slow_cycles;
+        let cycles = self
+            .vnics
+            .get(&pkt.vnic)
+            .expect("checked above")
+            .slow_path_cycles(&costs, bytes);
         let done = match self.charge(now, pkt.vnic, cycles) {
             CpuOutcome::Dropped => {
                 return self.finish_traced(

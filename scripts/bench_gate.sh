@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Regression gate over the macro-benchmark (`experiments bench`).
+#
+# Reads the checked-in baseline trajectory (BENCH_pr*.json, most recent
+# PR by default), runs a fresh benchmark, and enforces two contracts:
+#
+#   1. The **deterministic payload** (event counts, simulated seconds,
+#      completions — pure functions of the seed) must match the
+#      baseline's newest phase exactly. Any drift is a behavior change,
+#      not a perf change, and fails the gate outright.
+#   2. The **wall-clock speed** (events_per_wall_sec) must be at least
+#      NEZHA_BENCH_TOLERANCE × the baseline's. Wall numbers vary with
+#      the host, so this is a coarse floor against order-of-magnitude
+#      regressions, not an exact diff (default tolerance: 0.5).
+#
+# Usage: scripts/bench_gate.sh [baseline.json] [fresh.json]
+#   baseline.json   defaults to the highest-numbered BENCH_pr*.json
+#   fresh.json      defaults to running the benchmark now
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline="${1:-$(ls BENCH_pr*.json | sort -V | tail -1)}"
+fresh="${2:-}"
+tolerance="${NEZHA_BENCH_TOLERANCE:-0.5}"
+
+if [ ! -f "$baseline" ]; then
+    echo "bench_gate: baseline $baseline not found" >&2
+    exit 2
+fi
+
+if [ -z "$fresh" ]; then
+    fresh=target/bench_gate.json
+    echo "==> experiments bench --out=$fresh --phase=gate"
+    cargo run -q --release -p nezha-bench --bin experiments -- bench \
+        --out="$fresh" --phase=gate
+fi
+
+python3 - "$baseline" "$fresh" "$tolerance" <<'PYEOF'
+import json
+import sys
+
+SCHEMA = 1
+baseline_path, fresh_path, tolerance = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+with open(baseline_path) as f:
+    baseline = json.load(f)
+with open(fresh_path) as f:
+    fresh = json.load(f)
+
+
+def check_schema(name, doc):
+    v = doc.get("schema_version")
+    if v != SCHEMA:
+        sys.exit(f"bench_gate: {name}: unsupported schema_version {v!r} (want {SCHEMA})")
+
+
+check_schema(baseline_path, baseline)
+check_schema(fresh_path, fresh)
+
+# A trajectory file wraps per-phase documents; gate against the newest.
+if "phases" in baseline:
+    for phase in baseline["phases"]:
+        check_schema(f"{baseline_path} phase {phase.get('phase')!r}", phase)
+    reference = baseline["phases"][-1]
+else:
+    reference = baseline
+print(f"    baseline: {baseline_path} (phase: {reference.get('phase')!r})")
+
+
+def deterministic(doc):
+    return {r["id"]: json.dumps(r["deterministic"], sort_keys=True) for r in doc["reports"]}
+
+
+def speed(doc):
+    return {r["id"]: r["timing"]["events_per_wall_sec"]["value"] for r in doc["reports"]}
+
+
+ref_det, new_det = deterministic(reference), deterministic(fresh)
+if set(ref_det) != set(new_det):
+    sys.exit(
+        f"bench_gate: config set changed: baseline {sorted(ref_det)} vs fresh {sorted(new_det)}"
+    )
+for rid in sorted(ref_det):
+    if ref_det[rid] != new_det[rid]:
+        print(f"FAIL {rid}: deterministic payload drifted from baseline", file=sys.stderr)
+        print(f"  baseline: {ref_det[rid]}", file=sys.stderr)
+        print(f"  fresh:    {new_det[rid]}", file=sys.stderr)
+        sys.exit(
+            "bench_gate: the deterministic section is a pure function of the seed; "
+            "a mismatch is a behavior change, not noise"
+        )
+    print(f"    ok {rid}: deterministic payload matches baseline exactly")
+
+ref_speed, new_speed = speed(reference), speed(fresh)
+failed = False
+for rid in sorted(ref_speed):
+    floor = ref_speed[rid] * tolerance
+    verdict = "ok" if new_speed[rid] >= floor else "FAIL"
+    print(
+        f"    {verdict} {rid}: {new_speed[rid]:,.0f} events/s "
+        f"(floor {floor:,.0f} = {tolerance} x baseline {ref_speed[rid]:,.0f})"
+    )
+    failed |= new_speed[rid] < floor
+if failed:
+    sys.exit("bench_gate: wall-clock speed fell below the tolerance floor")
+print("bench_gate: all checks passed")
+PYEOF
