@@ -59,7 +59,6 @@ fn mini_bench(seed: u64) -> BenchReport {
         })
         .unwrap();
     }
-    // nezha-lint: allow(D1): measuring test wall speed, never sim-visible
     let wall_start = std::time::Instant::now();
     c.run_until(c.now() + SimDuration::from_secs(2));
     let wall = wall_start.elapsed().as_secs_f64();

@@ -108,22 +108,24 @@ impl BackendMeta {
             }
         }
         // General traffic avoids dedicated FEs (unless nothing else is
-        // ready — availability beats isolation).
-        let general: Vec<ServerId> = self
+        // ready — availability beats isolation). Counted + nth rather
+        // than collected: selection runs per flow on the TX path.
+        let general = self
             .ready
             .iter()
-            .copied()
             .filter(|s| !self.dedicated.contains(s))
-            .collect();
-        let ring = if general.is_empty() {
-            &self.ready
-        } else {
-            &general
-        };
-        if ring.is_empty() {
+            .count();
+        if general > 0 {
+            let want = (flow_hash % general as u64) as usize;
+            self.ready
+                .iter()
+                .filter(|s| !self.dedicated.contains(s))
+                .nth(want)
+                .copied()
+        } else if self.ready.is_empty() {
             None
         } else {
-            Some(ring[(flow_hash % ring.len() as u64) as usize])
+            Some(self.ready[(flow_hash % self.ready.len() as u64) as usize])
         }
     }
 

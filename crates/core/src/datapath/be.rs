@@ -64,6 +64,7 @@ pub(crate) fn degrade_to_local(ctx: &mut HandlerCtx<'_>, vnic: VnicId) -> bool {
         gw_at,
         Event::Config(ConfigOp::GatewayUpdate {
             addr,
+            // nezha-lint: allow(D10): degradation to local vswitch is a rare fault-recovery event, not per-packet work
             servers: vec![home],
         }),
     );

@@ -212,6 +212,7 @@ pub struct Region {
 impl Region {
     /// Builds a region: every server draws its heavy-tailed baseline.
     pub fn new(cfg: RegionConfig) -> Self {
+        // nezha-lint: allow(D9): seed derivation pinned by golden fixtures (refactor_equivalence, BENCH_pr6); migrate to derive_seed when re-baselining
         let mut rng = SimRng::new(cfg.seed);
         let servers = (0..cfg.servers)
             .map(|_| {

@@ -1,0 +1,358 @@
+//! A conservative intra-crate call graph over the pass-1 symbol index.
+//!
+//! Edges are resolved per call-graph unit (crate / fixture tree):
+//!
+//! - **Free calls** `foo(..)` link to free functions named `foo` in the
+//!   same unit, preferring the caller's own module when it defines one.
+//! - **Qualified calls** `Type::foo(..)` link to methods `foo` of impls
+//!   on `Type`; when no impl matches, the qualifier is tried as a module
+//!   name (`driver::inject(..)`).
+//! - **Method calls** `.foo(..)` link to every method named `foo` in the
+//!   unit — unless `foo` is on the common-std-method deny list, where a
+//!   name match would almost always be a `Vec`/`Option`/iterator method
+//!   and wire spurious edges through the whole crate.
+//!
+//! Anything unresolvable produces no edge: cross-crate calls, trait
+//! objects, closures, function pointers, macro bodies. The graph
+//! over-approximates reachability *within* a crate (multiple same-name
+//! candidates all get edges) and under-approximates across crate
+//! boundaries; DESIGN.md §9c documents this envelope.
+
+use crate::symbols::{CallKind, Workspace};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Method names so ubiquitous on std types that a bare `.name(..)` call
+/// is far more likely std than a crate-local method. Bare-method edges to
+/// these are dropped (qualified `Type::name(..)` still resolves).
+const METHOD_DENY: [&str; 58] = [
+    "new",
+    "default",
+    "clone",
+    "fmt",
+    "eq",
+    "ne",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "next",
+    "len",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "contains",
+    "contains_key",
+    "drain",
+    "clear",
+    "take",
+    "replace",
+    "extend",
+    "retain",
+    "sort",
+    "sort_by",
+    "sort_unstable",
+    "min",
+    "max",
+    "map",
+    "filter",
+    "fold",
+    "find",
+    "any",
+    "all",
+    "count",
+    "sum",
+    "last",
+    "first",
+    "entry",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "and_then",
+    "ok",
+    "err",
+    "as_ref",
+    "as_mut",
+    "parse",
+    "collect",
+];
+
+/// The resolved graph: `edges[f]` lists `(callee fn id, call line)`.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Outgoing edges per function in [`Workspace::fns`] order.
+    pub edges: Vec<Vec<(usize, u32)>>,
+}
+
+/// Builds the call graph for every unit in the workspace.
+pub fn build(ws: &Workspace) -> CallGraph {
+    // Per-unit lookup tables.
+    // (unit, fn name) -> free fn ids / method fn ids.
+    let mut free: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    let mut methods: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    // (unit, self ty, fn name) -> fn ids.
+    let mut typed: BTreeMap<(&str, &str, &str), Vec<usize>> = BTreeMap::new();
+    // (unit, module last segment, fn name) -> free fn ids.
+    let mut by_mod: BTreeMap<(&str, &str, &str), Vec<usize>> = BTreeMap::new();
+
+    for (id, f) in ws.fns.iter().enumerate() {
+        let unit = ws.files[f.file].crate_key.as_str();
+        match &f.self_ty {
+            Some(ty) => {
+                methods.entry((unit, &f.name)).or_default().push(id);
+                typed.entry((unit, ty, &f.name)).or_default().push(id);
+            }
+            None => {
+                free.entry((unit, &f.name)).or_default().push(id);
+                let last_seg = f.module.rsplit("::").next().unwrap_or("");
+                by_mod
+                    .entry((unit, last_seg, &f.name))
+                    .or_default()
+                    .push(id);
+            }
+        }
+    }
+
+    let mut graph = CallGraph {
+        edges: vec![Vec::new(); ws.fns.len()],
+    };
+    for (id, f) in ws.fns.iter().enumerate() {
+        let unit = ws.files[f.file].crate_key.as_str();
+        for call in &f.calls {
+            let name = call.name.as_str();
+            let targets: Vec<usize> = match &call.kind {
+                CallKind::Free => {
+                    let all = free.get(&(unit, name)).cloned().unwrap_or_default();
+                    // Prefer candidates in the caller's own module.
+                    let local: Vec<usize> = all
+                        .iter()
+                        .copied()
+                        .filter(|&t| ws.fns[t].module == f.module)
+                        .collect();
+                    if local.is_empty() {
+                        all
+                    } else {
+                        local
+                    }
+                }
+                CallKind::Qualified(q) => {
+                    let by_ty = typed.get(&(unit, q.as_str(), name));
+                    match by_ty {
+                        Some(v) => v.clone(),
+                        // `module::free_fn(..)`.
+                        None => by_mod
+                            .get(&(unit, q.as_str(), name))
+                            .cloned()
+                            .unwrap_or_default(),
+                    }
+                }
+                CallKind::Method => {
+                    if METHOD_DENY.contains(&name) {
+                        Vec::new()
+                    } else {
+                        methods.get(&(unit, name)).cloned().unwrap_or_default()
+                    }
+                }
+            };
+            for t in targets {
+                if t != id {
+                    graph.edges[id].push((t, call.line));
+                }
+            }
+        }
+        graph.edges[id].sort_unstable();
+        graph.edges[id].dedup();
+    }
+    graph
+}
+
+/// One entry in a BFS result: the reached function plus the path taken.
+#[derive(Debug)]
+pub struct Reached {
+    /// Reached fn id.
+    pub fn_id: usize,
+    /// Fn-id path from (and including) the entry to this fn.
+    pub path: Vec<usize>,
+    /// Line in the *entry* function where the path's first call occurs.
+    pub entry_line: u32,
+}
+
+/// Breadth-first reachability from `entry`, excluding the entry itself.
+/// Paths are shortest-first and deterministic (edges are sorted).
+pub fn reachable_from(graph: &CallGraph, entry: usize) -> Vec<Reached> {
+    reachable_from_where(graph, entry, |_| true)
+}
+
+/// [`reachable_from`] with a node filter: functions for which `enter`
+/// returns false are neither reported nor traversed through. Rules use
+/// this to stop a hot-path walk at a slow-path boundary (e.g. D10 does
+/// not descend into control-plane modules — a config push reached from a
+/// handler is a slow-path excursion, not per-packet work).
+pub fn reachable_from_where(
+    graph: &CallGraph,
+    entry: usize,
+    enter: impl Fn(usize) -> bool,
+) -> Vec<Reached> {
+    let mut seen: BTreeSet<usize> = BTreeSet::new();
+    seen.insert(entry);
+    // (fn id, predecessor index in `out`, entry call line).
+    let mut out: Vec<Reached> = Vec::new();
+    let mut pred: Vec<Option<usize>> = Vec::new();
+    let mut queue: VecDeque<usize> = VecDeque::new(); // indices into out/pred
+
+    for &(callee, line) in &graph.edges[entry] {
+        if enter(callee) && seen.insert(callee) {
+            out.push(Reached {
+                fn_id: callee,
+                path: Vec::new(),
+                entry_line: line,
+            });
+            pred.push(None);
+            queue.push_back(out.len() - 1);
+        }
+    }
+    while let Some(idx) = queue.pop_front() {
+        let fn_id = out[idx].fn_id;
+        let entry_line = out[idx].entry_line;
+        for &(callee, _) in &graph.edges[fn_id] {
+            if enter(callee) && seen.insert(callee) {
+                out.push(Reached {
+                    fn_id: callee,
+                    path: Vec::new(),
+                    entry_line,
+                });
+                pred.push(Some(idx));
+                queue.push_back(out.len() - 1);
+            }
+        }
+    }
+    // Materialise paths from predecessor chains.
+    for i in 0..out.len() {
+        let mut chain = vec![out[i].fn_id];
+        let mut p = pred[i];
+        while let Some(j) = p {
+            chain.push(out[j].fn_id);
+            p = pred[j];
+        }
+        chain.push(entry);
+        chain.reverse();
+        out[i].path = chain;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::symbols::Workspace;
+
+    fn ws_of(files: &[(&str, &str)]) -> Workspace {
+        let lexed: Vec<(String, Vec<crate::lexer::SpannedTok>)> = files
+            .iter()
+            .map(|(p, s)| (p.to_string(), lex(s).toks))
+            .collect();
+        Workspace::build(&lexed)
+    }
+
+    fn fn_id(ws: &Workspace, name: &str) -> usize {
+        ws.fns.iter().position(|f| f.name == name).unwrap()
+    }
+
+    #[test]
+    fn cross_file_free_call_resolves_within_a_crate() {
+        let ws = ws_of(&[
+            ("crates/core/src/a.rs", "fn caller() { helper(1); }"),
+            (
+                "crates/core/src/b.rs",
+                "fn helper(x: u32) { x.checked_mul(2).unwrap(); }",
+            ),
+        ]);
+        let g = build(&ws);
+        let caller = fn_id(&ws, "caller");
+        let helper = fn_id(&ws, "helper");
+        assert_eq!(g.edges[caller], vec![(helper, 1)]);
+        let r = reachable_from(&g, caller);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].path, vec![caller, helper]);
+    }
+
+    #[test]
+    fn calls_do_not_cross_crate_boundaries() {
+        let ws = ws_of(&[
+            ("crates/core/src/a.rs", "fn caller() { helper(); }"),
+            ("crates/sim/src/b.rs", "fn helper() { panic!(); }"),
+        ]);
+        let g = build(&ws);
+        assert!(g.edges[fn_id(&ws, "caller")].is_empty());
+    }
+
+    #[test]
+    fn deny_listed_bare_methods_make_no_edges_but_qualified_do() {
+        let ws = ws_of(&[(
+            "crates/core/src/a.rs",
+            "impl T { fn insert(&mut self) { panic!() } }\n\
+             fn bare(t: &mut std::collections::BTreeMap<u32,u32>) { t.insert(1, 2); }\n\
+             fn qualified(t: &mut T) { T::insert(t); }\n",
+        )]);
+        let g = build(&ws);
+        assert!(g.edges[fn_id(&ws, "bare")].is_empty());
+        assert_eq!(g.edges[fn_id(&ws, "qualified")].len(), 1);
+    }
+
+    #[test]
+    fn distinctive_method_names_do_make_edges() {
+        let ws = ws_of(&[(
+            "crates/core/src/a.rs",
+            "impl Driver { fn inject_probe(&mut self) { todo!() } }\n\
+             fn tick(d: &mut Driver) { d.inject_probe(); }\n",
+        )]);
+        let g = build(&ws);
+        assert_eq!(g.edges[fn_id(&ws, "tick")].len(), 1);
+    }
+
+    #[test]
+    fn same_module_free_fn_is_preferred() {
+        let ws = ws_of(&[
+            (
+                "crates/core/src/a.rs",
+                "fn helper() {}\nfn caller() { helper(); }",
+            ),
+            ("crates/core/src/b.rs", "fn helper() { panic!() }"),
+        ]);
+        let g = build(&ws);
+        let caller = fn_id(&ws, "caller");
+        let local_helper = ws
+            .fns
+            .iter()
+            .position(|f| f.name == "helper" && f.module == "core::a")
+            .unwrap();
+        assert_eq!(g.edges[caller], vec![(local_helper, 2)]);
+    }
+
+    #[test]
+    fn bfs_paths_are_shortest_and_deterministic() {
+        let ws = ws_of(&[(
+            "crates/core/src/a.rs",
+            "fn entry() { mid(); deep_target(); }\n\
+             fn mid() { deep_target(); }\n\
+             fn deep_target() {}\n",
+        )]);
+        let g = build(&ws);
+        let r = reachable_from(&g, fn_id(&ws, "entry"));
+        let deep = r
+            .iter()
+            .find(|x| ws.fns[x.fn_id].name == "deep_target")
+            .unwrap();
+        // Direct edge wins over the path through `mid`.
+        assert_eq!(deep.path.len(), 2);
+    }
+}

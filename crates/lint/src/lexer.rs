@@ -17,6 +17,10 @@ pub enum Tok {
     Ident(String),
     /// A single punctuation character (`.`, `:`, `(`, `{`, `!`, …).
     Punct(char),
+    /// A string literal (normal, raw, or byte), with its content.
+    /// Rule patterns that only look at identifiers skip these; the D9
+    /// RNG-lineage rule reads them to learn `derive_seed` stream names.
+    Lit(String),
 }
 
 impl Tok {
@@ -24,7 +28,15 @@ impl Tok {
     pub fn ident(&self) -> Option<&str> {
         match self {
             Tok::Ident(s) => Some(s),
-            Tok::Punct(_) => None,
+            _ => None,
+        }
+    }
+
+    /// The string-literal content, if this token is one.
+    pub fn lit(&self) -> Option<&str> {
+        match self {
+            Tok::Lit(s) => Some(s),
+            _ => None,
         }
     }
 
@@ -78,14 +90,19 @@ pub fn lex(src: &str) -> Lexed {
             }
             '/' if i + 1 < n && b[i + 1] == '/' => {
                 // Line comment: scan for an allow directive, then skip.
+                // Doc comments (`///`, `//!`) never carry directives —
+                // they *document* the syntax, they don't annotate code.
+                let is_doc = matches!(b.get(i + 2), Some('/') | Some('!'));
                 let start = i + 2;
                 let mut j = start;
                 while j < n && b[j] != '\n' {
                     j += 1;
                 }
-                let body: String = b[start..j].iter().collect();
-                if let Some(d) = parse_allow(&body) {
-                    out.allows.entry(line).or_default().push(d);
+                if !is_doc {
+                    let body: String = b[start..j].iter().collect();
+                    if let Some(d) = parse_allow(&body) {
+                        out.allows.entry(line).or_default().push(d);
+                    }
                 }
                 i = j;
             }
@@ -108,8 +125,27 @@ pub fn lex(src: &str) -> Lexed {
                     }
                 }
             }
-            '"' => i = skip_string(&b, i, &mut line),
-            'r' | 'b' if is_raw_or_byte_string(&b, i) => i = skip_raw_or_byte(&b, i, &mut line),
+            '"' => {
+                let start_line = line;
+                let mut content = String::new();
+                i = skip_string(&b, i, &mut line, &mut content);
+                out.toks.push(SpannedTok {
+                    tok: Tok::Lit(content),
+                    line: start_line,
+                });
+            }
+            'r' | 'b' if is_raw_or_byte_string(&b, i) => {
+                let start_line = line;
+                let mut content = String::new();
+                let was_string;
+                (i, was_string) = skip_raw_or_byte(&b, i, &mut line, &mut content);
+                if was_string {
+                    out.toks.push(SpannedTok {
+                        tok: Tok::Lit(content),
+                        line: start_line,
+                    });
+                }
+            }
             '\'' => i = skip_char_or_lifetime(&b, i, &mut line),
             _ if c.is_alphabetic() || c == '_' => {
                 let start = i;
@@ -172,7 +208,14 @@ fn is_raw_or_byte_string(b: &[char], i: usize) -> bool {
     }
 }
 
-fn skip_raw_or_byte(b: &[char], mut i: usize, line: &mut u32) -> usize {
+/// Returns the new position and whether a string literal was consumed
+/// (false for raw identifiers like `r#match`, which share the prefix).
+fn skip_raw_or_byte(
+    b: &[char],
+    mut i: usize,
+    line: &mut u32,
+    content: &mut String,
+) -> (usize, bool) {
     let n = b.len();
     let mut raw = false;
     if b[i] == 'b' {
@@ -188,14 +231,21 @@ fn skip_raw_or_byte(b: &[char], mut i: usize, line: &mut u32) -> usize {
         i += 1;
     }
     if i >= n || b[i] != '"' {
-        return i; // not actually a string start; resume normally
+        return (i, false); // raw identifier (`r#match`) or the like
     }
     i += 1;
     while i < n {
         if b[i] == '\n' {
             *line += 1;
+            content.push('\n');
             i += 1;
         } else if !raw && b[i] == '\\' {
+            // An escaped newline (string line-continuation) still ends a
+            // source line — count it, or every line number below drifts.
+            if b.get(i + 1) == Some(&'\n') {
+                *line += 1;
+            }
+            content.extend(b.get(i..i + 2).unwrap_or_default());
             i += 2;
         } else if b[i] == '"' {
             // A raw string ends at `"` followed by `hashes` hash marks.
@@ -204,35 +254,50 @@ fn skip_raw_or_byte(b: &[char], mut i: usize, line: &mut u32) -> usize {
                 k += 1;
             }
             if k == hashes {
-                return i + 1 + hashes;
+                return (i + 1 + hashes, true);
             }
+            content.push(b[i]);
             i += 1;
         } else {
+            content.push(b[i]);
             i += 1;
         }
     }
-    i
+    (i, true)
 }
 
-fn skip_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+fn skip_string(b: &[char], mut i: usize, line: &mut u32, content: &mut String) -> usize {
     let n = b.len();
     i += 1;
     while i < n {
         match b[i] {
-            '\\' => i += 2,
+            '\\' => {
+                // Count escaped-newline line continuations (see above).
+                if b.get(i + 1) == Some(&'\n') {
+                    *line += 1;
+                }
+                content.extend(b.get(i..i + 2).unwrap_or_default());
+                i += 2;
+            }
             '\n' => {
                 *line += 1;
+                content.push('\n');
                 i += 1;
             }
             '"' => return i + 1,
-            _ => i += 1,
+            c => {
+                content.push(c);
+                i += 1;
+            }
         }
     }
     i
 }
 
 /// Distinguishes `'a'` / `'\n'` (char literals, skipped) from `'a` in
-/// `&'a str` (lifetimes, where only the quote is consumed).
+/// `&'a str` (lifetimes, consumed entirely — emitting the lifetime name
+/// as an identifier would turn `&'static str` into a phantom `static`
+/// item for any rule that looks for one).
 fn skip_char_or_lifetime(b: &[char], i: usize, line: &mut u32) -> usize {
     let n = b.len();
     if i + 1 >= n {
@@ -256,7 +321,12 @@ fn skip_char_or_lifetime(b: &[char], i: usize, line: &mut u32) -> usize {
     if i + 2 < n && b[i + 2] == '\'' {
         return i + 3; // plain char literal 'x'
     }
-    i + 1 // lifetime: consume the quote only
+    // Lifetime (or loop label): consume the quote and the name.
+    let mut j = i + 1;
+    while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+        j += 1;
+    }
+    j
 }
 
 fn skip_number(b: &[char], mut i: usize) -> usize {
@@ -337,6 +407,94 @@ mod tests {
         let b = &lexed.allows[&2][0];
         assert_eq!(b.rules, vec!["D1"]);
         assert!(!b.justified);
+    }
+
+    #[test]
+    fn doc_comments_do_not_carry_allow_directives() {
+        let src = "/// example: `// nezha-lint: allow(D1)`\n\
+                   //! module doc: nezha-lint: allow(D2)\n\
+                   x // nezha-lint: allow(D3): real directive\n";
+        let lexed = lex(src);
+        assert!(!lexed.allows.contains_key(&1));
+        assert!(!lexed.allows.contains_key(&2));
+        assert_eq!(lexed.allows[&3][0].rules, vec!["D3"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_do_not_leak_phantom_tokens() {
+        // A `"#`-bearing raw string must end at the matching hash count,
+        // not at the first embedded quote — otherwise the tail would be
+        // lexed as code and produce phantom violations.
+        let src = r####"
+            let a = r##"contains "# inside, and Instant::now too"##;
+            let b = br#"byte raw thread_rng"#;
+            let c = b"plain byte \" unwrap";
+            after_strings();
+        "####;
+        let ids = idents(src);
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"thread_rng".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(ids.contains(&"after_strings".to_string()));
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_mistaken_for_strings() {
+        // `r#fn` shares a prefix with raw strings; the following real
+        // string must still be stripped and the next ident still seen.
+        let src = "let r#type = 1; let s = \"panic!\"; real();";
+        let ids = idents(src);
+        assert!(!ids.contains(&"panic".to_string()));
+        assert!(ids.contains(&"real".to_string()));
+    }
+
+    #[test]
+    fn escaped_newline_in_string_still_counts_the_line() {
+        let src = "let s = \"a\\\nb\";\nviolation_site();\n";
+        let lexed = lex(src);
+        let t = lexed
+            .toks
+            .iter()
+            .find(|t| t.tok.ident() == Some("violation_site"))
+            .expect("ident");
+        assert_eq!(t.line, 3, "escaped newline must advance the line counter");
+    }
+
+    #[test]
+    fn multiline_raw_string_line_accounting() {
+        let src = "let s = r#\"one\ntwo\nthree\"#;\nmarker();\n";
+        let lexed = lex(src);
+        let t = lexed
+            .toks
+            .iter()
+            .find(|t| t.tok.ident() == Some("marker"))
+            .expect("ident");
+        assert_eq!(t.line, 4);
+    }
+
+    #[test]
+    fn string_literals_are_captured_as_lits() {
+        let src = "derive_seed(seed, \"cluster.faults\")";
+        let lexed = lex(src);
+        let lits: Vec<&str> = lexed.toks.iter().filter_map(|t| t.tok.lit()).collect();
+        assert_eq!(lits, vec!["cluster.faults"]);
+    }
+
+    #[test]
+    fn static_lifetime_is_not_a_static_item_token() {
+        let src = "fn f(x: &'static str) -> &'static str { x }";
+        let ids = idents(src);
+        assert!(
+            !ids.contains(&"static".to_string()),
+            "`&'static` must not produce a `static` ident"
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_with_string_like_content() {
+        let src = "/* outer \" /* inner */ still \"# comment */ live();";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["live".to_string()]);
     }
 
     #[test]

@@ -10,10 +10,18 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use nezha_lint::{collect_workspace_files, render_human, render_json, scan_files, walk, Severity};
+use nezha_lint::{
+    analyze, collect_workspace_files, render_github, render_human, render_json, walk, Severity,
+};
 
 const USAGE: &str = "\
-nezha-lint: workspace determinism, panic-safety & layering checks (rules D1-D7)
+nezha-lint: workspace determinism, panic-safety & layering checks (rules D1-D11)
+
+Two-pass analyzer: pass 1 indexes symbols and builds a conservative
+intra-crate call graph across the whole workspace; pass 2 runs the
+token-pattern rules (D1-D7) and the call-graph/dataflow rules (D8
+panic reachability, D9 RNG-stream lineage, D10 hot-path allocation,
+D11 shard safety).
 
 USAGE:
     nezha-lint --workspace [OPTIONS]
@@ -23,7 +31,9 @@ OPTIONS:
     --workspace        lint every .rs file in the workspace (src/, crates/,
                        tests/, examples/; vendor/, target/ and fixtures skipped)
     --json             machine-readable JSON on stdout
-    --deny-warnings    treat warnings (D5/D6) as failures
+    --github           GitHub Actions ::error/::warning annotations on stdout
+    --deny-warnings    treat warnings (D5/D6/stale allows) as failures
+    --stale-allows     also report allow() directives that suppress nothing
     --root DIR         workspace root for relative paths / --workspace
                        (default: the repo containing this crate)
     -h, --help         this text
@@ -45,7 +55,9 @@ fn main() -> ExitCode {
 fn run() -> std::io::Result<ExitCode> {
     let mut workspace = false;
     let mut json = false;
+    let mut github = false;
     let mut deny_warnings = false;
+    let mut stale_allows = false;
     let mut root: Option<PathBuf> = None;
     let mut paths: Vec<PathBuf> = Vec::new();
 
@@ -54,7 +66,9 @@ fn run() -> std::io::Result<ExitCode> {
         match a.as_str() {
             "--workspace" => workspace = true,
             "--json" => json = true,
+            "--github" => github = true,
             "--deny-warnings" => deny_warnings = true,
+            "--stale-allows" => stale_allows = true,
             "--root" => match args.next() {
                 Some(r) => root = Some(PathBuf::from(r)),
                 None => {
@@ -105,7 +119,14 @@ fn run() -> std::io::Result<ExitCode> {
     files.sort();
     files.dedup();
 
-    let violations = scan_files(&root, &files)?;
+    let analysis = analyze(&root, &files)?;
+    let mut violations = analysis.violations;
+    if stale_allows {
+        violations.extend(analysis.stale_allows);
+        violations.sort_by(|a, b| {
+            (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+        });
+    }
     let errors = violations
         .iter()
         .filter(|v| v.severity == Severity::Error)
@@ -114,6 +135,8 @@ fn run() -> std::io::Result<ExitCode> {
 
     if json {
         print!("{}", render_json(&violations));
+    } else if github {
+        print!("{}", render_github(&violations));
     } else {
         print!("{}", render_human(&violations));
         if violations.is_empty() {

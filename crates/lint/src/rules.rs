@@ -1,6 +1,8 @@
-//! The D1–D7 determinism, panic-safety & layering rules.
+//! The D1–D7 determinism, panic-safety & layering rules, plus the shared
+//! rule registry and allow-directive machinery used by the graph rules
+//! (D8–D11, see `graph_rules`).
 //!
-//! Each rule is a token-pattern match over the lexed stream with a
+//! D1–D7 are token-pattern matches over the lexed stream with a
 //! path-based scope. Test items (`#[test]` fns, `#[cfg(test)]` mods) are
 //! stripped before matching: the rules guard simulation-visible and
 //! control-plane behaviour, not assertions about it.
@@ -36,7 +38,7 @@ pub struct Violation {
     pub file: String,
     /// 1-based line.
     pub line: u32,
-    /// Rule id (`D1`..`D7`).
+    /// Rule id (`D1`..`D11`, or `stale-allow`).
     pub rule: &'static str,
     /// Severity after allow-list processing.
     pub severity: Severity,
@@ -45,6 +47,79 @@ pub struct Violation {
     /// How to fix it.
     pub hint: &'static str,
 }
+
+/// Registry entry for one rule — drives `--help`, the README table, and
+/// the meta-test that keeps every rule exercised by fixtures.
+#[derive(Clone, Copy, Debug)]
+pub struct RuleInfo {
+    /// Rule id (`D1`..`D11`).
+    pub id: &'static str,
+    /// Default severity.
+    pub severity: Severity,
+    /// One-line summary of what the rule forbids.
+    pub summary: &'static str,
+}
+
+/// Every rule the analyzer knows, in id order.
+pub const ALL_RULES: [RuleInfo; 11] = [
+    RuleInfo {
+        id: "D1",
+        severity: Severity::Error,
+        summary: "Instant::now / SystemTime::now in sim-visible crates",
+    },
+    RuleInfo {
+        id: "D2",
+        severity: Severity::Error,
+        summary: "thread_rng / from_entropy / OS-entropy RNGs outside nezha-sim::rng",
+    },
+    RuleInfo {
+        id: "D3",
+        severity: Severity::Error,
+        summary: "iteration over HashMap/HashSet bindings in sim-visible crates",
+    },
+    RuleInfo {
+        id: "D4",
+        severity: Severity::Error,
+        summary: "unwrap/expect/panic!/todo! written directly in control-plane modules",
+    },
+    RuleInfo {
+        id: "D5",
+        severity: Severity::Warning,
+        summary: "MetricsRegistry handle acquisition outside a startup path",
+    },
+    RuleInfo {
+        id: "D6",
+        severity: Severity::Warning,
+        summary: "Profiler stage-handle interning outside a startup path",
+    },
+    RuleInfo {
+        id: "D7",
+        severity: Severity::Error,
+        summary: "direct telemetry/trace/profiler access in datapath handlers (use HandlerCtx)",
+    },
+    RuleInfo {
+        id: "D8",
+        severity: Severity::Error,
+        summary: "panic site transitively reachable from a control-plane entry point",
+    },
+    RuleInfo {
+        id: "D9",
+        severity: Severity::Error,
+        summary: "SimRng seeded outside derive_seed, or a stream name reused across modules",
+    },
+    RuleInfo {
+        id: "D10",
+        severity: Severity::Error,
+        summary: "heap allocation / format! / heap clone on a hot path (ladder drain, \
+                  DenseMap probe, NSH codec, datapath handlers)",
+    },
+    RuleInfo {
+        id: "D11",
+        severity: Severity::Error,
+        summary: "static mut, non-const statics, thread_local!, Rc/RefCell in sim-visible \
+                  shard-candidate code",
+    },
+];
 
 /// Which rules apply to a given workspace-relative path.
 #[derive(Clone, Copy, Debug)]
@@ -60,7 +135,7 @@ struct Scope {
 
 /// Crates whose code runs inside the simulation and therefore must be
 /// bit-deterministic under a fixed seed.
-const SIM_VISIBLE: [&str; 6] = [
+pub(crate) const SIM_VISIBLE: [&str; 6] = [
     "crates/sim/src/",
     "crates/core/src/",
     "crates/vswitch/src/",
@@ -71,7 +146,7 @@ const SIM_VISIBLE: [&str; 6] = [
 
 /// Control-plane modules where `NezhaResult` must be used instead of
 /// panicking (rule D4).
-const CONTROL_PLANE_FILES: [&str; 5] = [
+pub(crate) const CONTROL_PLANE_FILES: [&str; 5] = [
     "cluster.rs",
     "controller.rs",
     "monitor.rs",
@@ -83,7 +158,7 @@ const CONTROL_PLANE_FILES: [&str; 5] = [
 /// its D4 (no-panic) obligation. Listed by full path so that same-named
 /// files in other crates (e.g. `crates/vswitch/src/config.rs`) keep
 /// their existing scope.
-const CONTROL_PLANE_PATHS: [&str; 3] = [
+pub(crate) const CONTROL_PLANE_PATHS: [&str; 3] = [
     "crates/core/src/config.rs",
     "crates/core/src/telemetry.rs",
     "crates/core/src/driver.rs",
@@ -167,13 +242,22 @@ fn scope_for(path: &str) -> Scope {
     }
 }
 
-/// Runs every in-scope rule over one file.
+/// Runs the token-pattern rules (D1–D7) over one file, applying allow
+/// directives. The graph rules (D8–D11) need the whole workspace index —
+/// use `analyze` in the crate root for the full two-pass run.
 pub fn check_file(rel_path: &str, src: &str) -> Vec<Violation> {
-    let scope = scope_for(rel_path);
     let lexed = lex(src);
     let toks = strip_tests(&lexed.toks);
+    let raw = token_rules(rel_path, &toks);
+    let mut used = BTreeSet::new();
+    apply_allows_tracked(raw, &lexed.allows, &mut used)
+}
+
+/// The D1–D7 token-pattern pass: raw violations, before allow directives.
+pub(crate) fn token_rules(rel_path: &str, toks: &[SpannedTok]) -> Vec<Violation> {
+    let scope = scope_for(rel_path);
     let hash_names = if scope.d3 {
-        collect_hash_names(&toks)
+        crate::symbols::collect_typed_names(toks, &["HashMap", "HashSet"])
     } else {
         BTreeSet::new()
     };
@@ -226,9 +310,9 @@ pub fn check_file(rel_path: &str, src: &str) -> Vec<Violation> {
                 // D1: wall-clock reads.
                 if scope.d1
                     && (id == "Instant" || id == "SystemTime")
-                    && tok_is(&toks, i + 1, ':')
-                    && tok_is(&toks, i + 2, ':')
-                    && ident_at(&toks, i + 3) == Some("now")
+                    && tok_is(toks, i + 1, ':')
+                    && tok_is(toks, i + 2, ':')
+                    && ident_at(toks, i + 3) == Some("now")
                 {
                     push(
                         t.line,
@@ -250,9 +334,9 @@ pub fn check_file(rel_path: &str, src: &str) -> Vec<Violation> {
                             HINT_D2,
                         );
                     } else if id == "rand"
-                        && tok_is(&toks, i + 1, ':')
-                        && tok_is(&toks, i + 2, ':')
-                        && ident_at(&toks, i + 3) == Some("random")
+                        && tok_is(toks, i + 1, ':')
+                        && tok_is(toks, i + 2, ':')
+                        && ident_at(toks, i + 3) == Some("random")
                     {
                         push(
                             t.line,
@@ -265,9 +349,9 @@ pub fn check_file(rel_path: &str, src: &str) -> Vec<Violation> {
                 }
 
                 // D3: order-visible iteration over a hash collection.
-                if scope.d3 && hash_names.contains(id.as_str()) && tok_is(&toks, i + 1, '.') {
-                    if let Some(m) = ident_at(&toks, i + 2) {
-                        if ITER_METHODS.contains(&m) && tok_is(&toks, i + 3, '(') {
+                if scope.d3 && hash_names.contains(id.as_str()) && tok_is(toks, i + 1, '.') {
+                    if let Some(m) = ident_at(toks, i + 2) {
+                        if ITER_METHODS.contains(&m) && tok_is(toks, i + 3, '(') {
                             push(
                                 t.line,
                                 "D3",
@@ -279,7 +363,7 @@ pub fn check_file(rel_path: &str, src: &str) -> Vec<Violation> {
                     }
                 }
                 if scope.d3 && id == "in" {
-                    if let Some((name, line)) = for_loop_hash_target(&toks, i, &hash_names) {
+                    if let Some((name, line)) = for_loop_hash_target(toks, i, &hash_names) {
                         push(
                             line,
                             "D3",
@@ -293,9 +377,9 @@ pub fn check_file(rel_path: &str, src: &str) -> Vec<Violation> {
                 // D4: panics in the control plane.
                 if scope.d4 {
                     if (id == "unwrap" || id == "expect")
-                        && tok_is(&toks, i.wrapping_sub(1), '.')
+                        && tok_is(toks, i.wrapping_sub(1), '.')
                         && i >= 1
-                        && tok_is(&toks, i + 1, '(')
+                        && tok_is(toks, i + 1, '(')
                     {
                         push(
                             t.line,
@@ -305,7 +389,7 @@ pub fn check_file(rel_path: &str, src: &str) -> Vec<Violation> {
                             HINT_D4,
                         );
                     }
-                    if (id == "panic" || id == "todo") && tok_is(&toks, i + 1, '!') {
+                    if (id == "panic" || id == "todo") && tok_is(toks, i + 1, '!') {
                         push(
                             t.line,
                             "D4",
@@ -320,8 +404,8 @@ pub fn check_file(rel_path: &str, src: &str) -> Vec<Violation> {
                 if scope.d5
                     && REGISTRY_METHODS.contains(&id.as_str())
                     && i >= 1
-                    && tok_is(&toks, i - 1, '.')
-                    && tok_is(&toks, i + 1, '(')
+                    && tok_is(toks, i - 1, '.')
+                    && tok_is(toks, i + 1, '(')
                 {
                     let in_startup = fn_stack
                         .last()
@@ -349,8 +433,8 @@ pub fn check_file(rel_path: &str, src: &str) -> Vec<Violation> {
                 if scope.d6
                     && STAGE_METHODS.contains(&id.as_str())
                     && i >= 1
-                    && tok_is(&toks, i - 1, '.')
-                    && tok_is(&toks, i + 1, '(')
+                    && tok_is(toks, i - 1, '.')
+                    && tok_is(toks, i + 1, '(')
                 {
                     let in_startup = fn_stack
                         .last()
@@ -377,7 +461,7 @@ pub fn check_file(rel_path: &str, src: &str) -> Vec<Violation> {
                 // D7: datapath handlers bypassing HandlerCtx to reach the
                 // telemetry plumbing directly.
                 if scope.d7 {
-                    if id == "tel" && i >= 1 && tok_is(&toks, i - 1, '.') {
+                    if id == "tel" && i >= 1 && tok_is(toks, i - 1, '.') {
                         push(
                             t.line,
                             "D7",
@@ -388,8 +472,8 @@ pub fn check_file(rel_path: &str, src: &str) -> Vec<Violation> {
                     }
                     if D7_METHODS.contains(&id.as_str())
                         && i >= 1
-                        && tok_is(&toks, i - 1, '.')
-                        && tok_is(&toks, i + 1, '(')
+                        && tok_is(toks, i - 1, '.')
+                        && tok_is(toks, i + 1, '(')
                     {
                         push(
                             t.line,
@@ -407,7 +491,7 @@ pub fn check_file(rel_path: &str, src: &str) -> Vec<Violation> {
         }
     }
 
-    apply_allows(raw, &lexed.allows)
+    raw
 }
 
 /// True when `name` is a recognised construction/registration function in
@@ -451,53 +535,9 @@ fn for_loop_hash_target(
     None
 }
 
-/// Finds bindings declared with a `HashMap`/`HashSet` type or initialiser:
-/// `name: HashMap<..>`, `name: std::collections::HashMap<..>`,
-/// `name: &mut HashMap<..>`, and `let name = HashMap::new()`.
-fn collect_hash_names(toks: &[SpannedTok]) -> BTreeSet<String> {
-    const NOT_BINDINGS: [&str; 9] = [
-        "use", "pub", "in", "let", "mut", "fn", "return", "as", "where",
-    ];
-    let mut names = BTreeSet::new();
-    for (k, t) in toks.iter().enumerate() {
-        let Some(id) = t.tok.ident() else { continue };
-        if id != "HashMap" && id != "HashSet" {
-            continue;
-        }
-        // Walk back over `: & mut std collections` path/ref tokens.
-        let mut j = k;
-        while j > 0 {
-            let skip = match &toks[j - 1].tok {
-                Tok::Punct(':') | Tok::Punct('&') => true,
-                Tok::Ident(s) => matches!(s.as_str(), "std" | "collections" | "mut"),
-                _ => false,
-            };
-            if !skip {
-                break;
-            }
-            j -= 1;
-        }
-        let binding = if j < k && j >= 1 {
-            // Ascription form: the run began with the `name :` colon.
-            toks[j - 1].tok.ident()
-        } else if j == k && k >= 2 && tok_is(toks, k - 1, '=') {
-            // Initialiser form: `name = HashMap::new()`.
-            toks[k - 2].tok.ident()
-        } else {
-            None
-        };
-        if let Some(name) = binding {
-            if !NOT_BINDINGS.contains(&name) {
-                names.insert(name.to_string());
-            }
-        }
-    }
-    names
-}
-
 /// Removes `#[test]` / `#[cfg(test)]` items (attribute + body) from the
 /// token stream. `#[cfg(not(test))]` is kept.
-fn strip_tests(toks: &[SpannedTok]) -> Vec<SpannedTok> {
+pub(crate) fn strip_tests(toks: &[SpannedTok]) -> Vec<SpannedTok> {
     let mut out = Vec::with_capacity(toks.len());
     let mut i = 0;
     let n = toks.len();
@@ -565,17 +605,28 @@ fn skip_item_after_attr(toks: &[SpannedTok], mut j: usize) -> usize {
 /// Applies `// nezha-lint: allow(..)` directives: a directive on line L
 /// suppresses matching violations on lines L and L+1. An allow without a
 /// justification downgrades nothing — it is itself reported as an error.
-fn apply_allows(
+///
+/// Every directive that matched a violation (justified or not) is
+/// recorded in `used` as `(directive line, index on that line)`;
+/// directives absent from `used` after the run are stale
+/// (`--stale-allows`).
+pub(crate) fn apply_allows_tracked(
     raw: Vec<Violation>,
     allows: &std::collections::BTreeMap<u32, Vec<AllowDirective>>,
+    used: &mut BTreeSet<(u32, usize)>,
 ) -> Vec<Violation> {
     let mut out = Vec::with_capacity(raw.len());
     for mut v in raw {
         let mut directive: Option<&AllowDirective> = None;
         for line in [v.line.saturating_sub(1), v.line] {
             if let Some(ds) = allows.get(&line) {
-                if let Some(d) = ds.iter().find(|d| d.rules.iter().any(|r| r == v.rule)) {
+                if let Some((idx, d)) = ds
+                    .iter()
+                    .enumerate()
+                    .find(|(_, d)| d.rules.iter().any(|r| r == v.rule))
+                {
                     directive = Some(d);
+                    used.insert((line, idx));
                 }
             }
         }

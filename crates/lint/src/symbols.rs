@@ -1,0 +1,718 @@
+//! Pass 1 of the two-pass analyzer: a workspace-wide symbol index.
+//!
+//! Built purely from the lexer's token streams (no `syn` — the workspace
+//! is offline), the index records, per file: the module path, every
+//! `fn`/`impl` item with the calls, panic sites, and allocation sites in
+//! its body, plus the raw material for the dataflow rules — `SimRng`
+//! construction sites (D9), `derive_seed` stream declarations (D9), and
+//! shard-safety hazards (D11).
+//!
+//! The index is deliberately *conservative in the false-negative
+//! direction*: anything it cannot resolve (cross-crate calls, trait
+//! dispatch, function pointers, macro-generated items) simply produces
+//! no edge. See DESIGN.md §9c for the envelope.
+
+use crate::lexer::{SpannedTok, Tok};
+use std::collections::BTreeSet;
+
+/// A source location paired with what was found there.
+#[derive(Clone, Debug)]
+pub struct Site {
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description of the construct (e.g. `.unwrap()`).
+    pub what: String,
+}
+
+/// How a call site names its target.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CallKind {
+    /// `foo(..)` — a free function (or tuple-struct constructor).
+    Free,
+    /// `.foo(..)` — a method on an unknown receiver type.
+    Method,
+    /// `Qualifier::foo(..)` — the qualifier is the preceding path segment
+    /// (`Self` is substituted with the enclosing impl's type).
+    Qualified(String),
+}
+
+/// One call site inside a function body.
+#[derive(Clone, Debug)]
+pub struct Call {
+    /// Callee name as written.
+    pub name: String,
+    /// Resolution shape.
+    pub kind: CallKind,
+    /// 1-based line of the call.
+    pub line: u32,
+}
+
+/// One indexed function (free fn, method, or trait default method).
+#[derive(Clone, Debug)]
+pub struct FnSym {
+    /// Function name.
+    pub name: String,
+    /// Index into [`Workspace::files`].
+    pub file: usize,
+    /// Module path including inline `mod` nesting (e.g. `core::datapath::be`).
+    pub module: String,
+    /// Enclosing `impl` type, when this is a method.
+    pub self_ty: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Call sites in the body, in source order.
+    pub calls: Vec<Call>,
+    /// Panic sites in the body (`panic!`, `todo!`, `unimplemented!`,
+    /// `.unwrap()`, `.expect(..)`).
+    pub panics: Vec<Site>,
+    /// Heap-allocation sites in the body (see D10).
+    pub allocs: Vec<Site>,
+}
+
+/// One `SimRng::new(..)` construction site.
+#[derive(Clone, Debug)]
+pub struct RngNew {
+    /// 1-based line.
+    pub line: u32,
+    /// True when the seed argument traces through `derive_seed`/
+    /// `derive_seed_indexed`.
+    pub derived: bool,
+}
+
+/// One `derive_seed(..)` / `derive_seed_indexed(..)` call site.
+#[derive(Clone, Debug)]
+pub struct DeriveCall {
+    /// 1-based line.
+    pub line: u32,
+    /// The stream-name string literal, when one is present in the args.
+    pub stream: Option<String>,
+}
+
+/// Everything indexed from one file.
+#[derive(Clone, Debug, Default)]
+pub struct FileSyms {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// Call-graph unit this file belongs to (crate name, or a synthetic
+    /// per-fixture-tree key).
+    pub crate_key: String,
+    /// Module path of the file itself.
+    pub module: String,
+    /// Indices into [`Workspace::fns`] for functions defined here.
+    pub fn_ids: Vec<usize>,
+    /// `SimRng::new` sites (D9).
+    pub rng_news: Vec<RngNew>,
+    /// `derive_seed*` sites (D9).
+    pub derive_calls: Vec<DeriveCall>,
+    /// Shard-safety hazards: statics, `thread_local!`, `Rc`, `RefCell` (D11).
+    pub shard_hazards: Vec<Site>,
+}
+
+/// The pass-1 output: every indexed file plus a flat function table.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Per-file symbol tables.
+    pub files: Vec<FileSyms>,
+    /// Flat function table; `FileSyms::fn_ids` and the call graph index
+    /// into this.
+    pub fns: Vec<FnSym>,
+}
+
+/// Container types whose `::new`/`::with_capacity` (and whose `.clone()`)
+/// mean heap work.
+const HEAP_TYPES: [&str; 12] = [
+    "Vec",
+    "VecDeque",
+    "String",
+    "Box",
+    "BTreeMap",
+    "BTreeSet",
+    "HashMap",
+    "HashSet",
+    "Rc",
+    "Arc",
+    "PathBuf",
+    "BinaryHeap",
+];
+
+/// Methods that allocate on any receiver.
+const ALLOC_METHODS: [&str; 4] = ["to_string", "to_vec", "to_owned", "collect"];
+
+/// Idents that look like calls but are control-flow keywords or binding
+/// forms, never resolvable functions.
+const NOT_CALLS: [&str; 24] = [
+    "if", "while", "for", "match", "return", "loop", "fn", "in", "as", "move", "unsafe", "else",
+    "let", "mut", "ref", "break", "continue", "where", "impl", "dyn", "box", "await", "use", "pub",
+];
+
+impl Workspace {
+    /// Builds the index from `(rel_path, test-stripped tokens)` pairs.
+    pub fn build(files: &[(String, Vec<SpannedTok>)]) -> Workspace {
+        let mut ws = Workspace::default();
+        for (path, toks) in files {
+            let file_idx = ws.files.len();
+            let syms = index_file(path, toks, file_idx, &mut ws.fns);
+            ws.files.push(syms);
+        }
+        ws
+    }
+}
+
+/// Call-graph unit for a path: real crates map to their crate name, each
+/// fixture tree is its own unit (so linter test inputs never wire edges
+/// into real code), and loose files stand alone.
+pub fn crate_key(path: &str) -> String {
+    if let Some(pos) = path.find("fixtures/") {
+        let rest = &path[pos + "fixtures/".len()..];
+        return match rest.split_once('/') {
+            Some((dir, _)) => format!("fixture:{dir}"),
+            None => format!("fixture:{rest}"),
+        };
+    }
+    if let Some(rest) = path.strip_prefix("crates/") {
+        if let Some((name, _)) = rest.split_once('/') {
+            return name.to_string();
+        }
+    }
+    if path.starts_with("src/") {
+        return "nezha".to_string();
+    }
+    // tests/, examples/, absolute paths: each file is its own unit.
+    path.to_string()
+}
+
+/// Module path for a file (`crates/core/src/datapath/be.rs` →
+/// `core::datapath::be`); inline `mod` nesting is appended during the walk.
+pub fn module_of(path: &str) -> String {
+    let (prefix, rel) = if let Some(rest) = path.strip_prefix("crates/") {
+        match rest.split_once("/src/") {
+            Some((krate, tail)) => (krate.to_string(), tail),
+            None => (crate_key(path), rest.split_once('/').map_or("", |x| x.1)),
+        }
+    } else if let Some(rest) = path.strip_prefix("src/") {
+        ("nezha".to_string(), rest)
+    } else if let Some(pos) = path.find("fixtures/") {
+        (crate_key(path), &path[pos + "fixtures/".len()..])
+    } else {
+        (crate_key(path), "")
+    };
+    let mut out = prefix;
+    let mut segs: Vec<&str> = rel.split('/').filter(|s| !s.is_empty()).collect();
+    if let Some(last) = segs.last_mut() {
+        *last = last.strip_suffix(".rs").unwrap_or(last);
+    }
+    for seg in segs {
+        if seg == "lib" || seg == "main" || seg == "mod" {
+            continue;
+        }
+        out.push_str("::");
+        out.push_str(seg);
+    }
+    out
+}
+
+/// What the next `{` opens.
+enum Pending {
+    Fn { name: String, line: u32 },
+    Mod(String),
+    Impl(Option<String>),
+}
+
+fn index_file(path: &str, toks: &[SpannedTok], file_idx: usize, fns: &mut Vec<FnSym>) -> FileSyms {
+    let mut syms = FileSyms {
+        path: path.to_string(),
+        crate_key: crate_key(path),
+        module: module_of(path),
+        ..FileSyms::default()
+    };
+    let heap_names = collect_typed_names(toks, &HEAP_TYPES);
+
+    let mut depth: u32 = 0;
+    let mut pending: Option<Pending> = None;
+    // (fn index, body depth) / (module name, depth) / (self ty, depth).
+    let mut fn_stack: Vec<(usize, u32)> = Vec::new();
+    let mut mod_stack: Vec<(String, u32)> = Vec::new();
+    let mut impl_stack: Vec<(Option<String>, u32)> = Vec::new();
+    let mut hazard_seen: BTreeSet<(u32, String)> = BTreeSet::new();
+
+    let n = toks.len();
+    for i in 0..n {
+        let t = &toks[i];
+        match &t.tok {
+            Tok::Punct('{') => {
+                depth += 1;
+                match pending.take() {
+                    Some(Pending::Fn { name, line }) => {
+                        let module = full_module(&syms.module, &mod_stack);
+                        let self_ty = impl_stack.last().and_then(|(ty, _)| ty.clone());
+                        fns.push(FnSym {
+                            name,
+                            file: file_idx,
+                            module,
+                            self_ty,
+                            line,
+                            calls: Vec::new(),
+                            panics: Vec::new(),
+                            allocs: Vec::new(),
+                        });
+                        syms.fn_ids.push(fns.len() - 1);
+                        fn_stack.push((fns.len() - 1, depth));
+                    }
+                    Some(Pending::Mod(name)) => mod_stack.push((name, depth)),
+                    Some(Pending::Impl(ty)) => impl_stack.push((ty, depth)),
+                    None => {}
+                }
+            }
+            Tok::Punct('}') => {
+                if fn_stack.last().is_some_and(|&(_, d)| d == depth) {
+                    fn_stack.pop();
+                }
+                if mod_stack.last().is_some_and(|(_, d)| *d == depth) {
+                    mod_stack.pop();
+                }
+                if impl_stack.last().is_some_and(|(_, d)| *d == depth) {
+                    impl_stack.pop();
+                }
+                depth = depth.saturating_sub(1);
+            }
+            Tok::Punct(';') => {
+                pending = None;
+            }
+            Tok::Ident(id) => {
+                match id.as_str() {
+                    "fn" => {
+                        if let Some(name) = ident_at(toks, i + 1) {
+                            pending = Some(Pending::Fn {
+                                name: name.to_string(),
+                                line: t.line,
+                            });
+                        }
+                        continue;
+                    }
+                    "mod" => {
+                        if pending.is_none() {
+                            if let Some(name) = ident_at(toks, i + 1) {
+                                pending = Some(Pending::Mod(name.to_string()));
+                            }
+                        }
+                        continue;
+                    }
+                    "impl" => {
+                        // `-> impl Trait` in a signature must not clobber a
+                        // pending fn; a real impl item starts from scratch.
+                        if pending.is_none() {
+                            pending = Some(Pending::Impl(impl_self_ty(toks, i)));
+                        }
+                        continue;
+                    }
+                    _ => {}
+                }
+
+                // D11 hazards are collected file-wide (statics live at item
+                // level, outside any fn body).
+                if let Some(what) = hazard_at(toks, i, id) {
+                    if hazard_seen.insert((t.line, what.clone())) {
+                        syms.shard_hazards.push(Site { line: t.line, what });
+                    }
+                }
+
+                // D9 raw material, also file-wide (consts can seed too).
+                if id == "SimRng"
+                    && tok_is(toks, i + 1, ':')
+                    && tok_is(toks, i + 2, ':')
+                    && ident_at(toks, i + 3) == Some("new")
+                    && tok_is(toks, i + 4, '(')
+                {
+                    let (idents, _lits) = scan_args(toks, i + 4);
+                    let derived = idents
+                        .iter()
+                        .any(|a| a == "derive_seed" || a == "derive_seed_indexed");
+                    syms.rng_news.push(RngNew {
+                        line: t.line,
+                        derived,
+                    });
+                }
+                if (id == "derive_seed" || id == "derive_seed_indexed") && tok_is(toks, i + 1, '(')
+                {
+                    let (_idents, lits) = scan_args(toks, i + 1);
+                    syms.derive_calls.push(DeriveCall {
+                        line: t.line,
+                        stream: lits.into_iter().next(),
+                    });
+                }
+
+                // Body-level facts: calls, panics, allocations.
+                let Some(&(fn_id, _)) = fn_stack.last() else {
+                    continue;
+                };
+                let f = &mut fns[fn_id];
+
+                // Macros.
+                if tok_is(toks, i + 1, '!') {
+                    match id.as_str() {
+                        "panic" | "todo" | "unimplemented" => f.panics.push(Site {
+                            line: t.line,
+                            what: format!("{id}!"),
+                        }),
+                        "vec" | "format" => f.allocs.push(Site {
+                            line: t.line,
+                            what: format!("{id}!"),
+                        }),
+                        _ => {}
+                    }
+                    continue;
+                }
+
+                // Calls: `id(`.
+                if !tok_is(toks, i + 1, '(') || NOT_CALLS.contains(&id.as_str()) {
+                    continue;
+                }
+                if i >= 1 && tok_is(toks, i - 1, '.') {
+                    // Method call.
+                    if id == "unwrap" || id == "expect" {
+                        f.panics.push(Site {
+                            line: t.line,
+                            what: format!(".{id}()"),
+                        });
+                    }
+                    if ALLOC_METHODS.contains(&id.as_str()) {
+                        f.allocs.push(Site {
+                            line: t.line,
+                            what: format!(".{id}()"),
+                        });
+                    }
+                    if id == "clone" {
+                        if let Some(recv) = (i >= 2).then(|| ident_at(toks, i - 2)).flatten() {
+                            if heap_names.contains(recv) {
+                                f.allocs.push(Site {
+                                    line: t.line,
+                                    what: format!("`{recv}.clone()` of a heap type"),
+                                });
+                            }
+                        }
+                    }
+                    f.calls.push(Call {
+                        name: id.clone(),
+                        kind: CallKind::Method,
+                        line: t.line,
+                    });
+                } else if i >= 2 && tok_is(toks, i - 1, ':') && tok_is(toks, i - 2, ':') {
+                    // Qualified call: take the path segment before `::`.
+                    let mut q = (i >= 3)
+                        .then(|| ident_at(toks, i - 3))
+                        .flatten()
+                        .unwrap_or("?")
+                        .to_string();
+                    if q == "Self" {
+                        if let Some((Some(ty), _)) = impl_stack.last() {
+                            q = ty.clone();
+                        }
+                    }
+                    let heap_ctor = (HEAP_TYPES.contains(&q.as_str())
+                        && (id == "new" || id == "from"))
+                        || id == "with_capacity";
+                    if heap_ctor {
+                        f.allocs.push(Site {
+                            line: t.line,
+                            what: format!("{q}::{id}"),
+                        });
+                    }
+                    f.calls.push(Call {
+                        name: id.clone(),
+                        kind: CallKind::Qualified(q),
+                        line: t.line,
+                    });
+                } else {
+                    f.calls.push(Call {
+                        name: id.clone(),
+                        kind: CallKind::Free,
+                        line: t.line,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    syms
+}
+
+/// Appends inline `mod` nesting to the file's module path.
+fn full_module(base: &str, mods: &[(String, u32)]) -> String {
+    let mut out = base.to_string();
+    for (m, _) in mods {
+        out.push_str("::");
+        out.push_str(m);
+    }
+    out
+}
+
+/// Extracts the self type from an `impl` header: the last path segment
+/// before `{`, taking the `for Type` side of trait impls and skipping
+/// generics.
+fn impl_self_ty(toks: &[SpannedTok], impl_idx: usize) -> Option<String> {
+    let mut angle = 0i32;
+    let mut last: Option<String> = None;
+    for t in toks.iter().skip(impl_idx + 1).take(64) {
+        match &t.tok {
+            Tok::Punct('<') => angle += 1,
+            Tok::Punct('>') => angle -= 1,
+            Tok::Punct('{') | Tok::Punct(';') => break,
+            Tok::Ident(s) if angle == 0 => match s.as_str() {
+                "for" => last = None, // self type follows
+                "mut" | "dyn" | "const" => {}
+                _ => last = Some(s.clone()),
+            },
+            _ => {}
+        }
+    }
+    last
+}
+
+/// Shard-safety hazard classification for one ident (D11 raw material).
+fn hazard_at(toks: &[SpannedTok], i: usize, id: &str) -> Option<String> {
+    match id {
+        // After the lexer's lifetime handling, a `static` ident is always
+        // a static item, never `&'static`.
+        "static" => {
+            if ident_at(toks, i + 1) == Some("mut") {
+                Some("`static mut` item".to_string())
+            } else {
+                Some("non-const `static` item".to_string())
+            }
+        }
+        "thread_local" if tok_is(toks, i + 1, '!') => Some("`thread_local!` state".to_string()),
+        "Rc" | "RefCell"
+            if tok_is(toks, i + 1, '<')
+                || (tok_is(toks, i + 1, ':') && tok_is(toks, i + 2, ':')) =>
+        {
+            Some(format!("`{id}` shared-ownership type"))
+        }
+        _ => None,
+    }
+}
+
+/// Collects idents and string literals inside a balanced `(..)` group
+/// starting at `open` (which must be the `(`).
+fn scan_args(toks: &[SpannedTok], open: usize) -> (Vec<String>, Vec<String>) {
+    let mut idents = Vec::new();
+    let mut lits = Vec::new();
+    let mut depth = 0i32;
+    for t in toks.iter().skip(open) {
+        match &t.tok {
+            Tok::Punct('(') => depth += 1,
+            Tok::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            Tok::Ident(s) => idents.push(s.clone()),
+            Tok::Lit(s) => lits.push(s.clone()),
+            _ => {}
+        }
+    }
+    (idents, lits)
+}
+
+/// Finds bindings declared with one of `types` as their type or
+/// initialiser: `name: Vec<..>`, `name: &mut String`, and
+/// `let name = Vec::new()`. Shared by D3 (hash collections) and D10
+/// (heap clones).
+pub(crate) fn collect_typed_names(toks: &[SpannedTok], types: &[&str]) -> BTreeSet<String> {
+    const NOT_BINDINGS: [&str; 9] = [
+        "use", "pub", "in", "let", "mut", "fn", "return", "as", "where",
+    ];
+    // Path/ref tokens walkable-over between the binding name and the type.
+    const PATH_SEGS: [&str; 9] = [
+        "std",
+        "alloc",
+        "collections",
+        "vec",
+        "string",
+        "boxed",
+        "rc",
+        "sync",
+        "mut",
+    ];
+    let mut names = BTreeSet::new();
+    for (k, t) in toks.iter().enumerate() {
+        let Some(id) = t.tok.ident() else { continue };
+        if !types.contains(&id) {
+            continue;
+        }
+        let mut j = k;
+        while j > 0 {
+            let skip = match &toks[j - 1].tok {
+                Tok::Punct(':') | Tok::Punct('&') => true,
+                Tok::Ident(s) => PATH_SEGS.contains(&s.as_str()),
+                _ => false,
+            };
+            if !skip {
+                break;
+            }
+            j -= 1;
+        }
+        let binding = if j < k && j >= 1 {
+            // Ascription form: the run began with the `name :` colon.
+            toks[j - 1].tok.ident()
+        } else if j == k && k >= 2 && toks[k - 1].tok.is('=') {
+            // Initialiser form: `name = Vec::new()`.
+            toks[k - 2].tok.ident()
+        } else {
+            None
+        };
+        if let Some(name) = binding {
+            if !NOT_BINDINGS.contains(&name) {
+                names.insert(name.to_string());
+            }
+        }
+    }
+    names
+}
+
+fn tok_is(toks: &[SpannedTok], i: usize, c: char) -> bool {
+    toks.get(i).is_some_and(|t| t.tok.is(c))
+}
+
+fn ident_at(toks: &[SpannedTok], i: usize) -> Option<&str> {
+    toks.get(i).and_then(|t| t.tok.ident())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn index(path: &str, src: &str) -> (Workspace, usize) {
+        let lexed = lex(src);
+        let ws = Workspace::build(&[(path.to_string(), lexed.toks)]);
+        (ws, 0)
+    }
+
+    #[test]
+    fn crate_keys_and_modules() {
+        assert_eq!(crate_key("crates/core/src/datapath/be.rs"), "core");
+        assert_eq!(crate_key("src/lib.rs"), "nezha");
+        assert_eq!(
+            crate_key("crates/lint/tests/fixtures/d8_violation/entry.rs"),
+            "fixture:d8_violation"
+        );
+        assert_eq!(
+            crate_key("crates/lint/tests/fixtures/d1_clean.rs"),
+            "fixture:d1_clean.rs"
+        );
+        assert_eq!(
+            module_of("crates/core/src/datapath/be.rs"),
+            "core::datapath::be"
+        );
+        assert_eq!(module_of("crates/sim/src/lib.rs"), "sim");
+        assert_eq!(module_of("src/prelude.rs"), "nezha::prelude");
+    }
+
+    #[test]
+    fn fns_methods_and_calls_are_indexed() {
+        let src = "
+            fn free_one(x: u32) -> u32 { helper(x) }
+            impl Widget {
+                fn method_one(&self) { self.other(); Widget::assoc(); }
+            }
+            impl fmt::Debug for Widget {
+                fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { todo!() }
+            }
+        ";
+        let (ws, _) = index("crates/core/src/x.rs", src);
+        let names: Vec<&str> = ws.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["free_one", "method_one", "fmt"]);
+        assert_eq!(ws.fns[1].self_ty.as_deref(), Some("Widget"));
+        assert_eq!(ws.fns[2].self_ty.as_deref(), Some("Widget"));
+        let c = &ws.fns[0].calls[0];
+        assert_eq!((c.name.as_str(), &c.kind), ("helper", &CallKind::Free));
+        let kinds: Vec<&CallKind> = ws.fns[1].calls.iter().map(|c| &c.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                &CallKind::Method,
+                &CallKind::Qualified("Widget".to_string())
+            ]
+        );
+        assert_eq!(ws.fns[2].panics[0].what, "todo!");
+    }
+
+    #[test]
+    fn panic_and_alloc_sites() {
+        let src = "
+            fn f(o: Option<u32>, s: String) -> u32 {
+                let v = Vec::new();
+                let t = format!(\"x{}\", 1);
+                let c = s.clone();
+                o.unwrap()
+            }
+        ";
+        let (ws, _) = index("crates/core/src/x.rs", src);
+        let f = &ws.fns[0];
+        let allocs: Vec<&str> = f.allocs.iter().map(|s| s.what.as_str()).collect();
+        assert!(allocs.contains(&"Vec::new"));
+        assert!(allocs.contains(&"format!"));
+        assert!(allocs.iter().any(|w| w.contains("s.clone()")));
+        assert_eq!(f.panics[0].what, ".unwrap()");
+    }
+
+    #[test]
+    fn clone_of_non_heap_binding_is_not_an_alloc() {
+        let src = "fn f(id: ServerId) -> ServerId { id.clone() }";
+        let (ws, _) = index("crates/core/src/x.rs", src);
+        assert!(ws.fns[0].allocs.is_empty());
+    }
+
+    #[test]
+    fn rng_and_derive_sites() {
+        let src = "
+            fn good(seed: u64) -> SimRng { SimRng::new(derive_seed(seed, \"cluster.faults\")) }
+            fn bad() -> SimRng { SimRng::new(42) }
+        ";
+        let (ws, _) = index("crates/core/src/x.rs", src);
+        let f = &ws.files[0];
+        assert_eq!(f.rng_news.len(), 2);
+        assert!(f.rng_news[0].derived);
+        assert!(!f.rng_news[1].derived);
+        assert_eq!(f.derive_calls[0].stream.as_deref(), Some("cluster.faults"));
+    }
+
+    #[test]
+    fn shard_hazards() {
+        let src = "
+            static mut COUNTER: u64 = 0;
+            static TABLE: u8 = 3;
+            fn f() { let x = Rc::new(RefCell::new(1)); }
+            fn ok(s: &'static str) -> &'static str { s }
+        ";
+        let (ws, _) = index("crates/core/src/x.rs", src);
+        let whats: Vec<&str> = ws.files[0]
+            .shard_hazards
+            .iter()
+            .map(|s| s.what.as_str())
+            .collect();
+        assert!(whats.contains(&"`static mut` item"));
+        assert!(whats.contains(&"non-const `static` item"));
+        assert!(whats.iter().any(|w| w.contains("`Rc`")));
+        assert!(whats.iter().any(|w| w.contains("`RefCell`")));
+        // `&'static` contributes nothing.
+        assert_eq!(whats.iter().filter(|w| w.contains("non-const")).count(), 1);
+    }
+
+    #[test]
+    fn inline_mods_extend_the_module_path() {
+        let src = "mod inner { fn deep() { leaf(); } }";
+        let (ws, _) = index("crates/core/src/x.rs", src);
+        assert_eq!(ws.fns[0].module, "core::x::inner");
+    }
+
+    #[test]
+    fn impl_trait_in_return_position_keeps_the_fn() {
+        let src = "fn f() -> impl Iterator<Item = u32> { helper() }";
+        let (ws, _) = index("crates/core/src/x.rs", src);
+        assert_eq!(ws.fns.len(), 1);
+        assert_eq!(ws.fns[0].name, "f");
+        assert_eq!(ws.fns[0].calls[0].name, "helper");
+    }
+}

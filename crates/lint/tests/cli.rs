@@ -111,6 +111,103 @@ fn d7_violation_reports_direct_telemetry_access() {
 }
 
 #[test]
+fn d8_violation_reports_panic_reachable_from_entry() {
+    // The fixture is a directory: entry.rs holds the control-plane entry,
+    // util.rs the panic site one call away.
+    let (code, out) = lint_fixture("d8_violation", &[]);
+    assert_eq!(code, 1, "output: {out}");
+    assert!(out.contains("[D8]"), "output: {out}");
+    assert!(out.contains("util.rs:4"), "output: {out}");
+    assert!(
+        out.contains("reachable from control-plane entry `route_update`"),
+        "output: {out}"
+    );
+    assert!(
+        out.contains("route_update -> lookup_or_die"),
+        "output: {out}"
+    );
+    // The textual D4 rule also fires on the same unwrap (fixture scope).
+    assert!(out.contains("[D4]"), "output: {out}");
+    assert!(out.contains("2 error(s)"), "output: {out}");
+}
+
+#[test]
+fn d9_violation_reports_adhoc_seed() {
+    let (code, out) = lint_fixture("d9_violation.rs", &[]);
+    assert_eq!(code, 1, "output: {out}");
+    assert!(out.contains("[D9]"), "output: {out}");
+    assert!(out.contains("d9_violation.rs:4"), "output: {out}");
+    assert!(out.contains("ad-hoc seed"), "output: {out}");
+    assert!(out.contains("1 error(s)"), "output: {out}");
+}
+
+#[test]
+fn d9_stream_reuse_across_files_is_flagged_in_the_second_file() {
+    let (code, out) = lint_fixture("d9_reuse", &[]);
+    assert_eq!(code, 1, "output: {out}");
+    assert!(out.contains("[D9]"), "output: {out}");
+    assert!(out.contains("b.rs:4"), "output: {out}");
+    assert!(out.contains("also derived in"), "output: {out}");
+    assert!(out.contains("1 error(s)"), "output: {out}");
+}
+
+#[test]
+fn d10_violation_reports_direct_and_transitive_allocations() {
+    let (code, out) = lint_fixture("d10_violation.rs", &[]);
+    assert_eq!(code, 1, "output: {out}");
+    assert!(out.contains("[D10]"), "output: {out}");
+    assert!(out.contains("d10_violation.rs:4"), "output: {out}");
+    assert!(out.contains("d10_violation.rs:9"), "output: {out}");
+    assert!(
+        out.contains("reachable from hot-path fn `hot_drain`"),
+        "output: {out}"
+    );
+    assert!(out.contains("2 error(s)"), "output: {out}");
+}
+
+#[test]
+fn d11_violation_reports_static_mut_and_refcell() {
+    let (code, out) = lint_fixture("d11_violation.rs", &[]);
+    assert_eq!(code, 1, "output: {out}");
+    assert!(out.contains("[D11]"), "output: {out}");
+    assert!(out.contains("d11_violation.rs:3"), "output: {out}");
+    assert!(out.contains("d11_violation.rs:6"), "output: {out}");
+    assert!(out.contains("2 error(s)"), "output: {out}");
+}
+
+#[test]
+fn d8_clean_tree_passes() {
+    let (code, out) = lint_fixture("d8_clean", &["--deny-warnings"]);
+    assert_eq!(code, 0, "output: {out}");
+    assert!(out.contains("no violations"), "output: {out}");
+}
+
+#[test]
+fn stale_allow_is_silent_by_default_and_a_warning_when_asked() {
+    let (code, out) = lint_fixture("stale_allow.rs", &[]);
+    assert_eq!(code, 0, "output: {out}");
+    assert!(out.contains("no violations"), "output: {out}");
+
+    let (code, out) = lint_fixture("stale_allow.rs", &["--stale-allows"]);
+    assert_eq!(code, 0, "output: {out}");
+    assert!(out.contains("[stale-allow]"), "output: {out}");
+    assert!(out.contains("stale_allow.rs:4"), "output: {out}");
+    assert!(out.contains("1 warning(s)"), "output: {out}");
+
+    let (code, _) = lint_fixture("stale_allow.rs", &["--stale-allows", "--deny-warnings"]);
+    assert_eq!(code, 1);
+}
+
+#[test]
+fn github_output_emits_workflow_commands() {
+    let (code, out) = lint_fixture("d1_violation.rs", &["--github"]);
+    assert_eq!(code, 1, "output: {out}");
+    assert!(out.starts_with("::error file="), "output: {out}");
+    assert!(out.contains(",line=5,"), "output: {out}");
+    assert!(out.contains("title=nezha-lint D1"), "output: {out}");
+}
+
+#[test]
 fn clean_fixtures_pass() {
     for f in [
         "d1_clean.rs",
@@ -120,6 +217,9 @@ fn clean_fixtures_pass() {
         "d5_clean.rs",
         "d6_clean.rs",
         "d7_clean.rs",
+        "d9_clean.rs",
+        "d10_clean.rs",
+        "d11_clean.rs",
         "test_code_clean.rs",
         "allow_justified.rs",
     ] {
@@ -161,6 +261,6 @@ fn usage_errors_exit_2() {
 
 #[test]
 fn workspace_scan_is_clean() {
-    let (code, out) = lint(&["--workspace", "--deny-warnings"]);
+    let (code, out) = lint(&["--workspace", "--stale-allows", "--deny-warnings"]);
     assert_eq!(code, 0, "workspace must stay lint-clean; output: {out}");
 }

@@ -1,0 +1,11 @@
+// Fixture: D10 clean — the probe path is allocation-free; cold setup
+// code may allocate freely.
+
+fn hot_probe(slots: &[u32], h: u64) -> Option<u32> {
+    let idx = (h as usize) % slots.len();
+    slots.get(idx).copied()
+}
+
+fn setup_slots(n: usize) -> Vec<u32> {
+    Vec::with_capacity(n)
+}

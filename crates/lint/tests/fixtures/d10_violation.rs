@@ -1,0 +1,11 @@
+// Fixture: D10 — allocation in, and reachable from, a `hot_*` fn.
+
+fn hot_drain(depth: u32) -> u32 {
+    let spill = vec![depth];
+    spill_stats(depth) + spill.len() as u32
+}
+
+fn spill_stats(depth: u32) -> u32 {
+    let label = format!("depth={depth}");
+    label.len() as u32
+}

@@ -1,0 +1,7 @@
+// Fixture: D11 clean — per-shard state passed by &mut; consts are fine.
+
+const LANES: usize = 4;
+
+fn bump(counters: &mut [u64; LANES], lane: usize) {
+    counters[lane] += 1;
+}

@@ -1,0 +1,8 @@
+// Fixture: D11 — shared mutable state breaks deterministic shard merges.
+
+static mut HIT_COUNT: u64 = 0;
+
+fn leak(v: u32) {
+    let cell = RefCell::new(v);
+    let _ = cell;
+}

@@ -1,7 +1,7 @@
 // Fixture: D2 clean — seeded RNG construction is fine anywhere.
 
 fn roll(seed: u64) -> u64 {
-    let mut rng = SimRng::new(seed);
+    let mut rng = SimRng::new(derive_seed(seed, "fixture.roll"));
     let derived = SmallRng::seed_from_u64(seed ^ 0xa5a5);
     drop(derived);
     rng.next_u64()

@@ -1,0 +1,5 @@
+// Fixture: D8 clean — the entry propagates a default instead of panicking.
+
+fn route_update(sessions: Option<u32>) -> u32 {
+    lookup_safe(sessions)
+}

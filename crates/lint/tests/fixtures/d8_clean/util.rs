@@ -1,0 +1,5 @@
+// Fixture: D8 clean — fallible helper with no panic sites.
+
+fn lookup_safe(sessions: Option<u32>) -> u32 {
+    sessions.unwrap_or(0)
+}

@@ -1,0 +1,5 @@
+// Fixture: D8 — every fn in an `entry.rs` is a control-plane entry.
+
+fn route_update(sessions: Option<u32>) -> u32 {
+    lookup_or_die(sessions)
+}

@@ -1,0 +1,5 @@
+// Fixture: D8 — the panic is one hop below the entry point.
+
+fn lookup_or_die(sessions: Option<u32>) -> u32 {
+    sessions.unwrap()
+}

@@ -1,0 +1,5 @@
+// Fixture: D9 clean — the seed traces through a named derive stream.
+
+fn derived_rng(seed: u64) -> SimRng {
+    SimRng::new(derive_seed(seed, "fixture.d9.rng"))
+}

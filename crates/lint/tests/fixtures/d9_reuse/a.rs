@@ -1,0 +1,5 @@
+// Fixture: D9 — the lexicographically first file owns the stream name.
+
+fn seed_alpha(base: u64) -> u64 {
+    derive_seed(base, "reuse.collide")
+}

@@ -1,0 +1,5 @@
+// Fixture: D9 — re-deriving a stream owned by a.rs is cross-module reuse.
+
+fn seed_beta(base: u64) -> u64 {
+    derive_seed(base, "reuse.collide")
+}

@@ -1,0 +1,5 @@
+// Fixture: D9 — ad-hoc seed, not derived through a named stream.
+
+fn adhoc_rng(seed: u64) -> SimRng {
+    SimRng::new(seed ^ 0xBEEF)
+}

@@ -1,0 +1,6 @@
+// Fixture: an allow directive whose finding no longer exists.
+
+fn tidy() -> u32 {
+    // nezha-lint: allow(D1): the timer call this suppressed was removed
+    42
+}

@@ -63,7 +63,7 @@ pub use metrics::{
 pub use profile::{Profiler, Span, SpanId, SpanRecord, StageHandle, StageSet, StageTotals};
 pub use report::{BenchReport, Sample, BENCH_SCHEMA_VERSION};
 pub use resources::{CpuOutcome, CpuServer, MemoryPool, UtilizationWindow};
-pub use rng::SimRng;
+pub use rng::{derive_seed, derive_seed_indexed, SimRng};
 pub use stats::{Counter, Samples, TimeSeries};
 pub use time::{SimDuration, SimTime};
 pub use topology::{Topology, TopologyConfig};

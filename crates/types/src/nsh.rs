@@ -229,6 +229,7 @@ impl NezhaHeader {
     pub fn decode(data: &[u8]) -> CodecResult<(Self, usize)> {
         let view = NshView::parse(data)?;
         let consumed = view.wire_len();
+        // nezha-lint: allow(D10): `decode` is the owned-copy convenience variant; the zero-copy hot path is `NshView::parse`
         Ok((view.to_owned(), consumed))
     }
 }

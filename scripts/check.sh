@@ -7,7 +7,10 @@
 #   --fast   skip the full test suite (quick pre-commit run); still runs
 #            the reduced chaos smoke scenario so the fault-injection path
 #            is never shipped unexercised, plus the profiler smoke run
-#            (`experiments profile` self-asserts its cycle reconciliation)
+#            (`experiments profile` self-asserts its cycle reconciliation).
+#            nezha-lint runs only on .rs files changed vs origin/main
+#            (the symbol index is still built workspace-wide, so D8-D11
+#            cross-file reasoning stays exact).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,8 +31,24 @@ cargo fmt --check
 echo "==> scripts/file_size_guard.sh"
 ./scripts/file_size_guard.sh
 
-echo "==> nezha-lint --workspace --deny-warnings"
-cargo run -q -p nezha-lint -- --workspace --deny-warnings
+if [ "$fast" -eq 1 ]; then
+    # Only lint files changed vs the merge base with origin/main; pass 1
+    # still indexes the whole workspace, so graph rules see every caller.
+    base=$(git merge-base HEAD origin/main 2>/dev/null || git rev-parse HEAD)
+    changed=()
+    while IFS= read -r f; do
+        [[ -f "$f" && "$f" != *fixtures* ]] && changed+=("$f")
+    done < <(git diff --name-only "$base" -- '*.rs'; git ls-files --others --exclude-standard -- '*.rs')
+    if [ "${#changed[@]}" -gt 0 ]; then
+        echo "==> nezha-lint --stale-allows --deny-warnings   (--fast: ${#changed[@]} changed file(s))"
+        cargo run -q -p nezha-lint -- --stale-allows --deny-warnings "${changed[@]}"
+    else
+        echo "==> nezha-lint   (--fast: no .rs files changed vs origin/main, skipped)"
+    fi
+else
+    echo "==> nezha-lint --workspace --stale-allows --deny-warnings"
+    cargo run -q -p nezha-lint -- --workspace --stale-allows --deny-warnings
+fi
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
