@@ -9,7 +9,16 @@
 //! * `testbed` — the full-scale §6.1 testbed (4-core vSwitches, 4 FEs),
 //!   one busy vNIC under a steady TCP_CRR load;
 //! * `region`  — a 128-server, 4-pod fabric with four busy vNICs
-//!   offloaded simultaneously (the scale direction of ROADMAP item 2).
+//!   offloaded simultaneously (the scale direction of ROADMAP item 2);
+//! * `region10k` — the fluid region simulator at production scale:
+//!   10 000 servers and one million lazily-materialized tenants through
+//!   a full diurnal production day (flash crowds, churn, migration,
+//!   correlated fault waves), executed on 8 shards. Its wall-clock and
+//!   peak-RSS budgets are emitted as `budget.*` config entries and
+//!   enforced by `scripts/bench_gate.sh`;
+//! * `region10k_smoke` — a scaled-down region scenario run at 1, 2, and
+//!   4 shards back-to-back, asserting the deterministic payloads are
+//!   byte-identical (the shard-equivalence CI smoke).
 //!
 //! The deterministic section of each report (event counts, simulated
 //! seconds, completions) is a pure function of the seed — it doubles as
@@ -22,6 +31,7 @@ use crate::experiments::Experiment;
 use crate::output::*;
 use nezha_core::cluster::{Cluster, ClusterConfig};
 use nezha_core::controller::ControllerConfig;
+use nezha_core::region::{Region, RegionConfig, Scenario};
 use nezha_core::vm::VmConfig;
 use nezha_sim::report::{reports_json, BenchReport};
 use nezha_sim::time::SimDuration;
@@ -43,6 +53,20 @@ const REGION_SECS: u64 = 1;
 /// Busy vNICs on the region config.
 const REGION_VNICS: u32 = 4;
 
+/// Servers in the `region10k` scenario (paper: O(10K)).
+const REGION10K_SERVERS: usize = 10_000;
+/// Tenants in the `region10k` scenario (lazily materialized).
+const REGION10K_TENANTS: u64 = 1_000_000;
+/// Shards the full `region10k` run executes on.
+const REGION10K_SHARDS: u32 = 8;
+/// Wall-clock budget for the full `region10k` run, seconds. Enforced by
+/// `scripts/bench_gate.sh` (scaled by `NEZHA_BENCH_BUDGET_SCALE`).
+const REGION10K_WALL_BUDGET_SECS: f64 = 120.0;
+/// Peak-RSS budget for the full `region10k` run, bytes: the point of
+/// lazy tenant materialization is that a million tenants never shows up
+/// as a million structs.
+const REGION10K_RSS_BUDGET_BYTES: f64 = 2.0 * 1024.0 * 1024.0 * 1024.0;
+
 /// The registry entry.
 pub struct Bench {
     configs: Vec<String>,
@@ -53,7 +77,7 @@ pub struct Bench {
 impl Default for Bench {
     fn default() -> Self {
         Bench {
-            configs: vec!["testbed".into(), "region".into()],
+            configs: vec!["testbed".into(), "region".into(), "region10k".into()],
             out: std::env::var("NEZHA_BENCH_OUT")
                 .ok()
                 .filter(|s| !s.is_empty()),
@@ -71,8 +95,12 @@ impl Experiment for Bench {
         for a in args {
             if let Some(cfg) = a.strip_prefix("--config=") {
                 match cfg {
-                    "testbed" | "region" => self.configs = vec![cfg.to_string()],
-                    "all" => self.configs = vec!["testbed".into(), "region".into()],
+                    "testbed" | "region" | "region10k" | "region10k_smoke" => {
+                        self.configs = vec![cfg.to_string()]
+                    }
+                    "all" => {
+                        self.configs = vec!["testbed".into(), "region".into(), "region10k".into()]
+                    }
                     other => return Err(format!("bench: unknown --config={other}")),
                 }
             } else if let Some(path) = a.strip_prefix("--out=") {
@@ -81,7 +109,8 @@ impl Experiment for Bench {
                 self.phase = phase.to_string();
             } else {
                 return Err(format!(
-                    "bench: unknown argument {a} (expected --config=testbed|region|all, \
+                    "bench: unknown argument {a} (expected \
+                     --config=testbed|region|region10k|region10k_smoke|all, \
                      --out=PATH, --phase=NAME)"
                 ));
             }
@@ -149,6 +178,8 @@ pub fn run_config(name: &str) -> Option<BenchReport> {
     match name {
         "testbed" => Some(bench_testbed()),
         "region" => Some(bench_region()),
+        "region10k" => Some(bench_region10k()),
+        "region10k_smoke" => Some(bench_region10k_smoke()),
         _ => None,
     }
 }
@@ -270,6 +301,89 @@ fn bench_region() -> BenchReport {
         }
     }
     measure("bench.region", cluster, conns, REGION_SECS)
+}
+
+/// Runs one region scenario with Nezha on, timing the run and folding
+/// the full [`RegionReport`] into the deterministic payload (every
+/// metric is a pure function of the seed — and of nothing else, shard
+/// count included).
+fn run_region_scenario(id: &str, cfg: RegionConfig, sc: &Scenario) -> BenchReport {
+    let mut region = Region::new(cfg);
+    // Wall-clock instrumentation of the simulator's own speed: the reads
+    // bracket the run and never feed back into simulated behavior.
+    // nezha-lint: allow(D1): measuring simulator wall speed, not sim-visible time
+    let wall_start = std::time::Instant::now();
+    let mut report = region.run_scenario(sc, true);
+    let wall = wall_start.elapsed().as_secs_f64();
+    let samples = report.cpu_utils.len() as f64;
+    let sim_secs = sc.days as f64 * 24.0 * 3600.0;
+    report
+        .bench_report(id)
+        .config("seed", cfg.seed)
+        .config("servers", cfg.servers)
+        .config("tenants", cfg.tenants)
+        .config("epoch_secs", cfg.epoch.as_secs_f64() as u64)
+        .config("days", sc.days)
+        .metric("events_processed", samples, "samples")
+        .timing("wall_seconds", wall, "s")
+        .timing("events_per_wall_sec", samples / wall.max(1e-9), "1/s")
+        .timing("sim_sec_per_wall_sec", sim_secs / wall.max(1e-9), "s/s")
+        .timing("peak_rss_bytes", peak_rss_bytes() as f64, "bytes")
+}
+
+/// The production-scale diurnal region scenario: 10 000 servers, one
+/// million heavy-tailed tenants, every stressor on, 8 shards. The
+/// `budget.*` config entries are the CI budgets `bench_gate.sh`
+/// enforces against the timing section.
+fn bench_region10k() -> BenchReport {
+    let cfg = RegionConfig {
+        servers: REGION10K_SERVERS,
+        shards: REGION10K_SHARDS,
+        tenants: REGION10K_TENANTS,
+        epoch: SimDuration::from_secs(1800),
+        ..RegionConfig::default()
+    };
+    run_region_scenario("bench.region10k", cfg, &Scenario::production_day())
+        .config("shards", REGION10K_SHARDS)
+        .config("budget.wall_seconds", REGION10K_WALL_BUDGET_SECS)
+        .config("budget.peak_rss_bytes", REGION10K_RSS_BUDGET_BYTES)
+}
+
+/// Scaled-down region scenario run at 1, 2, and 4 shards back-to-back;
+/// panics unless the three deterministic payloads are byte-identical.
+/// This is the shard-equivalence smoke `scripts/check.sh --fast` runs.
+fn bench_region10k_smoke() -> BenchReport {
+    let base = RegionConfig {
+        servers: 1_000,
+        tenants: 50_000,
+        spike_prob: 0.01,
+        ..RegionConfig::default()
+    };
+    let sc = Scenario::production_day();
+    let mut reference: Option<(u32, String)> = None;
+    let mut first = None;
+    for shards in [1u32, 2, 4] {
+        let id = "bench.region10k_smoke";
+        let report = run_region_scenario(id, RegionConfig { shards, ..base }, &sc);
+        let det = report.deterministic_json();
+        match &reference {
+            None => {
+                reference = Some((shards, det));
+                first = Some(report);
+            }
+            Some((ref_shards, ref_det)) => {
+                assert_eq!(
+                    ref_det, &det,
+                    "region10k_smoke: {shards}-shard run diverged from the \
+                     {ref_shards}-shard run — sharding leaked into results"
+                );
+            }
+        }
+    }
+    println!("  region10k_smoke: 1/2/4-shard deterministic payloads byte-identical");
+    first
+        .expect("at least one smoke run")
+        .config("shards_checked", "1,2,4")
 }
 
 /// The process's peak resident set (`VmHWM`), in bytes; 0 when

@@ -1,0 +1,121 @@
+//! Analytic Table 3 computation: per-middlebox gains from the calibrated
+//! capacity models.
+
+use crate::vm::VmConfig;
+use nezha_vswitch::config::VSwitchConfig;
+use nezha_vswitch::vnic::VnicProfile;
+
+/// Deployed session-table memory of each middlebox class *before*
+/// Nezha, reflecting production configurations: LBs hold long-lived
+/// connections to many real servers (large session tables); NAT and
+/// TR mostly carry short-lived flows (§6.3.1).
+#[derive(Clone, Copy, Debug)]
+pub struct MiddleboxClass {
+    /// Display name.
+    pub name: &'static str,
+    /// Table profile.
+    pub profile: VnicProfile,
+    /// Session-table memory budget before Nezha, bytes.
+    pub session_memory_before: u64,
+    /// Per-VM vNIC provisioning cap (blast-radius policy, §6.3.1).
+    pub vnic_policy_cap: u64,
+}
+
+/// The three evaluated middleboxes.
+pub fn classes() -> [MiddleboxClass; 3] {
+    [
+        MiddleboxClass {
+            name: "Load-balancer",
+            profile: VnicProfile::load_balancer(),
+            session_memory_before: 1_000 << 20, // ≈1 GB
+            vnic_policy_cap: 1_000,
+        },
+        MiddleboxClass {
+            name: "NAT gateway",
+            profile: VnicProfile::nat_gateway(),
+            session_memory_before: 100 << 20, // ≈100 MB
+            vnic_policy_cap: 1_000,
+        },
+        MiddleboxClass {
+            name: "Transit router",
+            profile: VnicProfile::transit_router(),
+            session_memory_before: 330 << 20, // ≈330 MB
+            vnic_policy_cap: 1_000,
+        },
+    ]
+}
+
+/// One Table 3 row.
+#[derive(Clone, Copy, Debug)]
+pub struct GainRow {
+    /// Middlebox name.
+    pub name: &'static str,
+    /// CPS before Nezha.
+    pub cps_before: f64,
+    /// CPS after Nezha (VM-kernel or BE limited).
+    pub cps_after: f64,
+    /// CPS gain.
+    pub cps_gain: f64,
+    /// #vNIC gain.
+    pub vnic_gain: f64,
+    /// #concurrent-flows before.
+    pub flows_before: f64,
+    /// #concurrent-flows after.
+    pub flows_after: f64,
+    /// #concurrent-flows gain.
+    pub flows_gain: f64,
+}
+
+/// Computes Table 3 for the given host/VM configuration.
+pub fn gains(host: &VSwitchConfig, vm: &VmConfig) -> Vec<GainRow> {
+    let m = host.memory;
+    classes()
+        .iter()
+        .map(|c| {
+            // --- CPS ---
+            // Before: the full slow path runs locally, per connection
+            // two first-packets (one per direction) + fast-path rest.
+            let vnic = nezha_vswitch::vnic::Vnic::new(
+                nezha_types::VnicId(0),
+                nezha_types::VpcId(0),
+                nezha_types::Ipv4Addr::new(10, 0, 0, 1),
+                c.profile,
+                nezha_types::ServerId(0),
+            );
+            let per_conn_before = vnic.crr_cycles(&host.costs, 64);
+            let cps_before = host.capacity_hz() / per_conn_before as f64;
+            // After: BE residual work per connection (7-packet script).
+            let per_conn_be = host.costs.be_first_packet + 6 * host.costs.be_per_packet;
+            let be_cap = host.capacity_hz() / per_conn_be as f64;
+            let cps_after = be_cap.min(vm.kernel_cps_capacity());
+
+            // --- #vNICs ---
+            // Before: rule tables compete with the deployed session
+            // table for the networking memory pool.
+            let tables = vnic.table_memory(&m);
+            let before_vnics =
+                (host.table_memory.saturating_sub(c.session_memory_before) / tables).max(1);
+            let after_vnics = (host.table_memory / m.be_metadata).min(c.vnic_policy_cap);
+
+            // --- #concurrent flows ---
+            let per_entry_before = (m.flow_entry + m.state_slab) as f64;
+            let flows_before = c.session_memory_before as f64 / per_entry_before;
+            // After: every rule table lives remotely and entries are
+            // state-only, so (nearly) the whole networking pool holds
+            // 64 B states (§6.3.1: "roughly 30M flows").
+            let session_budget_after = host.table_memory.saturating_sub(m.be_metadata) as f64;
+            let flows_after = session_budget_after / m.state_slab as f64;
+
+            GainRow {
+                name: c.name,
+                cps_before,
+                cps_after,
+                cps_gain: cps_after / cps_before,
+                vnic_gain: after_vnics as f64 / before_vnics as f64,
+                flows_before,
+                flows_after,
+                flows_gain: flows_after / flows_before,
+            }
+        })
+        .collect()
+}

@@ -90,14 +90,21 @@ pub struct Engine<E> {
     /// cheaper and branch-friendlier than a heap sift.
     run: Vec<HeapKey>,
     /// The far-future bucket ladder: `buckets[i]` holds keys due in
-    /// `[(bucket_base + i) * BUCKET_NS, (bucket_base + i + 1) * BUCKET_NS)`,
+    /// `[(bucket_base + i) * bucket_ns, (bucket_base + i + 1) * bucket_ns)`,
     /// unordered. A far event costs one O(1) bucket push at schedule time
     /// and its share of one bulk sort when its whole bucket promotes —
     /// never a per-key sift.
     buckets: std::collections::VecDeque<Vec<HeapKey>>,
     /// Absolute bucket index of `buckets[0]`. The run/ladder boundary
-    /// (`horizon`) is `bucket_base * BUCKET_NS`.
+    /// (`horizon`) is `bucket_base * bucket_ns`.
     bucket_base: u64,
+    /// Width of one far-future bucket in nanoseconds ([`BUCKET_NS`] by
+    /// default). The ladder holds one bucket per width-worth of pending
+    /// horizon, so the width must match the timeline's granularity: 20 µs
+    /// for the packet datapath, epoch-scale for coarse region timelines
+    /// (via [`Engine::with_bucket_width`]) — a 20 µs ladder spanning a
+    /// simulated day would need ~4 billion buckets.
+    bucket_ns: u64,
     /// Total keys across `buckets`.
     staged_len: usize,
     /// Events scheduled *at* the instant most recently drained by
@@ -121,12 +128,13 @@ pub struct Engine<E> {
     telemetry: Option<EngineTelemetry>,
 }
 
-/// Width of one far-future bucket: 20 µs of simulated time — a hair above
-/// the fabric's common-case one-way latency, so most packet arrivals land
-/// one or two buckets out (an O(1) push) instead of in the sorted run.
-/// The clock can never pass the horizon without draining the run (only
-/// pops advance it), so the run holds at most one promoted bucket plus
-/// the in-flight events scheduled since: tens of keys, L1-resident.
+/// Default width of one far-future bucket: 20 µs of simulated time — a
+/// hair above the fabric's common-case one-way latency, so most packet
+/// arrivals land one or two buckets out (an O(1) push) instead of in the
+/// sorted run. The clock can never pass the horizon without draining the
+/// run (only pops advance it), so the run holds at most one promoted
+/// bucket plus the in-flight events scheduled since: tens of keys,
+/// L1-resident.
 const BUCKET_NS: u64 = 20_000;
 
 /// Pre-registered handles the engine updates when metrics are attached.
@@ -144,7 +152,8 @@ impl<E> Default for Engine<E> {
 }
 
 impl<E> Engine<E> {
-    /// Creates an engine at time zero with an empty queue.
+    /// Creates an engine at time zero with an empty queue and the default
+    /// 20 µs bucket width (tuned for the packet datapath).
     pub fn new() -> Self {
         Engine {
             now: SimTime::ZERO,
@@ -152,6 +161,7 @@ impl<E> Engine<E> {
             run: Vec::new(),
             buckets: std::collections::VecDeque::new(),
             bucket_base: 0,
+            bucket_ns: BUCKET_NS,
             staged_len: 0,
             immediate: std::collections::VecDeque::new(),
             draining_at: None,
@@ -160,6 +170,21 @@ impl<E> Engine<E> {
             processed: 0,
             telemetry: None,
         }
+    }
+
+    /// Creates an engine whose far-future ladder uses `width`-wide buckets
+    /// instead of the default 20 µs.
+    ///
+    /// The ladder's memory is one bucket per `width` of pending horizon,
+    /// so coarse timelines (the region simulator schedules churn and
+    /// fault events across whole simulated days at epoch granularity)
+    /// must use an epoch-scale width. Delivery semantics are identical
+    /// for every width — only promotion batching changes.
+    pub fn with_bucket_width(width: SimDuration) -> Self {
+        let mut eng = Engine::new();
+        assert!(width.nanos() > 0, "bucket width must be positive");
+        eng.bucket_ns = width.nanos();
+        eng
     }
 
     /// Attaches a [`MetricsRegistry`]: from now on the engine keeps the
@@ -195,7 +220,7 @@ impl<E> Engine<E> {
     /// `run`.
     #[inline]
     fn horizon_ns(&self) -> u64 {
-        self.bucket_base.saturating_mul(BUCKET_NS)
+        self.bucket_base.saturating_mul(self.bucket_ns)
     }
 
     /// Ensures the global earliest pending event (if any) is resident in
@@ -254,7 +279,7 @@ impl<E> Engine<E> {
             let pos = self.run.binary_search(&key).unwrap_err();
             self.run.insert(pos, key);
         } else {
-            let idx = (at.0 / BUCKET_NS - self.bucket_base) as usize;
+            let idx = (at.0 / self.bucket_ns - self.bucket_base) as usize;
             if idx >= self.buckets.len() {
                 let spare = &mut self.spare;
                 self.buckets
@@ -516,6 +541,51 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap.counter("engine.scheduled"), 2);
         assert_eq!(snap.counter("engine.processed"), 2);
+    }
+
+    #[test]
+    fn wide_buckets_deliver_identically_and_stay_small() {
+        // Delivery order is width-independent: the same µs-scale schedule
+        // (small enough for the default 20 µs ladder to walk) drains
+        // identically through a wide-bucket engine.
+        let times: Vec<u64> = (0..50)
+            .map(|i| (i * 7 % 50) * 25_000 + (i % 3) * 17)
+            .collect();
+        let drain = |mut eng: Engine<usize>| -> Vec<(SimTime, usize)> {
+            for (ev, &t) in times.iter().enumerate() {
+                eng.schedule_at(SimTime(t), ev);
+            }
+            std::iter::from_fn(|| eng.pop())
+                .map(|s| (s.at, s.event))
+                .collect()
+        };
+        let wide = drain(Engine::with_bucket_width(SimDuration::from_millis(1)));
+        let narrow = drain(Engine::new());
+        assert_eq!(wide, narrow);
+
+        // Hour-scale schedule: epoch-wide buckets keep the ladder at ~50
+        // entries where the 20 µs default would need ~9 billion. Delivery
+        // is still strict (at, seq) order across the whole span.
+        let epoch = SimDuration::from_secs(3600);
+        let mut eng: Engine<usize> = Engine::with_bucket_width(epoch);
+        let hours: Vec<u64> = (0..50)
+            .map(|i| (i * 7 % 50) * epoch.nanos() + (i % 3) * 17)
+            .collect();
+        for (ev, &t) in hours.iter().enumerate() {
+            eng.schedule_at(SimTime(t), ev);
+        }
+        assert!(eng.buckets.len() <= 50, "buckets={}", eng.buckets.len());
+        let drained: Vec<(SimTime, usize)> = std::iter::from_fn(|| eng.pop())
+            .map(|s| (s.at, s.event))
+            .collect();
+        assert_eq!(drained.len(), hours.len());
+        let mut expected: Vec<(SimTime, usize)> = hours
+            .iter()
+            .enumerate()
+            .map(|(ev, &t)| (SimTime(t), ev))
+            .collect();
+        expected.sort();
+        assert_eq!(drained, expected);
     }
 
     #[test]

@@ -255,6 +255,55 @@ impl FaultPlan {
         self.events.sort_by_key(|e| e.at);
         self.events
     }
+
+    /// Splits the plan into one sub-plan per shard, for sharded event
+    /// loops that apply faults only to the partition they own.
+    ///
+    /// Events addressing one server route to `owner(server)`'s sub-plan;
+    /// link events route to both endpoints' owners (once, when the
+    /// endpoints share an owner); global conditions (partitions,
+    /// controller outages, notify drops) replicate into every sub-plan,
+    /// since each shard answers queries against its own [`FaultState`].
+    /// Insertion order within each sub-plan follows the original plan, so
+    /// `into_events` stays stable per shard.
+    pub fn split_by_server(self, shards: u32, owner: impl Fn(ServerId) -> u32) -> Vec<FaultPlan> {
+        let mut plans: Vec<FaultPlan> = (0..shards).map(|_| FaultPlan::new()).collect();
+        let route = |plans: &mut Vec<FaultPlan>, shard: u32, ev: &FaultEvent| {
+            if let Some(plan) = plans.get_mut(shard as usize) {
+                plan.events.push(ev.clone());
+            }
+        };
+        for ev in &self.events {
+            match &ev.kind {
+                FaultKind::Crash { server }
+                | FaultKind::Restart { server }
+                | FaultKind::GraySlow { server, .. }
+                | FaultKind::GrayRecover { server } => {
+                    route(&mut plans, owner(*server), ev);
+                }
+                FaultKind::LinkLoss { a, b, .. }
+                | FaultKind::BurstyLoss { a, b, .. }
+                | FaultKind::LinkHeal { a, b } => {
+                    let (oa, ob) = (owner(*a), owner(*b));
+                    route(&mut plans, oa, ev);
+                    if ob != oa {
+                        route(&mut plans, ob, ev);
+                    }
+                }
+                FaultKind::Partition { .. }
+                | FaultKind::HealPartition
+                | FaultKind::ControllerOutage
+                | FaultKind::ControllerRecover
+                | FaultKind::NotifyDrop { .. }
+                | FaultKind::NotifyDropStop => {
+                    for shard in 0..shards {
+                        route(&mut plans, shard, ev);
+                    }
+                }
+            }
+        }
+        plans
+    }
 }
 
 /// One active loss model on a directed link.
@@ -463,6 +512,32 @@ mod tests {
         assert!(matches!(evs[0].kind, FaultKind::Crash { .. }));
         assert!(matches!(evs[1].kind, FaultKind::ControllerOutage));
         assert!(matches!(evs[2].kind, FaultKind::Restart { .. }));
+    }
+
+    #[test]
+    fn split_by_server_routes_and_replicates() {
+        // Owner: even servers -> shard 0, odd -> shard 1.
+        let plan = FaultPlan::new()
+            .crash(t(1), ServerId(4))
+            .gray_slow(t(2), ServerId(3), 5.0)
+            .link_loss(t(3), ServerId(0), ServerId(1), 0.5)
+            .link_heal(t(4), ServerId(2), ServerId(6))
+            .controller_outage(t(5));
+        let plans = plan.split_by_server(2, |s| s.0 % 2);
+        assert_eq!(plans.len(), 2);
+        // Shard 0: crash(4), link_loss (endpoint 0), link_heal (both even,
+        // routed once), outage.
+        assert_eq!(plans[0].len(), 4);
+        // Shard 1: gray_slow(3), link_loss (endpoint 1), outage.
+        assert_eq!(plans[1].len(), 3);
+        assert!(plans[1]
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::ControllerOutage)));
+        // Union preserves every transition exactly once per owning shard:
+        // 4 + 3 = 5 originals + 2 replicas (link_loss fan-out + outage).
+        let union: usize = plans.iter().map(FaultPlan::len).sum();
+        assert_eq!(union, 7);
     }
 
     #[test]

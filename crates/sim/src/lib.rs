@@ -29,6 +29,10 @@
 //!   of crashes, gray-slow members, (bursty) link loss, partitions,
 //!   controller outages, and notify drops, replayed on the simulated
 //!   clock from a seeded RNG stream;
+//! * [`shard`] — the sharded-execution substrate: contiguous balanced
+//!   id partitions ([`ShardSpec`]) and the keyed barrier merge
+//!   ([`merge_effects`]) whose output order is a pure function of
+//!   (shard id, sorted effect keys);
 //! * [`profile`] — cycle-attribution profiler and causal span tracer:
 //!   pre-registered stage handles, spans that link across the BE↔FE hop,
 //!   and deterministic flamegraph / Chrome `trace_event` exporters.
@@ -48,6 +52,7 @@ pub mod profile;
 pub mod report;
 pub mod resources;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod topology;
@@ -64,6 +69,7 @@ pub use profile::{Profiler, Span, SpanId, SpanRecord, StageHandle, StageSet, Sta
 pub use report::{BenchReport, Sample, BENCH_SCHEMA_VERSION};
 pub use resources::{CpuOutcome, CpuServer, MemoryPool, UtilizationWindow};
 pub use rng::{derive_seed, derive_seed_indexed, SimRng};
+pub use shard::{merge_effects, ShardSpec};
 pub use stats::{Counter, Samples, TimeSeries};
 pub use time::{SimDuration, SimTime};
 pub use topology::{Topology, TopologyConfig};

@@ -1,0 +1,189 @@
+//! Sharded-execution substrate: contiguous partitions and deterministic
+//! barrier merges.
+//!
+//! A sharded simulator splits its id space (servers, tenants) into
+//! per-shard partitions that run independently between barriers, then
+//! exchanges cross-shard effects at the barrier. Two rules make the
+//! result independent of the shard count:
+//!
+//! 1. **Contiguous balanced partitions** ([`ShardSpec`]): shard `i` owns
+//!    an ascending, contiguous id range, so concatenating per-shard
+//!    output in ascending shard order reproduces the global ascending id
+//!    order for *any* shard count.
+//! 2. **Keyed barrier merges** ([`merge_effects`]): the merged effect
+//!    order is a pure function of (shard id, sorted effect keys) — never
+//!    of arrival order, thread interleaving, or container layout.
+//!
+//! `nezha-core`'s region simulator builds its shard/barrier layer on
+//! these two primitives; the proptests in
+//! `crates/sim/tests/shard_properties.rs` pin the invariants.
+
+use std::ops::Range;
+
+/// A balanced, contiguous partition of the id space `[0, items)` into
+/// `shards` ascending ranges.
+///
+/// The first `items % shards` shards hold one extra id, so shard sizes
+/// differ by at most one and the concatenation of `range(0)..range(n-1)`
+/// is exactly `0..items` in order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    shards: u32,
+    items: u64,
+}
+
+impl ShardSpec {
+    /// A partition of `items` ids across `shards` shards.
+    ///
+    /// `shards` must be nonzero; `items` may be zero (every range is
+    /// then empty).
+    pub fn new(shards: u32, items: u64) -> Self {
+        assert!(shards > 0, "ShardSpec needs at least one shard");
+        ShardSpec { shards, items }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Total number of ids partitioned.
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// The contiguous id range owned by `shard`.
+    pub fn range(&self, shard: u32) -> Range<u64> {
+        assert!(shard < self.shards, "shard {shard} out of range");
+        let shard = u64::from(shard);
+        let base = self.items / u64::from(self.shards);
+        let rem = self.items % u64::from(self.shards);
+        // The first `rem` shards each take one extra id.
+        let start = shard * base + shard.min(rem);
+        let len = base + u64::from(shard < rem);
+        start..start + len
+    }
+
+    /// Number of ids owned by `shard`.
+    pub fn len(&self, shard: u32) -> u64 {
+        let r = self.range(shard);
+        r.end - r.start
+    }
+
+    /// True when the partition holds no ids at all.
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+
+    /// The shard owning `item`. Panics when `item >= items`.
+    pub fn owner(&self, item: u64) -> u32 {
+        assert!(item < self.items, "item {item} out of range");
+        let base = self.items / u64::from(self.shards);
+        let rem = self.items % u64::from(self.shards);
+        let wide_span = rem * (base + 1);
+        let shard = if item < wide_span {
+            item / (base + 1)
+        } else {
+            // Past the wide shards every shard holds exactly `base` ids
+            // (and `base > 0` here: `item >= wide_span` with `base == 0`
+            // would mean `item >= items`, excluded by the assert above).
+            rem + (item - wide_span) / base
+        };
+        shard as u32
+    }
+}
+
+/// Deterministically merges per-shard keyed effects into one sequence.
+///
+/// The output order is a pure function of the *contents*: shards are
+/// taken in ascending shard id, and each shard's effects in ascending
+/// key order. The arrival order of the outer vector and of each shard's
+/// effects is irrelevant — the property a barrier needs so that worker
+/// scheduling can never leak into simulation results.
+///
+/// Keys must be unique within a shard (debug-asserted); shard ids must
+/// be unique across entries (debug-asserted).
+pub fn merge_effects<K: Ord, V>(mut per_shard: Vec<(u32, Vec<(K, V)>)>) -> Vec<(K, V)> {
+    per_shard.sort_unstable_by_key(|(shard, _)| *shard);
+    debug_assert!(
+        per_shard.windows(2).all(|w| w[0].0 != w[1].0),
+        "duplicate shard id in barrier merge"
+    );
+    let total = per_shard.iter().map(|(_, e)| e.len()).sum();
+    let mut merged = Vec::with_capacity(total);
+    for (_, mut effects) in per_shard {
+        effects.sort_by(|a, b| a.0.cmp(&b.0));
+        debug_assert!(
+            effects.windows(2).all(|w| w[0].0 != w[1].0),
+            "duplicate effect key within one shard"
+        );
+        merged.append(&mut effects);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_partition_the_id_space() {
+        for shards in [1u32, 2, 3, 7, 8] {
+            for items in [0u64, 1, 7, 8, 9, 100] {
+                let spec = ShardSpec::new(shards, items);
+                let mut next = 0u64;
+                for s in 0..shards {
+                    let r = spec.range(s);
+                    assert_eq!(r.start, next, "shards={shards} items={items} s={s}");
+                    next = r.end;
+                }
+                assert_eq!(next, items);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_sizes_differ_by_at_most_one() {
+        let spec = ShardSpec::new(8, 10_001);
+        let sizes: Vec<u64> = (0..8).map(|s| spec.len(s)).collect();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(max - min <= 1, "sizes={sizes:?}");
+        assert_eq!(sizes.iter().sum::<u64>(), 10_001);
+    }
+
+    #[test]
+    fn owner_agrees_with_range() {
+        for shards in [1u32, 2, 5, 8] {
+            for items in [1u64, 9, 64, 1000] {
+                let spec = ShardSpec::new(shards, items);
+                for item in 0..items {
+                    let owner = spec.owner(item);
+                    assert!(
+                        spec.range(owner).contains(&item),
+                        "shards={shards} items={items} item={item} owner={owner}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_invariant_under_arrival_order() {
+        let a = || vec![(3u64, "a3"), (1, "a1")];
+        let b = || vec![(2u64, "b2")];
+        let fwd = merge_effects(vec![(0u32, a()), (1, b())]);
+        let rev = merge_effects(vec![(1u32, b()), (0, a())]);
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd, vec![(1, "a1"), (3, "a3"), (2, "b2")]);
+    }
+
+    #[test]
+    fn empty_partitions_are_fine() {
+        let spec = ShardSpec::new(4, 0);
+        assert!(spec.is_empty());
+        for s in 0..4 {
+            assert_eq!(spec.len(s), 0);
+        }
+        assert!(merge_effects::<u64, ()>(vec![(0, vec![]), (1, vec![])]).is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests of the sharded-execution substrate.
+//!
+//! Two contracts underpin the shard-count-invariance guarantee of the
+//! region simulator, and both are pinned here:
+//!
+//! * **Barrier-merge ordering** — [`merge_effects`] must produce the
+//!   same output for *any* arrival order of the per-shard effect lists
+//!   (outer shard order and inner effect order), and that output must
+//!   equal the canonical model: concatenation in ascending (shard id,
+//!   key) order. If arrival order ever leaked into the merge, the shard
+//!   count (and thread scheduling, if shards ever run in parallel)
+//!   would become observable.
+//! * **Stream separation** — `derive_seed_indexed` must give every
+//!   (stream, index) pair of the region's RNG tree a distinct seed for
+//!   arbitrary base seeds: a collision would make two servers (or a
+//!   server and a tenant) draw identical randomness, silently coupling
+//!   supposedly independent partitions.
+
+use nezha_sim::rng::{derive_seed_indexed, SimRng};
+use nezha_sim::shard::{merge_effects, ShardSpec};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Builds the canonical per-shard effect lists from generated key sets:
+/// shard `i` owns the i-th key set, values encode (shard, key) so any
+/// reordering is detectable.
+fn canonical(key_sets: &[BTreeSet<u64>]) -> Vec<(u32, Vec<(u64, u64)>)> {
+    key_sets
+        .iter()
+        .enumerate()
+        .map(|(i, keys)| {
+            (
+                i as u32,
+                keys.iter().map(|&k| (k, (i as u64) << 32 | k)).collect(),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The barrier merge is invariant under arbitrary arrival
+    /// permutations and always equals the (shard, key)-sorted model.
+    #[test]
+    fn merge_is_arrival_order_invariant(
+        raw_keys in prop::collection::vec(
+            prop::collection::vec(0u64..1_000, 0..16),
+            1..8,
+        ),
+        shuffle_seed in any::<u64>(),
+    ) {
+        // Dedup per shard: a barrier batch keys effects uniquely.
+        let key_sets: Vec<BTreeSet<u64>> =
+            raw_keys.into_iter().map(|ks| ks.into_iter().collect()).collect();
+        let reference = merge_effects(canonical(&key_sets));
+
+        // The model: ascending shard id, then ascending key within it.
+        let mut model = Vec::new();
+        for (i, keys) in key_sets.iter().enumerate() {
+            for &k in keys {
+                model.push((k, (i as u64) << 32 | k));
+            }
+        }
+        prop_assert_eq!(&reference, &model);
+
+        // Scramble both the outer shard order and every inner effect
+        // list with a seeded shuffle; the merge must not notice.
+        let mut rng = SimRng::new(shuffle_seed);
+        let mut scrambled = canonical(&key_sets);
+        rng.shuffle(&mut scrambled);
+        for (_, effects) in &mut scrambled {
+            rng.shuffle(effects);
+        }
+        prop_assert_eq!(merge_effects(scrambled), reference);
+    }
+
+    /// Partition sanity under arbitrary sizes: every item has exactly
+    /// one owner, and the owner's range contains it.
+    #[test]
+    fn partition_owner_and_range_agree(
+        shards in 1u32..12,
+        items in 0u64..5_000,
+    ) {
+        let spec = ShardSpec::new(shards, items);
+        let mut covered = 0u64;
+        for s in 0..shards {
+            covered += spec.len(s);
+        }
+        prop_assert_eq!(covered, items);
+        // Spot-check ownership across the whole range.
+        for item in (0..items).step_by(37) {
+            let owner = spec.owner(item);
+            prop_assert!(spec.range(owner).contains(&item));
+        }
+    }
+}
+
+#[test]
+fn indexed_streams_never_collide() {
+    // For a spread of arbitrary base seeds, every (stream, index) pair
+    // in the region's RNG tree must map to a unique derived seed — and
+    // none may equal the base itself.
+    let streams = [
+        "region.server",
+        "region.tenant",
+        "region.shard.fault",
+        "region.controller",
+        "region.completion",
+    ];
+    let mut base_rng = SimRng::new(0x5eed_5eed);
+    for _ in 0..64 {
+        let base = base_rng.range(0, u64::MAX);
+        let mut seen = BTreeSet::new();
+        seen.insert(base);
+        for stream in streams {
+            for idx in 0..512u64 {
+                let derived = derive_seed_indexed(base, stream, idx);
+                assert!(
+                    seen.insert(derived),
+                    "collision: base={base:#x} stream={stream} idx={idx}"
+                );
+            }
+        }
+    }
+}

@@ -2,16 +2,23 @@
 # Regression gate over the macro-benchmark (`experiments bench`).
 #
 # Reads the checked-in baseline trajectory (BENCH_pr*.json, most recent
-# PR by default), runs a fresh benchmark, and enforces two contracts:
+# PR by default), runs a fresh benchmark, and enforces three contracts:
 #
 #   1. The **deterministic payload** (event counts, simulated seconds,
 #      completions — pure functions of the seed) must match the
 #      baseline's newest phase exactly. Any drift is a behavior change,
-#      not a perf change, and fails the gate outright.
+#      not a perf change, and fails the gate outright. For the region10k
+#      config this is also the shard-count-invariance gate: its payload
+#      is pinned from an 8-shard run, so any shard-dependent behavior
+#      diffs here.
 #   2. The **wall-clock speed** (events_per_wall_sec) must be at least
 #      NEZHA_BENCH_TOLERANCE × the baseline's. Wall numbers vary with
 #      the host, so this is a coarse floor against order-of-magnitude
 #      regressions, not an exact diff (default tolerance: 0.5).
+#   3. Any **declared budgets** (`budget.<timing>` config entries, e.g.
+#      region10k's wall-clock and peak-RSS caps) must hold on the fresh
+#      run, scaled by NEZHA_BENCH_BUDGET_SCALE (default 1.0) for slow
+#      CI hosts.
 #
 # Usage: scripts/bench_gate.sh [baseline.json] [fresh.json]
 #   baseline.json   defaults to the highest-numbered BENCH_pr*.json
@@ -35,12 +42,15 @@ if [ -z "$fresh" ]; then
         --out="$fresh" --phase=gate
 fi
 
-python3 - "$baseline" "$fresh" "$tolerance" <<'PYEOF'
+budget_scale="${NEZHA_BENCH_BUDGET_SCALE:-1.0}"
+
+python3 - "$baseline" "$fresh" "$tolerance" "$budget_scale" <<'PYEOF'
 import json
 import sys
 
 SCHEMA = 1
-baseline_path, fresh_path, tolerance = sys.argv[1], sys.argv[2], float(sys.argv[3])
+baseline_path, fresh_path = sys.argv[1], sys.argv[2]
+tolerance, budget_scale = float(sys.argv[3]), float(sys.argv[4])
 
 with open(baseline_path) as f:
     baseline = json.load(f)
@@ -103,5 +113,27 @@ for rid in sorted(ref_speed):
     failed |= new_speed[rid] < floor
 if failed:
     sys.exit("bench_gate: wall-clock speed fell below the tolerance floor")
+
+# Declared budgets: every `budget.<timing>` config entry on the fresh run
+# caps the timing sample of the same name.
+budget_failed = False
+for r in fresh["reports"]:
+    for key, raw in sorted(r.get("config", {}).items()):
+        if not key.startswith("budget."):
+            continue
+        name = key[len("budget.") :]
+        cap = float(raw) * budget_scale
+        sample = r.get("timing", {}).get(name)
+        if sample is None:
+            sys.exit(f"bench_gate: {r['id']}: budget {key} names no timing sample")
+        actual = sample["value"]
+        verdict = "ok" if actual <= cap else "FAIL"
+        print(
+            f"    {verdict} {r['id']}: {name} {actual:,.1f} {sample.get('unit', '')} "
+            f"<= budget {cap:,.1f} (scale {budget_scale})"
+        )
+        budget_failed |= actual > cap
+if budget_failed:
+    sys.exit("bench_gate: a run exceeded its declared budget")
 print("bench_gate: all checks passed")
 PYEOF

@@ -59,6 +59,8 @@ if [ "$fast" -eq 1 ]; then
     echo "==> experiments profile   (--fast: profiler smoke, artifacts to target/profile-smoke)"
     mkdir -p target/profile-smoke
     NEZHA_PROFILE_DIR=target/profile-smoke cargo run -q --release -p nezha-bench --bin experiments -- profile
+    echo "==> experiments bench --config=region10k_smoke   (--fast: shard-equivalence smoke)"
+    cargo run -q --release -p nezha-bench --bin experiments -- bench --config=region10k_smoke
     echo "All checks passed (--fast: full test suite skipped)."
 else
     echo "==> cargo test -q"
