@@ -33,6 +33,7 @@ use nezha_core::cluster::{Cluster, ClusterConfig};
 use nezha_core::controller::ControllerConfig;
 use nezha_core::region::{Region, RegionConfig, Scenario};
 use nezha_core::vm::VmConfig;
+use nezha_sim::obs::LogHistogram;
 use nezha_sim::report::{reports_json, BenchReport};
 use nezha_sim::time::SimDuration;
 use nezha_sim::topology::TopologyConfig;
@@ -200,7 +201,10 @@ fn measure(id: &str, mut cluster: Cluster, conns: u64, load_secs: u64) -> BenchR
     let events = (cluster.engine.processed() - events_before) as f64;
     let sim_secs = cluster.now().since(t0).as_secs_f64();
     let stats = cluster.stats();
+    let snap = cluster.metrics().snapshot();
+    let latency = LogHistogram::from_samples(&snap.histogram("latency.conn"));
     BenchReport::new(id)
+        .percentiles("conn_latency_secs", &latency)
         .config("seed", cluster.cfg.seed)
         .config("load_secs", load_secs)
         .metric("events_processed", events, "events")
@@ -306,9 +310,18 @@ fn bench_region() -> BenchReport {
 /// Runs one region scenario with Nezha on, timing the run and folding
 /// the full [`RegionReport`] into the deterministic payload (every
 /// metric is a pure function of the seed — and of nothing else, shard
-/// count included).
+/// count included). The observability plane runs too: per-epoch windows
+/// with the region SLO rule set, so the peak-RSS budget covers rollups
+/// and the window/SLO counts land in the deterministic section.
 fn run_region_scenario(id: &str, cfg: RegionConfig, sc: &Scenario) -> BenchReport {
     let mut region = Region::new(cfg);
+    region.enable_windows(
+        64,
+        vec![
+            nezha_sim::obs::SloRule::p99_above("cpu_p99_hot", "region.util.cpu", 0.60),
+            nezha_sim::obs::SloRule::counter_above("flash_crowd", "region.flash_crowds", 0),
+        ],
+    );
     // Wall-clock instrumentation of the simulator's own speed: the reads
     // bracket the run and never feed back into simulated behavior.
     // nezha-lint: allow(D1): measuring simulator wall speed, not sim-visible time
@@ -317,8 +330,15 @@ fn run_region_scenario(id: &str, cfg: RegionConfig, sc: &Scenario) -> BenchRepor
     let wall = wall_start.elapsed().as_secs_f64();
     let samples = report.cpu_utils.len() as f64;
     let sim_secs = sc.days as f64 * 24.0 * 3600.0;
+    let rollup = region.windows().expect("windows enabled");
     report
         .bench_report(id)
+        .metric("windows_closed", rollup.closed() as f64, "windows")
+        .metric(
+            "slo_events",
+            rollup.watchdog().events().len() as f64,
+            "events",
+        )
         .config("seed", cfg.seed)
         .config("servers", cfg.servers)
         .config("tenants", cfg.tenants)

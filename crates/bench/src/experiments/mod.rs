@@ -36,6 +36,7 @@ pub mod table3;
 pub mod table4;
 pub mod table5;
 pub mod table_a1;
+pub mod watch;
 
 pub use harness::Harness;
 use nezha_sim::report::BenchReport;
@@ -113,6 +114,7 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(chaos::Chaos),
         Box::new(profile::Profile),
         Box::new(bench::Bench::default()),
+        Box::new(watch::Watch::default()),
     ]
 }
 
@@ -140,6 +142,7 @@ pub const ALL: &[&str] = &[
     "chaos",
     "profile",
     "bench",
+    "watch",
 ];
 
 /// Outcome of a dispatch attempt.

@@ -229,6 +229,45 @@ impl Cluster {
         self.tel.profiler.enable(span_capacity);
     }
 
+    /// Turns on the live observability plane: windowed rollups of every
+    /// registry metric (counter deltas, changed gauges, per-window
+    /// histogram summaries) every `width` of simulated time, a bounded
+    /// ring of `retain` full window records, and an SLO watchdog over
+    /// `rules` evaluated at each window close. Also registers the
+    /// per-FE-server `fe.rx_pkts` counters the fairness rule consumes.
+    ///
+    /// Call before the run starts (registration is string-keyed and must
+    /// not happen mid-simulation — lint rule D5). Runs that never enable
+    /// windows carry zero overhead and identical snapshots.
+    pub fn enable_windows(
+        &mut self,
+        width: nezha_sim::time::SimDuration,
+        retain: usize,
+        rules: Vec<nezha_sim::obs::SloRule>,
+    ) {
+        let n = self.switches.len();
+        self.tel.register_windows(n, width, retain, rules);
+    }
+
+    /// The windowed rollup (window records, JSONL stream, SLO events);
+    /// `None` until [`Cluster::enable_windows`].
+    pub fn windows(&self) -> Option<&nezha_sim::obs::WindowedRollup> {
+        self.tel.windows.as_ref().map(|w| w.rollup())
+    }
+
+    /// Closes every open window whose end is `<= t` against the current
+    /// registry contents. `run_until` does this automatically as sim
+    /// time advances; experiments stepping the run window-by-window call
+    /// it explicitly at segment ends.
+    pub fn close_windows_to(&mut self, t: SimTime) {
+        let crate::telemetry::ClusterTelemetry {
+            windows, registry, ..
+        } = &mut self.tel;
+        if let Some(w) = windows.as_mut() {
+            w.advance_to(t, registry);
+        }
+    }
+
     /// Total cycles the CPU model has charged across every switch and
     /// vNIC since construction — the ground truth the profiler's
     /// per-stage totals must reconcile with.
@@ -518,17 +557,30 @@ impl Cluster {
     /// — identical delivery order to one-at-a-time popping (see
     /// [`Engine::pop_batch_until`]), with one heap peek per instant
     /// instead of one per event.
+    ///
+    /// When windows are enabled, every window whose end falls at or
+    /// before the next batch's timestamp is closed *before* that batch is
+    /// handled (a boundary event belongs to the window it opens), and all
+    /// windows up to `deadline` are flushed once the event heap drains.
     pub fn run_until(&mut self, deadline: SimTime) {
         let mut batch = Vec::new();
         loop {
             self.engine.pop_batch_until(deadline, &mut batch);
-            if batch.is_empty() {
-                return;
+            match batch.first() {
+                None => break,
+                Some(s) => {
+                    if self.tel.windows.is_some() {
+                        self.close_windows_to(s.at);
+                    }
+                }
             }
             for s in batch.drain(..) {
                 let at = s.at;
                 self.handle(s.event, at);
             }
+        }
+        if self.tel.windows.is_some() {
+            self.close_windows_to(deadline);
         }
     }
 

@@ -250,6 +250,13 @@ impl<'c> HandlerCtx<'c> {
     pub(crate) fn drop_notify(&mut self) -> bool {
         self.cl.faults.drop_notify()
     }
+
+    /// One RX packet processed by this server's FE — feeds the per-server
+    /// `fe.rx_pkts` window counters behind the fairness SLO. No-op until
+    /// [`Cluster::enable_windows`](crate::cluster::Cluster::enable_windows).
+    pub(crate) fn note_fe_rx(&self) {
+        self.cl.tel.note_fe_rx(self.server);
+    }
 }
 
 impl Cluster {

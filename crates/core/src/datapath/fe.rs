@@ -167,6 +167,7 @@ pub(crate) fn fe_handle_rx(
     let Some(charge) = ctx.charge(&pkt, cycles) else {
         return;
     };
+    ctx.note_fe_rx();
     let done = charge.done;
     // Attribute the FE charge as on the TX side, except the carry
     // share is encap work here (the FE wraps the packet for the BE).

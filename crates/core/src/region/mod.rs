@@ -51,9 +51,10 @@ pub use scenario::Scenario;
 
 use barrier::{Barrier, GrantOutcome, Migration, OffloadRequest, ShardInbox};
 use nezha_sim::metrics::{CounterHandle, HistogramHandle, MetricsRegistry};
+use nezha_sim::obs::{LogHistogram, SloRule, WindowRecord, WindowValue, WindowedRollup};
 use nezha_sim::report::BenchReport;
 use nezha_sim::rng::{derive_seed, SimRng};
-use nezha_sim::shard::ShardSpec;
+use nezha_sim::shard::{merge_effects, ShardSpec};
 use nezha_sim::stats::Samples;
 use nezha_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -226,12 +227,19 @@ impl RegionReport {
 
     /// Renders the run as a [`BenchReport`] whose metrics section is a
     /// deterministic function of the simulation (safe to exact-diff in
-    /// the bench gate regardless of shard count or host).
+    /// the bench gate regardless of shard count or host). The percentile
+    /// sections are [`LogHistogram`]-sourced latency/utilization
+    /// quantiles — also pure functions of the seed, since log-bucket
+    /// counts are insertion-order independent.
     pub fn bench_report(&mut self, id: &str) -> BenchReport {
         let (cps, flows, vnics) = self.totals();
         let cpu_p99 = self.cpu_utils.percentile(99.0);
         let completion_mean = self.completion_times.mean();
+        let completion_hist = LogHistogram::from_samples(&self.completion_times);
+        let cpu_hist = LogHistogram::from_samples(&self.cpu_utils);
         BenchReport::new(id)
+            .percentiles("offload_completion_secs", &completion_hist)
+            .percentiles("cpu_util", &cpu_hist)
             .metric("overloads_cps", cps as f64, "count")
             .metric("overloads_flows", flows as f64, "count")
             .metric("overloads_vnics", vnics as f64, "count")
@@ -300,6 +308,21 @@ impl RegionTelemetry {
     }
 }
 
+/// Folds one barrier grant outcome into the current window's scratch:
+/// grant/denial counts plus the completion-time histogram.
+fn note_grant_window(
+    outcome: &GrantOutcome,
+    granted: &mut u64,
+    denied: &mut u64,
+    completions: &mut LogHistogram,
+) {
+    *granted += outcome.granted.len() as u64;
+    *denied += outcome.denied.len() as u64;
+    for &(_, secs) in &outcome.granted {
+        completions.record(secs);
+    }
+}
+
 /// Samples one offload activation completion time from `rng`: the
 /// slowest of the initial FE config pushes, plus the gateway update,
 /// plus the learning interval — identical in form to the packet-level
@@ -326,6 +349,11 @@ pub struct Region {
     /// own streams).
     completion_rng: SimRng,
     tel: Option<RegionTelemetry>,
+    /// Per-epoch windowed rollup + SLO watchdog; `None` until
+    /// [`Region::enable_windows`]. Window `i` is epoch `i`, built by
+    /// merging shard-local effects at the barrier — the JSONL stream and
+    /// SLO event log are byte-identical for any shard count.
+    windows: Option<WindowedRollup>,
 }
 
 impl Region {
@@ -343,7 +371,24 @@ impl Region {
             shards,
             completion_rng: SimRng::new(derive_seed(cfg.seed, "region.completion")),
             tel: None,
+            windows: None,
         }
+    }
+
+    /// Turns on the per-epoch observability plane: each epoch closes as
+    /// one window (counter deltas, utilization and completion-time
+    /// histograms), retained in a ring of `retain` records, with `rules`
+    /// evaluated at every close. Shard-local effects are merged at the
+    /// barrier in canonical order, so the window stream is part of the
+    /// shard-count-invariance contract.
+    pub fn enable_windows(&mut self, retain: usize, rules: Vec<SloRule>) {
+        self.windows = Some(WindowedRollup::new(retain, rules));
+    }
+
+    /// The windowed rollup; `None` until [`Region::enable_windows`].
+    /// A new run ([`Region::run_scenario`]) continues appending windows.
+    pub fn windows(&self) -> Option<&WindowedRollup> {
+        self.windows.as_ref()
     }
 
     /// Attaches a [`MetricsRegistry`]: subsequent runs mirror the
@@ -394,6 +439,13 @@ impl Region {
             sh.begin_run(&cfg, sc, &model, total_epochs, epoch_ns);
         }
 
+        // Barrier-level window scratch, reset every epoch. The pre-run
+        // proactive grants below land in epoch 0's inboxes, so they are
+        // accounted to window 0.
+        let windows_on = self.windows.is_some();
+        let (mut win_granted, mut win_denied) = (0u64, 0u64);
+        let mut win_completions = LogHistogram::new();
+
         // Nezha proactively offloads every server already above the
         // threshold at rollout; grants land in epoch 0's inboxes.
         if nezha {
@@ -404,6 +456,14 @@ impl Region {
                 .collect();
             let outcome = barrier.resolve_requests(per_shard, cfg.initial_fes as u64);
             self.record_grants(&outcome, &mut report, &mut inboxes);
+            if windows_on {
+                note_grant_window(
+                    &outcome,
+                    &mut win_granted,
+                    &mut win_denied,
+                    &mut win_completions,
+                );
+            }
         }
 
         let (mut day_cps, mut day_flows, mut day_vnics) = (0u64, 0u64, 0u64);
@@ -431,6 +491,7 @@ impl Region {
             let mut requests: Vec<(u32, Vec<OffloadRequest>)> =
                 Vec::with_capacity(self.shards.len());
             let mut migrations: Vec<(u32, Vec<Migration>)> = Vec::with_capacity(self.shards.len());
+            let mut win_effects: Vec<(u32, Vec<(String, WindowValue)>)> = Vec::new();
             for sh in &mut self.shards {
                 let inbox = std::mem::take(&mut inboxes[sh.id() as usize]);
                 let mut out = sh.run_epoch(
@@ -470,6 +531,9 @@ impl Region {
                     tel.registry.add(tel.scale_out_events, out.scale_outs);
                     tel.registry.add(tel.fes_provisioned, out.scale_outs);
                 }
+                if windows_on {
+                    win_effects.push((sh.id(), out.window_effects()));
+                }
                 requests.push((sh.id(), std::mem::take(&mut out.requests)));
                 migrations.push((sh.id(), std::mem::take(&mut out.migrations)));
             }
@@ -479,12 +543,44 @@ impl Region {
             // owners of their destination servers. Both apply next epoch.
             let outcome = barrier.resolve_requests(requests, cfg.initial_fes as u64);
             self.record_grants(&outcome, &mut report, &mut inboxes);
+            if windows_on {
+                note_grant_window(
+                    &outcome,
+                    &mut win_granted,
+                    &mut win_denied,
+                    &mut win_completions,
+                );
+            }
+            let mut win_migrations = 0u64;
             for m in Barrier::merge_migrations(migrations) {
                 report.migrations += 1;
+                win_migrations += 1;
                 if let Some(tel) = &self.tel {
                     tel.registry.inc(tel.migrations);
                 }
                 inboxes[self.spec.owner(m.1) as usize].arrivals.push(m);
+            }
+
+            // Window close: fold the shard-local effects in canonical
+            // (shard, key) order, then overlay the barrier-level values
+            // (which are already global and partition-independent).
+            if let Some(windows) = &mut self.windows {
+                let mut rec = WindowRecord::from_effects(
+                    epoch,
+                    t_epoch,
+                    SimTime((epoch + 1) * epoch_ns),
+                    merge_effects(std::mem::take(&mut win_effects)),
+                );
+                rec.set_counter("region.offload_granted", win_granted);
+                rec.set_counter("region.offload_denied", win_denied);
+                rec.set_counter("region.migrations", win_migrations);
+                rec.set_counter("region.flash_crowds", u64::from(plan.flash.is_some()));
+                if !win_completions.is_empty() {
+                    rec.set_hist("region.offload_completion_secs", win_completions.summary());
+                }
+                windows.push(rec);
+                (win_granted, win_denied) = (0, 0);
+                win_completions = LogHistogram::new();
             }
 
             if (epoch + 1) % epochs_per_day == 0 {
@@ -785,6 +881,69 @@ mod tests {
                 Some(b) => assert_eq!(b, &sig, "shards={shards} diverged"),
             }
         }
+    }
+
+    /// The SLO rule set the region experiments ship with (also used by
+    /// `experiments watch --config=region`).
+    fn region_rules() -> Vec<SloRule> {
+        vec![
+            SloRule::p99_above("cpu_p99_hot", "region.util.cpu", 0.60),
+            SloRule::counter_above("flash_crowd", "region.flash_crowds", 0),
+            SloRule::fairness_below("overload_skew", "region.overload.", 0.35),
+        ]
+    }
+
+    #[test]
+    fn window_stream_is_shard_count_invariant() {
+        let sc = Scenario::production_day();
+        let mut base: Option<(String, String)> = None;
+        for shards in [1u32, 4] {
+            let mut r = Region::new(RegionConfig {
+                shards,
+                ..stress_cfg()
+            });
+            r.enable_windows(8, region_rules());
+            let _ = r.run_scenario(&sc, true);
+            let w = r.windows().unwrap();
+            // One window per epoch: 24 for a 1-hour-epoch production day;
+            // the ring retains only the last 8 but the stream keeps all.
+            assert_eq!(w.closed(), 24);
+            assert_eq!(w.windows().count(), 8);
+            assert_eq!(w.jsonl_lines().len(), 24);
+            assert!(
+                !w.watchdog().events().is_empty(),
+                "production day must trip at least one SLO rule"
+            );
+            let sig = (w.jsonl(), w.watchdog().events_jsonl());
+            match &base {
+                None => base = Some(sig),
+                Some(b) => assert_eq!(b, &sig, "shards={shards} window stream diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn windows_capture_barrier_and_shard_effects() {
+        let mut r = Region::new(stress_cfg());
+        r.enable_windows(24, Vec::new());
+        let report = r.run_scenario(&Scenario::production_day(), true);
+        let w = r.windows().unwrap();
+        let sum = |key: &str| -> u64 { w.windows().map(|rec| rec.counter(key)).sum() };
+        // Shard-merged window counters reproduce the report totals.
+        assert_eq!(sum("region.tenant_births"), report.tenant_births);
+        assert_eq!(sum("region.tenant_deaths"), report.tenant_deaths);
+        assert_eq!(sum("region.fault_crashes"), report.fault_crashes);
+        // Barrier-level counters reproduce the report totals too.
+        assert_eq!(sum("region.migrations"), report.migrations);
+        assert_eq!(sum("region.flash_crowds"), report.flash_crowds);
+        assert_eq!(sum("region.offload_granted"), report.offload_events);
+        // Utilization histograms cover every (alive) server-epoch sample.
+        let hist_count: u64 = w
+            .windows()
+            .filter_map(|rec| rec.hist("region.util.cpu"))
+            .map(|s| s.count)
+            .sum();
+        assert_eq!(hist_count as usize, report.cpu_utils.len());
     }
 
     #[test]

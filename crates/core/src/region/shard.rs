@@ -28,6 +28,7 @@ use super::scenario::Scenario;
 use super::{completion_from, RegionConfig, SpikeKind};
 use nezha_sim::engine::Engine;
 use nezha_sim::fault::{FaultKind, FaultPlan, FaultState};
+use nezha_sim::obs::{LogHistogram, WindowValue};
 use nezha_sim::rng::{derive_seed_indexed, SimRng};
 use nezha_sim::shard::ShardSpec;
 use nezha_sim::time::SimTime;
@@ -82,6 +83,69 @@ pub(crate) struct EpochOutput {
     pub restarts: u64,
     /// Scale-out operations on offloaded pools this epoch.
     pub scale_outs: u64,
+}
+
+impl EpochOutput {
+    /// Renders the epoch as shard-local window effects for the region's
+    /// observability plane: counter deltas plus utilization histograms.
+    ///
+    /// Every value is merge-invariant — counters add, [`LogHistogram`]s
+    /// merge bucket-wise — so folding the per-shard effect lists through
+    /// `merge_effects` produces the same window record for any shard
+    /// count (the shard-equivalence contract extends to the rollup
+    /// stream).
+    pub(crate) fn window_effects(&self) -> Vec<(String, WindowValue)> {
+        let mut cpu = LogHistogram::new();
+        let mut mem = LogHistogram::new();
+        for &(c, m) in &self.utils {
+            cpu.record(c);
+            mem.record(m);
+        }
+        vec![
+            (
+                "region.overload.cps".into(),
+                WindowValue::Count(self.overloads[0]),
+            ),
+            (
+                "region.overload.flows".into(),
+                WindowValue::Count(self.overloads[1]),
+            ),
+            (
+                "region.overload.vnics".into(),
+                WindowValue::Count(self.overloads[2]),
+            ),
+            (
+                "region.offload_requests".into(),
+                WindowValue::Count(self.requests.len() as u64),
+            ),
+            (
+                "region.migrations_out".into(),
+                WindowValue::Count(self.migrations.len() as u64),
+            ),
+            (
+                "region.tenant_births".into(),
+                WindowValue::Count(self.births),
+            ),
+            (
+                "region.tenant_deaths".into(),
+                WindowValue::Count(self.deaths),
+            ),
+            (
+                "region.fault_crashes".into(),
+                WindowValue::Count(self.crashes),
+            ),
+            (
+                "region.fault_restarts".into(),
+                WindowValue::Count(self.restarts),
+            ),
+            (
+                "region.scale_out_events".into(),
+                WindowValue::Count(self.scale_outs),
+            ),
+            ("region.util.cpu".into(), WindowValue::Hist(cpu)),
+            ("region.util.mem".into(), WindowValue::Hist(mem)),
+        ]
+    }
 }
 
 /// Per-server state owned by exactly one shard.

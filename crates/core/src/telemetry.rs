@@ -12,6 +12,7 @@
 use nezha_sim::metrics::{
     CounterHandle, GaugeHandle, HistogramHandle, MetricsRegistry, SeriesHandle,
 };
+use nezha_sim::obs::{RegistryWindows, SloRule};
 use nezha_sim::profile::{Profiler, Span, SpanId, StageHandle, StageSet};
 use nezha_sim::stats::{Counter, Samples, TimeSeries};
 use nezha_sim::time::{SimDuration, SimTime};
@@ -130,6 +131,13 @@ pub(crate) struct ClusterTelemetry {
     /// Pre-registered at startup: registry lookups are string-keyed and
     /// must never run mid-simulation (lint rule D5).
     pub(crate) ctrl_gauges: Vec<ServerCtrlGauges>,
+    /// Windowed-rollup driver (None until `Cluster::enable_windows`).
+    pub(crate) windows: Option<RegistryWindows>,
+    /// Per-server FE RX-packet counters (`fe.rx_pkts{server=i}`) feeding
+    /// the fairness SLO, indexed by `ServerId.0`. Registered together
+    /// with the rollup in [`ClusterTelemetry::register_windows`], so runs
+    /// that never enable windows keep their golden snapshots unchanged.
+    pub(crate) fe_rx: Option<Vec<CounterHandle>>,
 }
 
 /// The gauges one controller report publishes for one server.
@@ -194,7 +202,41 @@ impl ClusterTelemetry {
             rehash_churn: c("fault.rehash_churn"),
             detection_latency: h("fault.detection_latency"),
             ctrl_gauges,
+            windows: None,
+            fe_rx: None,
             registry,
+        }
+    }
+
+    /// Registers the windowed-rollup driver plus the per-FE-server RX
+    /// counters the fairness SLO consumes. Lazy by design: enabling
+    /// windows adds `fe.rx_pkts{server=i}` keys to the registry, so runs
+    /// that never call this serialize exactly the golden snapshots
+    /// pinned before the observability plane existed.
+    pub(crate) fn register_windows(
+        &mut self,
+        servers: usize,
+        width: SimDuration,
+        retain: usize,
+        rules: Vec<SloRule>,
+    ) {
+        let fe_rx = (0..servers)
+            .map(|i| {
+                self.registry
+                    .counter("fe.rx_pkts", &[("server", i.to_string())])
+            })
+            .collect();
+        self.fe_rx = Some(fe_rx);
+        self.windows = Some(RegistryWindows::new(width, retain, rules));
+    }
+
+    /// Hot-path increment of the per-FE RX counter (no-op until windows
+    /// are enabled). One branch, one borrow, one index — no allocation.
+    pub(crate) fn note_fe_rx(&self, server: ServerId) {
+        if let Some(fe_rx) = &self.fe_rx {
+            if let Some(h) = fe_rx.get(server.0 as usize) {
+                self.registry.inc(*h);
+            }
         }
     }
 

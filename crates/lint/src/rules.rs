@@ -188,7 +188,7 @@ const ITER_METHODS: [&str; 8] = [
 ];
 
 /// `MetricsRegistry` methods that register (or string-look-up) a handle.
-const REGISTRY_METHODS: [&str; 4] = ["counter", "gauge", "histogram", "series"];
+const REGISTRY_METHODS: [&str; 5] = ["counter", "gauge", "histogram", "series", "log_histogram"];
 
 /// `Profiler` methods that intern (string-look-up) a stage handle.
 const STAGE_METHODS: [&str; 1] = ["stage"];
@@ -233,8 +233,12 @@ fn scope_for(path: &str) -> Scope {
             && (CONTROL_PLANE_FILES.contains(&file_name)
                 || CONTROL_PLANE_PATHS.contains(&path)
                 || datapath),
-        // metrics.rs implements the registry itself.
-        d5: sim_visible && path != "crates/sim/src/metrics.rs",
+        // metrics.rs implements the registry itself; the obs layer reads
+        // closed `WindowRecord`s through same-named accessors, not the
+        // string-keyed registry.
+        d5: sim_visible
+            && path != "crates/sim/src/metrics.rs"
+            && !path.starts_with("crates/sim/src/obs/"),
         // profile.rs implements the profiler itself.
         d6: sim_visible && path != "crates/sim/src/profile.rs",
         // ctx.rs *is* the sanctioned plumbing layer.

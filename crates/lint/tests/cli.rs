@@ -166,6 +166,20 @@ fn d10_violation_reports_direct_and_transitive_allocations() {
 }
 
 #[test]
+fn d10_obs_violation_flags_allocating_histogram_record_path() {
+    let (code, out) = lint_fixture("d10_obs_violation.rs", &[]);
+    assert_eq!(code, 1, "output: {out}");
+    assert!(out.contains("[D10]"), "output: {out}");
+    assert!(out.contains("d10_obs_violation.rs:6"), "output: {out}");
+    assert!(out.contains("d10_obs_violation.rs:12"), "output: {out}");
+    assert!(
+        out.contains("reachable from hot-path fn `hot_record`"),
+        "output: {out}"
+    );
+    assert!(out.contains("2 error(s)"), "output: {out}");
+}
+
+#[test]
 fn d11_violation_reports_static_mut_and_refcell() {
     let (code, out) = lint_fixture("d11_violation.rs", &[]);
     assert_eq!(code, 1, "output: {out}");
@@ -219,6 +233,7 @@ fn clean_fixtures_pass() {
         "d7_clean.rs",
         "d9_clean.rs",
         "d10_clean.rs",
+        "d10_obs_clean.rs",
         "d11_clean.rs",
         "test_code_clean.rs",
         "allow_justified.rs",

@@ -1,0 +1,22 @@
+// Fixture: D10 clean — the `LogHistogram::record` shape: bucket index
+// from the f64 bit pattern, a fixed-size counts array, no allocation
+// anywhere on the per-sample path. Cold construction may allocate.
+
+fn hot_record(counts: &mut [u64; 16], low: &mut u64, value: f64) {
+    if !(value > 0.0) {
+        *low += 1;
+        return;
+    }
+    counts[bucket_index(value)] += 1;
+}
+
+fn bucket_index(value: f64) -> usize {
+    let bits = value.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as usize;
+    let mantissa_top = ((bits >> 48) & 0xf) as usize;
+    (exp ^ mantissa_top) % 16
+}
+
+fn build_counts() -> Vec<u64> {
+    vec![0; 16]
+}

@@ -1,0 +1,13 @@
+// Fixture: D10 — a histogram record path that allocates. A per-sample
+// `record` on the datapath must be fixed-memory; formatting a bucket
+// label (directly or via a helper) breaks that.
+
+fn hot_record(counts: &mut [u64], value: f64) {
+    let spill = value.to_string();
+    let idx = (spill.len() + bucket_label(value).len()) % counts.len();
+    counts[idx] += 1;
+}
+
+fn bucket_label(value: f64) -> String {
+    format!("bucket={value:.3}")
+}

@@ -29,6 +29,10 @@
 //!   of crashes, gray-slow members, (bursty) link loss, partitions,
 //!   controller outages, and notify drops, replayed on the simulated
 //!   clock from a seeded RNG stream;
+//! * [`obs`] — the live observability plane: fixed-memory mergeable
+//!   [`LogHistogram`]s with a documented quantile error bound, windowed
+//!   rollups with ring-bounded retention, a declarative SLO watchdog
+//!   emitting deterministic events, and Prometheus/JSONL exporters;
 //! * [`shard`] — the sharded-execution substrate: contiguous balanced
 //!   id partitions ([`ShardSpec`]) and the keyed barrier merge
 //!   ([`merge_effects`]) whose output order is a pure function of
@@ -48,6 +52,7 @@ pub mod dense;
 pub mod engine;
 pub mod fault;
 pub mod metrics;
+pub mod obs;
 pub mod profile;
 pub mod report;
 pub mod resources;
@@ -62,8 +67,12 @@ pub use dense::{DenseMap, Slab};
 pub use engine::{Engine, Scheduled};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultState, GilbertElliott};
 pub use metrics::{
-    CounterHandle, GaugeHandle, HistogramHandle, MetricValue, MetricsDiff, MetricsRegistry,
-    MetricsSnapshot, SeriesHandle,
+    CounterHandle, GaugeHandle, HistogramHandle, LogHistogramHandle, MetricValue, MetricsDiff,
+    MetricsRegistry, MetricsSnapshot, SeriesHandle,
+};
+pub use obs::{
+    HistSummary, LogHistogram, RegistryWindows, SloEdge, SloEvent, SloRule, SloWatchdog,
+    WindowRecord, WindowValue, WindowedRollup,
 };
 pub use profile::{Profiler, Span, SpanId, SpanRecord, StageHandle, StageSet, StageTotals};
 pub use report::{BenchReport, Sample, BENCH_SCHEMA_VERSION};

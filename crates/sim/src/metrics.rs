@@ -26,6 +26,7 @@
 //! instance dimensions expressed as labels (`server`, `vnic`, `direction`,
 //! `architecture`) rather than baked into names.
 
+use crate::obs::LogHistogram;
 use crate::stats::{Samples, TimeSeries};
 use crate::time::{SimDuration, SimTime};
 use std::cell::RefCell;
@@ -50,12 +51,19 @@ pub struct HistogramHandle(usize);
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SeriesHandle(usize);
 
+/// Handle to a registered log-bucketed histogram (backed by
+/// [`LogHistogram`]: fixed memory, bounded relative error, mergeable —
+/// the streaming complement to the exact [`Samples`] histogram).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LogHistogramHandle(usize);
+
 #[derive(Clone, Debug)]
 enum Metric {
     Counter(u64),
     Gauge(f64),
     Histogram(Samples),
     Series(TimeSeries),
+    LogHist(LogHistogram),
 }
 
 impl Metric {
@@ -65,8 +73,21 @@ impl Metric {
             Metric::Gauge(_) => "gauge",
             Metric::Histogram(_) => "histogram",
             Metric::Series(_) => "series",
+            Metric::LogHist(_) => "loghist",
         }
     }
+}
+
+/// A borrow of one metric's current value, as seen by the windowed
+/// rollup driver (`obs::RegistryWindows`). Series are not windowed.
+pub(crate) enum WindowView<'a> {
+    Counter(u64),
+    Gauge(f64),
+    /// The exact histogram's raw sample vector; the rollup diffs by
+    /// length, so it relies on the registry never sorting in place
+    /// (reads always go through clones).
+    SampleTail(&'a [f64]),
+    LogHist(&'a LogHistogram),
 }
 
 #[derive(Debug, Default)]
@@ -174,6 +195,20 @@ impl MetricsRegistry {
         )
     }
 
+    /// Registers (or looks up) a log-bucketed histogram — bounded
+    /// memory and mergeable, with quantile error documented at
+    /// [`crate::obs::REL_ERROR_BOUND`]; use [`MetricsRegistry::histogram`]
+    /// when exact percentiles matter more than bounded memory.
+    pub fn log_histogram(&self, name: &str, labels: &[(&str, String)]) -> LogHistogramHandle {
+        LogHistogramHandle(
+            self.inner
+                .borrow_mut()
+                .register(metric_key(name, labels), || {
+                    Metric::LogHist(LogHistogram::new())
+                }),
+        )
+    }
+
     /// Increments a counter by 1.
     pub fn inc(&self, h: CounterHandle) {
         self.add(h, 1);
@@ -232,6 +267,28 @@ impl MetricsRegistry {
         }
     }
 
+    /// Records one log-histogram observation. Allocation-free: a
+    /// `RefCell` borrow, an index, and a bucket increment.
+    pub fn observe_log(&self, h: LogHistogramHandle, v: f64) {
+        match &mut self.inner.borrow_mut().slots[h.0] {
+            Metric::LogHist(lh) => lh.record(v),
+            m => unreachable!("loghist handle pointing at a {}", m.kind()),
+        }
+    }
+
+    /// Records a duration observation in seconds.
+    pub fn observe_log_duration(&self, h: LogHistogramHandle, d: SimDuration) {
+        self.observe_log(h, d.as_secs_f64());
+    }
+
+    /// A clone of a log histogram's current state.
+    pub fn log_histogram_value(&self, h: LogHistogramHandle) -> LogHistogram {
+        match &self.inner.borrow().slots[h.0] {
+            Metric::LogHist(lh) => lh.clone(),
+            m => unreachable!("loghist handle pointing at a {}", m.kind()),
+        }
+    }
+
     /// Adds `amount` to the series bin covering `at`.
     pub fn series_add(&self, h: SeriesHandle, at: SimTime, amount: f64) {
         match &mut self.inner.borrow_mut().slots[h.0] {
@@ -261,11 +318,28 @@ impl MetricsRegistry {
                     Metric::Gauge(g) => MetricValue::Gauge(*g),
                     Metric::Histogram(s) => MetricValue::Histogram(s.clone()),
                     Metric::Series(s) => MetricValue::Series(s.clone()),
+                    Metric::LogHist(h) => MetricValue::LogHist(h.clone()),
                 };
                 (key.clone(), value)
             })
             .collect();
         MetricsSnapshot { entries }
+    }
+
+    /// Visits every windowable metric in sorted key order without
+    /// cloning — the windowed-rollup driver's read path. Series are
+    /// cumulative-binned already and are skipped.
+    pub(crate) fn for_each_window(&self, mut f: impl FnMut(&str, WindowView<'_>)) {
+        let inner = self.inner.borrow();
+        for (key, &slot) in inner.index.iter() {
+            match &inner.slots[slot] {
+                Metric::Counter(v) => f(key, WindowView::Counter(*v)),
+                Metric::Gauge(g) => f(key, WindowView::Gauge(*g)),
+                Metric::Histogram(s) => f(key, WindowView::SampleTail(s.raw())),
+                Metric::LogHist(h) => f(key, WindowView::LogHist(h)),
+                Metric::Series(_) => {}
+            }
+        }
     }
 }
 
@@ -280,6 +354,8 @@ pub enum MetricValue {
     Histogram(Samples),
     /// Binned series.
     Series(TimeSeries),
+    /// Log-bucketed histogram (bounded memory, bounded-error quantiles).
+    LogHist(LogHistogram),
 }
 
 /// An immutable, deterministic copy of a registry's contents.
@@ -355,6 +431,14 @@ impl MetricsSnapshot {
         }
     }
 
+    /// The log histogram at `key`.
+    pub fn log_histogram(&self, key: &str) -> &LogHistogram {
+        match self.expect(key, "loghist") {
+            MetricValue::LogHist(h) => h,
+            m => panic!("metric '{key}' is not a loghist: {m:?}"),
+        }
+    }
+
     /// Serializes the snapshot as deterministic JSON: keys sorted, floats
     /// in shortest-round-trip form, histograms as percentile summaries,
     /// series as `[bin_start_secs, value]` pairs.
@@ -388,6 +472,23 @@ impl MetricsSnapshot {
                             json_f64(p999),
                             json_f64(p9999),
                             json_f64(s.max())
+                        );
+                    }
+                    out.push('}');
+                }
+                MetricValue::LogHist(h) => {
+                    let _ = write!(out, "{{\"type\": \"loghist\", \"count\": {}", h.count());
+                    if !h.is_empty() {
+                        let s = h.summary();
+                        let _ = write!(
+                            out,
+                            ", \"p50\": {}, \"p90\": {}, \"p99\": {}, \"p999\": {}, \
+                             \"max\": {}",
+                            json_f64(s.p50),
+                            json_f64(s.p90),
+                            json_f64(s.p99),
+                            json_f64(s.p999),
+                            json_f64(s.max)
                         );
                     }
                     out.push('}');
@@ -442,7 +543,7 @@ impl MetricsSnapshot {
                         gauges.insert(key.clone(), (before, *now));
                     }
                 }
-                MetricValue::Histogram(_) | MetricValue::Series(_) => {}
+                MetricValue::Histogram(_) | MetricValue::Series(_) | MetricValue::LogHist(_) => {}
             }
         }
         MetricsDiff { counters, gauges }
@@ -573,6 +674,24 @@ mod tests {
             assert_eq!(got.percentile(p), reference.percentile(p));
         }
         assert_eq!(got.raw(), reference.raw());
+    }
+
+    #[test]
+    fn log_histogram_registers_and_snapshots() {
+        let reg = MetricsRegistry::new();
+        let h = reg.log_histogram("lat.stream", &[]);
+        for v in [0.5, 1.0, 2.0, 4.0] {
+            reg.observe_log(h, v);
+        }
+        reg.observe_log_duration(h, SimDuration::from_millis(1500));
+        let lh = reg.log_histogram_value(h);
+        assert_eq!(lh.count(), 5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.log_histogram("lat.stream").count(), 5);
+        let json = snap.to_json();
+        assert!(json.contains("\"type\": \"loghist\", \"count\": 5"));
+        // Idempotent re-registration, kind conflicts still panic.
+        assert_eq!(reg.log_histogram("lat.stream", &[]), h);
     }
 
     #[test]

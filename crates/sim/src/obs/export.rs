@@ -1,0 +1,203 @@
+//! Exposition formats: Prometheus text format and JSONL helpers.
+//!
+//! Both renderers are pure functions of their input (sorted iteration,
+//! shortest-round-trip floats), so same-seed runs export byte-identical
+//! artifacts — CI uploads them and tests can hash them.
+
+use crate::metrics::{MetricValue, MetricsSnapshot};
+use crate::obs::HistSummary;
+use std::fmt::Write as _;
+
+/// Renders a snapshot in the Prometheus text exposition format
+/// (version 0.0.4).
+///
+/// - Metric names are prefixed with `nezha_` and sanitized (every
+///   character outside `[a-zA-Z0-9_:]` becomes `_`), canonical
+///   `name{label=value,...}` keys are split back into name + labels.
+/// - Counters and gauges map directly; exact and log-bucketed
+///   histograms are rendered as summaries (`quantile` labels plus a
+///   `_count` child), which keeps the exposition size independent of
+///   the bucket count.
+/// - Time series are skipped: they are already binned timelines, and
+///   Prometheus expects to do its own scraping over time.
+pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(snap.len() * 64);
+    let mut last_family = String::new();
+    for (key, value) in snap.iter() {
+        let (name, labels) = split_key(key);
+        let family = format!("nezha_{}", sanitize(&name));
+        let type_line = |out: &mut String, last: &mut String, kind: &str| {
+            if *last != family {
+                let _ = writeln!(out, "# TYPE {family} {kind}");
+                last.clone_from(&family);
+            }
+        };
+        match value {
+            MetricValue::Counter(v) => {
+                type_line(&mut out, &mut last_family, "counter");
+                let _ = writeln!(out, "{family}{} {v}", label_set(&labels, &[]));
+            }
+            MetricValue::Gauge(v) => {
+                type_line(&mut out, &mut last_family, "gauge");
+                let _ = writeln!(out, "{family}{} {}", label_set(&labels, &[]), fmt_f64(*v));
+            }
+            MetricValue::Histogram(s) => {
+                let mut s = s.clone();
+                let summary = HistSummary {
+                    count: s.len() as u64,
+                    p50: s.percentile(50.0),
+                    p90: s.percentile(90.0),
+                    p99: s.percentile(99.0),
+                    p999: s.percentile(99.9),
+                    max: s.max(),
+                };
+                type_line(&mut out, &mut last_family, "summary");
+                write_summary(&mut out, &family, &labels, &summary);
+            }
+            MetricValue::LogHist(h) => {
+                type_line(&mut out, &mut last_family, "summary");
+                write_summary(&mut out, &family, &labels, &h.summary());
+            }
+            MetricValue::Series(_) => {}
+        }
+    }
+    out
+}
+
+fn write_summary(out: &mut String, family: &str, labels: &[(String, String)], s: &HistSummary) {
+    for (q, v) in [
+        ("0.5", s.p50),
+        ("0.9", s.p90),
+        ("0.99", s.p99),
+        ("0.999", s.p999),
+    ] {
+        let _ = writeln!(
+            out,
+            "{family}{} {}",
+            label_set(labels, &[("quantile", q)]),
+            fmt_f64(v)
+        );
+    }
+    let _ = writeln!(out, "{family}_count{} {}", label_set(labels, &[]), s.count);
+    let _ = writeln!(
+        out,
+        "{family}_max{} {}",
+        label_set(labels, &[]),
+        fmt_f64(s.max)
+    );
+}
+
+/// Splits a canonical `name{a=b,c=d}` key into name and label pairs.
+fn split_key(key: &str) -> (String, Vec<(String, String)>) {
+    match key.split_once('{') {
+        None => (key.to_string(), Vec::new()),
+        Some((name, rest)) => {
+            let body = rest.strip_suffix('}').unwrap_or(rest);
+            let labels = body
+                .split(',')
+                .filter_map(|pair| {
+                    pair.split_once('=')
+                        .map(|(k, v)| (k.to_string(), v.to_string()))
+                })
+                .collect();
+            (name.to_string(), labels)
+        }
+    }
+}
+
+/// Renders `{a="b",c="d"}` (labels first, then `extra`), or `""` when
+/// both are empty.
+fn label_set(labels: &[(String, String)], extra: &[(&str, &str)]) -> String {
+    if labels.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    let push = |out: &mut String, first: &mut bool, k: &str, v: &str| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        let _ = write!(out, "{}=\"{}\"", sanitize(k), v.replace('"', "\\\""));
+    };
+    for (k, v) in labels {
+        push(&mut out, &mut first, k, v);
+    }
+    for (k, v) in extra {
+        push(&mut out, &mut first, k, v);
+    }
+    out.push('}');
+    out
+}
+
+/// Replaces every character outside the Prometheus metric-name charset.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Prometheus float formatting: shortest round-trip, `NaN`/`+Inf`/`-Inf`
+/// spelled the way the exposition format expects.
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    #[test]
+    fn split_and_sanitize() {
+        let (name, labels) = split_key("ctrl.remote_cycles{server=3,vnic=2}");
+        assert_eq!(name, "ctrl.remote_cycles");
+        assert_eq!(
+            labels,
+            vec![
+                ("server".to_string(), "3".to_string()),
+                ("vnic".to_string(), "2".to_string())
+            ]
+        );
+        assert_eq!(sanitize("ctrl.remote_cycles"), "ctrl_remote_cycles");
+    }
+
+    #[test]
+    fn exposition_renders_all_kinds() {
+        let reg = MetricsRegistry::new();
+        reg.add(reg.counter("pkt.ok", &[]), 42);
+        reg.set(reg.gauge("util", &[("server", "3".into())]), 0.5);
+        let h = reg.histogram("lat.conn", &[]);
+        reg.observe(h, 1.5);
+        let lh = reg.log_histogram("lat.stream", &[]);
+        reg.observe_log(lh, 2.5);
+        reg.series_add(
+            reg.series("cps", &[], crate::time::SimDuration::from_millis(50)),
+            crate::time::SimTime(0),
+            1.0,
+        );
+        let text = prometheus_text(&reg.snapshot());
+        assert!(text.contains("# TYPE nezha_pkt_ok counter\nnezha_pkt_ok 42\n"));
+        assert!(text.contains("nezha_util{server=\"3\"} 0.5\n"));
+        assert!(text.contains("# TYPE nezha_lat_conn summary"));
+        assert!(text.contains("nezha_lat_conn{quantile=\"0.5\"} 1.5\n"));
+        assert!(text.contains("nezha_lat_conn_count 1\n"));
+        assert!(text.contains("nezha_lat_stream_count 1\n"));
+        assert!(!text.contains("cps"), "series are not exported");
+        assert_eq!(text, prometheus_text(&reg.snapshot()), "deterministic");
+    }
+}

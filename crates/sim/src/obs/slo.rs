@@ -1,0 +1,355 @@
+//! Declarative SLO rules evaluated at window close.
+//!
+//! A [`SloWatchdog`] holds a list of [`SloRule`]s and evaluates every
+//! rule against each closed [`WindowRecord`](super::WindowRecord). Rules
+//! are *stateful per rule*: an event is emitted when a rule **breaches**
+//! (crosses from healthy into violation) and again when it **recovers**,
+//! so a sustained violation produces one breach event, not one per
+//! window. Evaluation order is the rule declaration order and every
+//! input comes from the deterministic window record, so the event log is
+//! a pure function of the seed — chaos scenarios assert on it byte for
+//! byte.
+
+use super::WindowRecord;
+use crate::metrics::{json_f64, json_str};
+use std::fmt::Write as _;
+
+/// What a rule tests. All thresholds compare against values computed
+/// from a single closed window (deltas, not cumulative totals).
+#[derive(Clone, Debug)]
+pub enum SloKind {
+    /// Breach when the window's p99 of histogram `hist` exceeds
+    /// `max_secs`. Covers completion latency and fault detection latency
+    /// alike — both are histograms in the window record.
+    HistP99Above {
+        /// Window histogram name.
+        hist: String,
+        /// Breach threshold (same unit as the histogram, typically secs).
+        max_secs: f64,
+    },
+    /// Breach when `dropped / (dropped + ok)` over the window exceeds
+    /// `max_rate`. Windows with no traffic are healthy.
+    LossRateAbove {
+        /// Window counter of dropped events.
+        dropped: String,
+        /// Window counter of successful events.
+        ok: String,
+        /// Breach threshold as a fraction in `[0, 1]`.
+        max_rate: f64,
+    },
+    /// Breach when a window counter exceeds `max`.
+    CounterAbove {
+        /// Window counter name.
+        counter: String,
+        /// Largest healthy value.
+        max: u64,
+    },
+    /// Breach when Jain's fairness index over all window counters whose
+    /// key starts with `prefix` drops below `min_index`. The index is
+    /// `(Σx)² / (n·Σx²)`: 1.0 for perfectly balanced load, `1/n` when
+    /// one member carries everything. Membership is *window-active*
+    /// members only — window records omit zero deltas, so a member that
+    /// did nothing all window is not counted (guard total starvation
+    /// with a separate `CounterAbove` rule on the aggregate). Windows
+    /// with fewer than two active members are healthy.
+    FairnessBelow {
+        /// Key prefix selecting the per-member window counters.
+        prefix: String,
+        /// Smallest healthy fairness index in `(0, 1]`.
+        min_index: f64,
+    },
+}
+
+/// A named SLO rule.
+#[derive(Clone, Debug)]
+pub struct SloRule {
+    /// Stable rule name (appears in every event).
+    pub name: String,
+    /// What to test.
+    pub kind: SloKind,
+}
+
+impl SloRule {
+    /// A p99-latency rule over window histogram `hist`.
+    pub fn p99_above(name: &str, hist: &str, max_secs: f64) -> Self {
+        SloRule {
+            name: name.to_string(),
+            kind: SloKind::HistP99Above {
+                hist: hist.to_string(),
+                max_secs,
+            },
+        }
+    }
+
+    /// A per-window loss-rate rule over `dropped` / (`dropped` + `ok`).
+    pub fn loss_rate_above(name: &str, dropped: &str, ok: &str, max_rate: f64) -> Self {
+        SloRule {
+            name: name.to_string(),
+            kind: SloKind::LossRateAbove {
+                dropped: dropped.to_string(),
+                ok: ok.to_string(),
+                max_rate,
+            },
+        }
+    }
+
+    /// A per-window counter ceiling.
+    pub fn counter_above(name: &str, counter: &str, max: u64) -> Self {
+        SloRule {
+            name: name.to_string(),
+            kind: SloKind::CounterAbove {
+                counter: counter.to_string(),
+                max,
+            },
+        }
+    }
+
+    /// A Jain's-fairness floor over `prefix`-keyed window counters.
+    pub fn fairness_below(name: &str, prefix: &str, min_index: f64) -> Self {
+        SloRule {
+            name: name.to_string(),
+            kind: SloKind::FairnessBelow {
+                prefix: prefix.to_string(),
+                min_index,
+            },
+        }
+    }
+
+    /// Evaluates the rule against one window:
+    /// `(observed, threshold, violated)`.
+    fn evaluate(&self, w: &WindowRecord) -> (f64, f64, bool) {
+        match &self.kind {
+            SloKind::HistP99Above { hist, max_secs } => {
+                let observed = w.hist(hist).map(|s| s.p99).unwrap_or(0.0);
+                (observed, *max_secs, observed > *max_secs)
+            }
+            SloKind::LossRateAbove {
+                dropped,
+                ok,
+                max_rate,
+            } => {
+                let d = w.counter(dropped) as f64;
+                let o = w.counter(ok) as f64;
+                let total = d + o;
+                let rate = if total == 0.0 { 0.0 } else { d / total };
+                (rate, *max_rate, rate > *max_rate)
+            }
+            SloKind::CounterAbove { counter, max } => {
+                let observed = w.counter(counter);
+                (observed as f64, *max as f64, observed > *max)
+            }
+            SloKind::FairnessBelow { prefix, min_index } => {
+                let index = jain_index(w.counters_with_prefix(prefix).map(|(_, v)| v as f64));
+                match index {
+                    Some(i) => (i, *min_index, i < *min_index),
+                    None => (1.0, *min_index, false),
+                }
+            }
+        }
+    }
+}
+
+/// Jain's fairness index `(Σx)² / (n·Σx²)` over `xs`, or `None` when
+/// fewer than two members (or zero total) make fairness meaningless.
+pub fn jain_index(xs: impl Iterator<Item = f64>) -> Option<f64> {
+    let mut n = 0u64;
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    for x in xs {
+        n += 1;
+        sum += x;
+        sum_sq += x * x;
+    }
+    if n < 2 || sum_sq == 0.0 {
+        return None;
+    }
+    Some((sum * sum) / (n as f64 * sum_sq))
+}
+
+/// Whether an [`SloEvent`] marks entering or leaving violation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SloEdge {
+    /// The rule just crossed into violation.
+    Breach,
+    /// The rule just returned to healthy.
+    Recover,
+}
+
+/// One deterministic watchdog event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloEvent {
+    /// Index of the window whose close triggered the event.
+    pub window: u64,
+    /// Name of the rule that fired.
+    pub rule: String,
+    /// Breach or recovery.
+    pub edge: SloEdge,
+    /// The value the rule observed in this window.
+    pub observed: f64,
+    /// The rule's threshold.
+    pub threshold: f64,
+}
+
+impl SloEvent {
+    /// One deterministic JSON line (keys in fixed order, shortest
+    /// round-trip floats) for the SloEvent log.
+    pub fn json_line(&self) -> String {
+        let mut out = String::with_capacity(96);
+        let edge = match self.edge {
+            SloEdge::Breach => "breach",
+            SloEdge::Recover => "recover",
+        };
+        let _ = write!(
+            out,
+            "{{\"window\": {}, \"rule\": {}, \"edge\": \"{edge}\", \
+             \"observed\": {}, \"threshold\": {}}}",
+            self.window,
+            json_str(&self.rule),
+            json_f64(self.observed),
+            json_f64(self.threshold),
+        );
+        out
+    }
+}
+
+/// Evaluates a rule set at every window close, emitting edge-triggered
+/// [`SloEvent`]s.
+#[derive(Clone, Debug, Default)]
+pub struct SloWatchdog {
+    rules: Vec<SloRule>,
+    /// Per-rule "currently in violation" state, parallel to `rules`.
+    violated: Vec<bool>,
+    events: Vec<SloEvent>,
+}
+
+impl SloWatchdog {
+    /// A watchdog over `rules` (all initially healthy).
+    pub fn new(rules: Vec<SloRule>) -> Self {
+        let violated = vec![false; rules.len()];
+        SloWatchdog {
+            rules,
+            violated,
+            events: Vec::new(),
+        }
+    }
+
+    /// True when no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Evaluates every rule against a freshly closed window, appending
+    /// breach/recover events. Returns how many events this window added.
+    pub fn observe_window(&mut self, w: &WindowRecord) -> usize {
+        let before = self.events.len();
+        for (i, rule) in self.rules.iter().enumerate() {
+            let (observed, threshold, violated) = rule.evaluate(w);
+            if violated != self.violated[i] {
+                self.violated[i] = violated;
+                self.events.push(SloEvent {
+                    window: w.index,
+                    rule: rule.name.clone(),
+                    edge: if violated {
+                        SloEdge::Breach
+                    } else {
+                        SloEdge::Recover
+                    },
+                    observed,
+                    threshold,
+                });
+            }
+        }
+        self.events.len() - before
+    }
+
+    /// Every event emitted so far, in emission order.
+    pub fn events(&self) -> &[SloEvent] {
+        &self.events
+    }
+
+    /// The full event log as JSONL (one event per line).
+    pub fn events_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.json_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::WindowRecord;
+    use super::*;
+
+    fn window(idx: u64, counters: &[(&str, u64)]) -> WindowRecord {
+        let mut w = WindowRecord::new(idx, crate::time::SimTime(0), crate::time::SimTime(1));
+        for (k, v) in counters {
+            w.set_counter(k, *v);
+        }
+        w
+    }
+
+    #[test]
+    fn jain_index_bounds() {
+        assert_eq!(jain_index([1.0, 1.0, 1.0, 1.0].into_iter()), Some(1.0));
+        let skew = jain_index([4.0, 0.0, 0.0, 0.0].into_iter()).unwrap();
+        assert!((skew - 0.25).abs() < 1e-12, "one-carries-all => 1/n");
+        assert_eq!(jain_index([5.0].into_iter()), None, "n<2 is meaningless");
+        assert_eq!(jain_index([0.0, 0.0].into_iter()), None, "zero total");
+    }
+
+    #[test]
+    fn breach_and_recover_are_edge_triggered() {
+        let mut dog = SloWatchdog::new(vec![SloRule::counter_above("over", "x", 5)]);
+        assert_eq!(dog.observe_window(&window(0, &[("x", 3)])), 0);
+        assert_eq!(dog.observe_window(&window(1, &[("x", 9)])), 1);
+        // Sustained violation: no new event.
+        assert_eq!(dog.observe_window(&window(2, &[("x", 10)])), 0);
+        assert_eq!(dog.observe_window(&window(3, &[("x", 1)])), 1);
+        let edges: Vec<SloEdge> = dog.events().iter().map(|e| e.edge).collect();
+        assert_eq!(edges, vec![SloEdge::Breach, SloEdge::Recover]);
+        assert_eq!(dog.events()[0].window, 1);
+        assert_eq!(dog.events()[1].window, 3);
+    }
+
+    #[test]
+    fn loss_rate_rule() {
+        let mut dog = SloWatchdog::new(vec![SloRule::loss_rate_above("loss", "drop", "ok", 0.01)]);
+        // No traffic: healthy.
+        assert_eq!(dog.observe_window(&window(0, &[])), 0);
+        assert_eq!(
+            dog.observe_window(&window(1, &[("drop", 5), ("ok", 95)])),
+            1
+        );
+        assert_eq!(dog.events()[0].observed, 0.05);
+    }
+
+    #[test]
+    fn fairness_rule_over_prefix() {
+        let mut dog = SloWatchdog::new(vec![SloRule::fairness_below("fair", "fe.rx", 0.9)]);
+        let balanced = window(0, &[("fe.rx{server=0}", 50), ("fe.rx{server=1}", 50)]);
+        assert_eq!(dog.observe_window(&balanced), 0);
+        let skewed = window(1, &[("fe.rx{server=0}", 99), ("fe.rx{server=1}", 1)]);
+        assert_eq!(dog.observe_window(&skewed), 1);
+        let observed = dog.events()[0].observed;
+        assert!((observed - 10_000.0 / 19_604.0).abs() < 1e-12, "{observed}");
+    }
+
+    #[test]
+    fn event_json_is_stable() {
+        let e = SloEvent {
+            window: 7,
+            rule: "loss".into(),
+            edge: SloEdge::Breach,
+            observed: 0.25,
+            threshold: 0.01,
+        };
+        assert_eq!(
+            e.json_line(),
+            "{\"window\": 7, \"rule\": \"loss\", \"edge\": \"breach\", \
+             \"observed\": 0.25, \"threshold\": 0.01}"
+        );
+    }
+}

@@ -18,11 +18,14 @@
 //! (`scripts/bench_gate.sh`) can refuse reports it does not understand.
 
 use crate::metrics::{json_f64, json_str, MetricsSnapshot};
+use crate::obs::{HistSummary, LogHistogram, REL_ERROR_BOUND};
 use std::fmt::Write as _;
 
 /// Version of the JSON layout emitted by [`BenchReport::to_json`].
 /// Bump when the shape (not the set of sample names) changes.
-pub const BENCH_SCHEMA_VERSION: u32 = 1;
+/// v2 added the optional `percentiles` section (latency quantiles
+/// sourced from [`LogHistogram`], stamped with its error bound).
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
 
 /// One measured quantity.
 #[derive(Clone, Debug, PartialEq)]
@@ -75,6 +78,7 @@ pub struct BenchReport {
     pub id: String,
     config: Vec<(String, String)>,
     deterministic: Vec<Sample>,
+    percentiles: Vec<(String, HistSummary)>,
     timing: Vec<Sample>,
     /// Optional raw metrics snapshot attached by experiments that also
     /// export the legacy one-line snapshot format.
@@ -99,6 +103,14 @@ impl BenchReport {
     /// Adds a deterministic sample (a pure function of the seed).
     pub fn metric(mut self, name: impl Into<String>, value: f64, unit: impl Into<String>) -> Self {
         self.deterministic.push(Sample::new(name, value, unit));
+        self
+    }
+
+    /// Adds a named latency-percentile block sourced from a
+    /// [`LogHistogram`] (part of the deterministic payload; quantiles
+    /// carry the histogram's documented relative-error bound).
+    pub fn percentiles(mut self, name: impl Into<String>, hist: &LogHistogram) -> Self {
+        self.percentiles.push((name.into(), hist.summary()));
         self
     }
 
@@ -134,6 +146,11 @@ impl BenchReport {
         &self.timing
     }
 
+    /// The percentile blocks, in insertion order.
+    pub fn percentile_sections(&self) -> &[(String, HistSummary)] {
+        &self.percentiles
+    }
+
     /// The echoed configuration, in insertion order.
     pub fn config_entries(&self) -> &[(String, String)] {
         &self.config
@@ -161,6 +178,28 @@ impl BenchReport {
             let _ = write!(out, "\n    {}", s.json());
         }
         out.push_str("\n  }");
+        if !self.percentiles.is_empty() {
+            out.push_str(",\n  \"percentiles\": {");
+            for (i, (name, s)) in self.percentiles.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "\n    {}: {{\"count\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \
+                     \"p999\": {}, \"max\": {}, \"rel_error_bound\": {}}}",
+                    json_str(name),
+                    s.count,
+                    json_f64(s.p50),
+                    json_f64(s.p90),
+                    json_f64(s.p99),
+                    json_f64(s.p999),
+                    json_f64(s.max),
+                    json_f64(REL_ERROR_BOUND)
+                );
+            }
+            out.push_str("\n  }");
+        }
         if include_timing {
             out.push_str(",\n  \"timing\": {");
             for (i, s) in self.timing.iter().enumerate() {
@@ -250,9 +289,26 @@ mod tests {
     fn schema_version_is_stamped() {
         assert!(sample_report()
             .to_json()
-            .starts_with("{\n  \"schema_version\": 1,"));
+            .starts_with("{\n  \"schema_version\": 2,"));
         let doc = reports_json("pre-optimization", &[sample_report()]);
         assert!(doc.contains("\"phase\": \"pre-optimization\""));
         assert!(doc.contains("\"reports\": ["));
+    }
+
+    #[test]
+    fn percentile_section_renders_when_present() {
+        let plain = sample_report();
+        assert!(!plain.to_json().contains("\"percentiles\""));
+        let mut h = LogHistogram::new();
+        for v in [0.001, 0.002, 0.004, 0.1] {
+            h.record(v);
+        }
+        let r = sample_report().percentiles("conn_latency", &h);
+        assert_eq!(r.percentile_sections().len(), 1);
+        let d = r.deterministic_json();
+        assert!(d.contains("\"percentiles\": {"));
+        assert!(d.contains("\"conn_latency\": {\"count\": 4,"));
+        assert!(d.contains("\"rel_error_bound\": 0.0078125"));
+        assert_eq!(d, r.clone().deterministic_json(), "rendering is pure");
     }
 }

@@ -51,9 +51,15 @@ impl Samples {
         self.values.iter().sum::<f64>() / self.values.len() as f64
     }
 
-    /// Largest observation, or 0 for an empty set.
+    /// Largest observation, or 0 for an empty set. The fold seeds from
+    /// the first element (not `0.0`) so an all-negative sample set
+    /// reports its true maximum instead of a phantom zero.
     pub fn max(&self) -> f64 {
-        self.values.iter().copied().fold(0.0, f64::max)
+        let mut it = self.values.iter().copied();
+        match it.next() {
+            Some(first) => it.fold(first, f64::max),
+            None => 0.0,
+        }
     }
 
     fn ensure_sorted(&mut self) {
@@ -234,6 +240,20 @@ mod tests {
         assert_eq!(mean, 4.0);
         assert_eq!(p50, 2.0);
         assert_eq!(p9999, 10.0);
+    }
+
+    #[test]
+    fn max_of_all_negative_samples_is_not_zero() {
+        // Regression: max() used to fold from 0.0, so a strictly
+        // negative sample set (e.g. clock-skew deltas) reported max 0.
+        let mut s = Samples::new();
+        for v in [-5.0, -2.5, -9.0] {
+            s.record(v);
+        }
+        assert_eq!(s.max(), -2.5);
+        let mut single = Samples::new();
+        single.record(-1.0);
+        assert_eq!(single.max(), -1.0);
     }
 
     #[test]

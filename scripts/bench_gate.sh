@@ -48,7 +48,11 @@ python3 - "$baseline" "$fresh" "$tolerance" "$budget_scale" <<'PYEOF'
 import json
 import sys
 
-SCHEMA = 1
+# v1: deterministic + timing + metrics. v2 adds an optional per-report
+# "percentiles" section (log-histogram quantile summaries); older
+# baselines stay comparable because the gate diffs only "deterministic".
+SCHEMAS = {1, 2}
+PERCENTILE_KEYS = {"count", "p50", "p90", "p99", "p999", "max", "rel_error_bound"}
 baseline_path, fresh_path = sys.argv[1], sys.argv[2]
 tolerance, budget_scale = float(sys.argv[3]), float(sys.argv[4])
 
@@ -60,8 +64,18 @@ with open(fresh_path) as f:
 
 def check_schema(name, doc):
     v = doc.get("schema_version")
-    if v != SCHEMA:
-        sys.exit(f"bench_gate: {name}: unsupported schema_version {v!r} (want {SCHEMA})")
+    if v not in SCHEMAS:
+        sys.exit(
+            f"bench_gate: {name}: unsupported schema_version {v!r} (want one of {sorted(SCHEMAS)})"
+        )
+    for r in doc.get("reports", []):
+        for hist, summary in sorted(r.get("percentiles", {}).items()):
+            got = set(summary)
+            if got != PERCENTILE_KEYS:
+                sys.exit(
+                    f"bench_gate: {name}: report {r.get('id')!r} percentiles[{hist!r}] "
+                    f"has keys {sorted(got)}, want {sorted(PERCENTILE_KEYS)}"
+                )
 
 
 check_schema(baseline_path, baseline)

@@ -7,7 +7,9 @@
 #   --fast   skip the full test suite (quick pre-commit run); still runs
 #            the reduced chaos smoke scenario so the fault-injection path
 #            is never shipped unexercised, plus the profiler smoke run
-#            (`experiments profile` self-asserts its cycle reconciliation).
+#            (`experiments profile` self-asserts its cycle reconciliation)
+#            and the observability smoke (`experiments watch` runs the
+#            windowed chaos scenario and asserts the SLO watchdog fires).
 #            nezha-lint runs only on .rs files changed vs origin/main
 #            (the symbol index is still built workspace-wide, so D8-D11
 #            cross-file reasoning stays exact).
@@ -61,6 +63,8 @@ if [ "$fast" -eq 1 ]; then
     NEZHA_PROFILE_DIR=target/profile-smoke cargo run -q --release -p nezha-bench --bin experiments -- profile
     echo "==> experiments bench --config=region10k_smoke   (--fast: shard-equivalence smoke)"
     cargo run -q --release -p nezha-bench --bin experiments -- bench --config=region10k_smoke
+    echo "==> experiments watch   (--fast: observability smoke, self-asserts >=1 SLO event)"
+    cargo run -q --release -p nezha-bench --bin experiments -- watch
     echo "All checks passed (--fast: full test suite skipped)."
 else
     echo "==> cargo test -q"

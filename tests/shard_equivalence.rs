@@ -17,6 +17,7 @@
 
 use nezha::core::region::{Region, RegionConfig, RegionReport, Scenario};
 use nezha::sim::metrics::MetricsRegistry;
+use nezha::sim::obs::SloRule;
 use nezha::sim::time::SimDuration;
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -182,6 +183,60 @@ fn shard_counts_are_byte_identical_with_nezha() {
         }
         check_or_regen("nezha", seed, &baseline);
     }
+}
+
+/// The region watch's SLO rule set (mirrors `experiments watch
+/// --config=region`), so the golden fixture pins the event log the live
+/// view would show.
+fn window_rules() -> Vec<SloRule> {
+    vec![
+        SloRule::p99_above("cpu_p99_hot", "region.util.cpu", 0.60),
+        SloRule::counter_above("flash_crowd", "region.flash_crowds", 0),
+        SloRule::fairness_below("overload_skew", "region.overload.", 0.35),
+    ]
+}
+
+/// One windowed run: the full JSONL window stream plus the SLO event
+/// log, exactly as the exporters would write them.
+fn run_windows(seed: u64, shards: u32) -> String {
+    let mut region = Region::new(scenario_cfg(seed, shards));
+    region.enable_windows(64, window_rules());
+    let _ = region.run_scenario(&Scenario::production_day(), true);
+    let rollup = region.windows().expect("windows enabled");
+    format!(
+        "{}--- slo events ---\n{}",
+        rollup.jsonl(),
+        rollup.watchdog().events_jsonl()
+    )
+}
+
+/// The observability tentpole's acceptance test: the per-epoch window
+/// stream (counters, histogram summaries, SLO events — all of it
+/// assembled from per-shard effects merged at barriers) is byte-identical
+/// at every shard count, and pinned against a golden fixture. One seed:
+/// each cell is a full production-day run, and the merge path it
+/// exercises is seed-independent.
+#[test]
+fn window_stream_and_slo_log_are_byte_identical_across_shards() {
+    let seed = SEEDS[0];
+    let baseline = run_windows(seed, SHARD_COUNTS[0]);
+    for &shards in &SHARD_COUNTS[1..] {
+        let actual = run_windows(seed, shards);
+        if baseline != actual {
+            let (i, (e, a)) = baseline
+                .lines()
+                .zip(actual.lines())
+                .enumerate()
+                .find(|(_, (e, a))| e != a)
+                .expect("same line count but unequal text");
+            panic!(
+                "seed {seed}: windowed run at shards={shards} diverged from \
+                 shards=1 at line {}:\n  1 shard:  {e}\n  {shards} shards: {a}",
+                i + 1
+            );
+        }
+    }
+    check_or_regen("windows", seed, &baseline);
 }
 
 /// Same matrix without Nezha (pure overload accounting, no controller
