@@ -1,0 +1,301 @@
+//! The comparator architectures expressed as **alternative stage graphs**
+//! over the same combinators as the Nezha datapath
+//! ([`nezha_vswitch::stage`]).
+//!
+//! Table 2's columns differ precisely in how they *compose* the same
+//! primitive work items — a rule lookup, a fast-path pass, a state
+//! access, a replication hop — so each comparator is written here as a
+//! different graph over a shared [`ArchCtx`] accounting context:
+//!
+//! * [`local_graph`] — one slow-path pass then the fast-path remainder
+//!   of a TCP_CRR exchange (the traditional local vSwitch);
+//! * [`sirius_graph`] — primary processing plus an in-line replication
+//!   hop **guarded on statefulness** (the ping-pong that halves CPS);
+//! * [`tea_graph`] — a state access **branched on locality** (on-chip
+//!   SRAM vs a remote-DRAM round trip);
+//! * [`sailfish_graph`] — an offload decision **branched on
+//!   statefulness** (stateless NFs offload, stateful ones stop).
+//!
+//! The capacity models in [`local`](crate::local),
+//! [`sirius`](crate::sirius), [`tea`](crate::tea), and
+//! [`sailfish`](crate::sailfish) drive these graphs instead of inlining
+//! the arithmetic, so every "before Nezha" number is derived from the
+//! same combinator vocabulary as the Nezha pipeline itself.
+
+use nezha_vswitch::stage::{branch, guard, seq, stage, Stage, StageCtx, StageGraph, StageVerdict};
+
+/// Per-event accounting context for one comparator graph walk: a modeled
+/// connection (local, Sirius), one state access (Tea), or one offload
+/// decision (Sailfish). Stages only ever *accumulate* into it.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ArchCtx {
+    /// Whether the modeled event involves session-stateful processing.
+    pub stateful: bool,
+    /// Whether the flow's state lives off-chip (Tea).
+    pub offchip: bool,
+    /// Processing cycles consumed across the architecture's cards.
+    pub cycles: u64,
+    /// Extra fabric traversals the architecture generates for the event.
+    pub fabric_packets: u32,
+    /// Copies of the session state stored across the system.
+    pub state_copies: u32,
+    /// Accumulated state-access latency, in seconds.
+    pub latency_s: f64,
+}
+
+impl ArchCtx {
+    /// A stateful-event context (connections; state-changing packets).
+    pub fn stateful() -> Self {
+        ArchCtx {
+            stateful: true,
+            ..ArchCtx::default()
+        }
+    }
+}
+
+/// Model parameters the comparator stages read: the graph environment.
+/// Callers load the numbers of the concrete model under evaluation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ArchParams {
+    /// One slow-path (rule lookup) pass, cycles.
+    pub slow_cycles: u64,
+    /// One fast-path packet, cycles.
+    pub fast_cycles: u64,
+    /// Fast-path packets in the remainder of a TCP_CRR exchange.
+    pub crr_fast_packets: u64,
+    /// One card's share of a connection on a Sirius pair, cycles.
+    pub card_conn_cycles: u64,
+    /// Extra fabric traversals per replicated connection (Sirius).
+    pub replication_packets: u32,
+    /// On-chip state access, seconds (Tea).
+    pub onchip_access_s: f64,
+    /// Remote-DRAM state access round trip, seconds (Tea).
+    pub dram_rtt_s: f64,
+}
+
+impl StageCtx for ArchCtx {
+    type Env<'a> = ArchParams;
+}
+
+/// A compiled comparator graph.
+pub type ArchGraph = StageGraph<ArchCtx>;
+
+fn is_stateful(c: &ArchCtx) -> bool {
+    c.stateful
+}
+
+fn is_offchip(c: &ArchCtx) -> bool {
+    c.offchip
+}
+
+/// First packet of a connection: one full rule-pipeline pass.
+#[derive(Debug)]
+struct SlowPathPass;
+impl Stage<ArchCtx> for SlowPathPass {
+    fn name(&self) -> &'static str {
+        "slow-path-pass"
+    }
+    fn eval(&self, ctx: &mut ArchCtx, env: &mut ArchParams) -> StageVerdict {
+        ctx.cycles += env.slow_cycles;
+        ctx.state_copies += 1;
+        StageVerdict::Continue
+    }
+}
+
+/// The cached-flow remainder of a TCP_CRR exchange.
+#[derive(Debug)]
+struct FastPathRemainder;
+impl Stage<ArchCtx> for FastPathRemainder {
+    fn name(&self) -> &'static str {
+        "fast-path-remainder"
+    }
+    fn eval(&self, ctx: &mut ArchCtx, env: &mut ArchParams) -> StageVerdict {
+        ctx.cycles += env.fast_cycles * env.crr_fast_packets;
+        StageVerdict::Continue
+    }
+}
+
+/// Primary-card processing of a connection on a Sirius pair.
+#[derive(Debug)]
+struct PrimaryProcess;
+impl Stage<ArchCtx> for PrimaryProcess {
+    fn name(&self) -> &'static str {
+        "primary-process"
+    }
+    fn eval(&self, ctx: &mut ArchCtx, env: &mut ArchParams) -> StageVerdict {
+        ctx.cycles += env.card_conn_cycles;
+        ctx.state_copies += 1;
+        StageVerdict::Continue
+    }
+}
+
+/// The in-line replication hop: the secondary card re-processes every
+/// state-changing packet, consuming its own cycles and fabric crossings.
+#[derive(Debug)]
+struct InlineReplicate;
+impl Stage<ArchCtx> for InlineReplicate {
+    fn name(&self) -> &'static str {
+        "inline-replicate"
+    }
+    fn eval(&self, ctx: &mut ArchCtx, env: &mut ArchParams) -> StageVerdict {
+        ctx.cycles += env.card_conn_cycles;
+        ctx.fabric_packets += env.replication_packets;
+        ctx.state_copies += 1;
+        StageVerdict::Continue
+    }
+}
+
+/// An on-chip (SRAM) state access.
+#[derive(Debug)]
+struct SramFetch;
+impl Stage<ArchCtx> for SramFetch {
+    fn name(&self) -> &'static str {
+        "sram-fetch"
+    }
+    fn eval(&self, ctx: &mut ArchCtx, env: &mut ArchParams) -> StageVerdict {
+        ctx.latency_s += env.onchip_access_s;
+        StageVerdict::Continue
+    }
+}
+
+/// A remote-DRAM state access: one fabric round trip.
+#[derive(Debug)]
+struct DramFetch;
+impl Stage<ArchCtx> for DramFetch {
+    fn name(&self) -> &'static str {
+        "dram-fetch"
+    }
+    fn eval(&self, ctx: &mut ArchCtx, env: &mut ArchParams) -> StageVerdict {
+        ctx.latency_s += env.dram_rtt_s;
+        ctx.fabric_packets += 2;
+        StageVerdict::Continue
+    }
+}
+
+/// Stateful NFs cannot be hosted on the gateway: the pipeline stops.
+#[derive(Debug)]
+struct RejectStateful;
+impl Stage<ArchCtx> for RejectStateful {
+    fn name(&self) -> &'static str {
+        "reject-stateful"
+    }
+    fn eval(&self, _ctx: &mut ArchCtx, _env: &mut ArchParams) -> StageVerdict {
+        StageVerdict::Stop
+    }
+}
+
+/// A stateless NF offloads onto the on-chip tables.
+#[derive(Debug)]
+struct OffloadStateless;
+impl Stage<ArchCtx> for OffloadStateless {
+    fn name(&self) -> &'static str {
+        "offload-stateless"
+    }
+    fn eval(&self, _ctx: &mut ArchCtx, _env: &mut ArchParams) -> StageVerdict {
+        StageVerdict::Continue
+    }
+}
+
+/// The local-only vSwitch's connection graph: slow-path first packet,
+/// then the fast-path remainder of the exchange.
+pub fn local_graph() -> ArchGraph {
+    StageGraph::compile(seq(vec![stage(SlowPathPass), stage(FastPathRemainder)]))
+        .expect("local comparator graph must compile")
+}
+
+/// Sirius's connection graph: primary processing plus the in-line
+/// replication hop for stateful traffic — which is *all* connection
+/// setup, hence the CPS halving (§2.3.3).
+pub fn sirius_graph() -> ArchGraph {
+    StageGraph::compile(seq(vec![
+        stage(PrimaryProcess),
+        guard("inline-replication", is_stateful, stage(InlineReplicate)),
+    ]))
+    .expect("sirius comparator graph must compile")
+}
+
+/// Tea's state-access graph: locality decides between an SRAM probe and
+/// a remote-DRAM round trip.
+pub fn tea_graph() -> ArchGraph {
+    StageGraph::compile(branch(
+        "state-locality",
+        is_offchip,
+        stage(DramFetch),
+        stage(SramFetch),
+    ))
+    .expect("tea comparator graph must compile")
+}
+
+/// Sailfish's offload-decision graph: statefulness gates admission onto
+/// the programmable gateway.
+pub fn sailfish_graph() -> ArchGraph {
+    StageGraph::compile(branch(
+        "statefulness",
+        is_stateful,
+        stage(RejectStateful),
+        stage(OffloadStateless),
+    ))
+    .expect("sailfish comparator graph must compile")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graphs_compile_and_inventory_their_stages() {
+        assert!(local_graph().contains_stage("slow-path-pass"));
+        assert!(sirius_graph().contains_stage("inline-replicate"));
+        assert!(tea_graph().contains_stage("dram-fetch"));
+        assert!(sailfish_graph().contains_stage("reject-stateful"));
+    }
+
+    #[test]
+    fn sirius_guard_skips_replication_for_stateless_events() {
+        let g = sirius_graph();
+        let mut p = ArchParams {
+            card_conn_cycles: 1,
+            replication_packets: 8,
+            ..ArchParams::default()
+        };
+        let mut on = ArchCtx::stateful();
+        g.eval(&mut on, &mut p);
+        assert_eq!((on.cycles, on.fabric_packets, on.state_copies), (2, 8, 2));
+        let mut off = ArchCtx::default();
+        g.eval(&mut off, &mut p);
+        assert_eq!(
+            (off.cycles, off.fabric_packets, off.state_copies),
+            (1, 0, 1)
+        );
+    }
+
+    #[test]
+    fn tea_branch_selects_by_locality() {
+        let g = tea_graph();
+        let mut p = ArchParams {
+            onchip_access_s: 1e-9,
+            dram_rtt_s: 1e-6,
+            ..ArchParams::default()
+        };
+        let mut near = ArchCtx::default();
+        g.eval(&mut near, &mut p);
+        assert_eq!((near.latency_s, near.fabric_packets), (1e-9, 0));
+        let mut far = ArchCtx {
+            offchip: true,
+            ..ArchCtx::default()
+        };
+        g.eval(&mut far, &mut p);
+        assert_eq!((far.latency_s, far.fabric_packets), (1e-6, 2));
+    }
+
+    #[test]
+    fn sailfish_stops_only_stateful_offloads() {
+        let g = sailfish_graph();
+        let mut p = ArchParams::default();
+        assert_eq!(g.eval(&mut ArchCtx::stateful(), &mut p), StageVerdict::Stop);
+        assert_eq!(
+            g.eval(&mut ArchCtx::default(), &mut p),
+            StageVerdict::Continue
+        );
+    }
+}

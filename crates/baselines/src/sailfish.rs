@@ -5,6 +5,8 @@
 //! memory it cannot host stateful NFs at cloud scale — the Table 2 row
 //! that motivates Nezha's stateful support.
 
+use crate::arch::{self, ArchCtx, ArchParams};
+use nezha_vswitch::stage::StageVerdict;
 use serde::{Deserialize, Serialize};
 
 /// A Sailfish-like stateless gateway.
@@ -22,9 +24,17 @@ impl SailfishGateway {
         }
     }
 
-    /// Whether an NF with the given statefulness can be offloaded at all.
+    /// Whether an NF with the given statefulness can be offloaded at
+    /// all: the [`arch::sailfish_graph`] statefulness branch either
+    /// admits it or stops the pipeline. (The struct is `Copy`-plain and
+    /// serde-visible, so the graph is built here rather than stored.)
     pub fn can_offload(&self, stateful: bool) -> bool {
-        !stateful
+        let graph = arch::sailfish_graph();
+        let mut ctx = ArchCtx {
+            stateful,
+            ..ArchCtx::default()
+        };
+        graph.eval(&mut ctx, &mut ArchParams::default()) == StageVerdict::Continue
     }
 
     /// Whether a stateless table of `entries` fits on-chip.

@@ -10,6 +10,9 @@ use std::hint::black_box;
 
 fn bench_rule_lookup(c: &mut Criterion) {
     let mut group = c.benchmark_group("rule_lookup");
+    // One compiled lookup graph serves every sweep point — graphs are
+    // built once at vSwitch construction in the real datapath too.
+    let graph = nezha_vswitch::stage::lookup::lookup_graph();
     for rules in [0usize, 8, 64, 100, 1000] {
         let vnic = Vnic::new(
             VnicId(1),
@@ -21,6 +24,7 @@ fn bench_rule_lookup(c: &mut Criterion) {
             },
             ServerId(0),
         );
+        let graph = &graph;
         group.bench_with_input(BenchmarkId::from_parameter(rules), &rules, |b, _| {
             let mut i = 0u32;
             b.iter(|| {
@@ -31,7 +35,7 @@ fn bench_rule_lookup(c: &mut Criterion) {
                     Ipv4Addr::new(10, 7, 0, 1),
                     9000,
                 );
-                black_box(slow_path_lookup(&vnic, &tuple, Direction::Rx))
+                black_box(slow_path_lookup(graph, &vnic, &tuple, Direction::Rx))
             });
         });
     }

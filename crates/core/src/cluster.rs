@@ -99,6 +99,11 @@ pub struct Cluster {
     /// Global switch: when false the cluster behaves as the pre-Nezha
     /// baseline (no offloading ever triggers).
     pub nezha_enabled: bool,
+    /// The compiled stage graphs the datapath handlers drive (shared with
+    /// every role: FE lookups evaluate `graphs.lookup`, cost/profiler
+    /// decomposition follows `graphs.process` — the same topology each
+    /// switch compiled for itself, per the paper's §3.1 equivalence).
+    pub(crate) graphs: std::sync::Arc<nezha_vswitch::SwitchGraphs>,
 }
 
 impl Cluster {
@@ -149,6 +154,7 @@ impl Cluster {
                 cfg.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xFA17,
             )),
             nezha_enabled: true,
+            graphs: std::sync::Arc::new(nezha_vswitch::SwitchGraphs::standard()),
             cfg,
         }
     }

@@ -104,6 +104,12 @@ impl<'c> HandlerCtx<'c> {
         }
     }
 
+    /// The cluster's compiled stage graphs (cloned handle, so callers can
+    /// keep it across the split borrows of `cl`).
+    pub(crate) fn graphs(&self) -> std::sync::Arc<nezha_vswitch::SwitchGraphs> {
+        std::sync::Arc::clone(&self.cl.graphs)
+    }
+
     /// Reports cycles burned on this server for its *own* (BE) traffic.
     pub(crate) fn note_local_cycles(&mut self, cycles: u64) {
         self.cl.controller.note_local_cycles(self.server, cycles);

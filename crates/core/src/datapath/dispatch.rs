@@ -184,13 +184,23 @@ pub(crate) fn process_locally(ctx: &mut HandlerCtx<'_>, pkt: Packet, sent_at: Si
     let vs = &mut ctx.cl.switches[server.0 as usize];
     let r = vs.process_local(&pkt, now);
     // Priced after the fact so the fast path never pays the slow-path
-    // formula's `ln`; the vNIC set is untouched by `process_local`.
-    let cycles_hint = match r.path {
-        nezha_vswitch::PathTaken::Fast => vs.config().costs.fast_path_cycles(pkt.wire_len()),
-        nezha_vswitch::PathTaken::Slow => vs
-            .vnic(pkt.vnic)
+    // formula's `ln`; the vNIC set is untouched by `process_local`. A CPU
+    // drop reports no path — the charge the switch *attempted* still
+    // depends on what the flow-cache probe saw, which is re-derivable
+    // because a dropped packet mutates no session state.
+    let took_fast = match r.path {
+        Some(p) => p == nezha_vswitch::PathTaken::Fast,
+        None => vs
+            .sessions
+            .get(&nezha_types::SessionKey::of(pkt.vpc, pkt.tuple))
+            .is_some_and(|e| e.pre_actions.is_some()),
+    };
+    let cycles_hint = if took_fast {
+        vs.config().costs.fast_path_cycles(pkt.wire_len())
+    } else {
+        vs.vnic(pkt.vnic)
             .map(|v| v.slow_path_cycles(&vs.config().costs, pkt.wire_len()))
-            .unwrap_or_else(|| vs.config().costs.slow_path_cycles(pkt.wire_len(), 0, 0)),
+            .unwrap_or_else(|| vs.config().costs.slow_path_cycles(pkt.wire_len(), 0, 0))
     };
     ctx.note_local_cycles(cycles_hint);
     match r.outcome {
@@ -263,23 +273,20 @@ pub(crate) fn fe_path(miss: bool) -> nezha_vswitch::PathTaken {
 
 /// Builds the profiler leaf list for one FE handler: the NSH carry share
 /// first (decap on the TX side, encap on RX), then the lookup's own
-/// per-stage cost split. Overflow tiers clamp onto the last tier handle.
+/// per-stage cost split following the process graph's cost `plan` for
+/// the path taken. Overflow tiers clamp onto the last tier handle
+/// (inside `plan_leaves`).
 pub(crate) fn fe_stage_leaves(
     st: &nezha_sim::profile::StageSet,
     carry: nezha_sim::profile::StageHandle,
     carry_cycles: u64,
+    plan: &[nezha_vswitch::CostSlot],
     c: pipeline::StageCosts,
 ) -> Vec<(nezha_sim::profile::StageHandle, u64)> {
     // nezha-lint: allow(D10): stage attribution only runs under `profiler_enabled()`, never in measurement runs
-    let mut leaves = vec![
-        (carry, carry_cycles),
-        (st.dma, c.dma),
-        (st.parse, c.parse),
-        (st.session_lookup, c.session),
-        (st.slowpath, c.overhead),
-    ];
-    for (i, &t) in c.tiers.iter().enumerate() {
-        leaves.push((st.rule_tiers[i.min(st.rule_tiers.len() - 1)], t));
-    }
+    let mut leaves = vec![(carry, carry_cycles)];
+    nezha_vswitch::stage::costing::plan_leaves(plan, st, &c, &mut |stage, cycles| {
+        leaves.push((stage, cycles));
+    });
     leaves
 }

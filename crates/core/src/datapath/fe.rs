@@ -56,6 +56,7 @@ pub(crate) fn fe_handle_tx_carry(
         return ctx.misroute(&pkt);
     }
     ctx.trace(now, &pkt, TraceEventKind::NshDecap);
+    let graphs = ctx.graphs();
     // Split borrows: switch and FE are distinct fields.
     let cl = &mut *ctx.cl;
     let vs = &mut cl.switches[server.0 as usize];
@@ -64,7 +65,13 @@ pub(crate) fn fe_handle_tx_carry(
     let Some(fe) = cl.fes.get_mut(&(server, pkt.vnic)) else {
         return; // membership checked on entry; fes untouched since
     };
-    let (pair, miss) = fe.lookup_or_insert(&pkt.tuple, Direction::Tx, &mut vs.mem, &mem_model);
+    let (pair, miss) = fe.lookup_or_insert(
+        &graphs.lookup,
+        &pkt.tuple,
+        Direction::Tx,
+        &mut vs.mem,
+        &mem_model,
+    );
     // A cache miss re-executes the full slow path: "the FE executes
     // the same code as before deploying Nezha" (§5.1) — which is why
     // per-FE CPS capacity matches a local vSwitch's, and Fig. 9's
@@ -93,6 +100,7 @@ pub(crate) fn fe_handle_tx_carry(
                 st,
                 st.nsh_decap,
                 decap,
+                graphs.process.plan(fe_path(miss)),
                 pipeline::stage_costs(
                     &costs,
                     &fe.vnic,
@@ -147,6 +155,7 @@ pub(crate) fn fe_handle_rx(
 ) {
     let (server, now) = (ctx.server, ctx.now);
     let be = binding.be;
+    let graphs = ctx.graphs();
     let cl = &mut *ctx.cl;
     let vs = &mut cl.switches[server.0 as usize];
     let mem_model = vs.config().memory;
@@ -157,7 +166,13 @@ pub(crate) fn fe_handle_rx(
         // it rather than silently dropping on the floor.
         return ctx.misroute(&pkt);
     };
-    let (pair, miss) = fe.lookup_or_insert(&pkt.tuple, Direction::Rx, &mut vs.mem, &mem_model);
+    let (pair, miss) = fe.lookup_or_insert(
+        &graphs.lookup,
+        &pkt.tuple,
+        Direction::Rx,
+        &mut vs.mem,
+        &mem_model,
+    );
     let cycles = costs.fe_carry
         + if miss {
             fe.vnic.slow_path_cycles(&costs, pkt.wire_len())
@@ -181,6 +196,7 @@ pub(crate) fn fe_handle_rx(
                 st,
                 st.nsh_encap,
                 0,
+                graphs.process.plan(fe_path(miss)),
                 pipeline::stage_costs(
                     &costs,
                     &fe.vnic,

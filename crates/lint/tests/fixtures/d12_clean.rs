@@ -1,0 +1,11 @@
+// Fixture: D12 clean — lookups reach the rule tables through the
+// compiled stage graph instead of reading table fields directly; the
+// graph is the single source of pipeline semantics.
+
+fn graph_lookup(graphs: &SwitchGraphs, vnic: &Vnic, tuple: &FiveTuple) -> PreActionPair {
+    graphs.lookup_pair(vnic, tuple, Direction::Tx)
+}
+
+fn graph_process(graph: &PktGraph, ctx: &mut PktCtx, env: &mut LocalRun) -> StageVerdict {
+    graph.eval(ctx, env)
+}

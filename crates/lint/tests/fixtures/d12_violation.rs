@@ -1,0 +1,14 @@
+// Fixture: D12 — ad-hoc rule-table reads outside the stage layer: a
+// helper re-implementing pipeline semantics against the raw tables
+// instead of driving the compiled stage graph. Expect D12 (error) on
+// lines 7, 8, and 13.
+
+fn shortcut_lookup(vnic: &Vnic, tuple: &FiveTuple) -> bool {
+    let verdict = vnic.tables.acl.lookup(tuple, Direction::Tx);
+    let hop = vnic.tables.route.lookup(tuple.dst_ip);
+    verdict.decision == Decision::Accept && hop.is_some()
+}
+
+fn shortcut_qos(vnic: &Vnic, port: u16) -> u8 {
+    vnic.tables.qos.classify(port)
+}

@@ -24,7 +24,12 @@
 //!   the short SYN aging of §7.3);
 //! * [`pipeline`] — slow-path lookup (with cycle costing) and fast-path
 //!   `process_pkt(pre_actions, state)`;
-//! * [`vswitch`] — the assembled vSwitch with CPU/memory enforcement.
+//! * [`stage`] — the pipeline as typed, composable stage graphs:
+//!   combinators ([`stage::seq`], [`stage::branch`], [`stage::tee`],
+//!   [`stage::guard`]), the compiled [`StageGraph`], graph-derived cost
+//!   plans;
+//! * [`vswitch`] — the vSwitch facade: resource enforcement + driving
+//!   the compiled graph.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -32,7 +37,9 @@
 pub mod config;
 pub mod pipeline;
 pub mod session;
+pub mod stage;
 pub mod tables;
+mod telemetry;
 pub mod vnic;
 pub mod vswitch;
 
@@ -40,6 +47,9 @@ pub use config::{CostModel, VSwitchConfig};
 pub use pipeline::{finalize_with_state, process_pkt, slow_path_lookup, update_state};
 pub use pipeline::{LookupResult, PathTaken, ProcessOutcome, ProcessResult};
 pub use session::{SessionEntry, SessionTable};
+pub use stage::{
+    CostSlot, PktCtx, PktGraph, Stage, StageCtx, StageGraph, StageVerdict, SwitchEnv, SwitchGraphs,
+};
 pub use tables::acl::{AclRule, AclTable, PortRange};
 pub use tables::nat::NatTable;
 pub use tables::policy::PolicyTable;

@@ -10,7 +10,7 @@
 use crate::config::CostModel;
 use crate::vnic::Vnic;
 use nezha_types::{
-    Action, Decision, Direction, FiveTuple, Packet, PreAction, PreActionPair, SessionState,
+    Action, Direction, FiveTuple, Packet, PreAction, PreActionPair, SessionState,
     StatefulDecapState, TcpEvent,
 };
 use serde::{Deserialize, Serialize};
@@ -59,8 +59,9 @@ impl ProcessOutcome {
 pub struct ProcessResult {
     /// What happened.
     pub outcome: ProcessOutcome,
-    /// Which path the packet took (meaningless for CPU drops).
-    pub path: PathTaken,
+    /// Which path the packet took; `None` for CPU drops (an overloaded
+    /// switch rejects the packet before it takes any path).
+    pub path: Option<PathTaken>,
     /// When the vSwitch finished with the packet (includes CPU queueing).
     pub done_at: nezha_sim::time::SimTime,
     /// True when a new session entry was created by this packet.
@@ -95,14 +96,18 @@ impl StageCosts {
 }
 
 /// Splits one charged cycle `total` into per-stage shares following the
-/// cost model's own decomposition.
+/// process graph's derived cost plan for `path`.
 ///
 /// Shares are assigned by sequential budgeting — each stage takes
-/// `min(model cost, remaining budget)` and the rule tier 0 absorbs the
-/// remainder — so the parts sum to `total` *exactly* even when a vNIC
-/// `lookup_weight` or gray-failure multiplier scaled the charge away from
-/// the nominal model costs. Costs the model does not split (BE state
-/// work, notify processing) are not artificially split here.
+/// `min(model cost, remaining budget)` and the path's absorber slot
+/// takes the remainder — so the parts sum to `total` *exactly* even when
+/// a vNIC `lookup_weight` or gray-failure multiplier scaled the charge
+/// away from the nominal model costs (see [`crate::stage::costing`]).
+/// The plans here are the standard graph's, proven equal to the compiled
+/// topology by the stage-module tests; callers holding a compiled graph
+/// should prefer [`crate::stage::SwitchGraphs::stage_costs`]. Costs the
+/// model does not split (BE state work, notify processing) are not
+/// artificially split here.
 pub fn stage_costs(
     costs: &CostModel,
     vnic: &Vnic,
@@ -110,131 +115,29 @@ pub fn stage_costs(
     total: u64,
     path: PathTaken,
 ) -> StageCosts {
-    fn take(budget: &mut u64, want: u64) -> u64 {
-        let t = want.min(*budget);
-        *budget -= t;
-        t
-    }
-    let mut budget = total;
-    let dma = take(&mut budget, (costs.per_byte_milli * bytes as u64) / 1000);
-    let parse = take(&mut budget, costs.parse);
-    match path {
-        PathTaken::Fast => StageCosts {
-            dma,
-            parse,
-            session: budget, // cached-flow lookup: the rest of fast_path
-            overhead: 0,
-            tiers: Vec::new(),
-        },
-        PathTaken::Slow => {
-            let session = take(&mut budget, costs.session_create);
-            let overhead = take(&mut budget, costs.first_packet_overhead);
-            let extra = vnic.profile.extra_tables as usize;
-            let mut tiers = vec![0u64; extra + 1];
-            for t in tiers.iter_mut().skip(1) {
-                *t = take(&mut budget, costs.per_extra_table);
-            }
-            tiers[0] = budget; // base pipeline + ACL + any scaling residue
-            StageCosts {
-                dma,
-                parse,
-                session,
-                overhead,
-                tiers,
-            }
-        }
-    }
+    let plan = match path {
+        PathTaken::Fast => crate::stage::FAST_PLAN,
+        PathTaken::Slow => crate::stage::SLOW_PLAN,
+    };
+    crate::stage::costing::costs_from_plan(plan, costs, vnic, bytes, total)
 }
 
-/// Runs the full rule-table pipeline for the session of `tuple` as seen
-/// from direction `pkt_dir`, producing the bidirectional pre-actions.
+/// Runs the compiled rule-table `graph` for the session of `tuple` as
+/// seen from direction `pkt_dir`, producing the bidirectional
+/// pre-actions.
 ///
 /// Table order mirrors §2.2.2's "at least five tables": ACL, QoS, policy,
-/// VXLAN routing, vNIC-server mapping (+ NAT for NAT vNICs). The result
-/// depends only on the vNIC's tables and the tuple — stateless, hence
-/// FE-replicable.
-pub fn slow_path_lookup(vnic: &Vnic, tuple: &FiveTuple, pkt_dir: Direction) -> LookupResult {
-    let tx_tuple = match pkt_dir {
-        Direction::Tx => *tuple,
-        Direction::Rx => tuple.reversed(),
-    };
-    let rx_tuple = tx_tuple.reversed();
+/// VXLAN routing, vNIC-server mapping (+ NAT for NAT vNICs) — composed in
+/// [`crate::stage::lookup`]. The result depends only on the vNIC's
+/// tables and the tuple — stateless, hence FE-replicable.
+pub fn slow_path_lookup(
+    graph: &crate::stage::PktGraph,
+    vnic: &Vnic,
+    tuple: &FiveTuple,
+    pkt_dir: Direction,
+) -> LookupResult {
     LookupResult {
-        pair: PreActionPair {
-            tx: direction_lookup(vnic, &tx_tuple, Direction::Tx),
-            rx: direction_lookup(vnic, &rx_tuple, Direction::Rx),
-        },
-    }
-}
-
-fn direction_lookup(vnic: &Vnic, tuple: &FiveTuple, dir: Direction) -> PreAction {
-    let t = &vnic.tables;
-    // 1. ACL — the (possibly stateful) preliminary verdict.
-    let acl = t.acl.lookup(tuple, dir);
-    // 2. QoS class.
-    let qos_class = t.qos.classify(tuple.dst_port);
-    // 3. Statistics policy (session-level: keyed on the TX destination so
-    //    both directions agree).
-    let stats_policy = match dir {
-        Direction::Tx => t.policy.lookup(tuple.dst_ip, tuple.dst_port),
-        Direction::Rx => t.policy.lookup(tuple.src_ip, tuple.src_port),
-    };
-    // 4+5. Routing + vNIC-server mapping resolve the next hop for egress;
-    //      ingress delivers locally (no fabric hop after this vSwitch).
-    //      Policy-based routing (an advanced table) overrides the
-    //      destination-driven route by source prefix.
-    let (routable, next_hop) = match dir {
-        Direction::Tx => {
-            if let Some(via) = t.pbr.lookup(tuple.src_ip) {
-                // Steer via the policy hop when it resolves to a server;
-                // otherwise egress via the gateway.
-                (true, t.vnic_server.select(via, tuple.stable_hash()))
-            } else {
-                match t.route.lookup(tuple.dst_ip) {
-                    None => (false, None),
-                    Some(crate::tables::route::RouteTarget::Blackhole) => (false, None),
-                    Some(crate::tables::route::RouteTarget::Overlay(hint)) => {
-                        let hop = t
-                            .vnic_server
-                            .select(tuple.dst_ip, tuple.stable_hash())
-                            .or_else(|| t.vnic_server.select(hint, tuple.stable_hash()));
-                        // Unmapped destinations leave via the VPC gateway,
-                        // modeled as next_hop None with an Accept verdict.
-                        (true, hop)
-                    }
-                }
-            }
-        }
-        Direction::Rx => (true, None),
-    };
-    // NAT applies to egress sources on NAT vNICs.
-    let nat_rewrite = match dir {
-        Direction::Tx => t.nat.lookup(tuple.src_ip),
-        Direction::Rx => None,
-    };
-    // Mirroring: copy this direction's packets to a collector when a
-    // mirror rule covers the flow (keyed like the statistics policy so
-    // both directions of a session agree on the selecting endpoint).
-    let mirror_to = match dir {
-        Direction::Tx => t.mirror.lookup(tuple.dst_ip, tuple.dst_port),
-        Direction::Rx => t.mirror.lookup(tuple.src_ip, tuple.src_port),
-    };
-    let verdict = if !routable {
-        Decision::Drop
-    } else {
-        acl.decision
-    };
-    PreAction {
-        verdict,
-        // Routing drops are final (stateless); only ACL verdicts may be
-        // softened by connection state.
-        stateful_acl: acl.stateful && routable,
-        next_hop,
-        nat_rewrite,
-        stateful_decap: vnic.profile.stateful_decap,
-        qos_class,
-        stats_policy,
-        mirror_to,
+        pair: crate::stage::lookup::pair_lookup(graph, vnic, tuple, pkt_dir),
     }
 }
 
@@ -310,9 +213,17 @@ pub fn mirror_copies(action: &Action) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stage::PktGraph;
     use crate::vnic::VnicProfile;
     use nezha_types::TcpState;
-    use nezha_types::{Ipv4Addr, ServerId, TcpFlags, VnicId, VpcId};
+    use nezha_types::{Decision, Ipv4Addr, ServerId, TcpFlags, VnicId, VpcId};
+
+    /// A graph-free façade over [`slow_path_lookup`] so the table-order
+    /// assertions below read as before the combinator refactor.
+    fn lookup(vnic: &Vnic, tuple: &FiveTuple, pkt_dir: Direction) -> LookupResult {
+        let graph: PktGraph = crate::stage::lookup::lookup_graph();
+        slow_path_lookup(&graph, vnic, tuple, pkt_dir)
+    }
 
     fn vnic() -> Vnic {
         Vnic::new(
@@ -337,20 +248,20 @@ mod tests {
     #[test]
     fn lookup_is_deterministic_and_direction_symmetric() {
         let v = vnic();
-        let a = slow_path_lookup(&v, &tx_tuple(), Direction::Tx);
-        let b = slow_path_lookup(&v, &tx_tuple(), Direction::Tx);
+        let a = lookup(&v, &tx_tuple(), Direction::Tx);
+        let b = lookup(&v, &tx_tuple(), Direction::Tx);
         assert_eq!(a.pair, b.pair);
         // Looking up from the RX side of the same session yields the same
         // bidirectional pair — this is what makes FE caching direction-
         // agnostic.
-        let c = slow_path_lookup(&v, &tx_tuple().reversed(), Direction::Rx);
+        let c = lookup(&v, &tx_tuple().reversed(), Direction::Rx);
         assert_eq!(a.pair, c.pair);
     }
 
     #[test]
     fn tx_preaction_resolves_next_hop() {
         let v = vnic();
-        let r = slow_path_lookup(&v, &tx_tuple(), Direction::Tx);
+        let r = lookup(&v, &tx_tuple(), Direction::Tx);
         assert!(r.pair.tx.next_hop.is_some(), "mapped peer must resolve");
         assert_eq!(r.pair.rx.next_hop, None, "ingress delivers locally");
     }
@@ -377,7 +288,7 @@ mod tests {
             Ipv4Addr::new(172, 30, 1, 1),
             9000,
         );
-        let r = slow_path_lookup(&v, &t, Direction::Tx);
+        let r = lookup(&v, &t, Direction::Tx);
         assert_eq!(r.pair.tx.verdict, Decision::Accept);
         assert_eq!(r.pair.tx.next_hop, None);
     }
@@ -399,11 +310,11 @@ mod tests {
             Ipv4Addr::new(10, 7, 0, 100),
             9000,
         );
-        let r = slow_path_lookup(&v, &steered, Direction::Tx);
+        let r = lookup(&v, &steered, Direction::Tx);
         assert_eq!(r.pair.tx.next_hop, Some(ServerId(42)));
         // Unsteered sources still follow the destination route.
         let normal = tx_tuple();
-        let r = slow_path_lookup(&v, &normal, Direction::Tx);
+        let r = lookup(&v, &normal, Direction::Tx);
         assert_ne!(r.pair.tx.next_hop, Some(ServerId(42)));
     }
 
@@ -421,7 +332,7 @@ mod tests {
             Ipv4Addr::new(192, 0, 2, 9),
             9000,
         );
-        let r = slow_path_lookup(&v, &t, Direction::Tx);
+        let r = lookup(&v, &t, Direction::Tx);
         assert_eq!(r.pair.tx.verdict, Decision::Drop);
         assert!(!r.pair.tx.stateful_acl, "routing drops are not stateful");
     }
@@ -429,7 +340,7 @@ mod tests {
     #[test]
     fn process_pkt_initializes_first_dir_and_fsm() {
         let v = vnic();
-        let r = slow_path_lookup(&v, &tx_tuple(), Direction::Tx);
+        let r = lookup(&v, &tx_tuple(), Direction::Tx);
         let mut state = SessionState::default();
         let pkt = Packet::tx_data(1, VpcId(1), VnicId(1), tx_tuple(), TcpFlags::SYN, 0);
         let act = process_pkt(&r.pair.tx, &mut state, &pkt);
@@ -449,7 +360,7 @@ mod tests {
             Ipv4Addr::new(10, 7, 0, 1),
             9000,
         );
-        let r = slow_path_lookup(&v, &rx, Direction::Rx);
+        let r = lookup(&v, &rx, Direction::Rx);
 
         // Unsolicited: first packet is RX.
         let mut state = SessionState::default();
@@ -482,7 +393,7 @@ mod tests {
             Ipv4Addr::new(10, 8, 0, 1), // real server (this vNIC)
             8080,
         );
-        let r = slow_path_lookup(&v, &rx, Direction::Rx);
+        let r = lookup(&v, &rx, Direction::Rx);
         let mut state = SessionState::default();
 
         // RX packet from the LB, overlay-encapsulated with the LB address.
@@ -520,7 +431,7 @@ mod tests {
     #[test]
     fn stats_policy_from_preaction_becomes_state_and_records() {
         let v = vnic();
-        let mut pre = slow_path_lookup(&v, &tx_tuple(), Direction::Tx).pair.tx;
+        let mut pre = lookup(&v, &tx_tuple(), Direction::Tx).pair.tx;
         pre.stats_policy = 3;
         let mut state = SessionState::default();
         let pkt = Packet::tx_data(1, VpcId(1), VnicId(1), tx_tuple(), TcpFlags::SYN, 100);

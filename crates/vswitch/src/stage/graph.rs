@@ -1,0 +1,466 @@
+//! The stage-combinator core: typed stages composed into a compiled
+//! [`StageGraph`].
+//!
+//! A [`Stage`] is a value with a typed interface — it reads and writes a
+//! context `C` (the packet view) and may call into the context family's
+//! environment ([`StageCtx::Env`], the switch services behind the
+//! pipeline), returning a [`StageVerdict`]. Stages compose with four
+//! combinators:
+//!
+//! * [`seq`] — run stages in order, short-circuiting on [`StageVerdict::Stop`];
+//! * [`branch`] — predicate-selected alternative subgraphs;
+//! * [`tee`] — a side-effect tap whose verdict never gates the pipeline;
+//! * [`guard`] — a predicate-gated optional subgraph.
+//!
+//! [`StageGraph::compile`] validates the composition **once at
+//! construction** and derives the per-path [`CostSlot`] plans the
+//! profiler and `stage_costs` decomposition follow — so the flamegraph
+//! topology and the exact cycle-reconciliation invariant are properties
+//! of the graph, not of hand-maintained parallel code.
+
+use crate::pipeline::PathTaken;
+use std::fmt;
+
+/// What a stage tells the graph walker after evaluating.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StageVerdict {
+    /// Proceed to the next stage.
+    Continue,
+    /// Terminal: the packet's fate is decided; skip the rest of the graph.
+    Stop,
+}
+
+/// A context family for stage graphs: the mutable per-packet context type
+/// itself, plus the environment its stages call into. The environment is
+/// a generic-lifetime associated type so graphs stay lifetime-free (and
+/// thus storable in a `VSwitch`/cluster) while environments may borrow
+/// the switch they drive.
+pub trait StageCtx {
+    /// The environment stages of this context family receive
+    /// (`dyn`-traits and `()` both work).
+    type Env<'a>: ?Sized;
+}
+
+/// A composable pipeline stage with a typed interface: context `C` in,
+/// [`StageVerdict`] out, with switch services reached through the
+/// context family's environment.
+///
+/// Stages must be pure over `(ctx, env)` — all state they read or write
+/// lives in the context or behind the environment, never in the stage
+/// value itself. That is what lets one compiled graph serve every packet
+/// and every role (local, FE, BE) concurrently.
+pub trait Stage<C: StageCtx>: fmt::Debug + Send + Sync {
+    /// Stable stage name (graph inventory, validation errors, docs).
+    fn name(&self) -> &'static str;
+
+    /// Evaluates the stage against one packet context.
+    fn eval(&self, ctx: &mut C, env: &mut C::Env<'_>) -> StageVerdict;
+
+    /// The cycle-cost slots this stage contributes to the charge
+    /// decomposition when a packet takes `path`. Most stages model no
+    /// cost of their own and return the empty slice.
+    fn cost_slots(&self, path: PathTaken) -> &'static [CostSlot] {
+        let _ = path;
+        &[]
+    }
+}
+
+/// A stage predicate: branch/guard selectors over the packet context.
+/// Plain function pointers keep nodes `Debug + Send + Sync` and
+/// allocation-free to evaluate.
+pub type Pred<C> = fn(&C) -> bool;
+
+/// The name of the distinguished [`branch`] that splits the session
+/// fast path (then-arm) from the slow path (else-arm). Cost-plan
+/// derivation resolves this branch by [`PathTaken`]; every other branch
+/// must be cost-neutral.
+pub const PATH_SPLIT: &str = "flow-cache";
+
+/// One node of a stage graph: a stage or a combinator over subgraphs.
+pub enum Node<C: StageCtx> {
+    /// A leaf stage.
+    Stage(Box<dyn Stage<C>>),
+    /// Ordered composition; stops at the first [`StageVerdict::Stop`].
+    Seq(Vec<Node<C>>),
+    /// Predicate-selected alternatives.
+    Branch {
+        /// Branch name ([`PATH_SPLIT`] marks the fast/slow split).
+        name: &'static str,
+        /// Selector: `true` evaluates `then_node`, `false` `else_node`.
+        pred: Pred<C>,
+        /// Taken when the predicate holds.
+        then_node: Box<Node<C>>,
+        /// Taken otherwise.
+        else_node: Box<Node<C>>,
+    },
+    /// A side-effect tap: the subgraph runs, its verdict is ignored.
+    Tee(Box<Node<C>>),
+    /// A predicate-gated subgraph; skipped (as `Continue`) when the
+    /// predicate is false.
+    Guard {
+        /// Guard name (validation errors, docs).
+        name: &'static str,
+        /// Gate: the subgraph runs only when this holds.
+        pred: Pred<C>,
+        /// The gated subgraph.
+        inner: Box<Node<C>>,
+    },
+}
+
+/// Wraps a stage value as a graph node.
+pub fn stage<C: StageCtx, S: Stage<C> + 'static>(s: S) -> Node<C> {
+    Node::Stage(Box::new(s))
+}
+
+/// Sequential composition of `nodes` (must be non-empty at compile).
+pub fn seq<C: StageCtx>(nodes: Vec<Node<C>>) -> Node<C> {
+    Node::Seq(nodes)
+}
+
+/// Predicate-selected alternative subgraphs.
+pub fn branch<C: StageCtx>(
+    name: &'static str,
+    pred: Pred<C>,
+    then_node: Node<C>,
+    else_node: Node<C>,
+) -> Node<C> {
+    Node::Branch {
+        name,
+        pred,
+        then_node: Box::new(then_node),
+        else_node: Box::new(else_node),
+    }
+}
+
+/// A side-effect tap: `inner` runs but can never stop the pipeline.
+pub fn tee<C: StageCtx>(inner: Node<C>) -> Node<C> {
+    Node::Tee(Box::new(inner))
+}
+
+/// A predicate-gated subgraph.
+pub fn guard<C: StageCtx>(name: &'static str, pred: Pred<C>, inner: Node<C>) -> Node<C> {
+    Node::Guard {
+        name,
+        pred,
+        inner: Box::new(inner),
+    }
+}
+
+impl<C: StageCtx> Node<C> {
+    fn eval(&self, ctx: &mut C, env: &mut C::Env<'_>) -> StageVerdict {
+        match self {
+            Node::Stage(s) => s.eval(ctx, env),
+            Node::Seq(nodes) => {
+                for n in nodes {
+                    if n.eval(ctx, &mut *env) == StageVerdict::Stop {
+                        return StageVerdict::Stop;
+                    }
+                }
+                StageVerdict::Continue
+            }
+            Node::Branch {
+                pred,
+                then_node,
+                else_node,
+                ..
+            } => {
+                if pred(ctx) {
+                    then_node.eval(ctx, env)
+                } else {
+                    else_node.eval(ctx, env)
+                }
+            }
+            Node::Tee(inner) => {
+                let _ = inner.eval(ctx, env);
+                StageVerdict::Continue
+            }
+            Node::Guard { pred, inner, .. } => {
+                if pred(ctx) {
+                    inner.eval(ctx, env)
+                } else {
+                    StageVerdict::Continue
+                }
+            }
+        }
+    }
+
+    fn collect_names(&self, out: &mut Vec<&'static str>) {
+        match self {
+            Node::Stage(s) => out.push(s.name()),
+            Node::Seq(nodes) => {
+                for n in nodes {
+                    n.collect_names(out);
+                }
+            }
+            Node::Branch {
+                then_node,
+                else_node,
+                ..
+            } => {
+                then_node.collect_names(out);
+                else_node.collect_names(out);
+            }
+            Node::Tee(inner) | Node::Guard { inner, .. } => inner.collect_names(out),
+        }
+    }
+
+    fn validate(&self) -> Result<(), GraphError> {
+        match self {
+            Node::Stage(_) => Ok(()),
+            Node::Seq(nodes) => {
+                if nodes.is_empty() {
+                    return Err(GraphError::EmptySeq);
+                }
+                nodes.iter().try_for_each(Node::validate)
+            }
+            Node::Branch {
+                then_node,
+                else_node,
+                ..
+            } => {
+                then_node.validate()?;
+                else_node.validate()
+            }
+            Node::Tee(inner) | Node::Guard { inner, .. } => inner.validate(),
+        }
+    }
+
+    /// Appends this subtree's cost slots for `path` to `out`, resolving
+    /// the [`PATH_SPLIT`] branch by `path` and rejecting cost slots whose
+    /// execution the plan could not predict statically.
+    fn collect_plan(&self, path: PathTaken, out: &mut Vec<CostSlot>) -> Result<(), GraphError> {
+        match self {
+            Node::Stage(s) => {
+                out.extend_from_slice(s.cost_slots(path));
+                Ok(())
+            }
+            Node::Seq(nodes) => nodes.iter().try_for_each(|n| n.collect_plan(path, out)),
+            Node::Branch {
+                name,
+                then_node,
+                else_node,
+                ..
+            } => {
+                if *name == PATH_SPLIT {
+                    match path {
+                        PathTaken::Fast => then_node.collect_plan(path, out),
+                        PathTaken::Slow => else_node.collect_plan(path, out),
+                    }
+                } else {
+                    // A data-dependent branch must be cost-neutral (or
+                    // symmetric): the decomposition cannot depend on
+                    // which arm ran.
+                    let (mut a, mut b) = (Vec::new(), Vec::new());
+                    then_node.collect_plan(path, &mut a)?;
+                    else_node.collect_plan(path, &mut b)?;
+                    if a != b {
+                        return Err(GraphError::AmbiguousCost(name));
+                    }
+                    out.append(&mut a);
+                    Ok(())
+                }
+            }
+            Node::Tee(inner) => Self::require_cost_neutral(inner, path, "tee"),
+            Node::Guard { name, inner, .. } => Self::require_cost_neutral(inner, path, name),
+        }
+    }
+
+    fn require_cost_neutral(
+        inner: &Node<C>,
+        path: PathTaken,
+        name: &'static str,
+    ) -> Result<(), GraphError> {
+        let mut slots = Vec::new();
+        inner.collect_plan(path, &mut slots)?;
+        if slots.is_empty() {
+            Ok(())
+        } else {
+            Err(GraphError::ConditionalCost(name))
+        }
+    }
+}
+
+impl<C: StageCtx> fmt::Debug for Node<C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Node::Stage(s) => write!(f, "{}", s.name()),
+            Node::Seq(nodes) => f.debug_list().entries(nodes).finish(),
+            Node::Branch {
+                name,
+                then_node,
+                else_node,
+                ..
+            } => f
+                .debug_struct("branch")
+                .field("name", name)
+                .field("then", then_node)
+                .field("else", else_node)
+                .finish(),
+            Node::Tee(inner) => f.debug_tuple("tee").field(inner).finish(),
+            Node::Guard { name, inner, .. } => f
+                .debug_struct("guard")
+                .field("name", name)
+                .field("inner", inner)
+                .finish(),
+        }
+    }
+}
+
+/// One slot of the charge decomposition, in budget order. The plans a
+/// graph compiles to are sequences of these; `stage_costs` realizes a
+/// plan against a concrete charge by sequential budgeting, so leaf
+/// cycles always sum to exactly the charged total.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CostSlot {
+    /// Per-byte DMA + copy share.
+    Dma,
+    /// Header-parse share.
+    Parse,
+    /// Fast-path session share: the cached-flow lookup absorbs the whole
+    /// remaining budget (it is the fast path's only post-parse work).
+    SessionResidue,
+    /// Slow-path session-creation share.
+    SessionCreate,
+    /// First-packet slow-path overhead share.
+    SlowOverhead,
+    /// The rule-pipeline tiers: each extra table takes its model cost and
+    /// tier 0 (base pipeline + ACL) absorbs the remaining budget.
+    RuleTiers,
+}
+
+impl CostSlot {
+    /// True when this slot absorbs the remaining budget (must be the
+    /// last slot of any non-empty plan).
+    pub fn is_absorber(self) -> bool {
+        matches!(self, CostSlot::SessionResidue | CostSlot::RuleTiers)
+    }
+}
+
+/// The standard fast-path plan (what the canonical process graph derives).
+pub const FAST_PLAN: &[CostSlot] = &[CostSlot::Dma, CostSlot::Parse, CostSlot::SessionResidue];
+
+/// The standard slow-path plan (what the canonical process graph derives).
+pub const SLOW_PLAN: &[CostSlot] = &[
+    CostSlot::Dma,
+    CostSlot::Parse,
+    CostSlot::SessionCreate,
+    CostSlot::SlowOverhead,
+    CostSlot::RuleTiers,
+];
+
+/// Why a composition failed to compile.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GraphError {
+    /// A `seq` combinator with no stages.
+    EmptySeq,
+    /// A non-[`PATH_SPLIT`] branch whose arms declare different cost
+    /// slots — the decomposition would depend on runtime data.
+    AmbiguousCost(&'static str),
+    /// A `tee`/`guard` subtree declares cost slots, but whether it runs
+    /// is not statically known.
+    ConditionalCost(&'static str),
+    /// A plan declares the same cost slot twice.
+    DuplicateSlot(CostSlot),
+    /// A budget-absorbing slot is missing or not last, so leaf cycles
+    /// could not sum to the charged total exactly.
+    MisplacedAbsorber(PathTaken),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::EmptySeq => write!(f, "seq combinator with no stages"),
+            GraphError::AmbiguousCost(n) => {
+                write!(f, "branch '{n}': arms declare different cost slots")
+            }
+            GraphError::ConditionalCost(n) => {
+                write!(f, "tee/guard '{n}': conditional subtree declares cost slots")
+            }
+            GraphError::DuplicateSlot(s) => write!(f, "cost slot {s:?} declared twice"),
+            GraphError::MisplacedAbsorber(p) => write!(
+                f,
+                "{p:?} plan lacks a trailing budget-absorbing slot; leaves would not sum to the charge"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A validated, compiled stage graph: the composition itself plus the
+/// derived inventory and per-path cost plans.
+pub struct StageGraph<C: StageCtx> {
+    root: Node<C>,
+    names: Vec<&'static str>,
+    fast_plan: Vec<CostSlot>,
+    slow_plan: Vec<CostSlot>,
+}
+
+impl<C: StageCtx> StageGraph<C> {
+    /// Validates the composition and derives its stage inventory and
+    /// cost plans. Called once at vSwitch (or cluster) construction.
+    pub fn compile(root: Node<C>) -> Result<Self, GraphError> {
+        root.validate()?;
+        let mut names = Vec::new();
+        root.collect_names(&mut names);
+        let mut plans = [Vec::new(), Vec::new()];
+        for (path, plan) in [PathTaken::Fast, PathTaken::Slow]
+            .into_iter()
+            .zip(&mut plans)
+        {
+            root.collect_plan(path, plan)?;
+            for (i, slot) in plan.iter().enumerate() {
+                if plan[..i].contains(slot) {
+                    return Err(GraphError::DuplicateSlot(*slot));
+                }
+                if slot.is_absorber() != (i == plan.len() - 1) {
+                    return Err(GraphError::MisplacedAbsorber(path));
+                }
+            }
+        }
+        let [fast_plan, slow_plan] = plans;
+        Ok(StageGraph {
+            root,
+            names,
+            fast_plan,
+            slow_plan,
+        })
+    }
+
+    /// Walks the graph for one packet context.
+    pub fn eval(&self, ctx: &mut C, env: &mut C::Env<'_>) -> StageVerdict {
+        self.root.eval(ctx, env)
+    }
+
+    /// The derived cost plan for `path`.
+    pub fn plan(&self, path: PathTaken) -> &[CostSlot] {
+        match path {
+            PathTaken::Fast => &self.fast_plan,
+            PathTaken::Slow => &self.slow_plan,
+        }
+    }
+
+    /// Stage names in evaluation (pre-)order, both branch arms included.
+    pub fn stage_names(&self) -> &[&'static str] {
+        &self.names
+    }
+
+    /// True when a stage of this name is part of the graph.
+    pub fn contains_stage(&self, name: &str) -> bool {
+        self.names.contains(&name)
+    }
+}
+
+impl<C: StageCtx> fmt::Debug for StageGraph<C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StageGraph")
+            .field("root", &self.root)
+            .field("fast_plan", &self.fast_plan)
+            .field("slow_plan", &self.slow_plan)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+#[path = "graph_tests.rs"]
+mod tests;

@@ -1,0 +1,152 @@
+//! Unit tests for the combinator core (split out to keep `graph.rs`
+//! under the vswitch 600-line file-size cap).
+
+use super::*;
+
+/// Test context: a hit log and a flag the predicates read.
+#[derive(Default)]
+struct Ctx {
+    hits: Vec<&'static str>,
+    flag: bool,
+}
+
+impl StageCtx for Ctx {
+    type Env<'a> = ();
+}
+
+#[derive(Debug)]
+struct Mark(&'static str, StageVerdict);
+impl Stage<Ctx> for Mark {
+    fn name(&self) -> &'static str {
+        self.0
+    }
+    fn eval(&self, ctx: &mut Ctx, _env: &mut ()) -> StageVerdict {
+        ctx.hits.push(self.0);
+        self.1
+    }
+}
+
+#[derive(Debug)]
+struct Cost(&'static str, &'static [CostSlot]);
+impl Stage<Ctx> for Cost {
+    fn name(&self) -> &'static str {
+        self.0
+    }
+    fn eval(&self, _ctx: &mut Ctx, _env: &mut ()) -> StageVerdict {
+        StageVerdict::Continue
+    }
+    fn cost_slots(&self, _path: PathTaken) -> &'static [CostSlot] {
+        self.1
+    }
+}
+
+fn flag(c: &Ctx) -> bool {
+    c.flag
+}
+
+#[test]
+fn seq_short_circuits_on_stop() {
+    let g = StageGraph::compile(seq(vec![
+        stage(Mark("a", StageVerdict::Continue)),
+        stage(Mark("b", StageVerdict::Stop)),
+        stage(Mark("c", StageVerdict::Continue)),
+    ]))
+    .unwrap();
+    let mut ctx = Ctx::default();
+    assert_eq!(g.eval(&mut ctx, &mut ()), StageVerdict::Stop);
+    assert_eq!(ctx.hits, ["a", "b"]);
+}
+
+#[test]
+fn branch_selects_by_predicate_and_guard_gates() {
+    let g = StageGraph::compile(seq(vec![
+        branch(
+            "side",
+            flag,
+            stage(Mark("then", StageVerdict::Continue)),
+            stage(Mark("else", StageVerdict::Continue)),
+        ),
+        guard("opt", flag, stage(Mark("gated", StageVerdict::Continue))),
+    ]))
+    .unwrap();
+    let mut ctx = Ctx {
+        flag: true,
+        ..Ctx::default()
+    };
+    g.eval(&mut ctx, &mut ());
+    assert_eq!(ctx.hits, ["then", "gated"]);
+    let mut ctx = Ctx::default();
+    g.eval(&mut ctx, &mut ());
+    assert_eq!(ctx.hits, ["else"]);
+}
+
+#[test]
+fn tee_never_stops_the_pipeline() {
+    let g = StageGraph::compile(seq(vec![
+        tee(stage(Mark("tap", StageVerdict::Stop))),
+        stage(Mark("after", StageVerdict::Continue)),
+    ]))
+    .unwrap();
+    let mut ctx = Ctx::default();
+    assert_eq!(g.eval(&mut ctx, &mut ()), StageVerdict::Continue);
+    assert_eq!(ctx.hits, ["tap", "after"]);
+}
+
+#[test]
+fn compile_rejects_empty_seq_and_conditional_costs() {
+    assert_eq!(
+        StageGraph::<Ctx>::compile(seq(vec![])).unwrap_err(),
+        GraphError::EmptySeq
+    );
+    let err = StageGraph::compile(guard(
+        "g",
+        flag,
+        stage(Cost("c", &[CostSlot::Dma, CostSlot::SessionResidue])),
+    ))
+    .unwrap_err();
+    assert_eq!(err, GraphError::ConditionalCost("g"));
+}
+
+#[test]
+fn compile_rejects_plans_without_trailing_absorber() {
+    let err = StageGraph::compile(stage(Cost("c", &[CostSlot::Dma]))).unwrap_err();
+    assert_eq!(err, GraphError::MisplacedAbsorber(PathTaken::Fast));
+}
+
+#[test]
+fn path_split_branch_resolves_plans() {
+    #[derive(Debug)]
+    struct Probe;
+    impl Stage<Ctx> for Probe {
+        fn name(&self) -> &'static str {
+            "probe"
+        }
+        fn eval(&self, _c: &mut Ctx, _e: &mut ()) -> StageVerdict {
+            StageVerdict::Continue
+        }
+        fn cost_slots(&self, path: PathTaken) -> &'static [CostSlot] {
+            match path {
+                PathTaken::Fast => &[CostSlot::SessionResidue],
+                PathTaken::Slow => &[CostSlot::SessionCreate],
+            }
+        }
+    }
+    let g = StageGraph::compile(seq(vec![
+        stage(Cost("ingest", &[CostSlot::Dma])),
+        stage(Cost("parse", &[CostSlot::Parse])),
+        stage(Probe),
+        branch(
+            PATH_SPLIT,
+            flag,
+            stage(Mark("fast", StageVerdict::Continue)),
+            stage(Cost(
+                "rules",
+                &[CostSlot::SlowOverhead, CostSlot::RuleTiers],
+            )),
+        ),
+    ]))
+    .unwrap();
+    assert_eq!(g.plan(PathTaken::Fast), FAST_PLAN);
+    assert_eq!(g.plan(PathTaken::Slow), SLOW_PLAN);
+    assert!(g.contains_stage("probe"));
+}

@@ -1,0 +1,292 @@
+//! The rule-table lookup pipeline as stages.
+//!
+//! One evaluation of [`direction_node`] over a [`PktCtx`] reproduces the
+//! legacy `direction_lookup` exactly: ACL → QoS classify → stats policy
+//! → routing (PBR steer, overlay route + vNIC-server selection, or local
+//! Rx delivery) → source NAT (Tx only) → mirror tap. Stage bodies are
+//! the only code (outside graph construction) allowed to touch
+//! `tables::*` fields directly — lint rule D12 enforces this boundary.
+
+use super::graph::{branch, guard, seq, stage, Node, Stage, StageVerdict};
+use super::{PktCtx, PktGraph, SwitchEnv};
+use crate::tables::route::RouteTarget;
+use crate::vnic::Vnic;
+use nezha_types::{Direction, FiveTuple, PreAction, PreActionPair};
+
+fn is_tx(ctx: &PktCtx) -> bool {
+    ctx.dir == Direction::Tx
+}
+
+fn pbr_steered(ctx: &PktCtx) -> bool {
+    ctx.draft.pbr_via.is_some()
+}
+
+fn overlay_routed(ctx: &PktCtx) -> bool {
+    ctx.draft.overlay_hint.is_some()
+}
+
+/// ACL match: records the (possibly stateful) preliminary verdict.
+#[derive(Debug)]
+pub struct AclLookup;
+
+impl Stage<PktCtx> for AclLookup {
+    fn name(&self) -> &'static str {
+        "acl"
+    }
+
+    fn eval(&self, ctx: &mut PktCtx, env: &mut (dyn SwitchEnv + '_)) -> StageVerdict {
+        ctx.draft.acl = env.vnic().tables.acl.lookup(&ctx.tuple, ctx.dir);
+        StageVerdict::Continue
+    }
+}
+
+/// QoS classification by destination port.
+#[derive(Debug)]
+pub struct QosClassify;
+
+impl Stage<PktCtx> for QosClassify {
+    fn name(&self) -> &'static str {
+        "qos-classify"
+    }
+
+    fn eval(&self, ctx: &mut PktCtx, env: &mut (dyn SwitchEnv + '_)) -> StageVerdict {
+        ctx.draft.qos_class = env.vnic().tables.qos.classify(ctx.tuple.dst_port);
+        StageVerdict::Continue
+    }
+}
+
+/// Statistics-policy match on the remote endpoint.
+#[derive(Debug)]
+pub struct StatsPolicy;
+
+impl Stage<PktCtx> for StatsPolicy {
+    fn name(&self) -> &'static str {
+        "stats-policy"
+    }
+
+    fn eval(&self, ctx: &mut PktCtx, env: &mut (dyn SwitchEnv + '_)) -> StageVerdict {
+        let t = &ctx.tuple;
+        ctx.draft.stats_policy = match ctx.dir {
+            Direction::Tx => env.vnic().tables.policy.lookup(t.dst_ip, t.dst_port),
+            Direction::Rx => env.vnic().tables.policy.lookup(t.src_ip, t.src_port),
+        };
+        StageVerdict::Continue
+    }
+}
+
+/// Policy-based routing: source-address override of the route table.
+#[derive(Debug)]
+pub struct PbrLookup;
+
+impl Stage<PktCtx> for PbrLookup {
+    fn name(&self) -> &'static str {
+        "pbr"
+    }
+
+    fn eval(&self, ctx: &mut PktCtx, env: &mut (dyn SwitchEnv + '_)) -> StageVerdict {
+        ctx.draft.pbr_via = env.vnic().tables.pbr.lookup(ctx.tuple.src_ip);
+        StageVerdict::Continue
+    }
+}
+
+/// Resolves a PBR hit straight to a server, bypassing the route table.
+#[derive(Debug)]
+pub struct PbrSteer;
+
+impl Stage<PktCtx> for PbrSteer {
+    fn name(&self) -> &'static str {
+        "pbr-steer"
+    }
+
+    fn eval(&self, ctx: &mut PktCtx, env: &mut (dyn SwitchEnv + '_)) -> StageVerdict {
+        let Some(via) = ctx.draft.pbr_via else {
+            return StageVerdict::Continue;
+        };
+        ctx.draft.routable = true;
+        ctx.draft.next_hop = env
+            .vnic()
+            .tables
+            .vnic_server
+            .select(via, ctx.tuple.stable_hash());
+        StageVerdict::Continue
+    }
+}
+
+/// Overlay route lookup on the destination address.
+#[derive(Debug)]
+pub struct RouteLookup;
+
+impl Stage<PktCtx> for RouteLookup {
+    fn name(&self) -> &'static str {
+        "route"
+    }
+
+    fn eval(&self, ctx: &mut PktCtx, env: &mut (dyn SwitchEnv + '_)) -> StageVerdict {
+        match env.vnic().tables.route.lookup(ctx.tuple.dst_ip) {
+            Some(RouteTarget::Overlay(hint)) => {
+                ctx.draft.routable = true;
+                ctx.draft.overlay_hint = Some(hint);
+            }
+            Some(RouteTarget::Blackhole) | None => ctx.draft.routable = false,
+        }
+        StageVerdict::Continue
+    }
+}
+
+/// Maps an overlay hop to a concrete server: first by the flow's own
+/// destination, then by the route's hint.
+#[derive(Debug)]
+pub struct VnicServerSelect;
+
+impl Stage<PktCtx> for VnicServerSelect {
+    fn name(&self) -> &'static str {
+        "vnic-server"
+    }
+
+    fn eval(&self, ctx: &mut PktCtx, env: &mut (dyn SwitchEnv + '_)) -> StageVerdict {
+        let Some(hint) = ctx.draft.overlay_hint else {
+            return StageVerdict::Continue;
+        };
+        let map = &env.vnic().tables.vnic_server;
+        let flow_hash = ctx.tuple.stable_hash();
+        ctx.draft.next_hop = map
+            .select(ctx.tuple.dst_ip, flow_hash)
+            .or_else(|| map.select(hint, flow_hash));
+        StageVerdict::Continue
+    }
+}
+
+/// Rx direction: the packet terminates at this vNIC, always routable.
+#[derive(Debug)]
+pub struct RxLocalDeliver;
+
+impl Stage<PktCtx> for RxLocalDeliver {
+    fn name(&self) -> &'static str {
+        "rx-local"
+    }
+
+    fn eval(&self, ctx: &mut PktCtx, _env: &mut (dyn SwitchEnv + '_)) -> StageVerdict {
+        ctx.draft.routable = true;
+        ctx.draft.next_hop = None;
+        StageVerdict::Continue
+    }
+}
+
+/// Source NAT on the egress direction.
+#[derive(Debug)]
+pub struct NatRewrite;
+
+impl Stage<PktCtx> for NatRewrite {
+    fn name(&self) -> &'static str {
+        "nat"
+    }
+
+    fn eval(&self, ctx: &mut PktCtx, env: &mut (dyn SwitchEnv + '_)) -> StageVerdict {
+        ctx.draft.nat_rewrite = env.vnic().tables.nat.lookup(ctx.tuple.src_ip);
+        StageVerdict::Continue
+    }
+}
+
+/// Mirror tap on the remote endpoint. Observability only — composed
+/// under [`tee`](super::tee) so it can never stop the pipeline.
+#[derive(Debug)]
+pub struct MirrorTap;
+
+impl Stage<PktCtx> for MirrorTap {
+    fn name(&self) -> &'static str {
+        "mirror"
+    }
+
+    fn eval(&self, ctx: &mut PktCtx, env: &mut (dyn SwitchEnv + '_)) -> StageVerdict {
+        let t = &ctx.tuple;
+        ctx.draft.mirror_to = match ctx.dir {
+            Direction::Tx => env.vnic().tables.mirror.lookup(t.dst_ip, t.dst_port),
+            Direction::Rx => env.vnic().tables.mirror.lookup(t.src_ip, t.src_port),
+        };
+        StageVerdict::Continue
+    }
+}
+
+/// The standard per-direction rule-table pipeline, composed.
+pub fn direction_node() -> Node<PktCtx> {
+    seq(vec![
+        stage(AclLookup),
+        stage(QosClassify),
+        stage(StatsPolicy),
+        branch(
+            "egress-routing",
+            is_tx,
+            seq(vec![
+                stage(PbrLookup),
+                branch(
+                    "pbr-steer",
+                    pbr_steered,
+                    stage(PbrSteer),
+                    seq(vec![
+                        stage(RouteLookup),
+                        guard("overlay-hop", overlay_routed, stage(VnicServerSelect)),
+                    ]),
+                ),
+            ]),
+            stage(RxLocalDeliver),
+        ),
+        guard("snat", is_tx, stage(NatRewrite)),
+        super::tee(stage(MirrorTap)),
+    ])
+}
+
+/// Compiles the standard lookup graph stand-alone (benchmarks, tests).
+pub fn lookup_graph() -> PktGraph {
+    PktGraph::compile(direction_node()).expect("standard lookup graph is valid")
+}
+
+/// A minimal environment for pure rule-table lookups: exposes one vNIC,
+/// no process-level operations.
+#[derive(Debug)]
+pub struct LookupEnv<'a> {
+    vnic: &'a Vnic,
+}
+
+impl<'a> LookupEnv<'a> {
+    /// An environment reading `vnic`'s tables.
+    pub fn new(vnic: &'a Vnic) -> Self {
+        LookupEnv { vnic }
+    }
+}
+
+impl SwitchEnv for LookupEnv<'_> {
+    fn vnic(&self) -> &Vnic {
+        self.vnic
+    }
+}
+
+/// Evaluates the lookup graph for one direction of `tuple`.
+pub fn direction_lookup(
+    graph: &PktGraph,
+    vnic: &Vnic,
+    tuple: &FiveTuple,
+    dir: Direction,
+) -> PreAction {
+    let mut ctx = PktCtx::lookup(*tuple, dir);
+    let mut env = LookupEnv::new(vnic);
+    graph.eval(&mut ctx, &mut env);
+    ctx.draft.finish(vnic)
+}
+
+/// Evaluates the lookup graph for both directions of the session the
+/// packet belongs to, producing the bidirectional pre-action pair.
+pub fn pair_lookup(
+    graph: &PktGraph,
+    vnic: &Vnic,
+    tuple: &FiveTuple,
+    pkt_dir: Direction,
+) -> PreActionPair {
+    let tx_tuple = match pkt_dir {
+        Direction::Tx => *tuple,
+        Direction::Rx => tuple.reversed(),
+    };
+    PreActionPair {
+        tx: direction_lookup(graph, vnic, &tx_tuple, Direction::Tx),
+        rx: direction_lookup(graph, vnic, &tx_tuple.reversed(), Direction::Rx),
+    }
+}

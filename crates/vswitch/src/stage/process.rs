@@ -1,0 +1,173 @@
+//! The session fast/slow split as stages.
+//!
+//! Process-level work (flow-cache probe, CPU charge, session
+//! establishment) needs mutable access to the switch, so these stages
+//! delegate one [`ProcOp`] each to the [`SwitchEnv`](super::SwitchEnv)
+//! driving the graph. The stages also *declare their cost slots*: the
+//! graph compiler collects them per path into the cost plan that
+//! [`costing`](super::costing) realizes against the charged cycle total,
+//! which is how `stage_costs` and the profiler's flamegraph leaves are
+//! derived from topology instead of hand-wired.
+
+use super::graph::{branch, seq, stage, CostSlot, Node, Stage, StageVerdict, PATH_SPLIT};
+use super::{PktCtx, SwitchEnv};
+use crate::pipeline::PathTaken;
+
+/// Process-level operations a [`SwitchEnv`](super::SwitchEnv) executes
+/// on behalf of the macro-stages.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProcOp {
+    /// Probe the flow cache; decides the packet's path.
+    ProbeFlowCache,
+    /// Price the decided path and charge it against the switch CPU.
+    ChargeCpu,
+    /// Fast path: process against the cached bidirectional pre-actions.
+    ProcessCached,
+    /// Slow path: full bidirectional rule lookup (runs the lookup graph).
+    LookupRules,
+    /// Slow path: stateless routing drops are final — stop before any
+    /// session is established.
+    GateStatelessDrop,
+    /// Slow path: establish (or re-cache) the session entry.
+    EstablishSession,
+    /// Slow path: process against the freshly looked-up pre-actions.
+    ProcessFresh,
+    /// Final admission: ACL verdict, then the QoS meter.
+    Admit,
+}
+
+/// A macro-stage: delegates one [`ProcOp`] to the environment and
+/// declares which cost slots it owns on each path.
+#[derive(Debug)]
+pub struct ProcStage {
+    name: &'static str,
+    op: ProcOp,
+    fast_slots: &'static [CostSlot],
+    slow_slots: &'static [CostSlot],
+}
+
+impl Stage<PktCtx> for ProcStage {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn eval(&self, ctx: &mut PktCtx, env: &mut (dyn SwitchEnv + '_)) -> StageVerdict {
+        env.op(self.op, ctx)
+    }
+
+    fn cost_slots(&self, path: PathTaken) -> &'static [CostSlot] {
+        match path {
+            PathTaken::Fast => self.fast_slots,
+            PathTaken::Slow => self.slow_slots,
+        }
+    }
+}
+
+/// A pure cost-model stage: contributes cost slots to the plan but does
+/// no per-packet work of its own (the simulator charges wire costs as
+/// one total; these slots say how the total decomposes).
+#[derive(Debug)]
+pub struct ModelStage {
+    name: &'static str,
+    slots: &'static [CostSlot],
+}
+
+impl Stage<PktCtx> for ModelStage {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn eval(&self, _ctx: &mut PktCtx, _env: &mut (dyn SwitchEnv + '_)) -> StageVerdict {
+        StageVerdict::Continue
+    }
+
+    fn cost_slots(&self, _path: PathTaken) -> &'static [CostSlot] {
+        self.slots
+    }
+}
+
+fn took_fast_path(ctx: &PktCtx) -> bool {
+    ctx.path == Some(PathTaken::Fast)
+}
+
+/// The standard process pipeline: ingest → parse → flow-cache probe →
+/// CPU charge → fast/slow split → admission.
+pub fn process_node() -> Node<PktCtx> {
+    seq(vec![
+        stage(ModelStage {
+            name: "ingest-dma",
+            slots: &[CostSlot::Dma],
+        }),
+        stage(ModelStage {
+            name: "parse",
+            slots: &[CostSlot::Parse],
+        }),
+        stage(ProcStage {
+            name: "flow-cache-probe",
+            op: ProcOp::ProbeFlowCache,
+            fast_slots: &[CostSlot::SessionResidue],
+            slow_slots: &[CostSlot::SessionCreate],
+        }),
+        stage(ProcStage {
+            name: "cpu-charge",
+            op: ProcOp::ChargeCpu,
+            fast_slots: &[],
+            slow_slots: &[],
+        }),
+        branch(
+            PATH_SPLIT,
+            took_fast_path,
+            stage(ProcStage {
+                name: "process-cached",
+                op: ProcOp::ProcessCached,
+                fast_slots: &[],
+                slow_slots: &[],
+            }),
+            seq(vec![
+                stage(ProcStage {
+                    name: "rule-lookup",
+                    op: ProcOp::LookupRules,
+                    fast_slots: &[],
+                    slow_slots: &[CostSlot::SlowOverhead, CostSlot::RuleTiers],
+                }),
+                stage(ProcStage {
+                    name: "stateless-drop-gate",
+                    op: ProcOp::GateStatelessDrop,
+                    fast_slots: &[],
+                    slow_slots: &[],
+                }),
+                stage(ProcStage {
+                    name: "session-establish",
+                    op: ProcOp::EstablishSession,
+                    fast_slots: &[],
+                    slow_slots: &[],
+                }),
+                stage(ProcStage {
+                    name: "process-fresh",
+                    op: ProcOp::ProcessFresh,
+                    fast_slots: &[],
+                    slow_slots: &[],
+                }),
+            ]),
+        ),
+        stage(ProcStage {
+            name: "admit",
+            op: ProcOp::Admit,
+            fast_slots: &[],
+            slow_slots: &[],
+        }),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::graph::{StageGraph, FAST_PLAN, SLOW_PLAN};
+
+    #[test]
+    fn derived_plans_match_the_legacy_decomposition() {
+        let g = StageGraph::compile(process_node()).expect("standard graph compiles");
+        assert_eq!(g.plan(PathTaken::Fast), FAST_PLAN);
+        assert_eq!(g.plan(PathTaken::Slow), SLOW_PLAN);
+    }
+}

@@ -1,100 +1,34 @@
 //! The assembled vSwitch: vNICs + session table + CPU/memory enforcement.
 //!
+//! Since the pipeline-as-combinators refactor this file is a *facade*:
 //! [`VSwitch::process_local`] implements the traditional architecture of
-//! the paper's Fig. 1 end to end — fast path on cached-flow hits, slow
-//! path (rule lookup + session establishment) on misses, all charged
-//! against the CPU server and the table memory pool. `nezha-core` builds
-//! the BE and FE roles from the finer-grained primitives also exposed
-//! here ([`VSwitch::charge`], [`VSwitch::vnic`], the session table).
+//! the paper's Fig. 1 by driving the compiled process
+//! [`StageGraph`](crate::stage::StageGraph) (built once at construction)
+//! over a [`LocalRun`] environment — the fast/slow split, rule lookup and
+//! session establishment live in [`crate::stage`], all charged against
+//! the CPU server and the table memory pool owned here. `nezha-core`
+//! builds the BE and FE roles from the finer-grained primitives also
+//! exposed here ([`VSwitch::charge`], [`VSwitch::vnic`], the session
+//! table).
 
 use crate::config::VSwitchConfig;
-use crate::pipeline::{self, PathTaken, ProcessOutcome, ProcessResult};
+use crate::pipeline::{PathTaken, ProcessOutcome, ProcessResult};
 use crate::session::SessionTable;
+use crate::stage::local::LocalRun;
+use crate::stage::{costing, PktCtx, SwitchGraphs};
+use crate::telemetry::SwitchTelemetry;
 use crate::vnic::Vnic;
 use nezha_sim::dense::DenseMap;
-use nezha_sim::metrics::{CounterHandle, MetricsRegistry};
+use nezha_sim::metrics::MetricsRegistry;
 use nezha_sim::profile::{Profiler, Span, SpanId, StageSet};
 use nezha_sim::resources::{CpuOutcome, CpuServer, MemoryPool, OutOfMemory};
 use nezha_sim::time::SimTime;
 use nezha_sim::trace::{DropReason, PacketTrace, TraceEvent, TraceEventKind};
-use nezha_types::{Decision, Packet, SessionKey, VnicId};
+use nezha_types::{Packet, VnicId};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-/// Lifetime packet counters of one vSwitch.
-///
-/// Since the telemetry redesign this is a *view* assembled from the
-/// vSwitch's `vswitch.*{server=N}` metrics on demand — the struct is kept
-/// so existing `vs.counters().forwarded`-style call sites read unchanged.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct VSwitchCounters {
-    /// Packets processed to a forwarding decision.
-    pub forwarded: u64,
-    /// Packets dropped by final ACL verdict.
-    pub acl_drops: u64,
-    /// Packets dropped for lack of a route.
-    pub unroutable: u64,
-    /// Packets dropped by QoS rate limits.
-    pub rate_limited: u64,
-    /// Packets dropped because the CPU backlog bound was exceeded.
-    pub cpu_drops: u64,
-    /// First packets that could not cache a session (memory exhausted).
-    pub session_overflows: u64,
-    /// Mirror copies generated toward collectors.
-    pub mirrored: u64,
-}
-
-/// Pre-registered handles for the per-switch counters. Registered once at
-/// construction (or re-registered on [`VSwitch::attach_metrics`]); the hot
-/// path only does handle increments.
-#[derive(Clone, Debug)]
-struct SwitchTelemetry {
-    registry: MetricsRegistry,
-    trace: PacketTrace,
-    profiler: Profiler,
-    stages: StageSet,
-    forwarded: CounterHandle,
-    acl_drops: CounterHandle,
-    unroutable: CounterHandle,
-    rate_limited: CounterHandle,
-    cpu_drops: CounterHandle,
-    session_overflows: CounterHandle,
-    mirrored: CounterHandle,
-}
-
-impl SwitchTelemetry {
-    fn register(registry: &MetricsRegistry, server: nezha_types::ServerId) -> Self {
-        let labels = [("server", server.raw().to_string())];
-        let c = |name: &str| registry.counter(name, &labels);
-        let profiler = Profiler::new();
-        let stages = StageSet::register(&profiler);
-        SwitchTelemetry {
-            registry: registry.clone(),
-            trace: PacketTrace::disabled(),
-            profiler,
-            stages,
-            forwarded: c("vswitch.forwarded"),
-            acl_drops: c("vswitch.acl_drops"),
-            unroutable: c("vswitch.unroutable"),
-            rate_limited: c("vswitch.rate_limited"),
-            cpu_drops: c("vswitch.cpu_drops"),
-            session_overflows: c("vswitch.session_overflows"),
-            mirrored: c("vswitch.mirrored"),
-        }
-    }
-
-    fn view(&self) -> VSwitchCounters {
-        let v = |h: CounterHandle| self.registry.counter_value(h);
-        VSwitchCounters {
-            forwarded: v(self.forwarded),
-            acl_drops: v(self.acl_drops),
-            unroutable: v(self.unroutable),
-            rate_limited: v(self.rate_limited),
-            cpu_drops: v(self.cpu_drops),
-            session_overflows: v(self.session_overflows),
-            mirrored: v(self.mirrored),
-        }
-    }
-}
+pub use crate::telemetry::VSwitchCounters;
 
 /// A SmartNIC vSwitch instance.
 #[derive(Debug)]
@@ -106,16 +40,19 @@ pub struct VSwitch {
     /// FEs; vNICs bitten by a release bug offload to older, known-good
     /// ones.
     pub version: u32,
-    cfg: VSwitchConfig,
+    pub(crate) cfg: VSwitchConfig,
     cpu: CpuServer,
     /// Table memory pool (rule tables + session table share it, §2.2.2).
     pub mem: MemoryPool,
     /// Dense-hashed: probed (twice) per processed packet. Iteration is
     /// only via [`VSwitch::vnic_ids`], which sorts.
-    vnics: DenseMap<VnicId, Vnic>,
+    pub(crate) vnics: DenseMap<VnicId, Vnic>,
     /// The session table (public: the Nezha BE role manipulates it).
     pub sessions: SessionTable,
-    tel: SwitchTelemetry,
+    pub(crate) tel: SwitchTelemetry,
+    /// The compiled stage graphs this switch drives (process pipeline +
+    /// lookup subgraph), built once at construction.
+    graphs: Arc<SwitchGraphs>,
     /// Cycles charged per vNIC (for the controller's offload-candidate
     /// ranking, §4.2.1), measured over the CPU's utilization window.
     vnic_cycles: BTreeMap<VnicId, f64>,
@@ -130,7 +67,8 @@ pub struct VSwitch {
 }
 
 impl VSwitch {
-    /// Builds a vSwitch on server `id` with the given configuration.
+    /// Builds a vSwitch on server `id` with the given configuration,
+    /// compiling the standard stage graphs.
     pub fn new(id: nezha_types::ServerId, cfg: VSwitchConfig) -> Self {
         VSwitch {
             id,
@@ -140,6 +78,7 @@ impl VSwitch {
             vnics: DenseMap::new(),
             sessions: SessionTable::new(),
             tel: SwitchTelemetry::register(&MetricsRegistry::new(), id),
+            graphs: Arc::new(SwitchGraphs::standard()),
             vnic_cycles: BTreeMap::new(),
             vnic_charged: DenseMap::new(),
             cycle_multiplier: 1.0,
@@ -150,6 +89,11 @@ impl VSwitch {
     /// The configuration.
     pub fn config(&self) -> &VSwitchConfig {
         &self.cfg
+    }
+
+    /// The compiled stage graphs this switch drives.
+    pub fn graphs(&self) -> &Arc<SwitchGraphs> {
+        &self.graphs
     }
 
     /// Re-homes this switch's `vswitch.*{server=N}` counters into a shared
@@ -362,168 +306,43 @@ impl VSwitch {
     /// Processes one packet in the **traditional local architecture**:
     /// this vSwitch holds the vNIC's rules, flows, and state.
     ///
-    /// `pkt.vnic` must be hosted here; packets for unknown vNICs are
-    /// unroutable (they indicate a stale vNIC-server mapping upstream).
+    /// The facade only traces the arrival and screens unknown vNICs
+    /// (they indicate a stale vNIC-server mapping upstream); everything
+    /// else — flow-cache probe, CPU charge, rule lookup, session
+    /// establishment, admission — is the compiled process graph driving
+    /// a [`LocalRun`] environment.
     pub fn process_local(&mut self, pkt: &Packet, now: SimTime) -> ProcessResult {
         self.trace_event(now, pkt, TraceEventKind::Enqueue);
-        let costs = self.cfg.costs;
-        let key = SessionKey::of(pkt.vpc, pkt.tuple);
-        let bytes = pkt.wire_len();
-
         if !self.vnics.contains_key(&pkt.vnic) {
             return self.finish_traced(
                 ProcessOutcome::Unroutable,
-                PathTaken::Slow,
+                Some(PathTaken::Slow),
                 now,
                 false,
                 false,
                 pkt,
             );
         }
-
-        // Fast path: session hit with cached pre-actions.
-        let have_cached = self
-            .sessions
-            .get(&key)
-            .is_some_and(|e| e.pre_actions.is_some());
-
-        if have_cached {
-            self.trace_event(now, pkt, TraceEventKind::TableHit);
-            let cycles = costs.fast_path_cycles(bytes);
-            let done = match self.charge(now, pkt.vnic, cycles) {
-                CpuOutcome::Dropped => {
-                    return self.finish_traced(
-                        ProcessOutcome::CpuOverload,
-                        PathTaken::Fast,
-                        now,
-                        false,
-                        false,
-                        pkt,
-                    )
-                }
-                CpuOutcome::Done { done_at } => done_at,
-            };
-            self.trace_event(now, pkt, TraceEventKind::CpuCharge { cycles });
-            self.profile_local(pkt, now, done, cycles, bytes, PathTaken::Fast);
-            let entry = self.sessions.get_mut(&key).expect("checked above");
-            let pre = *entry
-                .pre_actions
-                .as_ref()
-                .expect("checked above")
-                .for_direction(pkt.dir);
-            let action = pipeline::process_pkt(&pre, &mut entry.state, pkt);
-            entry.last_seen = now;
-            let outcome = if action.verdict == Decision::Drop {
-                ProcessOutcome::AclDrop
-            } else if !self
-                .vnics
-                .get_mut(&pkt.vnic)
-                .expect("vnic present")
-                .tables
-                .qos
-                .admit(now, action.qos_class, bytes as u64)
-            {
-                ProcessOutcome::RateLimited
-            } else {
-                ProcessOutcome::Forwarded(action)
-            };
-            return self.finish_traced(outcome, PathTaken::Fast, done, false, false, pkt);
-        }
-
-        // Slow path: full lookup (+ session establishment). Priced here
-        // rather than up front so fast-path packets skip the slow-path
-        // formula's `ln`.
-        self.trace_event(now, pkt, TraceEventKind::TableMiss);
-        let cycles = self
-            .vnics
-            .get(&pkt.vnic)
-            .expect("checked above")
-            .slow_path_cycles(&costs, bytes);
-        let done = match self.charge(now, pkt.vnic, cycles) {
-            CpuOutcome::Dropped => {
-                return self.finish_traced(
-                    ProcessOutcome::CpuOverload,
-                    PathTaken::Slow,
-                    now,
-                    false,
-                    false,
-                    pkt,
-                )
-            }
-            CpuOutcome::Done { done_at } => done_at,
+        let graphs = Arc::clone(&self.graphs);
+        let mut ctx = PktCtx::lookup(pkt.tuple, pkt.dir);
+        let mut run = LocalRun::new(self, &graphs, pkt, now);
+        graphs.process.eval(&mut ctx, &mut run);
+        let r = run.finish();
+        // A CPU drop happens before the packet takes any path (satellite
+        // of the refactor: `path` is None instead of a meaningless value).
+        let path = match r.outcome {
+            ProcessOutcome::CpuOverload => None,
+            _ => Some(r.path),
         };
-        self.trace_event(now, pkt, TraceEventKind::CpuCharge { cycles });
-        self.profile_local(pkt, now, done, cycles, bytes, PathTaken::Slow);
-        let vnic = self.vnics.get(&pkt.vnic).expect("checked above");
-        let lookup = pipeline::slow_path_lookup(vnic, &pkt.tuple, pkt.dir);
-
-        // Routing failures are stateless, final drops.
-        let pre = *lookup.pair.for_direction(pkt.dir);
-        if pre.verdict == Decision::Drop && !pre.stateful_acl {
-            return self.finish_traced(
-                ProcessOutcome::Unroutable,
-                PathTaken::Slow,
-                done,
-                false,
-                false,
-                pkt,
-            );
-        }
-
-        let (mut created, mut overflow) = (false, false);
-        if self.sessions.get(&key).is_none() {
-            match self.sessions.establish(
-                key,
-                pkt.vnic,
-                pkt.dir,
-                Some(lookup.pair),
-                now,
-                &mut self.mem,
-                &self.cfg.memory,
-            ) {
-                Ok(_) => created = true,
-                Err(_) => overflow = true, // process uncached
-            }
-        } else if let Some(e) = self.sessions.get_mut(&key) {
-            // Entry existed without cached flows (post rule-update): try to
-            // re-cache the fresh lookup.
-            if e.pre_actions.is_none() && self.mem.alloc(self.cfg.memory.flow_entry).is_ok() {
-                e.pre_actions = Some(lookup.pair);
-            }
-            e.last_seen = now;
-        }
-
-        let action = if let Some(e) = self.sessions.get_mut(&key) {
-            pipeline::process_pkt(&pre, &mut e.state, pkt)
-        } else {
-            // Uncached processing: ephemeral state (stateful guarantees
-            // degrade exactly as they would on a real overflowing switch).
-            let mut scratch = nezha_types::SessionState::default();
-            pipeline::process_pkt(&pre, &mut scratch, pkt)
-        };
-
-        let outcome = if action.verdict == Decision::Drop {
-            ProcessOutcome::AclDrop
-        } else if !self
-            .vnics
-            .get_mut(&pkt.vnic)
-            .expect("vnic present")
-            .tables
-            .qos
-            .admit(now, action.qos_class, bytes as u64)
-        {
-            ProcessOutcome::RateLimited
-        } else {
-            ProcessOutcome::Forwarded(action)
-        };
-        self.finish_traced(outcome, PathTaken::Slow, done, created, overflow, pkt)
+        self.finish_traced(r.outcome, path, r.done, r.created, r.overflow, pkt)
     }
 
     /// Records the span tree for one successful local-pipeline charge:
     /// a `local` root (linked to any span the packet already carries)
     /// with per-stage leaves whose cycles sum to exactly what the CPU
-    /// model charged. No-op while the profiler is disabled.
-    fn profile_local(
+    /// model charged. Leaves follow the process graph's cost plan for
+    /// the path taken. No-op while the profiler is disabled.
+    pub(crate) fn profile_local(
         &self,
         pkt: &Packet,
         start: SimTime,
@@ -554,37 +373,32 @@ impl VSwitch {
             packets: 1,
         };
         let root = prof.record(base);
-        let c = pipeline::stage_costs(&self.cfg.costs, vnic, bytes, total, path);
-        let leaf = |stage, cycles| Span {
-            stage,
-            parent: root,
-            cycles,
-            bytes: 0,
-            packets: 0,
-            ..base
-        };
-        for (stage, cycles) in [
-            (st.dma, c.dma),
-            (st.parse, c.parse),
-            (st.session_lookup, c.session),
-            (st.slowpath, c.overhead),
-        ] {
-            if cycles > 0 {
-                prof.record(leaf(stage, cycles));
-            }
-        }
-        for (i, &cycles) in c.tiers.iter().enumerate() {
-            if cycles > 0 {
-                let tier = st.rule_tiers[i.min(st.rule_tiers.len() - 1)];
-                prof.record(leaf(tier, cycles));
-            }
-        }
+        let c = self
+            .graphs
+            .stage_costs(&self.cfg.costs, vnic, bytes, total, path);
+        costing::plan_leaves(
+            self.graphs.process.plan(path),
+            st,
+            &c,
+            &mut |stage, cycles| {
+                if cycles > 0 {
+                    prof.record(Span {
+                        stage,
+                        parent: root,
+                        cycles,
+                        bytes: 0,
+                        packets: 0,
+                        ..base
+                    });
+                }
+            },
+        );
     }
 
     fn finish_traced(
         &mut self,
         outcome: ProcessOutcome,
-        path: PathTaken,
+        path: Option<PathTaken>,
         done_at: SimTime,
         created_session: bool,
         session_overflow: bool,
@@ -633,323 +447,5 @@ impl VSwitch {
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::vnic::VnicProfile;
-    use nezha_types::{FiveTuple, Ipv4Addr, ServerId, TcpFlags, VpcId};
-
-    fn vswitch_with_vnic() -> (VSwitch, VnicId) {
-        let mut vs = VSwitch::new(ServerId(0), VSwitchConfig::default());
-        let vnic = Vnic::new(
-            VnicId(1),
-            VpcId(1),
-            Ipv4Addr::new(10, 7, 0, 1),
-            VnicProfile::default(),
-            ServerId(0),
-        );
-        vs.add_vnic(vnic).unwrap();
-        (vs, VnicId(1))
-    }
-
-    fn tx_pkt(trace: u64, sport: u16) -> Packet {
-        Packet::tx_data(
-            trace,
-            VpcId(1),
-            VnicId(1),
-            FiveTuple::tcp(
-                Ipv4Addr::new(10, 7, 0, 1),
-                sport,
-                Ipv4Addr::new(10, 7, 0, 100),
-                9000,
-            ),
-            TcpFlags::SYN,
-            64,
-        )
-    }
-
-    #[test]
-    fn first_packet_slow_then_fast() {
-        let (mut vs, _) = vswitch_with_vnic();
-        let r1 = vs.process_local(&tx_pkt(1, 40000), SimTime(0));
-        assert!(r1.outcome.is_forwarded());
-        assert_eq!(r1.path, PathTaken::Slow);
-        assert!(r1.created_session);
-
-        let mut p2 = tx_pkt(2, 40000);
-        p2.tcp_flags = TcpFlags::ACK;
-        let r2 = vs.process_local(&p2, SimTime(1000));
-        assert!(r2.outcome.is_forwarded());
-        assert_eq!(r2.path, PathTaken::Fast);
-        assert!(!r2.created_session);
-        assert_eq!(vs.sessions.len(), 1);
-        assert_eq!(vs.counters().forwarded, 2);
-    }
-
-    #[test]
-    fn fast_path_is_cheaper_than_slow_path() {
-        let (mut vs, _) = vswitch_with_vnic();
-        let r1 = vs.process_local(&tx_pkt(1, 40001), SimTime(0));
-        let slow_latency = r1.done_at.since(SimTime(0));
-        // Re-use the session from a quiet start time.
-        let t = SimTime(1_000_000_000);
-        let mut p2 = tx_pkt(2, 40001);
-        p2.tcp_flags = TcpFlags::ACK;
-        let r2 = vs.process_local(&p2, t);
-        let fast_latency = r2.done_at.since(t);
-        assert!(
-            fast_latency.nanos() * 3 < slow_latency.nanos(),
-            "fast {fast_latency} vs slow {slow_latency}"
-        );
-    }
-
-    #[test]
-    fn unknown_vnic_is_unroutable() {
-        let (mut vs, _) = vswitch_with_vnic();
-        let mut p = tx_pkt(1, 40000);
-        p.vnic = VnicId(99);
-        let r = vs.process_local(&p, SimTime(0));
-        assert_eq!(r.outcome, ProcessOutcome::Unroutable);
-        assert_eq!(vs.counters().unroutable, 1);
-    }
-
-    #[test]
-    fn sustained_overload_drops_packets() {
-        let (mut vs, _) = vswitch_with_vnic();
-        // Hammer new connections at one instant; the backlog bound breaks.
-        let mut cpu_drops = 0;
-        for i in 0..3000 {
-            let r = vs.process_local(&tx_pkt(i, 10000 + (i % 50_000) as u16), SimTime(0));
-            if r.outcome == ProcessOutcome::CpuOverload {
-                cpu_drops += 1;
-            }
-        }
-        assert!(cpu_drops > 0);
-        assert_eq!(vs.counters().cpu_drops, cpu_drops);
-    }
-
-    #[test]
-    fn vnic_table_memory_enforced() {
-        // 10 MB: fits one default vNIC.
-        let cfg = VSwitchConfig::builder()
-            .table_memory(10 * 1024 * 1024)
-            .build();
-        let mut vs = VSwitch::new(ServerId(0), cfg);
-        let v1 = Vnic::new(
-            VnicId(1),
-            VpcId(1),
-            Ipv4Addr::new(10, 7, 0, 1),
-            VnicProfile::default(),
-            ServerId(0),
-        );
-        let v2 = Vnic::new(
-            VnicId(2),
-            VpcId(1),
-            Ipv4Addr::new(10, 8, 0, 1),
-            VnicProfile::default(),
-            ServerId(0),
-        );
-        vs.add_vnic(v1).unwrap();
-        assert!(vs.add_vnic(v2).is_err(), "second vNIC must not fit");
-        assert_eq!(vs.vnic_count(), 1);
-    }
-
-    #[test]
-    fn remove_vnic_releases_memory() {
-        let (mut vs, id) = vswitch_with_vnic();
-        let used = vs.mem.used();
-        assert!(used > 0);
-        let v = vs.remove_vnic(id).unwrap();
-        assert_eq!(vs.mem.used(), 0);
-        assert_eq!(v.id, id);
-        assert!(vs.remove_vnic(id).is_none());
-    }
-
-    #[test]
-    fn cycle_attribution_ranks_heavy_vnics() {
-        let (mut vs, _) = vswitch_with_vnic();
-        let v2 = Vnic::new(
-            VnicId(2),
-            VpcId(1),
-            Ipv4Addr::new(10, 9, 0, 1),
-            VnicProfile::default(),
-            ServerId(0),
-        );
-        vs.add_vnic(v2).unwrap();
-        // vNIC 1 gets 10 connections, vNIC 2 gets 1.
-        for i in 0..10 {
-            vs.process_local(&tx_pkt(i, 41000 + i as u16), SimTime(i * 1_000_000));
-        }
-        let mut p = tx_pkt(100, 45000);
-        p.vnic = VnicId(2);
-        p.tuple.src_ip = Ipv4Addr::new(10, 9, 0, 1);
-        // Offer after the earlier backlog has drained (time is monotone in
-        // real runs; the CPU model treats an out-of-order earlier offer as
-        // arriving behind the whole backlog).
-        vs.process_local(&p, SimTime(20_000_000));
-        let shares = vs.vnic_cycle_shares();
-        assert!(shares[&VnicId(1)] > shares[&VnicId(2)]);
-    }
-
-    #[test]
-    fn session_overflow_processes_uncached() {
-        // Just enough memory for the vNIC tables + one session.
-        let cfg = VSwitchConfig::builder()
-            .table_memory(8 * 1024 * 1024)
-            .build();
-        let mut vs = VSwitch::new(ServerId(0), cfg);
-        let vnic = Vnic::new(
-            VnicId(1),
-            VpcId(1),
-            Ipv4Addr::new(10, 7, 0, 1),
-            VnicProfile::default(),
-            ServerId(0),
-        );
-        vs.add_vnic(vnic).unwrap();
-        // Fill the remaining memory with sessions.
-        let mut overflowed = false;
-        for i in 0..200_000 {
-            let r = vs.process_local(
-                &tx_pkt(i, (i % 60_000) as u16),
-                SimTime(i * 10_000_000), // spread to avoid CPU drops
-            );
-            if r.session_overflow {
-                overflowed = true;
-                assert!(r.outcome.is_forwarded(), "overflow still forwards");
-                break;
-            }
-        }
-        assert!(overflowed, "never hit session-table memory limit");
-        assert!(vs.counters().session_overflows > 0);
-    }
-
-    #[test]
-    fn utilization_reflects_load() {
-        let (mut vs, _) = vswitch_with_vnic();
-        vs.set_util_window(nezha_sim::time::SimDuration::from_millis(10));
-        assert_eq!(vs.cpu_utilization(SimTime(0)), 0.0);
-        // 2000 new connections at 5 us spacing = 200K CPS offered for 10 ms
-        // on a ~400K-CPS-lookup-capable switch: roughly half utilized.
-        for i in 0..2000 {
-            vs.process_local(&tx_pkt(i, 20000 + (i % 40_000) as u16), SimTime(i * 5_000));
-        }
-        let u = vs.cpu_utilization(SimTime(2000 * 5_000));
-        assert!(u > 0.2, "utilization {u}");
-        assert!(vs.mem_utilization() > 0.0);
-    }
-
-    #[test]
-    fn expire_sessions_frees_capacity() {
-        let (mut vs, _) = vswitch_with_vnic();
-        vs.process_local(&tx_pkt(1, 40000), SimTime(0));
-        assert_eq!(vs.sessions.len(), 1);
-        // SYN sessions age out after syn_aging (1 s).
-        let n = vs.expire_sessions(SimTime(2_000_000_000));
-        assert_eq!(n, 1);
-        assert_eq!(vs.sessions.len(), 0);
-    }
-}
-
-#[cfg(test)]
-mod qos_tests {
-    use super::*;
-    use crate::tables::acl::PortRange;
-    use crate::tables::qos::{ClassLimit, QosRule};
-    use crate::vnic::VnicProfile;
-    use nezha_types::{FiveTuple, Ipv4Addr, ServerId, TcpFlags, VpcId};
-
-    /// A vNIC whose port-443 class is rate limited to ~10 packets of
-    /// burst: the fast path must start returning RateLimited once the
-    /// bucket drains, and recover as tokens refill.
-    #[test]
-    fn qos_rate_limit_enforced_on_fast_path() {
-        let mut vs = VSwitch::new(ServerId(0), VSwitchConfig::default());
-        let mut vnic = Vnic::new(
-            VnicId(1),
-            VpcId(1),
-            Ipv4Addr::new(10, 7, 0, 1),
-            VnicProfile {
-                qos_rules: 0,
-                ..VnicProfile::default()
-            },
-            ServerId(0),
-        );
-        vnic.tables.qos.add_rule(QosRule {
-            dst_ports: PortRange::only(443),
-            class: 2,
-        });
-        vnic.tables.qos.add_limit(ClassLimit {
-            class: 2,
-            rate_bytes_per_sec: 10_000.0,
-            burst_bytes: 2_000.0,
-        });
-        vs.add_vnic(vnic).unwrap();
-
-        let pkt = |n: u64| {
-            Packet::tx_data(
-                n,
-                VpcId(1),
-                VnicId(1),
-                FiveTuple::tcp(
-                    Ipv4Addr::new(10, 7, 0, 1),
-                    50_000,
-                    Ipv4Addr::new(10, 7, 0, 9),
-                    443,
-                ),
-                if n == 0 { TcpFlags::SYN } else { TcpFlags::ACK },
-                100,
-            )
-        };
-        // Burst through the bucket (each packet ~154B on the wire).
-        let mut limited = 0;
-        for n in 0..30 {
-            let r = vs.process_local(&pkt(n), SimTime(n * 1_000_000));
-            if r.outcome == ProcessOutcome::RateLimited {
-                limited += 1;
-            }
-        }
-        assert!(limited > 5, "rate limit never engaged: {limited}");
-        assert_eq!(vs.counters().rate_limited, limited);
-        // After a second, tokens are back.
-        let r = vs.process_local(&pkt(100), SimTime(1_500_000_000));
-        assert!(
-            r.outcome.is_forwarded(),
-            "bucket must refill: {:?}",
-            r.outcome
-        );
-    }
-
-    /// Unlimited classes never rate limit, regardless of volume.
-    #[test]
-    fn best_effort_class_is_unlimited() {
-        let mut vs = VSwitch::new(ServerId(0), VSwitchConfig::default());
-        let vnic = Vnic::new(
-            VnicId(1),
-            VpcId(1),
-            Ipv4Addr::new(10, 7, 0, 1),
-            VnicProfile {
-                qos_rules: 0,
-                ..VnicProfile::default()
-            },
-            ServerId(0),
-        );
-        vs.add_vnic(vnic).unwrap();
-        for n in 0..200u64 {
-            let pkt = Packet::tx_data(
-                n,
-                VpcId(1),
-                VnicId(1),
-                FiveTuple::tcp(
-                    Ipv4Addr::new(10, 7, 0, 1),
-                    50_000,
-                    Ipv4Addr::new(10, 7, 0, 9),
-                    9000,
-                ),
-                if n == 0 { TcpFlags::SYN } else { TcpFlags::ACK },
-                1_400,
-            );
-            let r = vs.process_local(&pkt, SimTime(n * 10_000_000));
-            assert!(r.outcome != ProcessOutcome::RateLimited);
-        }
-        assert_eq!(vs.counters().rate_limited, 0);
-    }
-}
+#[path = "vswitch_tests.rs"]
+mod tests;

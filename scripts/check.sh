@@ -5,8 +5,11 @@
 #
 # Usage: scripts/check.sh [--fast]
 #   --fast   skip the full test suite (quick pre-commit run); still runs
-#            the reduced chaos smoke scenario so the fault-injection path
-#            is never shipped unexercised, plus the profiler smoke run
+#            the stage-graph equivalence smoke (combinator pipeline vs
+#            the legacy reference semantics, plus the exact cost-plan
+#            reconciliation properties), the reduced chaos smoke scenario
+#            so the fault-injection path is never shipped unexercised,
+#            plus the profiler smoke run
 #            (`experiments profile` self-asserts its cycle reconciliation)
 #            and the observability smoke (`experiments watch` runs the
 #            windowed chaos scenario and asserts the SLO watchdog fires).
@@ -56,6 +59,8 @@ echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 if [ "$fast" -eq 1 ]; then
+    echo "==> cargo test -q -p nezha-vswitch --test stage_graph_properties   (--fast: graph-equivalence smoke)"
+    cargo test -q -p nezha-vswitch --test stage_graph_properties
     echo "==> cargo test -q --test chaos smoke_   (--fast: reduced chaos scenario)"
     cargo test -q --test chaos smoke_
     echo "==> experiments profile   (--fast: profiler smoke, artifacts to target/profile-smoke)"

@@ -17,10 +17,15 @@ cd "$(dirname "$0")/.."
 
 MAX_LINES=1200
 
+# Post-refactor, `crates/vswitch` is a set of focused stage/table modules
+# behind a facade, so it gets a tighter cap: no file may exceed 600
+# lines. A file that wants more is a module that wants splitting — the
+# stage combinators make that cheap (new stages, not a bigger monolith).
+VSWITCH_MAX_LINES=600
+
 # One entry per line; keep justifications honest and specific.
 ALLOW=(
-    # (none yet — the largest file is crates/vswitch/src/vswitch.rs at
-    # well under the cap after the cluster.rs split)
+    # (none — vswitch.rs is a facade well under even the 600-line cap)
 )
 
 allow_max_for() {
@@ -40,7 +45,10 @@ allow_max_for() {
             ;;
         esac
     done
-    echo "$MAX_LINES"
+    case "$path" in
+    crates/vswitch/*) echo "$VSWITCH_MAX_LINES" ;;
+    *) echo "$MAX_LINES" ;;
+    esac
 }
 
 fail=0
@@ -75,4 +83,5 @@ done
 if [ "$fail" -ne 0 ]; then
     exit 1
 fi
-echo "file-size-guard: $checked files under crates/ within the $MAX_LINES-line cap"
+echo "file-size-guard: $checked files under crates/ within the caps" \
+    "($MAX_LINES lines; $VSWITCH_MAX_LINES for crates/vswitch)"
